@@ -1,0 +1,156 @@
+//! Criterion microbenchmarks of the DTL's hot paths: segment-mapping-cache
+//! lookups, the full translated access path, the FR-FCFS DRAM scheduler,
+//! migration-table updates, the segment allocator, the cache hierarchy,
+//! and trace generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dtl_cache::{CacheHierarchy, HierarchyConfig};
+use dtl_core::{
+    AuId, DtlConfig, DtlDevice, Dsn, HostId, HotnessEngine, HotnessParams, Hsn,
+    SegmentAllocator, SegmentGeometry, SegmentLocation, SegmentMappingCache,
+};
+use dtl_dram::{
+    AccessKind, AddressMapping, DramConfig, DramSystem, PhysAddr, Picos, Priority,
+};
+use dtl_trace::{TraceGen, WorkloadKind};
+
+fn bench_smc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smc");
+    g.throughput(Throughput::Elements(1));
+    let mut smc = SegmentMappingCache::paper();
+    for i in 0..2048u32 {
+        smc.fill(Hsn { host: HostId(0), au: AuId(i / 1024), au_offset: i % 1024 }, Dsn(u64::from(i)));
+    }
+    let mut i = 0u32;
+    g.bench_function("lookup_mixed", |b| {
+        b.iter(|| {
+            i = (i + 7) % 4096;
+            let hsn = Hsn { host: HostId(0), au: AuId(i / 1024), au_offset: i % 1024 };
+            black_box(smc.lookup(hsn))
+        })
+    });
+    g.bench_function("fill", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(13) % 8192;
+            let hsn = Hsn { host: HostId(0), au: AuId(i / 1024), au_offset: i % 1024 };
+            smc.fill(hsn, Dsn(u64::from(i)));
+        })
+    });
+    g.finish();
+}
+
+fn bench_device_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device");
+    g.throughput(Throughput::Elements(1));
+    let cfg = DtlConfig::tiny();
+    let mut dev = DtlDevice::with_analytic_geometry(cfg, 4, 8, 64);
+    dev.register_host(HostId(0)).unwrap();
+    let vm = dev.alloc_vm(HostId(0), 8 * cfg.au_bytes, Picos::ZERO).unwrap();
+    let base = vm.hpa_base(0, cfg.au_bytes);
+    let mut t = Picos::from_ns(1);
+    let mut k = 0u64;
+    g.bench_function("translated_access", |b| {
+        b.iter(|| {
+            k = (k + 1) % (8 * cfg.au_bytes / 64);
+            t += Picos::from_ns(2);
+            black_box(dev.access(HostId(0), base.offset_by(k * 64), AccessKind::Read, t).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dram_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("frfcfs_64_requests", |b| {
+        b.iter_batched(
+            || DramSystem::new(DramConfig::tiny(), AddressMapping::RankInterleaved).unwrap(),
+            |mut sys| {
+                for i in 0..64u64 {
+                    sys.submit(
+                        PhysAddr::new((i * 4096) % sys.config().geometry.capacity_bytes()),
+                        AccessKind::Read,
+                        Priority::Foreground,
+                        Picos::from_ns(i * 10),
+                    )
+                    .unwrap();
+                }
+                sys.run_until_idle(Picos::from_us(5));
+                black_box(sys.drain_completions().len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_hotness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotness");
+    g.throughput(Throughput::Elements(1));
+    let geo = SegmentGeometry { channels: 1, ranks_per_channel: 8, segs_per_rank: 1024 };
+    let mut eng = HotnessEngine::new(geo, HotnessParams::paper());
+    // Enter planning.
+    let _ = eng.pump(Picos::from_ms(1), |_, _| true);
+    let mut w = 0u64;
+    g.bench_function("on_access_planning", |b| {
+        b.iter(|| {
+            w = (w + 127) % 1024;
+            eng.on_access(
+                SegmentLocation { channel: 0, rank: (w % 8) as u32, within: w },
+                Picos::from_ms(2),
+            );
+        })
+    });
+    g.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator");
+    let geo = SegmentGeometry { channels: 4, ranks_per_channel: 8, segs_per_rank: 1024 };
+    g.bench_function("alloc_free_au_1024_segments", |b| {
+        b.iter_batched(
+            || SegmentAllocator::new(geo),
+            |mut a| {
+                let dsns = a.allocate_au(1024).unwrap();
+                a.free_segments(&dsns).unwrap();
+                black_box(a.free_active_total())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    let mut h = CacheHierarchy::new(HierarchyConfig::paper_table3());
+    let mut a = 0u64;
+    g.bench_function("hierarchy_access", |b| {
+        b.iter(|| {
+            a = a.wrapping_add(4096) % (1 << 30);
+            black_box(h.access(a, false).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(1));
+    let mut gen = TraceGen::new(WorkloadKind::GraphAnalytics.spec().scaled(64), 1);
+    g.bench_function("next_record", |b| b.iter(|| black_box(gen.next_record())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smc,
+    bench_device_access,
+    bench_dram_scheduler,
+    bench_hotness,
+    bench_allocator,
+    bench_cache,
+    bench_tracegen
+);
+criterion_main!(benches);

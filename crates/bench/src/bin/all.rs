@@ -1,0 +1,26 @@
+//! Runs every experiment at (optionally quick) scale — the one-command
+//! reproduction of the paper's evaluation section.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin directory");
+    let bins = [
+        "fig01", "fig02", "fig05", "fig09", "fig10", "fig11", "fig12", "fig14", "fig15",
+        "tab04", "tab05", "tab06", "sec6_1", "sec6_6", "sec3_4_reentry", "cache_pipeline", "ablate_segment_size",
+        "ablate_smc", "ablate_hotness_params", "ablate_migration_priority",
+        "ablate_cke_powerdown", "ablate_page_policy", "loaded_latency",
+    ];
+    for b in bins {
+        println!("\n########## {b} ##########");
+        let mut cmd = Command::new(dir.join(b));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
+        assert!(status.success(), "{b} failed with {status}");
+    }
+    println!("\nall experiments regenerated; JSON results under results/");
+}

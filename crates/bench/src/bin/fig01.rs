@@ -1,0 +1,10 @@
+//! Regenerates Figure 1: VM memory usage profiling.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::fig01;
+use dtl_sim::to_json;
+
+fn main() {
+    let r = fig01::run(1);
+    emit("fig01", &render::fig01(&r).render(), &to_json(&r));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 9: post-cache stride distributions.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::fig09;
+use dtl_sim::to_json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let records = if quick { 50_000 } else { 400_000 };
+    let r = fig09::run(1, records, 16);
+    emit("fig09", &render::fig09(&r).render(), &to_json(&r));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 10: segment size vs segment access distance.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::fig10;
+use dtl_sim::to_json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (records, scale) = if quick { (200_000, 64) } else { (2_000_000, 64) };
+    let r = fig10::run(11, records, scale);
+    emit("fig10", &render::fig10(&r).render(), &to_json(&r));
+}

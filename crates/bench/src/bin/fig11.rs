@@ -1,0 +1,11 @@
+//! Regenerates Figure 11: the DRAM power model.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::fig11;
+use dtl_sim::to_json;
+
+fn main() {
+    let r = fig11::run();
+    let (a, b) = render::fig11(&r);
+    emit("fig11", &format!("{}\n{}", a.render(), b.render()), &to_json(&r));
+}

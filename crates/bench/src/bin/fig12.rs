@@ -1,0 +1,23 @@
+//! Regenerates Figures 12 and 13: rank-level power-down over a 6-hour VM
+//! schedule (runtime power, energy savings, breakdown).
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::fig12;
+use dtl_sim::{to_json, PowerDownRunConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        PowerDownRunConfig::tiny(1, true)
+    } else {
+        PowerDownRunConfig::paper(1, true)
+    };
+    // Execution-overhead inputs: Figure 5's CXL interleaving cost plus the
+    // Section 6.1 translation inflation.
+    let r = fig12::run(&cfg, (0.014, 0.0018)).expect("schedule replay");
+    emit(
+        "fig12",
+        &format!("{}\n{}", render::fig12(&r).render(), render::fig13(&r).render()),
+        &to_json(&r),
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 14: additional savings from hotness-aware
+//! self-refresh at the paper's allocation points.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::fig14;
+use dtl_sim::{to_json, HotnessRunConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut base = HotnessRunConfig::paper_scaled(1, 6, 208.0 / 288.0);
+    if quick {
+        base.accesses = 1_000_000;
+        base.scale = 256;
+    }
+    let r = fig14::run(&base, &fig14::PAPER_POINTS).expect("hotness replay");
+    emit("fig14", &render::fig14(&r).render(), &to_json(&r));
+}

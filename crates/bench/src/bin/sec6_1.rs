@@ -1,0 +1,12 @@
+//! Regenerates Section 6.1: AMAT under DTL translation.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::sec6_1;
+use dtl_sim::to_json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let accesses = if quick { 200_000 } else { 2_000_000 };
+    let r = sec6_1::run(3, accesses, 16).expect("SMC replay");
+    emit("sec6_1", &render::sec6_1(&r).render(), &to_json(&r));
+}

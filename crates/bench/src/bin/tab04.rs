@@ -1,0 +1,10 @@
+//! Regenerates Table 4: per-workload MAPKI calibration.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::tab04;
+use dtl_sim::to_json;
+
+fn main() {
+    let r = tab04::run(1, 100_000);
+    emit("tab04", &render::tab04(&r).render(), &to_json(&r));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 5: DTL structure sizes at 384 GB and 4 TB.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::tab05;
+use dtl_sim::to_json;
+
+fn main() {
+    let r = tab05::run();
+    emit("tab05", &render::tab05(&r).render(), &to_json(&r));
+}

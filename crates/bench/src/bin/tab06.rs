@@ -1,0 +1,10 @@
+//! Regenerates Table 6: CXL controller power and area at 7 nm.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::tab06;
+use dtl_sim::to_json;
+
+fn main() {
+    let r = tab06::run();
+    emit("tab06", &render::tab06(&r).render(), &to_json(&r));
+}

@@ -1,0 +1,28 @@
+//! # dtl-bench — table/figure renderers and the regeneration binaries
+//!
+//! Each `src/bin/figNN.rs` / `tabNN.rs` binary runs the matching
+//! `dtl_sim::experiments` module at paper scale, prints the rows the paper
+//! reports, and drops machine-readable JSON under `results/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod render;
+
+use std::fs;
+use std::path::Path;
+
+/// Prints `text` and writes `json` to `results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or written — the
+/// binaries have nothing useful to do without their output.
+pub fn emit(name: &str, text: &str, json: &str) {
+    println!("{text}");
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json).expect("write results JSON");
+    eprintln!("[saved {}]", path.display());
+}

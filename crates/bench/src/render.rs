@@ -1,0 +1,397 @@
+//! Renderers: experiment result types → aligned text tables.
+
+use dtl_sim::experiments::{
+    fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15, sec6_1, tab04, tab05, tab06,
+};
+use dtl_sim::{f1, f2, f3, pct, Table};
+
+/// Figure 1: committed-memory series summary.
+pub fn fig01(r: &fig01::Fig01Result) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 1 - VM memory usage ({} VMs; avg {}, peak {})",
+            r.vm_count,
+            pct(r.average_fraction),
+            pct(r.peak_fraction)
+        ),
+        &["t_min", "committed_gb", "vcpus", "active_vms"],
+    );
+    for s in &r.series {
+        t.row(&[
+            s.at_min.to_string(),
+            f1(s.mem_bytes as f64 / (1u64 << 30) as f64),
+            s.vcpus.to_string(),
+            s.active_vms.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 2: rank-count scaling.
+pub fn fig02(r: &fig02::Fig02Result) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 2 - performance vs ranks/channel (mean slowdown at 2 ranks: {})",
+            pct(r.mean_slowdown_at_min_ranks - 1.0)
+        ),
+        &["workload", "ranks", "amat_ns", "slowdown"],
+    );
+    for row in &r.rows {
+        for i in 0..row.ranks.len() {
+            t.row(&[
+                row.workload.clone(),
+                row.ranks[i].to_string(),
+                f1(row.amat_ns[i]),
+                f3(row.slowdown[i]),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 5: rank-interleaving cost, local vs CXL.
+pub fn fig05(r: &fig05::Fig05Result) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 5 - rank-interleaving cost (local {}, cxl {})",
+            pct(r.local_mean() - 1.0),
+            pct(r.cxl_mean() - 1.0)
+        ),
+        &["link", "workload", "interleaved_ns", "dtl_ns", "slowdown"],
+    );
+    for s in &r.series {
+        for row in &s.rows {
+            t.row(&[
+                s.label.clone(),
+                row.workload.clone(),
+                f1(row.interleaved_amat_ns),
+                f1(row.dtl_amat_ns),
+                f3(row.slowdown),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 9: stride distribution.
+pub fn fig09(r: &fig09::Fig09Result) -> Table {
+    let mut header: Vec<&str> = vec!["trace"];
+    for l in &r.bucket_labels {
+        header.push(l.as_str());
+    }
+    let mut t = Table::new("Figure 9 - post-cache stride distribution", &header);
+    for row in &r.rows {
+        let mut cells = vec![row.label.clone()];
+        cells.extend(row.fractions.iter().map(|f| pct(*f)));
+        t.row(&cells);
+    }
+    t
+}
+
+/// Figure 10: cold segments vs granularity.
+pub fn fig10(r: &fig10::Fig10Result) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 10 - cold segments vs granularity (threshold {} instr)",
+            r.threshold_instructions
+        ),
+        &["granularity", "touched", "cold_fraction"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            format!("{}MB", row.granularity_bytes >> 20),
+            row.touched.to_string(),
+            pct(row.cold_fraction),
+        ]);
+    }
+    t
+}
+
+/// Figure 11: the power model.
+pub fn fig11(r: &fig11::Fig11Result) -> (Table, Table) {
+    let mut a = Table::new(
+        "Figure 11a - background power vs active ranks (of 8)",
+        &["active_ranks", "normalized_power"],
+    );
+    for p in &r.background {
+        a.row(&[p.active_ranks.to_string(), f3(p.normalized_power)]);
+    }
+    let mut b = Table::new(
+        "Figure 11b - active power vs bandwidth",
+        &["bandwidth_gbps", "active_mw", "mw_per_gbps"],
+    );
+    for p in &r.active {
+        b.row(&[f1(p.bandwidth / 1e9), f1(p.active_mw), f2(p.mw_per_gbps)]);
+    }
+    (a, b)
+}
+
+/// Figures 12 and 13 share one run; this renders the runtime power series.
+pub fn fig12(r: &fig12::Fig12Result) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 12 - rank-level power-down (energy saving {}, exec overhead {})",
+            pct(r.energy_saving),
+            pct(r.exec_overhead)
+        ),
+        &["t_min", "base_mw", "dtl_mw", "active_ranks", "migrated_mb"],
+    );
+    for (b, d) in r.baseline.iter().zip(r.dtl.iter()) {
+        t.row(&[
+            b.t_min.to_string(),
+            f1(b.power_mw),
+            f1(d.power_mw),
+            d.active_ranks.to_string(),
+            if d.migration_bytes > 0 {
+                format!("{:.0}", d.migration_bytes as f64 / (1 << 20) as f64)
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    t
+}
+
+/// Figure 13: the breakdown table from the same run.
+pub fn fig13(r: &fig12::Fig12Result) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 13 - power breakdown (background saving {}, power saving {})",
+            pct(r.background_saving),
+            pct(r.power_saving)
+        ),
+        &["config", "background_mj", "active_mj", "total_mj", "mean_mw"],
+    );
+    for (label, x) in [("baseline", &r.baseline_totals), ("dtl", &r.dtl_totals)] {
+        t.row(&[
+            label.to_string(),
+            f1(x.background_mj),
+            f1(x.active_mj),
+            f1(x.total_mj),
+            f1(x.mean_power_mw),
+        ]);
+    }
+    t
+}
+
+/// Figure 14: hotness-aware self-refresh savings.
+pub fn fig14(r: &fig14::Fig14Result) -> Table {
+    let mut t = Table::new(
+        format!("Figure 14 - hotness-aware self-refresh (scale 1/{})", r.scale),
+        &["config", "alloc_frac", "extra_saving", "sr_residency", "warmup_s", "sr_exits"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.label.clone(),
+            pct(row.allocated_fraction),
+            pct(row.additional_saving),
+            pct(row.sr_residency),
+            row.warmup_s.map_or("-".into(), f3),
+            row.sr_exits.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 15: combined savings.
+pub fn fig15(r: &fig15::Fig15Result) -> Table {
+    let mut t = Table::new(
+        "Figure 15 - total energy savings (both mechanisms)",
+        &["config", "powerdown", "hotness_extra", "total"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.label.clone(),
+            pct(row.powerdown_saving),
+            pct(row.hotness_additional),
+            pct(row.total_saving),
+        ]);
+    }
+    t
+}
+
+/// Table 4: MAPKI calibration.
+pub fn tab04(r: &tab04::Tab04Result) -> Table {
+    let mut t = Table::new(
+        format!("Table 4 - MAPKI (max relative error {})", pct(r.max_relative_error)),
+        &["workload", "paper", "measured"],
+    );
+    for row in &r.rows {
+        t.row(&[row.workload.clone(), f1(row.paper_mapki), f2(row.measured_mapki)]);
+    }
+    t
+}
+
+/// Table 5: structure sizes.
+pub fn tab05(r: &tab05::Tab05Result) -> Table {
+    let mut t = Table::new("Table 5 - DTL structure sizes", &["structure", "384GB", "4TB"]);
+    let (a, b) = (&r.columns[0].sizes, &r.columns[1].sizes);
+    let kb = |v: u64| {
+        if v < 4096 {
+            format!("{v}B")
+        } else if v < 4 << 20 {
+            format!("{:.1}KB", v as f64 / 1024.0)
+        } else {
+            format!("{:.1}MB", v as f64 / (1024.0 * 1024.0))
+        }
+    };
+    let rows: [(&str, u64, u64); 10] = [
+        ("L1 segment mapping cache", a.l1_smc_bytes, b.l1_smc_bytes),
+        ("L2 segment mapping cache", a.l2_smc_bytes, b.l2_smc_bytes),
+        ("Host base addr table", a.host_table_bytes, b.host_table_bytes),
+        ("AU base addr table", a.au_table_bytes, b.au_table_bytes),
+        ("Hot-cold migration table", a.migration_table_bytes, b.migration_table_bytes),
+        ("Segment mapping table", a.segment_mapping_bytes, b.segment_mapping_bytes),
+        ("Reverse mapping table", a.reverse_mapping_bytes, b.reverse_mapping_bytes),
+        ("Free segment queues", a.free_queue_bytes, b.free_queue_bytes),
+        ("Allocated segment queues", a.allocated_queue_bytes, b.allocated_queue_bytes),
+        ("Free AU queue", a.free_au_queue_bytes, b.free_au_queue_bytes),
+    ];
+    for (name, x, y) in rows {
+        t.row(&[name.to_string(), kb(x), kb(y)]);
+    }
+    t.row(&["TOTAL SRAM".into(), kb(a.sram_total()), kb(b.sram_total())]);
+    t.row(&["TOTAL DRAM".into(), kb(a.dram_total()), kb(b.dram_total())]);
+    t
+}
+
+/// Table 6: controller power and area.
+pub fn tab06(r: &tab06::Tab06Result) -> Table {
+    let mut t = Table::new(
+        "Table 6 - controller power and area at 7nm",
+        &["component", "384GB_mW", "4TB_mW", "384GB_mm2", "4TB_mm2"],
+    );
+    let (a, b) = (&r.columns[0].cost, &r.columns[1].cost);
+    t.row(&[
+        "Segment mapping cache".into(),
+        f2(a.smc_mw),
+        f2(b.smc_mw),
+        f3(a.smc_mm2),
+        f3(b.smc_mm2),
+    ]);
+    t.row(&["SRAM structures".into(), f2(a.sram_mw), f2(b.sram_mw), f3(a.sram_mm2), f3(b.sram_mm2)]);
+    t.row(&["Microprocessor".into(), f2(a.cpu_mw), f2(b.cpu_mw), f3(a.cpu_mm2), f3(b.cpu_mm2)]);
+    t.row(&[
+        "Total".into(),
+        f2(r.columns[0].total_mw),
+        f2(r.columns[1].total_mw),
+        f3(r.columns[0].total_mm2),
+        f3(r.columns[1].total_mm2),
+    ]);
+    t
+}
+
+/// §6.1: AMAT under DTL translation.
+pub fn sec6_1(r: &sec6_1::Sec61Result) -> Table {
+    let mut t = Table::new(
+        format!("Section 6.1 - AMAT under DTL translation ({} accesses)", r.accesses),
+        &["ratios", "l1_miss", "l2_miss", "translation_ns", "amat_ns", "exec_inflation"],
+    );
+    for e in &r.evals {
+        t.row(&[
+            e.source.clone(),
+            pct(e.l1_miss_ratio),
+            pct(e.l2_miss_ratio),
+            f1(e.translation_ns),
+            f1(e.amat_ns),
+            pct(e.exec_inflation),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_renders() {
+        let r = fig01::run(1);
+        let t = fig01(&r);
+        assert!(t.render().contains("Figure 1"));
+        assert_eq!(t.len(), r.series.len());
+    }
+
+    #[test]
+    fn fig11_renders_both_panels() {
+        let r = fig11::run();
+        let (a, b) = fig11(&r);
+        assert!(a.render().contains("11a"));
+        assert!(b.render().contains("11b"));
+    }
+
+    #[test]
+    fn tab05_and_tab06_render() {
+        let t5 = tab05(&tab05::run());
+        assert!(t5.render().contains("Segment mapping table"));
+        assert_eq!(t5.len(), 12);
+        let t6 = tab06(&tab06::run());
+        assert!(t6.render().contains("Microprocessor"));
+    }
+
+    #[test]
+    fn tab04_renders() {
+        let t = tab04(&tab04::run(1, 20_000));
+        assert_eq!(t.len(), 10);
+        assert!(t.render().contains("graph-analytics"));
+    }
+}
+
+#[cfg(test)]
+mod more_render_tests {
+    use super::*;
+    use dtl_sim::experiments::{fig02 as f02, fig09 as f09, fig10 as f10, sec6_1 as s61};
+    use dtl_sim::{HotnessRunConfig, PowerDownRunConfig};
+    use dtl_trace::WorkloadKind;
+
+    #[test]
+    fn fig09_and_fig10_render() {
+        let r = f09::run(1, 5_000, 64);
+        let t = fig09(&r);
+        assert_eq!(t.len(), 10);
+        assert!(t.render().contains("mix-8"));
+        let r = f10::run(1, 20_000, 64);
+        let t = fig10(&r);
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("2MB"));
+    }
+
+    #[test]
+    fn fig02_renders_three_rank_points_per_workload() {
+        let r = f02::run(2_000, &[WorkloadKind::WebSearch]);
+        let t = fig02(&r);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn fig12_and_fig13_render_from_one_run() {
+        let r = dtl_sim::experiments::fig12::run(
+            &PowerDownRunConfig::tiny(3, true),
+            (0.014, 0.0018),
+        )
+        .unwrap();
+        let t12 = fig12(&r);
+        assert_eq!(t12.len(), r.baseline.len());
+        let t13 = fig13(&r);
+        assert_eq!(t13.len(), 2);
+        assert!(t13.render().contains("baseline"));
+    }
+
+    #[test]
+    fn fig14_fig15_and_sec61_render() {
+        let base = HotnessRunConfig {
+            accesses: 400_000,
+            n_apps: 2,
+            channels: 2,
+            ..HotnessRunConfig::tiny(5, true)
+        };
+        let r14 = dtl_sim::experiments::fig14::run(&base, &[("x", 4, 0.6)]).unwrap();
+        assert_eq!(fig14(&r14).len(), 1);
+        let r15 = dtl_sim::experiments::fig15::run(&base, 8, &[("x", 4, 0.6)]).unwrap();
+        assert_eq!(fig15(&r15).len(), 1);
+        let r61 = s61::run(1, 30_000, 64).unwrap();
+        let t = sec6_1(&r61);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("paper"));
+    }
+}

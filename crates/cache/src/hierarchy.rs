@@ -1,0 +1,273 @@
+//! The three-level host cache hierarchy of the paper's trace-driven setup
+//! (Table 3): 32 KB L1-d, 1 MB L2, 8 MB LLC, all LRU, 64 B lines.
+//!
+//! Feeding a virtual/physical address stream through [`CacheHierarchy`]
+//! yields the **post-cache** stream: LLC miss fills (reads) and LLC dirty
+//! evictions (writes) — exactly what the DTL device observes over CXL.
+
+use serde::{Deserialize, Serialize};
+
+use crate::set_assoc::{CacheLevelConfig, SetAssocCache};
+
+/// Post-cache memory access emitted by the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Byte address (line-aligned).
+    pub addr: u64,
+    /// `true` for a writeback, `false` for a demand fill.
+    pub is_write: bool,
+}
+
+/// Configuration of the full hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// First-level data cache.
+    pub l1d: CacheLevelConfig,
+    /// Second-level cache.
+    pub l2: CacheLevelConfig,
+    /// Last-level cache.
+    pub llc: CacheLevelConfig,
+}
+
+impl HierarchyConfig {
+    /// Table 3 of the paper: 32 KB/8-way L1-d, 1 MB/8-way L2, 8 MB/16-way
+    /// LLC, 64 B lines, LRU.
+    pub fn paper_table3() -> Self {
+        HierarchyConfig {
+            l1d: CacheLevelConfig { capacity_bytes: 32 << 10, ways: 8, line_bytes: 64 },
+            l2: CacheLevelConfig { capacity_bytes: 1 << 20, ways: 8, line_bytes: 64 },
+            llc: CacheLevelConfig { capacity_bytes: 8 << 20, ways: 16, line_bytes: 64 },
+        }
+    }
+
+    /// A scaled-down hierarchy for fast tests (1/64 of Table 3).
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1d: CacheLevelConfig { capacity_bytes: 1 << 10, ways: 2, line_bytes: 64 },
+            l2: CacheLevelConfig { capacity_bytes: 16 << 10, ways: 4, line_bytes: 64 },
+            llc: CacheLevelConfig { capacity_bytes: 128 << 10, ways: 8, line_bytes: 64 },
+        }
+    }
+}
+
+/// Per-level hit/miss statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Demand accesses observed at L1.
+    pub accesses: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// LLC misses (post-cache demand reads).
+    pub llc_misses: u64,
+    /// Writebacks emitted to memory.
+    pub memory_writebacks: u64,
+}
+
+impl HierarchyStats {
+    /// LLC misses per kilo-instruction given a retired instruction count.
+    pub fn llc_mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Memory accesses (misses + writebacks) per kilo-instruction.
+    pub fn mapki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            (self.llc_misses + self.memory_writebacks) as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// A non-inclusive, write-back, write-allocate L1→L2→LLC hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_cache::{CacheHierarchy, HierarchyConfig};
+///
+/// let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+/// let post = h.access(0x4000, false);
+/// assert_eq!(post.len(), 1); // cold miss reaches memory
+/// assert!(h.access(0x4000, false).is_empty()); // now cached
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Builds an empty hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        CacheHierarchy {
+            l1d: SetAssocCache::new(config.l1d),
+            l2: SetAssocCache::new(config.l2),
+            llc: SetAssocCache::new(config.llc),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Miss ratios (L1, L2, LLC) observed so far.
+    pub fn miss_ratios(&self) -> (f64, f64, f64) {
+        (self.l1d.miss_ratio(), self.l2.miss_ratio(), self.llc.miss_ratio())
+    }
+
+    /// Runs one demand access through the hierarchy; returns the post-cache
+    /// accesses it caused (0, 1 or more: the demand fill plus any dirty
+    /// writebacks cascading out of the LLC).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Vec<MemoryAccess> {
+        let mut out = Vec::new();
+        self.stats.accesses += 1;
+        let r1 = self.l1d.access(addr, is_write);
+        if let Some(wb) = r1.writeback {
+            // L1 victim lands in L2 (write-allocate install as a write).
+            self.install(1, wb, &mut out);
+        }
+        if r1.hit {
+            return out;
+        }
+        self.stats.l1_misses += 1;
+        let r2 = self.l2.access(addr, false);
+        if let Some(wb) = r2.writeback {
+            self.install(2, wb, &mut out);
+        }
+        if r2.hit {
+            return out;
+        }
+        self.stats.l2_misses += 1;
+        let r3 = self.llc.access(addr, false);
+        if let Some(wb) = r3.writeback {
+            self.stats.memory_writebacks += 1;
+            out.push(MemoryAccess { addr: wb, is_write: true });
+        }
+        if !r3.hit {
+            self.stats.llc_misses += 1;
+            out.push(MemoryAccess { addr: addr & !63, is_write: false });
+        }
+        out
+    }
+
+    /// Installs a dirty victim from `from_level` into the next level down.
+    fn install(&mut self, from_level: u8, addr: u64, out: &mut Vec<MemoryAccess>) {
+        match from_level {
+            1 => {
+                let r = self.l2.access(addr, true);
+                if let Some(wb) = r.writeback {
+                    self.install(2, wb, out);
+                }
+            }
+            2 => {
+                let r = self.llc.access(addr, true);
+                if let Some(wb) = r.writeback {
+                    self.stats.memory_writebacks += 1;
+                    out.push(MemoryAccess { addr: wb, is_write: true });
+                }
+            }
+            _ => unreachable!("only L1 and L2 spill downward"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_reaches_memory_once() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        let post = h.access(0, false);
+        assert_eq!(post, vec![MemoryAccess { addr: 0, is_write: false }]);
+        assert!(h.access(0, false).is_empty());
+        assert!(h.access(32, true).is_empty(), "same line");
+        let s = h.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.llc_misses, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_llc_thrashes() {
+        let cfg = HierarchyConfig::tiny();
+        let mut h = CacheHierarchy::new(cfg);
+        let lines = (cfg.llc.capacity_bytes / 64) * 4;
+        // Two sweeps over 4x the LLC: second sweep still misses.
+        for _ in 0..2 {
+            for i in 0..lines {
+                h.access(i * 64, false);
+            }
+        }
+        let s = h.stats();
+        assert!(
+            s.llc_misses as f64 > 1.5 * lines as f64,
+            "expected thrashing, got {} misses for {} lines",
+            s.llc_misses,
+            lines
+        );
+    }
+
+    #[test]
+    fn dirty_data_eventually_written_back() {
+        let cfg = HierarchyConfig::tiny();
+        let mut h = CacheHierarchy::new(cfg);
+        // Dirty a region larger than total cache capacity, then sweep a
+        // disjoint clean region to force the dirty lines out to memory.
+        let dirty_lines = (cfg.llc.capacity_bytes / 64) * 2;
+        for i in 0..dirty_lines {
+            h.access(i * 64, true);
+        }
+        let base = 1 << 30;
+        for i in 0..dirty_lines * 2 {
+            h.access(base + i * 64, false);
+        }
+        assert!(h.stats().memory_writebacks > 0);
+    }
+
+    #[test]
+    fn small_working_set_stays_cached() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        // 8 lines, accessed 100 times each: only 8 cold misses escape.
+        for _ in 0..100 {
+            for i in 0..8 {
+                h.access(i * 64, false);
+            }
+        }
+        assert_eq!(h.stats().llc_misses, 8);
+        let (l1, _, _) = h.miss_ratios();
+        assert!(l1 < 0.05);
+    }
+
+    #[test]
+    fn mapki_and_mpki_math() {
+        let s = HierarchyStats {
+            accesses: 0,
+            l1_misses: 0,
+            l2_misses: 0,
+            llc_misses: 1500,
+            memory_writebacks: 500,
+        };
+        assert!((s.llc_mpki(1_000_000) - 1.5).abs() < 1e-12);
+        assert!((s.mapki(1_000_000) - 2.0).abs() < 1e-12);
+        assert_eq!(s.mapki(0), 0.0);
+    }
+
+    #[test]
+    fn paper_table3_dimensions() {
+        let c = HierarchyConfig::paper_table3();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 2048);
+        assert_eq!(c.llc.sets(), 8192);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dtl-cache — host-side cache hierarchy simulator
+//!
+//! Models the three-level cache hierarchy of the paper's trace-driven setup
+//! (Table 3) to turn raw access streams into **post-cache** streams: the
+//! demand fills and writebacks that actually reach a CXL memory device.
+//!
+//! ```
+//! use dtl_cache::{CacheHierarchy, HierarchyConfig};
+//!
+//! let mut h = CacheHierarchy::new(HierarchyConfig::paper_table3());
+//! let mut post_cache = Vec::new();
+//! for i in 0..1000u64 {
+//!     post_cache.extend(h.access(i * 4096, false));
+//! }
+//! // A 4 KiB-strided scan misses every time: all 1000 reach memory.
+//! assert_eq!(post_cache.len(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hierarchy;
+mod set_assoc;
+
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyStats, MemoryAccess};
+pub use set_assoc::{AccessResult, CacheLevelConfig, SetAssocCache};

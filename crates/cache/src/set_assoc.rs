@@ -1,0 +1,293 @@
+//! A generic set-associative, write-back, write-allocate cache with LRU
+//! replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (64 throughout the reproduction).
+    pub line_bytes: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not divide into a whole power-of-two set
+    /// count.
+    pub fn sets(&self) -> u64 {
+        let sets = self.capacity_bytes / (u64::from(self.ways) * self.line_bytes);
+        assert!(sets > 0 && sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line address (byte address of line start) of a dirty line evicted by
+    /// the fill, if any.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// One level of set-associative cache. Addresses are byte addresses; the
+/// cache operates on aligned lines internally.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_cache::{CacheLevelConfig, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheLevelConfig {
+///     capacity_bytes: 32 * 1024,
+///     ways: 8,
+///     line_bytes: 64,
+/// });
+/// assert!(!c.access(0x1000, false).hit); // cold miss
+/// assert!(c.access(0x1000, false).hit);  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheLevelConfig,
+    sets: u64,
+    ways: Vec<Way>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not yield a power-of-two set count.
+    pub fn new(config: CacheLevelConfig) -> Self {
+        let sets = config.sets();
+        SetAssocCache {
+            config,
+            sets,
+            ways: vec![
+                Way { tag: 0, valid: false, dirty: false, lru: 0 };
+                (sets * u64::from(config.ways)) as usize
+            ],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheLevelConfig {
+        self.config
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses so far (0 if none).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    #[inline]
+    fn line(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> u64 {
+        line & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, line: u64) -> u64 {
+        line >> self.sets.trailing_zeros()
+    }
+
+    fn set_slice(&mut self, set: u64) -> &mut [Way] {
+        let w = self.config.ways as usize;
+        let start = set as usize * w;
+        &mut self.ways[start..start + w]
+    }
+
+    /// Accesses `addr`; on a miss the line is filled (write-allocate) and
+    /// the victim, if dirty, is reported for writeback.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        let line = self.line(addr);
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        self.tick += 1;
+        let tick = self.tick;
+        let sets = self.sets;
+        let line_bytes = self.config.line_bytes;
+        let ways = self.set_slice(set);
+        // Hit path.
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.lru = tick;
+                w.dirty |= is_write;
+                self.hits += 1;
+                return AccessResult { hit: true, writeback: None };
+            }
+        }
+        // Miss: pick invalid way or LRU victim.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("ways is non-empty");
+        let writeback = if victim.valid && victim.dirty {
+            // Reconstruct the victim's byte address.
+            let vline = (victim.tag << sets.trailing_zeros()) | set;
+            Some(vline * line_bytes)
+        } else {
+            None
+        };
+        victim.tag = tag;
+        victim.valid = true;
+        victim.dirty = is_write;
+        victim.lru = tick;
+        self.misses += 1;
+        AccessResult { hit: false, writeback }
+    }
+
+    /// Looks up without modifying state (no LRU update, no fill).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line(addr);
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let w = self.config.ways as usize;
+        let start = set as usize * w;
+        self.ways[start..start + w].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates a line if present; returns whether it was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let line = self.line(addr);
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let ways = self.set_slice(set);
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                return Some(w.dirty);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        SetAssocCache::new(CacheLevelConfig { capacity_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(63, false).hit, "same line");
+        assert!(!c.access(64, false).hit, "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 lines: line addresses with set bits == 0: 0, 256, 512 ...
+        c.access(0, false);
+        c.access(256, false);
+        c.access(0, false); // touch 0 so 256 is LRU
+        let r = c.access(512, false); // evicts 256 (clean)
+        assert!(!r.hit);
+        assert_eq!(r.writeback, None);
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.access(0, true); // dirty
+        c.access(256, false);
+        let r = c.access(512, false); // evicts 0 (LRU, dirty)
+        assert_eq!(r.writeback, Some(0));
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true); // now dirty via hit
+        c.access(256, false);
+        let r = c.access(512, false);
+        assert_eq!(r.writeback, Some(0));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(0, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert_eq!(c.invalidate(0), None);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn miss_ratio_math() {
+        let mut c = tiny();
+        assert_eq!(c.miss_ratio(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sets_computation_and_validation() {
+        let cfg = CacheLevelConfig { capacity_bytes: 32 * 1024, ways: 8, line_bytes: 64 };
+        assert_eq!(cfg.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let cfg = CacheLevelConfig { capacity_bytes: 3 * 64, ways: 1, line_bytes: 64 };
+        let _ = SetAssocCache::new(cfg);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the set-associative cache against a reference model,
+//! and hierarchy conservation laws.
+
+use std::collections::HashMap;
+
+use dtl_cache::{CacheHierarchy, CacheLevelConfig, HierarchyConfig, SetAssocCache};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A 1-way cache behaves exactly like a direct-mapped reference model.
+    #[test]
+    fn direct_mapped_matches_reference(ops in prop::collection::vec(
+        (0u64..4096, any::<bool>()), 1..400
+    )) {
+        let cfg = CacheLevelConfig { capacity_bytes: 8 * 64, ways: 1, line_bytes: 64 };
+        let mut cache = SetAssocCache::new(cfg);
+        let sets = cfg.sets();
+        let mut model: HashMap<u64, (u64, bool)> = HashMap::new(); // set -> (line, dirty)
+        for (line, w) in ops {
+            let addr = line * 64;
+            let set = line % sets;
+            let r = cache.access(addr, w);
+            match model.get(&set) {
+                Some((resident, dirty)) if *resident == line => {
+                    prop_assert!(r.hit);
+                    prop_assert_eq!(r.writeback, None);
+                    model.insert(set, (line, *dirty || w));
+                }
+                Some((resident, dirty)) => {
+                    prop_assert!(!r.hit);
+                    let expect_wb = if *dirty { Some(resident * 64) } else { None };
+                    prop_assert_eq!(r.writeback, expect_wb);
+                    model.insert(set, (line, w));
+                }
+                None => {
+                    prop_assert!(!r.hit);
+                    prop_assert_eq!(r.writeback, None);
+                    model.insert(set, (line, w));
+                }
+            }
+        }
+    }
+
+    /// Dirty-line conservation: every written line is either still resident
+    /// (probe hits) or was written back exactly once.
+    #[test]
+    fn dirty_lines_are_never_lost(lines in prop::collection::vec(0u64..512, 1..300)) {
+        let cfg = CacheLevelConfig { capacity_bytes: 16 * 64, ways: 2, line_bytes: 64 };
+        let mut cache = SetAssocCache::new(cfg);
+        let mut written = std::collections::HashSet::new();
+        let mut written_back = std::collections::HashSet::new();
+        for line in lines {
+            let addr = line * 64;
+            let r = cache.access(addr, true);
+            written.insert(addr);
+            if let Some(wb) = r.writeback {
+                prop_assert!(written.contains(&wb), "writeback of a never-written line");
+                prop_assert!(!written_back.contains(&wb), "double writeback without rewrite");
+                written_back.insert(wb);
+                written.remove(&wb);
+            }
+            written_back.remove(&addr); // re-written lines may write back again
+        }
+        // Everything still "written" must be resident.
+        for addr in written {
+            prop_assert!(cache.probe(addr), "written line {addr:#x} vanished");
+        }
+    }
+
+    /// The hierarchy's post-cache read count never exceeds the demand count
+    /// and equals it for a cache-busting stride.
+    #[test]
+    fn hierarchy_filter_bounds(lines in prop::collection::vec(0u64..100_000, 1..500)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        let mut post_reads = 0u64;
+        for line in &lines {
+            for a in h.access(line * 64, false) {
+                if !a.is_write {
+                    post_reads += 1;
+                }
+            }
+        }
+        prop_assert!(post_reads <= lines.len() as u64);
+        let s = h.stats();
+        prop_assert_eq!(s.accesses, lines.len() as u64);
+        prop_assert_eq!(s.llc_misses, post_reads);
+        prop_assert!(s.l1_misses >= s.l2_misses);
+        prop_assert!(s.l2_misses >= s.llc_misses);
+    }
+}

@@ -1,0 +1,1708 @@
+//! The DTL device façade: a CXL memory device with the DRAM Translation
+//! Layer inside its controller.
+//!
+//! `DtlDevice` composes every mechanism of the paper over a pluggable
+//! [`MemoryBackend`]:
+//!
+//! * HPA→DPA translation through the two-level segment mapping cache and
+//!   the three-level table walk (§3.2);
+//! * balanced, rank-packing segment allocation at VM granularity (§4.3);
+//! * rank-level power-down at VM deallocation (§3.3);
+//! * hotness-aware self-refresh (§3.4);
+//! * atomic background migration (§4.2).
+
+use std::collections::HashMap;
+
+use dtl_dram::{AccessKind, Picos, PowerEventCause, PowerReport, PowerState, Priority};
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{AuId, Dsn, HostId, HostPhysAddr, Hsn, SegmentGeometry, VmHandle};
+use crate::alloc::SegmentAllocator;
+use crate::backend::MemoryBackend;
+use crate::config::DtlConfig;
+use crate::error::DtlError;
+use crate::hotness::{HotnessEngine, HotnessParams, HotnessStats};
+use crate::migrate::{MigrationEngine, MigrationKind, MigrationStats, WriteRouting};
+use crate::powerdown::{PowerDownEngine, PowerDownStats, RankPdState};
+use crate::smc::{SmcOutcome, SmcStats};
+use crate::tables::MappingTables;
+use crate::translate::Translator;
+
+/// A successful VM allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmAllocation {
+    /// Handle for deallocation.
+    pub handle: VmHandle,
+    /// Allocation units granted, in HPA order.
+    pub aus: Vec<AuId>,
+    /// Bytes reserved (AU-rounded).
+    pub bytes: u64,
+}
+
+impl VmAllocation {
+    /// The host physical base address of the `i`-th granted AU.
+    pub fn hpa_base(&self, i: usize, au_bytes: u64) -> HostPhysAddr {
+        HostPhysAddr::new(u64::from(self.aus[i].0) * au_bytes)
+    }
+}
+
+/// Result of one translated access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// The device segment the access was routed to.
+    pub dsn: Dsn,
+    /// Where the translation was satisfied.
+    pub smc: SmcOutcome,
+    /// Latency added by the DTL translation path.
+    pub translation_latency: Picos,
+    /// Estimated completion time at the device (excludes the CXL link).
+    pub completion_estimate: Picos,
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Translated accesses served.
+    pub accesses: u64,
+    /// Of which writes.
+    pub writes: u64,
+    /// Writes rerouted by the completion-bit window.
+    pub rerouted_writes: u64,
+    /// Writes that aborted an in-flight migration.
+    pub aborting_writes: u64,
+    /// VMs allocated.
+    pub vms_allocated: u64,
+    /// VMs deallocated.
+    pub vms_deallocated: u64,
+    /// Rank wake-ups forced by allocation pressure.
+    pub capacity_wakes: u64,
+}
+
+#[derive(Debug, Default)]
+struct HostState {
+    next_au: u32,
+    free_aus: Vec<AuId>,
+    next_vm: u32,
+    vms: HashMap<u32, Vec<AuId>>,
+    /// Admission-control cap on simultaneously mapped AUs (availability:
+    /// one tenant cannot starve the pool). `None` = unlimited.
+    quota_aus: Option<u32>,
+}
+
+impl HostState {
+    fn mapped_aus(&self) -> u32 {
+        self.vms.values().map(|aus| aus.len() as u32).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobOrigin {
+    Drain,
+    Hotness { channel: u32 },
+}
+
+/// Role a rank currently plays in the hotness engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HotnessRole {
+    /// Not involved.
+    None,
+    /// Selected as the channel's victim (planning or migrating).
+    Victim,
+    /// Parked in self-refresh.
+    SelfRefreshing,
+}
+
+/// Operational snapshot of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankSnapshot {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// DRAM power state at the backend.
+    pub power: PowerState,
+    /// Power-down lifecycle state.
+    pub lifecycle: RankPdState,
+    /// Hotness role.
+    pub hotness: HotnessRole,
+    /// Live (allocated) segments.
+    pub allocated_segments: u64,
+    /// Free segments.
+    pub free_segments: u64,
+}
+
+/// Operational snapshot of one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSnapshot {
+    /// Host id.
+    pub host: HostId,
+    /// Live VMs.
+    pub vms: u32,
+    /// Allocation units currently mapped.
+    pub aus: u32,
+}
+
+/// A serializable operational snapshot of the whole device — what a
+/// management controller would export for monitoring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSnapshot {
+    /// Per-rank state, channel-major.
+    pub ranks: Vec<RankSnapshot>,
+    /// Per-host occupancy.
+    pub hosts: Vec<HostSnapshot>,
+    /// Mapped (live) segments device-wide.
+    pub mapped_segments: u64,
+    /// Migration jobs queued or moving.
+    pub migrations_pending: usize,
+    /// Aggregate statistics.
+    pub stats: DeviceStats,
+}
+
+/// The DTL device: translation, allocation, power management and migration
+/// over a DRAM back end.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_core::{AnalyticBackend, DtlConfig, DtlDevice, HostId, HostPhysAddr};
+/// use dtl_dram::{AccessKind, Picos, PowerParams};
+///
+/// let cfg = DtlConfig::tiny();
+/// let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 16);
+/// dev.register_host(HostId(0))?;
+/// let vm = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO)?;
+/// let base = vm.hpa_base(0, cfg.au_bytes);
+/// dev.access(HostId(0), base, AccessKind::Read, Picos::from_us(1))?;
+/// # Ok::<(), dtl_core::DtlError>(())
+/// ```
+#[derive(Debug)]
+pub struct DtlDevice<B: MemoryBackend> {
+    config: DtlConfig,
+    geo: SegmentGeometry,
+    backend: B,
+    translator: Translator,
+    tables: MappingTables,
+    alloc: SegmentAllocator,
+    migrate: MigrationEngine,
+    powerdown: PowerDownEngine,
+    hotness: HotnessEngine,
+    hotness_enabled: bool,
+    powerdown_enabled: bool,
+    hosts: HashMap<HostId, HostState>,
+    job_origin: HashMap<u64, JobOrigin>,
+    hotness_pending: HashMap<u32, u64>,
+    stats: DeviceStats,
+}
+
+impl DtlDevice<crate::backend::AnalyticBackend> {
+    /// Convenience constructor: an analytic backend with the given segment
+    /// geometry and default DDR4 power parameters.
+    pub fn with_analytic_geometry(
+        config: DtlConfig,
+        channels: u32,
+        ranks_per_channel: u32,
+        segs_per_rank: u64,
+    ) -> Self {
+        let geo = SegmentGeometry { channels, ranks_per_channel, segs_per_rank };
+        let backend = crate::backend::AnalyticBackend::new(
+            geo,
+            config.segment_bytes,
+            dtl_dram::PowerParams::ddr4_128gb_dimm(),
+        );
+        DtlDevice::new(config, backend)
+    }
+}
+
+impl<B: MemoryBackend> DtlDevice<B> {
+    /// Builds a device over `backend`. The backend's geometry defines the
+    /// segment space.
+    pub fn new(config: DtlConfig, backend: B) -> Self {
+        let geo = backend.geometry();
+        let hotness_params = HotnessParams {
+            window: config.profile_window,
+            threshold: config.profile_threshold,
+            tsp_max_steps: (config.tsp_timeout.as_ps()
+                / config.controller_cycle().as_ps().max(1)) as u32,
+        };
+        DtlDevice {
+            translator: Translator::new(&config),
+            tables: MappingTables::new(config.segments_per_au()),
+            alloc: SegmentAllocator::new(geo),
+            migrate: MigrationEngine::new(geo, config.segment_bytes, config.migration_retry_limit),
+            powerdown: PowerDownEngine::new(geo),
+            hotness: HotnessEngine::new(geo, hotness_params),
+            hotness_enabled: true,
+            powerdown_enabled: true,
+            hosts: HashMap::new(),
+            job_origin: HashMap::new(),
+            hotness_pending: HashMap::new(),
+            stats: DeviceStats::default(),
+            config,
+            geo,
+            backend,
+        }
+    }
+
+    /// The DTL configuration.
+    pub fn config(&self) -> &DtlConfig {
+        &self.config
+    }
+
+    /// The segment geometry.
+    pub fn geometry(&self) -> SegmentGeometry {
+        self.geo
+    }
+
+    /// The backend (power reports, completions).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Enables/disables hotness-aware self-refresh (on by default).
+    pub fn set_hotness_enabled(&mut self, on: bool) {
+        self.hotness_enabled = on;
+    }
+
+    /// Enables/disables rank-level power-down (on by default).
+    pub fn set_powerdown_enabled(&mut self, on: bool) {
+        self.powerdown_enabled = on;
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Segment mapping cache statistics.
+    pub fn smc_stats(&self) -> SmcStats {
+        self.translator.stats()
+    }
+
+    /// Migration statistics.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migrate.stats()
+    }
+
+    /// Migration jobs queued or currently moving data.
+    pub fn migrations_pending(&self) -> usize {
+        self.migrate.queued() + self.migrate.in_flight()
+    }
+
+    /// Power-down statistics.
+    pub fn powerdown_stats(&self) -> PowerDownStats {
+        self.powerdown.stats()
+    }
+
+    /// Hotness statistics.
+    pub fn hotness_stats(&self) -> HotnessStats {
+        self.hotness.stats()
+    }
+
+    /// Active (allocation-serving) rank count of a channel.
+    pub fn active_ranks(&self, channel: u32) -> u32 {
+        self.powerdown.active_ranks(channel)
+    }
+
+    /// Registers a host.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::TooManyHosts`] past the configured maximum.
+    pub fn register_host(&mut self, host: HostId) -> Result<(), DtlError> {
+        if host.0 >= self.config.max_hosts {
+            return Err(DtlError::TooManyHosts { host, max_hosts: self.config.max_hosts });
+        }
+        self.tables.register_host(host);
+        self.hosts.entry(host).or_default();
+        Ok(())
+    }
+
+    /// Allocates `bytes` (rounded up to whole AUs) for a new VM, waking
+    /// powered-down rank groups if the active ranks lack capacity.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtlError::UnknownHost`] for unregistered hosts;
+    /// * [`DtlError::OutOfCapacity`] when the whole device is full.
+    pub fn alloc_vm(
+        &mut self,
+        host: HostId,
+        bytes: u64,
+        now: Picos,
+    ) -> Result<VmAllocation, DtlError> {
+        if !self.hosts.contains_key(&host) {
+            return Err(DtlError::UnknownHost(host));
+        }
+        let n_aus = bytes.div_ceil(self.config.au_bytes).max(1);
+        self.check_quota(host, n_aus as u32)?;
+        let mut aus = Vec::with_capacity(n_aus as usize);
+        for _ in 0..n_aus {
+            let dsns = loop {
+                match self.alloc.allocate_au(self.config.segments_per_au()) {
+                    Ok(dsns) => break Ok(dsns),
+                    Err(DtlError::OutOfCapacity { requested, free }) => {
+                        match self.powerdown.wake_one_group(&mut self.alloc) {
+                            Ok(exits) => {
+                                for (c, r) in exits {
+                                    self.backend
+                                        .set_rank_state(c, r, PowerState::Standby, now)?;
+                                }
+                                self.stats.capacity_wakes += 1;
+                            }
+                            Err(DtlError::OutOfCapacity { .. }) => {
+                                break Err(DtlError::OutOfCapacity { requested, free });
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            let dsns = match dsns {
+                Ok(d) => d,
+                Err(e) => {
+                    // Roll back the AUs created so far: the allocation is
+                    // all-or-nothing.
+                    for au in aus.drain(..) {
+                        let freed = self.tables.remove_au(host, au)?;
+                        self.alloc.free_segments(&freed)?;
+                        self.hosts.get_mut(&host).expect("checked above").free_aus.push(au);
+                    }
+                    return Err(e);
+                }
+            };
+            let state = self.hosts.get_mut(&host).expect("checked above");
+            let au = state.free_aus.pop().unwrap_or_else(|| {
+                let id = AuId(state.next_au);
+                state.next_au += 1;
+                id
+            });
+            self.tables.create_au(host, au, dsns)?;
+            aus.push(au);
+        }
+        let state = self.hosts.get_mut(&host).expect("checked above");
+        let vm = state.next_vm;
+        state.next_vm += 1;
+        state.vms.insert(vm, aus.clone());
+        self.stats.vms_allocated += 1;
+        Ok(VmAllocation {
+            handle: VmHandle { host, vm },
+            aus,
+            bytes: n_aus * self.config.au_bytes,
+        })
+    }
+
+    /// Sets (or clears) a host's capacity quota in allocation units. An
+    /// availability guard: a tenant at its quota gets
+    /// [`DtlError::QuotaExceeded`] instead of draining the shared pool.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::UnknownHost`] for unregistered hosts.
+    pub fn set_host_quota(&mut self, host: HostId, quota_aus: Option<u32>) -> Result<(), DtlError> {
+        let state = self.hosts.get_mut(&host).ok_or(DtlError::UnknownHost(host))?;
+        state.quota_aus = quota_aus;
+        Ok(())
+    }
+
+    fn check_quota(&self, host: HostId, additional_aus: u32) -> Result<(), DtlError> {
+        let state = self.hosts.get(&host).ok_or(DtlError::UnknownHost(host))?;
+        if let Some(quota) = state.quota_aus {
+            let mapped = state.mapped_aus();
+            if mapped + additional_aus > quota {
+                return Err(DtlError::QuotaExceeded {
+                    host,
+                    mapped_aus: mapped,
+                    quota_aus: quota,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Grows a VM by `bytes` (AU-rounded) — memory ballooning up, as the
+    /// paper's evaluation uses (§5.1). The new AUs extend the VM's HPA
+    /// space; existing addresses are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DtlDevice::alloc_vm`], plus
+    /// [`DtlError::UnknownVm`] for stale handles.
+    pub fn grow_vm(
+        &mut self,
+        handle: VmHandle,
+        bytes: u64,
+        now: Picos,
+    ) -> Result<Vec<AuId>, DtlError> {
+        let state = self.hosts.get(&handle.host).ok_or(DtlError::UnknownVm(handle))?;
+        if !state.vms.contains_key(&handle.vm) {
+            return Err(DtlError::UnknownVm(handle));
+        }
+        let n_aus = bytes.div_ceil(self.config.au_bytes).max(1);
+        self.check_quota(handle.host, n_aus as u32)?;
+        // Reuse alloc_vm's machinery by allocating a scratch VM, then
+        // transplanting its AUs: keeps the wake/rollback paths single.
+        let scratch = self.alloc_vm(handle.host, bytes, now)?;
+        let state = self.hosts.get_mut(&handle.host).expect("checked above");
+        let new_aus = state.vms.remove(&scratch.handle.vm).expect("just created");
+        state.next_vm -= 1; // the scratch id was never observable
+        state
+            .vms
+            .get_mut(&handle.vm)
+            .expect("checked above")
+            .extend(new_aus.iter().copied());
+        self.stats.vms_allocated -= 1; // the scratch was not a real VM
+        Ok(new_aus)
+    }
+
+    /// Shrinks a VM by releasing its `n_aus` highest allocation units —
+    /// memory ballooning down. The released HPA ranges become unmapped.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtlError::UnknownVm`] for stale handles;
+    /// * [`DtlError::Internal`] when asked to release more AUs than the VM
+    ///   holds (release everything via [`DtlDevice::dealloc_vm`] instead).
+    pub fn shrink_vm(
+        &mut self,
+        handle: VmHandle,
+        n_aus: u32,
+        now: Picos,
+    ) -> Result<(), DtlError> {
+        let state = self.hosts.get_mut(&handle.host).ok_or(DtlError::UnknownVm(handle))?;
+        let aus = state.vms.get_mut(&handle.vm).ok_or(DtlError::UnknownVm(handle))?;
+        if n_aus as usize >= aus.len() {
+            return Err(DtlError::Internal {
+                reason: format!(
+                    "shrinking by {n_aus} of {} AUs would empty the VM; use dealloc_vm",
+                    aus.len()
+                ),
+            });
+        }
+        let released: Vec<AuId> = aus.split_off(aus.len() - n_aus as usize);
+        for au in released {
+            let dsns = self.tables.remove_au(handle.host, au)?;
+            for (off, dsn) in dsns.iter().enumerate() {
+                let cancelled = self.migrate.cancel_involving(*dsn);
+                for job in cancelled {
+                    self.cancel_job(job.id, job.kind, *dsn, now)?;
+                }
+                self.translator.invalidate(Hsn {
+                    host: handle.host,
+                    au,
+                    au_offset: off as u32,
+                });
+            }
+            self.alloc.free_segments(&dsns)?;
+            self.hosts
+                .get_mut(&handle.host)
+                .expect("still present")
+                .free_aus
+                .push(au);
+        }
+        if self.powerdown_enabled {
+            self.try_power_down(now)?;
+        }
+        Ok(())
+    }
+
+    /// Deallocates a VM: unmaps its AUs, cancels migrations touching them,
+    /// and (if enabled) plans rank-level power-down.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::UnknownVm`] for stale handles.
+    pub fn dealloc_vm(&mut self, handle: VmHandle, now: Picos) -> Result<(), DtlError> {
+        let state = self.hosts.get_mut(&handle.host).ok_or(DtlError::UnknownVm(handle))?;
+        let aus = state.vms.remove(&handle.vm).ok_or(DtlError::UnknownVm(handle))?;
+        for au in aus {
+            let dsns = self.tables.remove_au(handle.host, au)?;
+            for (off, dsn) in dsns.iter().enumerate() {
+                let cancelled = self.migrate.cancel_involving(*dsn);
+                for job in cancelled {
+                    self.cancel_job(job.id, job.kind, *dsn, now)?;
+                }
+                self.translator.invalidate(Hsn {
+                    host: handle.host,
+                    au,
+                    au_offset: off as u32,
+                });
+            }
+            self.alloc.free_segments(&dsns)?;
+            let state = self.hosts.get_mut(&handle.host).expect("still present");
+            state.free_aus.push(au);
+        }
+        self.stats.vms_deallocated += 1;
+        if self.powerdown_enabled {
+            self.try_power_down(now)?;
+        }
+        Ok(())
+    }
+
+    /// Handles a cancelled migration job's bookkeeping.
+    fn cancel_job(
+        &mut self,
+        id: u64,
+        kind: MigrationKind,
+        freed: Dsn,
+        now: Picos,
+    ) -> Result<(), DtlError> {
+        match self.job_origin.remove(&id) {
+            Some(JobOrigin::Drain) => {
+                if let MigrationKind::Copy { dst, .. } = kind {
+                    if dst != freed {
+                        // Release the drain's destination reservation.
+                        self.alloc.free_segments(&[dst])?;
+                    }
+                }
+                let ranks = self.powerdown.on_migration_complete(id);
+                self.power_down_ranks(&ranks, now)?;
+            }
+            Some(JobOrigin::Hotness { channel }) => {
+                // A cancelled hotness *copy* holds a destination
+                // reservation that must be released (unless the freed
+                // segment itself is the destination, which cannot happen:
+                // reservations are never part of an AU).
+                if let MigrationKind::Copy { dst, .. } = kind {
+                    if dst != freed {
+                        self.alloc.free_segments(&[dst])?;
+                    }
+                }
+                self.finish_hotness_job(channel, now)?;
+            }
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// Plans and launches rank-group power-downs while capacity allows.
+    fn try_power_down(&mut self, now: Picos) -> Result<(), DtlError> {
+        loop {
+            let plan = {
+                let migrate = &self.migrate;
+                self.powerdown
+                    .plan_power_down_excluding(&mut self.alloc, |c, r| {
+                        migrate.involves_rank(c, r)
+                    })
+            };
+            let Some(plan) = plan else { break };
+            let mut ids = Vec::with_capacity(plan.copies.len());
+            for (src, dst) in &plan.copies {
+                let id = self.migrate.enqueue_copy(*src, *dst, now)?;
+                self.job_origin.insert(id, JobOrigin::Drain);
+                ids.push(id);
+            }
+            let immediate = self.powerdown.register_drain_jobs(&plan, &ids);
+            self.power_down_ranks(&immediate, now)?;
+        }
+        Ok(())
+    }
+
+    fn power_down_ranks(&mut self, ranks: &[(u32, u32)], now: Picos) -> Result<(), DtlError> {
+        for &(c, r) in ranks {
+            // The rank may be sitting in self-refresh (hotness parked it);
+            // MPSM requires passing through standby, and the hotness engine
+            // must forget its victim.
+            if self.backend.rank_state(c, r) == PowerState::SelfRefresh {
+                let at = self.backend.set_rank_state(c, r, PowerState::Standby, now)?;
+                self.hotness.on_sr_exit(c, r, at);
+            }
+            self.backend.set_rank_state(c, r, PowerState::Mpsm, now)?;
+        }
+        Ok(())
+    }
+
+    /// Permanently retires a rank (the reliability extension the paper's
+    /// conclusion points to): live segments are drained to the channel's
+    /// other active ranks, the rank enters maximum power saving mode, and
+    /// it is never used for allocation or woken for capacity again —
+    /// transparently to every host.
+    ///
+    /// Powered-down rank groups are woken if the channel needs their
+    /// capacity to absorb the retiring rank's data.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtlError::OutOfCapacity`] when even with every group awake the
+    ///   channel cannot absorb the rank's live segments;
+    /// * [`DtlError::Internal`] when the rank is already retired/retiring
+    ///   or is the channel's last active rank.
+    pub fn retire_rank(&mut self, channel: u32, rank: u32, now: Picos) -> Result<(), DtlError> {
+        match self.powerdown.rank_state(channel, rank) {
+            RankPdState::Retired => {
+                return Err(DtlError::Internal {
+                    reason: format!("rank ch{channel}/rk{rank} is already retired"),
+                });
+            }
+            RankPdState::Draining => {
+                // Already draining for power-down: ride the drain and make
+                // its terminal state Retired.
+                self.powerdown.convert_drain_to_retirement(channel, rank);
+                return Ok(());
+            }
+            RankPdState::PoweredDown | RankPdState::Active => {}
+        }
+        // Cancel or re-aim migrations touching the rank. Drain copies
+        // *into* the retiring rank still have live sources elsewhere —
+        // they are re-aimed at fresh destinations; drain copies *out of*
+        // this rank cannot exist here (the rank is not Draining);
+        // hotness jobs unwind exactly as on VM deallocation.
+        let involved = self.migrate.jobs_involving_rank(channel, rank);
+        let ids: Vec<u64> = involved.iter().map(|j| j.id).collect();
+        let cancelled = self.migrate.cancel_ids(&ids);
+        for job in cancelled {
+            let reaim = match (self.job_origin.get(&job.id), job.kind) {
+                (Some(JobOrigin::Drain), MigrationKind::Copy { src, dst }) => {
+                    let src_loc = self.geo.location(src);
+                    let src_elsewhere =
+                        !(src_loc.channel == channel && src_loc.rank == rank);
+                    (src_elsewhere && self.tables.reverse(src).is_some())
+                        .then_some((src, dst))
+                }
+                _ => None,
+            };
+            match reaim {
+                Some((src, dst)) => {
+                    self.job_origin.remove(&job.id);
+                    self.alloc.free_segments(&[dst])?;
+                    let src_loc = self.geo.location(src);
+                    let new_dst = self
+                        .pick_drain_destination(src_loc.channel, rank)
+                        .ok_or(DtlError::Internal {
+                            reason: format!(
+                                "no destination to re-aim drain of {src} during retirement"
+                            ),
+                        })?;
+                    let new_id = self.migrate.enqueue_copy(src, self.geo.dsn(new_dst), now)?;
+                    self.job_origin.insert(new_id, JobOrigin::Drain);
+                    self.powerdown.replace_job(job.id, new_id);
+                }
+                None => self.cancel_job(job.id, job.kind, Dsn(u64::MAX), now)?,
+            }
+        }
+        // A self-refreshing victim must wake (and the hotness engine must
+        // forget it) before its data can move.
+        if self.backend.rank_state(channel, rank) == PowerState::SelfRefresh {
+            let at = self.backend.set_rank_state(channel, rank, PowerState::Standby, now)?;
+            self.hotness.on_sr_exit(channel, rank, at);
+        }
+        let plan = loop {
+            match self.powerdown.plan_retirement(&mut self.alloc, channel, rank) {
+                Ok(plan) => break plan,
+                Err(DtlError::OutOfCapacity { .. }) => {
+                    let exits = self.powerdown.wake_one_group(&mut self.alloc)?;
+                    for (c, r) in exits {
+                        self.backend.set_rank_state(c, r, PowerState::Standby, now)?;
+                    }
+                    self.stats.capacity_wakes += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let mut ids = Vec::with_capacity(plan.copies.len());
+        for (src, dst) in &plan.copies {
+            let id = self.migrate.enqueue_copy(*src, *dst, now)?;
+            self.job_origin.insert(id, JobOrigin::Drain);
+            ids.push(id);
+        }
+        let immediate = self.powerdown.register_retirement_jobs(&plan, &ids);
+        self.power_down_ranks(&immediate, now)?;
+        Ok(())
+    }
+
+    /// Picks a drain destination in `channel` excluding `exclude_rank`:
+    /// the most utilized active rank with free space.
+    fn pick_drain_destination(
+        &mut self,
+        channel: u32,
+        exclude_rank: u32,
+    ) -> Option<crate::addr::SegmentLocation> {
+        let rank = (0..self.geo.ranks_per_channel)
+            .filter(|r| {
+                *r != exclude_rank
+                    && self.powerdown.rank_state(channel, *r) == RankPdState::Active
+                    && self.alloc.free_in_rank(channel, *r) > 0
+            })
+            .max_by_key(|r| (self.alloc.allocated_in_rank(channel, *r), u32::MAX - *r))?;
+        self.alloc.take_free_in_rank(channel, rank)
+    }
+
+    /// Serves one 64 B access from a host.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtlError::UnknownHost`] for unregistered hosts;
+    /// * [`DtlError::UnmappedAddress`] for HPAs outside any live AU.
+    pub fn access(
+        &mut self,
+        host: HostId,
+        hpa: HostPhysAddr,
+        kind: AccessKind,
+        now: Picos,
+    ) -> Result<AccessOutcome, DtlError> {
+        if !self.hosts.contains_key(&host) {
+            return Err(DtlError::UnknownHost(host));
+        }
+        self.process_events();
+        let translation = self.translator.translate(
+            host,
+            hpa,
+            &self.tables,
+            self.backend.est_access_latency(),
+        )?;
+        let (dsn, smc_outcome, translation_latency, offset) =
+            (translation.dsn, translation.smc, translation.latency, translation.offset);
+        // Atomic-migration write protocol (§4.2).
+        let mut routed_dsn = dsn;
+        if kind.is_write() {
+            match self.migrate.on_foreground_write(dsn, offset, now) {
+                WriteRouting::Proceed => {}
+                WriteRouting::RouteTo(d) => {
+                    routed_dsn = d;
+                    self.stats.rerouted_writes += 1;
+                }
+                WriteRouting::AbortedJob => {
+                    self.stats.aborting_writes += 1;
+                }
+            }
+        }
+        let loc = self.geo.location(routed_dsn);
+        let completion_estimate =
+            self.backend
+                .access(loc, offset, kind, Priority::Foreground, now + translation_latency);
+        if self.hotness_enabled {
+            self.hotness.on_access(loc, now);
+        }
+        self.stats.accesses += 1;
+        if kind.is_write() {
+            self.stats.writes += 1;
+        }
+        Ok(AccessOutcome {
+            dsn: routed_dsn,
+            smc: smc_outcome,
+            translation_latency,
+            completion_estimate,
+        })
+    }
+
+    /// Advances device time: runs the backend, completes migrations,
+    /// advances the hotness state machine.
+    ///
+    /// # Errors
+    ///
+    /// Internal errors indicate broken invariants and should be treated as
+    /// bugs.
+    pub fn tick(&mut self, now: Picos) -> Result<(), DtlError> {
+        self.backend.advance_to(now);
+        self.process_events();
+        let completed = self.migrate.pump(now, &mut self.backend);
+        for done in completed {
+            self.finish_job(done.job.id, done.job.kind, now)?;
+        }
+        if self.hotness_enabled {
+            let pd = &self.powerdown;
+            let plans = self
+                .hotness
+                .pump(now, |c, r| pd.rank_state(c, r) == RankPdState::Active);
+            for plan in plans {
+                let mut count = 0u64;
+                for (v_loc, t_loc) in &plan.swaps {
+                    let (a, b) = (self.geo.dsn(*v_loc), self.geo.dsn(*t_loc));
+                    if self.migrate.involves(a) || self.migrate.involves(b) {
+                        continue;
+                    }
+                    // The TSP may have claimed a slot in a rank that the
+                    // power-down engine has since selected (or drained):
+                    // moving live data there would end up in MPSM.
+                    if self.powerdown.rank_state(t_loc.channel, t_loc.rank)
+                        != RankPdState::Active
+                    {
+                        continue;
+                    }
+                    // The victim slot must still hold live, mapped data —
+                    // a deallocation since planning leaves stale pairs.
+                    if !self.alloc.is_allocated(*v_loc) || self.tables.reverse(a).is_none() {
+                        continue;
+                    }
+                    // The counterpart is either live+mapped (full swap),
+                    // free (one-way copy whose destination must be reserved
+                    // *now*, or a concurrent drain could claim it), or an
+                    // unmapped reservation of another migration (skip).
+                    let id = if self.alloc.is_allocated(*t_loc) {
+                        if self.tables.reverse(b).is_none() {
+                            continue; // someone else's reservation
+                        }
+                        self.migrate.enqueue_swap(a, b, now)?
+                    } else {
+                        if !self.alloc.reserve_slot(*t_loc) {
+                            continue; // raced with another reservation
+                        }
+                        self.migrate.enqueue_copy(a, b, now)?
+                    };
+                    self.job_origin.insert(id, JobOrigin::Hotness { channel: plan.channel });
+                    count += 1;
+                }
+                if count == 0 {
+                    let victim = self.hotness.on_plan_migrated(plan.channel, now);
+                    self.backend
+                        .set_rank_state(plan.channel, victim, PowerState::SelfRefresh, now)?;
+                } else {
+                    self.hotness_pending.insert(plan.channel, count);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_job(&mut self, id: u64, kind: MigrationKind, now: Picos) -> Result<(), DtlError> {
+        match self.job_origin.remove(&id) {
+            Some(JobOrigin::Drain) => {
+                let MigrationKind::Copy { src, dst } = kind else {
+                    return Err(DtlError::Internal { reason: "drain job must be a copy".into() });
+                };
+                match self.tables.reverse(src) {
+                    Some(hsn) => {
+                        self.tables.remap(hsn, dst)?;
+                        self.translator.invalidate(hsn);
+                        self.alloc.complete_move(self.geo.location(src))?;
+                    }
+                    None => {
+                        // Source vanished (deallocated) after the data
+                        // moved: release the reservation.
+                        self.alloc.free_segments(&[dst])?;
+                    }
+                }
+                let ranks = self.powerdown.on_migration_complete(id);
+                self.power_down_ranks(&ranks, now)?;
+            }
+            Some(JobOrigin::Hotness { channel }) => {
+                // Hotness jobs are swaps (two live segments) or one-way
+                // copies (live segment into a reserved free slot); the
+                // mapping update is a swap either way.
+                match kind {
+                    MigrationKind::Swap { a, b } => {
+                        let (ha, hb) = self.tables.swap(a, b)?;
+                        for h in [ha, hb].into_iter().flatten() {
+                            self.translator.invalidate(h);
+                        }
+                        self.alloc.swap_status(self.geo.location(a), self.geo.location(b));
+                    }
+                    MigrationKind::Copy { src, dst } => {
+                        let (ha, hb) = self.tables.swap(src, dst)?;
+                        for h in [ha, hb].into_iter().flatten() {
+                            self.translator.invalidate(h);
+                        }
+                        // The destination was reserved at enqueue; the
+                        // vacated source becomes free.
+                        self.alloc.complete_move(self.geo.location(src))?;
+                    }
+                }
+                self.finish_hotness_job(channel, now)?;
+            }
+            None => {
+                return Err(DtlError::Internal { reason: format!("job {id} has no origin") })
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_hotness_job(&mut self, channel: u32, now: Picos) -> Result<(), DtlError> {
+        let remaining = self.hotness_pending.get_mut(&channel).ok_or(DtlError::Internal {
+            reason: format!("hotness job finished with no pending plan on ch{channel}"),
+        })?;
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.hotness_pending.remove(&channel);
+            let victim = self.hotness.on_plan_migrated(channel, now);
+            self.backend.set_rank_state(channel, victim, PowerState::SelfRefresh, now)?;
+        }
+        Ok(())
+    }
+
+    fn process_events(&mut self) {
+        for ev in self.backend.drain_power_events() {
+            if ev.cause == PowerEventCause::AutoExit && ev.from == PowerState::SelfRefresh {
+                self.hotness.on_sr_exit(ev.channel, ev.rank, ev.at);
+            }
+        }
+    }
+
+    /// Integrated power report from the backend.
+    pub fn power_report(&mut self, now: Picos) -> PowerReport {
+        self.backend.power_report(now)
+    }
+
+    /// Takes an operational snapshot (cheap; read-only).
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        let mut ranks = Vec::with_capacity(
+            (self.geo.channels * self.geo.ranks_per_channel) as usize,
+        );
+        for c in 0..self.geo.channels {
+            for r in 0..self.geo.ranks_per_channel {
+                let hotness = if self.hotness.sr_rank(c) == Some(r) {
+                    HotnessRole::SelfRefreshing
+                } else if self.hotness.victim(c) == Some(r) {
+                    HotnessRole::Victim
+                } else {
+                    HotnessRole::None
+                };
+                ranks.push(RankSnapshot {
+                    channel: c,
+                    rank: r,
+                    power: self.backend.rank_state(c, r),
+                    lifecycle: self.powerdown.rank_state(c, r),
+                    hotness,
+                    allocated_segments: self.alloc.allocated_in_rank(c, r),
+                    free_segments: self.alloc.free_in_rank(c, r),
+                });
+            }
+        }
+        let mut hosts: Vec<HostSnapshot> = self
+            .hosts
+            .iter()
+            .map(|(h, state)| HostSnapshot {
+                host: *h,
+                vms: state.vms.len() as u32,
+                aus: state.vms.values().map(|aus| aus.len() as u32).sum(),
+            })
+            .collect();
+        hosts.sort_by_key(|h| h.host);
+        DeviceSnapshot {
+            ranks,
+            hosts,
+            mapped_segments: self.tables.mapped_segments(),
+            migrations_pending: self.migrations_pending(),
+            stats: self.stats,
+        }
+    }
+
+    /// Verifies cross-structure invariants; cheap enough for tests after
+    /// every operation, and priceless when they fail.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] describing the first violation:
+    /// * forward/reverse mapping consistency;
+    /// * allocator free/allocated partitioning;
+    /// * **no mapped (live) segment may sit in an MPSM rank** — MPSM loses
+    ///   data;
+    /// * every mapped segment is marked allocated.
+    pub fn check_invariants(&self) -> Result<(), DtlError> {
+        self.tables.check_consistency()?;
+        self.alloc.check_consistency()?;
+        for (dsn, hsn) in self.tables.iter_mapped() {
+            let loc = self.geo.location(dsn);
+            if self.backend.rank_state(loc.channel, loc.rank) == PowerState::Mpsm {
+                return Err(DtlError::Internal {
+                    reason: format!("live segment {dsn} ({hsn}) in MPSM rank {loc:?}"),
+                });
+            }
+            if !self.alloc.is_allocated(loc) {
+                return Err(DtlError::Internal {
+                    reason: format!("mapped segment {dsn} not marked allocated"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    
+
+    /// Tiny device: 2 channels x 4 ranks x 32 segments (256 KiB segments,
+    /// 8 MiB AUs of 32 segments = 16 per channel... AU = 32 segments).
+    fn device() -> DtlDevice<AnalyticBackend> {
+        let cfg = DtlConfig::tiny();
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.register_host(HostId(0)).unwrap();
+        dev
+    }
+
+    fn au_bytes() -> u64 {
+        DtlConfig::tiny().au_bytes
+    }
+
+    #[test]
+    fn vm_lifecycle_round_trip() {
+        let mut dev = device();
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        assert_eq!(vm.aus.len(), 1);
+        assert_eq!(vm.bytes, au_bytes());
+        dev.check_invariants().unwrap();
+        dev.dealloc_vm(vm.handle, Picos::from_us(1)).unwrap();
+        assert!(matches!(
+            dev.dealloc_vm(vm.handle, Picos::from_us(2)),
+            Err(DtlError::UnknownVm(_))
+        ));
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unregistered_host_rejected() {
+        let mut dev = device();
+        assert!(matches!(
+            dev.alloc_vm(HostId(3), au_bytes(), Picos::ZERO),
+            Err(DtlError::UnknownHost(_))
+        ));
+        assert!(matches!(
+            dev.access(HostId(3), HostPhysAddr::new(0), AccessKind::Read, Picos::ZERO),
+            Err(DtlError::UnknownHost(_))
+        ));
+        // And hosts beyond max_hosts cannot register.
+        assert!(matches!(
+            dev.register_host(HostId(100)),
+            Err(DtlError::TooManyHosts { .. })
+        ));
+    }
+
+    #[test]
+    fn access_translates_and_counts() {
+        let mut dev = device();
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let base = vm.hpa_base(0, au_bytes());
+        let out1 = dev
+            .access(HostId(0), base, AccessKind::Read, Picos::from_us(1))
+            .unwrap();
+        assert_eq!(out1.smc, SmcOutcome::Miss, "cold translation");
+        let out2 = dev
+            .access(HostId(0), base.offset_by(64), AccessKind::Write, Picos::from_us(2))
+            .unwrap();
+        assert_eq!(out2.smc, SmcOutcome::L1Hit);
+        assert_eq!(out2.dsn, out1.dsn, "same segment");
+        assert!(out1.translation_latency > out2.translation_latency);
+        let s = dev.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn unmapped_access_rejected() {
+        let mut dev = device();
+        let _vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        // AU 5 was never allocated.
+        let bad = HostPhysAddr::new(5 * au_bytes());
+        assert!(matches!(
+            dev.access(HostId(0), bad, AccessKind::Read, Picos::ZERO),
+            Err(DtlError::UnmappedAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn consecutive_segments_rotate_channels() {
+        let mut dev = device();
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let base = vm.hpa_base(0, au_bytes());
+        let seg = dev.config().segment_bytes;
+        let mut channels = Vec::new();
+        for k in 0..4u64 {
+            let out = dev
+                .access(HostId(0), base.offset_by(k * seg), AccessKind::Read, Picos::from_us(k))
+                .unwrap();
+            channels.push(dev.geometry().location(out.dsn).channel);
+        }
+        assert_eq!(channels, vec![0, 1, 0, 1], "DTL interleaves channels per segment");
+    }
+
+    #[test]
+    fn dealloc_triggers_rank_power_down() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        assert_eq!(dev.active_ranks(0), 4);
+        dev.dealloc_vm(vm.handle, Picos::from_us(10)).unwrap();
+        // Everything free: the engine should stack power-downs until one
+        // active rank remains per channel.
+        let mut t = Picos::from_us(20);
+        for _ in 0..200 {
+            dev.tick(t).unwrap();
+            t += Picos::from_us(200);
+            if dev.active_ranks(0) == 1 {
+                break;
+            }
+            // Re-plan on every tick via dealloc-equivalent check.
+        }
+        // Power-down plans happen at dealloc; with an empty device the
+        // while-loop in try_power_down stacks all three groups at once.
+        assert_eq!(dev.active_ranks(0), 1);
+        assert_eq!(dev.powerdown_stats().groups_powered_down, 3);
+        for r in 1..4 {
+            // Some subset of ranks is in MPSM (virtual groups).
+            let _ = r;
+        }
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn capacity_pressure_wakes_ranks() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        dev.dealloc_vm(vm.handle, Picos::from_us(10)).unwrap();
+        assert_eq!(dev.active_ranks(0), 1);
+        // One rank per channel = 32 segments/ch; an AU takes 16/ch. Two AUs
+        // fit; the third forces a wake.
+        let capacity_of_one_rank_group = 2 * 32 * dev.config().segment_bytes;
+        let vm2 = dev
+            .alloc_vm(HostId(0), capacity_of_one_rank_group * 2, Picos::from_us(20))
+            .unwrap();
+        assert!(dev.stats().capacity_wakes > 0);
+        assert!(dev.active_ranks(0) > 1);
+        dev.check_invariants().unwrap();
+        dev.dealloc_vm(vm2.handle, Picos::from_us(30)).unwrap();
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_migration_remaps_live_segments() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        // Two VMs; deallocating one leaves live data to drain eventually.
+        let vm1 = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let vm2 = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let base2 = vm2.hpa_base(0, au_bytes());
+        let before = dev
+            .access(HostId(0), base2, AccessKind::Read, Picos::from_us(1))
+            .unwrap()
+            .dsn;
+        dev.dealloc_vm(vm1.handle, Picos::from_us(10)).unwrap();
+        // Run migrations to completion.
+        let mut t = Picos::from_us(20);
+        for _ in 0..500 {
+            dev.tick(t).unwrap();
+            t += Picos::from_us(500);
+            if dev.migration_stats().completed > 0 || dev.powerdown_stats().groups_powered_down > 2
+            {
+                // keep running a bit to finish everything
+            }
+        }
+        dev.check_invariants().unwrap();
+        // vm2's data must still be reachable (possibly remapped).
+        let after = dev
+            .access(HostId(0), base2, AccessKind::Read, t)
+            .unwrap()
+            .dsn;
+        let _ = (before, after); // both valid translations; invariants hold
+        assert!(dev.powerdown_stats().groups_powered_down >= 1);
+    }
+
+    #[test]
+    fn hotness_cycle_reaches_self_refresh() {
+        let mut dev = device();
+        dev.set_powerdown_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let base = vm.hpa_base(0, au_bytes());
+        let seg = dev.config().segment_bytes;
+        // Hammer two segments per channel; leave the rest cold.
+        let mut t = Picos::from_us(1);
+        for round in 0..6000u64 {
+            for k in 0..4u64 {
+                dev.access(HostId(0), base.offset_by(k * seg), AccessKind::Read, t).unwrap();
+            }
+            t += Picos::from_us(1);
+            if round % 16 == 0 {
+                dev.tick(t).unwrap();
+            }
+        }
+        // Let the idle threshold expire and migrations run.
+        for _ in 0..100 {
+            t += Picos::from_us(100);
+            dev.tick(t).unwrap();
+        }
+        let hs = dev.hotness_stats();
+        assert!(hs.plans_frozen > 0, "a plan must freeze: {hs:?}");
+        assert!(hs.sr_entries > 0, "a victim must enter self-refresh: {hs:?}");
+        dev.check_invariants().unwrap();
+        // Some rank is actually in self-refresh at the backend.
+        let mut any_sr = false;
+        for c in 0..2 {
+            for r in 0..4 {
+                if dev.backend().rank_state(c, r) == PowerState::SelfRefresh {
+                    any_sr = true;
+                }
+            }
+        }
+        assert!(any_sr);
+    }
+
+    #[test]
+    fn sr_rank_wakes_on_access_and_reprofiles() {
+        let mut dev = device();
+        dev.set_powerdown_enabled(false);
+        // Fill the whole device (8 AUs) so every rank holds live data and
+        // the self-refresh victim can actually be woken by a host access.
+        let vm = dev.alloc_vm(HostId(0), 8 * au_bytes(), Picos::ZERO).unwrap();
+        assert_eq!(vm.aus.len(), 8);
+        let base = vm.hpa_base(0, au_bytes());
+        let seg = dev.config().segment_bytes;
+        let mut t = Picos::from_us(1);
+        for round in 0..6000u64 {
+            for k in 0..4u64 {
+                dev.access(HostId(0), base.offset_by(k * seg), AccessKind::Read, t).unwrap();
+            }
+            t += Picos::from_us(1);
+            if round % 16 == 0 {
+                dev.tick(t).unwrap();
+            }
+        }
+        for _ in 0..200 {
+            t += Picos::from_us(100);
+            dev.tick(t).unwrap();
+        }
+        assert!(dev.hotness_stats().sr_entries > 0, "{:?}", dev.hotness_stats());
+        // Touch every segment of every AU to guarantee hitting the victim.
+        for (i, _au) in vm.aus.iter().enumerate() {
+            let b = vm.hpa_base(i, au_bytes());
+            for k in 0..dev.config().segments_per_au() {
+                dev.access(HostId(0), b.offset_by(k * seg), AccessKind::Read, t).unwrap();
+            }
+        }
+        dev.tick(t + Picos::from_us(1)).unwrap();
+        assert!(dev.hotness_stats().sr_exits > 0, "{:?}", dev.hotness_stats());
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn au_ids_are_reused_after_dealloc() {
+        let mut dev = device();
+        dev.set_powerdown_enabled(false);
+        dev.set_hotness_enabled(false);
+        let vm1 = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let first_au = vm1.aus[0];
+        dev.dealloc_vm(vm1.handle, Picos::from_us(1)).unwrap();
+        let vm2 = dev.alloc_vm(HostId(0), au_bytes(), Picos::from_us(2)).unwrap();
+        assert_eq!(vm2.aus[0], first_au, "freed AU ids are recycled");
+    }
+
+    #[test]
+    fn multi_au_vm_spans_contiguous_hpa() {
+        let mut dev = device();
+        dev.set_powerdown_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), 2 * au_bytes(), Picos::ZERO).unwrap();
+        assert_eq!(vm.aus.len(), 2);
+        assert_eq!(vm.bytes, 2 * au_bytes());
+        // Every segment of both AUs translates.
+        for (i, _au) in vm.aus.iter().enumerate() {
+            let base = vm.hpa_base(i, au_bytes());
+            dev.access(HostId(0), base, AccessKind::Read, Picos::from_us(1)).unwrap();
+        }
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_device_is_out_of_capacity() {
+        let mut dev = device();
+        dev.set_powerdown_enabled(false);
+        dev.set_hotness_enabled(false);
+        // Device: 2ch x 4rk x 32 segs = 256 segments; AU = 32 segments.
+        for _ in 0..8 {
+            dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        }
+        assert!(matches!(
+            dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO),
+            Err(DtlError::OutOfCapacity { .. })
+        ));
+        dev.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod retirement_tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+
+    fn device() -> DtlDevice<AnalyticBackend> {
+        let cfg = DtlConfig::tiny();
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.register_host(HostId(0)).unwrap();
+        dev
+    }
+
+    fn au_bytes() -> u64 {
+        DtlConfig::tiny().au_bytes
+    }
+
+    fn drain(dev: &mut DtlDevice<AnalyticBackend>, from: Picos) -> Picos {
+        let mut t = from;
+        for _ in 0..200 {
+            t += Picos::from_ms(1);
+            dev.tick(t).unwrap();
+            if dev.migrations_pending() == 0 {
+                break;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn retiring_an_empty_rank_is_immediate() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        dev.set_powerdown_enabled(false);
+        dev.retire_rank(0, 3, Picos::from_us(1)).unwrap();
+        assert_eq!(dev.powerdown_stats().ranks_retired, 1);
+        assert_eq!(dev.backend().rank_state(0, 3), PowerState::Mpsm);
+        assert_eq!(dev.active_ranks(0), 3);
+        dev.check_invariants().unwrap();
+        // Retiring it twice is an error.
+        assert!(dev.retire_rank(0, 3, Picos::from_us(2)).is_err());
+    }
+
+    #[test]
+    fn retiring_a_loaded_rank_drains_it_first() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        dev.set_powerdown_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        // The VM's data landed in some rank; retire that rank.
+        let out = dev
+            .access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, Picos::from_us(1))
+            .unwrap();
+        let loc = dev.geometry().location(out.dsn);
+        dev.retire_rank(loc.channel, loc.rank, Picos::from_us(2)).unwrap();
+        let t = drain(&mut dev, Picos::from_us(3));
+        assert_eq!(dev.powerdown_stats().ranks_retired, 1);
+        assert_eq!(dev.backend().rank_state(loc.channel, loc.rank), PowerState::Mpsm);
+        // The data is still reachable, now from a different rank.
+        let out2 = dev
+            .access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, t)
+            .unwrap();
+        let loc2 = dev.geometry().location(out2.dsn);
+        assert_ne!((loc2.channel, loc2.rank), (loc.channel, loc.rank));
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retired_rank_is_never_woken_for_capacity() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        dev.retire_rank(0, 3, Picos::from_us(1)).unwrap();
+        dev.retire_rank(1, 3, Picos::from_us(1)).unwrap();
+        // Fill the remaining capacity: 3 ranks x 32 segs x 2 ch = 192 segs
+        // = 6 AUs of 32 segments.
+        for _ in 0..6 {
+            dev.alloc_vm(HostId(0), au_bytes(), Picos::from_us(2)).unwrap();
+        }
+        // The next allocation must fail rather than waking the retired rank.
+        assert!(matches!(
+            dev.alloc_vm(HostId(0), au_bytes(), Picos::from_us(3)),
+            Err(DtlError::OutOfCapacity { .. })
+        ));
+        assert_eq!(dev.backend().rank_state(0, 3), PowerState::Mpsm);
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retirement_wakes_powered_down_groups_for_space() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        // One VM, then dealloc-driven power-down leaves 1 active rank/ch.
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let out = dev
+            .access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, Picos::from_us(1))
+            .unwrap();
+        let loc = dev.geometry().location(out.dsn);
+        let vm2 = dev.alloc_vm(HostId(0), au_bytes(), Picos::from_us(2)).unwrap();
+        dev.dealloc_vm(vm2.handle, Picos::from_us(3)).unwrap();
+        let t = drain(&mut dev, Picos::from_us(4));
+        // Retire the rank holding vm's data: its channel has capacity only
+        // in powered-down ranks, which must wake.
+        dev.retire_rank(loc.channel, loc.rank, t).unwrap();
+        let t = drain(&mut dev, t);
+        assert_eq!(dev.backend().rank_state(loc.channel, loc.rank), PowerState::Mpsm);
+        assert!(dev.stats().capacity_wakes > 0 || dev.active_ranks(loc.channel) >= 1);
+        dev.access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, t).unwrap();
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cannot_retire_last_active_rank() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        dev.set_powerdown_enabled(false);
+        for r in [1u32, 2, 3] {
+            dev.retire_rank(0, r, Picos::from_us(1)).unwrap();
+        }
+        assert!(dev.retire_rank(0, 0, Picos::from_us(2)).is_err());
+        dev.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+
+    #[test]
+    fn snapshot_reflects_device_state() {
+        let cfg = DtlConfig::tiny();
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.set_hotness_enabled(false);
+        dev.register_host(HostId(0)).unwrap();
+        dev.register_host(HostId(1)).unwrap();
+        let vm = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+        let snap = dev.snapshot();
+        assert_eq!(snap.ranks.len(), 8);
+        assert_eq!(snap.hosts.len(), 2);
+        assert_eq!(snap.hosts[0].vms, 1);
+        assert_eq!(snap.hosts[0].aus, 1);
+        assert_eq!(snap.hosts[1].vms, 0);
+        assert_eq!(snap.mapped_segments, cfg.segments_per_au());
+        let allocated: u64 = snap.ranks.iter().map(|r| r.allocated_segments).sum();
+        assert_eq!(allocated, cfg.segments_per_au());
+        let total: u64 =
+            snap.ranks.iter().map(|r| r.allocated_segments + r.free_segments).sum();
+        assert_eq!(total, 2 * 4 * 32);
+        // Power-down after dealloc shows up in the snapshot.
+        dev.dealloc_vm(vm.handle, Picos::from_us(1)).unwrap();
+        for i in 0..100 {
+            dev.tick(Picos::from_ms(1) * (i + 1)).unwrap();
+        }
+        let snap = dev.snapshot();
+        assert!(snap
+            .ranks
+            .iter()
+            .any(|r| r.power == PowerState::Mpsm && r.lifecycle == RankPdState::PoweredDown));
+        assert_eq!(snap.mapped_segments, 0);
+        // It serializes (management-plane export).
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: DeviceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let _ = AnalyticBackend::new(dev.geometry(), cfg.segment_bytes, dtl_dram::PowerParams::ddr4_128gb_dimm());
+    }
+
+    #[test]
+    fn snapshot_shows_hotness_roles() {
+        let cfg = DtlConfig::tiny();
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.set_powerdown_enabled(false);
+        dev.register_host(HostId(0)).unwrap();
+        let _vm = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+        // Let the hotness engine sample and park an idle victim.
+        let mut t = Picos::from_us(1);
+        for _ in 0..2000 {
+            t += Picos::from_us(10);
+            dev.tick(t).unwrap();
+        }
+        let snap = dev.snapshot();
+        let sr = snap.ranks.iter().filter(|r| r.hotness == HotnessRole::SelfRefreshing).count();
+        assert!(sr >= 1, "some rank should be self-refreshing: {snap:?}");
+    }
+}
+
+#[cfg(test)]
+mod write_conflict_tests {
+    use super::*;
+
+
+    /// Drives a live-data drain and hammers the migrating segments with
+    /// writes: the §4.2 protocol must reroute completion-bit-window writes
+    /// and abort jobs whose copied lines were dirtied — all visible
+    /// through the device stats, with invariants intact throughout.
+    #[test]
+    fn foreground_writes_conflict_with_live_drains() {
+        let cfg = DtlConfig::tiny();
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.set_hotness_enabled(false);
+        dev.register_host(HostId(0)).unwrap();
+        // Fill rank A with vm1+vm2, rank B with vm3; dealloc vm2 and pump
+        // power-down until a drain must move live data.
+        let vm1 = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+        let vm2 = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+        let vm3 = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+        dev.dealloc_vm(vm2.handle, Picos::from_us(1)).unwrap();
+        // Drive ticks; each dealloc-free plan stacks, eventually draining a
+        // loaded rank. Write continuously to vm1 and vm3 segments.
+        let mut t = Picos::from_us(2);
+        let seg = cfg.segment_bytes;
+        let mut wrote_during_migration = false;
+        for round in 0..4000u64 {
+            t += Picos::from_us(2);
+            if round % 8 == 0 {
+                dev.tick(t).unwrap();
+            }
+            for vm in [&vm1, &vm3] {
+                let base = vm.hpa_base(0, cfg.au_bytes);
+                let hpa = base.offset_by((round % 32) * seg);
+                dev.access(HostId(0), hpa, AccessKind::Write, t).unwrap();
+            }
+            if dev.migrations_pending() > 0 {
+                wrote_during_migration = true;
+            }
+            // Keep re-triggering power-down planning via a dealloc cycle.
+            if round == 100 {
+                let vm4 = dev.alloc_vm(HostId(0), cfg.au_bytes, t).unwrap();
+                dev.dealloc_vm(vm4.handle, t).unwrap();
+            }
+            dev.check_invariants().unwrap();
+        }
+        assert!(wrote_during_migration, "the scenario must overlap writes with drains");
+        let s = dev.stats();
+        assert!(
+            s.aborting_writes + s.rerouted_writes > 0,
+            "the conflict protocol must trigger: {s:?}"
+        );
+        assert!(dev.migration_stats().aborts == s.aborting_writes);
+        // Everything still reachable afterwards.
+        for _ in 0..200 {
+            t += Picos::from_ms(1);
+            dev.tick(t).unwrap();
+        }
+        for vm in [&vm1, &vm3] {
+            for k in 0..32u64 {
+                dev.access(
+                    HostId(0),
+                    vm.hpa_base(0, cfg.au_bytes).offset_by(k * seg),
+                    AccessKind::Read,
+                    t,
+                )
+                .unwrap();
+            }
+        }
+        dev.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod balloon_tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+
+    fn device() -> DtlDevice<AnalyticBackend> {
+        let cfg = DtlConfig::tiny();
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.set_hotness_enabled(false);
+        dev.register_host(HostId(0)).unwrap();
+        dev
+    }
+
+    fn au_bytes() -> u64 {
+        DtlConfig::tiny().au_bytes
+    }
+
+    #[test]
+    fn grow_extends_the_vm() {
+        let mut dev = device();
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let new_aus = dev.grow_vm(vm.handle, 2 * au_bytes(), Picos::from_us(1)).unwrap();
+        assert_eq!(new_aus.len(), 2);
+        // All three AU regions translate.
+        for au in vm.aus.iter().chain(new_aus.iter()) {
+            let hpa = HostPhysAddr::new(u64::from(au.0) * au_bytes());
+            dev.access(HostId(0), hpa, AccessKind::Read, Picos::from_us(2)).unwrap();
+        }
+        let snap = dev.snapshot();
+        assert_eq!(snap.hosts[0].vms, 1);
+        assert_eq!(snap.hosts[0].aus, 3);
+        dev.check_invariants().unwrap();
+        // Dealloc releases everything, including the grown AUs.
+        dev.dealloc_vm(vm.handle, Picos::from_us(3)).unwrap();
+        assert_eq!(dev.snapshot().mapped_segments, 0);
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shrink_releases_the_top_aus() {
+        let mut dev = device();
+        let vm = dev.alloc_vm(HostId(0), 3 * au_bytes(), Picos::ZERO).unwrap();
+        let kept = vm.aus[0];
+        let dropped = vm.aus[2];
+        dev.shrink_vm(vm.handle, 2, Picos::from_us(1)).unwrap();
+        // The kept AU still works; the dropped one is unmapped.
+        dev.access(
+            HostId(0),
+            HostPhysAddr::new(u64::from(kept.0) * au_bytes()),
+            AccessKind::Read,
+            Picos::from_us(2),
+        )
+        .unwrap();
+        let err = dev.access(
+            HostId(0),
+            HostPhysAddr::new(u64::from(dropped.0) * au_bytes()),
+            AccessKind::Read,
+            Picos::from_us(3),
+        );
+        assert!(matches!(err, Err(DtlError::UnmappedAddress { .. })));
+        dev.check_invariants().unwrap();
+        // Shrinking to zero is refused; dealloc still works.
+        assert!(dev.shrink_vm(vm.handle, 1, Picos::from_us(4)).is_err());
+        dev.dealloc_vm(vm.handle, Picos::from_us(5)).unwrap();
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shrink_can_trigger_power_down() {
+        let mut dev = device();
+        // Fill most of the device, then shrink hard: the freed capacity
+        // lets a rank group power down.
+        let vm = dev.alloc_vm(HostId(0), 6 * au_bytes(), Picos::ZERO).unwrap();
+        assert_eq!(dev.powerdown_stats().groups_powered_down, 0);
+        dev.shrink_vm(vm.handle, 5, Picos::from_us(1)).unwrap();
+        let mut t = Picos::from_us(2);
+        for _ in 0..200 {
+            t += Picos::from_ms(1);
+            dev.tick(t).unwrap();
+        }
+        assert!(dev.powerdown_stats().groups_powered_down > 0);
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn quota_gates_alloc_and_grow() {
+        let mut dev = device();
+        dev.set_host_quota(HostId(0), Some(2)).unwrap();
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        // A second AU fits; a third does not.
+        dev.grow_vm(vm.handle, au_bytes(), Picos::from_us(1)).unwrap();
+        assert!(matches!(
+            dev.grow_vm(vm.handle, au_bytes(), Picos::from_us(2)),
+            Err(DtlError::QuotaExceeded { .. })
+        ));
+        assert!(matches!(
+            dev.alloc_vm(HostId(0), au_bytes(), Picos::from_us(3)),
+            Err(DtlError::QuotaExceeded { .. })
+        ));
+        // Shrinking frees quota headroom.
+        dev.shrink_vm(vm.handle, 1, Picos::from_us(4)).unwrap();
+        dev.alloc_vm(HostId(0), au_bytes(), Picos::from_us(5)).unwrap();
+        // Clearing the quota lifts the cap.
+        dev.set_host_quota(HostId(0), None).unwrap();
+        dev.alloc_vm(HostId(0), 2 * au_bytes(), Picos::from_us(6)).unwrap();
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn quota_does_not_affect_other_hosts() {
+        let mut dev = device();
+        dev.register_host(HostId(1)).unwrap();
+        dev.set_host_quota(HostId(0), Some(1)).unwrap();
+        dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        assert!(dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).is_err());
+        // Host 1 is unconstrained.
+        dev.alloc_vm(HostId(1), 3 * au_bytes(), Picos::ZERO).unwrap();
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grow_of_stale_handle_rejected() {
+        let mut dev = device();
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        dev.dealloc_vm(vm.handle, Picos::from_us(1)).unwrap();
+        assert!(matches!(
+            dev.grow_vm(vm.handle, au_bytes(), Picos::from_us(2)),
+            Err(DtlError::UnknownVm(_))
+        ));
+        assert!(matches!(
+            dev.shrink_vm(vm.handle, 1, Picos::from_us(3)),
+            Err(DtlError::UnknownVm(_))
+        ));
+    }
+}

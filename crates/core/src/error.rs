@@ -1,0 +1,122 @@
+//! Error type of the DTL crate.
+
+use core::fmt;
+
+use crate::addr::{AuId, HostId, HostPhysAddr, VmHandle};
+
+/// Errors reported by the DRAM Translation Layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DtlError {
+    /// Configuration failed validation.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An unknown host id.
+    UnknownHost(HostId),
+    /// The host id exceeds the configured maximum.
+    TooManyHosts {
+        /// The rejected host.
+        host: HostId,
+        /// Configured limit.
+        max_hosts: u16,
+    },
+    /// An HPA that is not mapped for the host (unallocated AU or beyond the
+    /// host's address space).
+    UnmappedAddress {
+        /// The host that issued the access.
+        host: HostId,
+        /// The offending address.
+        hpa: HostPhysAddr,
+    },
+    /// Not enough free device capacity for an allocation.
+    OutOfCapacity {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free (including powered-down ranks).
+        free: u64,
+    },
+    /// A VM handle that is not (or no longer) live.
+    UnknownVm(VmHandle),
+    /// Internal invariant violation surfaced as an error (indicates a bug).
+    Internal {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A host exceeded its configured capacity quota.
+    QuotaExceeded {
+        /// The host at its limit.
+        host: HostId,
+        /// AUs currently mapped.
+        mapped_aus: u32,
+        /// The configured cap.
+        quota_aus: u32,
+    },
+    /// An AU lookup failed (unallocated AU id).
+    UnknownAu {
+        /// Owning host.
+        host: HostId,
+        /// The missing AU.
+        au: AuId,
+    },
+    /// The wrapped DRAM device reported an error.
+    Dram(dtl_dram::DramError),
+}
+
+impl fmt::Display for DtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtlError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            DtlError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            DtlError::TooManyHosts { host, max_hosts } => {
+                write!(f, "host {host} exceeds the configured maximum of {max_hosts}")
+            }
+            DtlError::UnmappedAddress { host, hpa } => {
+                write!(f, "{host} accessed unmapped address {hpa}")
+            }
+            DtlError::OutOfCapacity { requested, free } => {
+                write!(f, "requested {requested} bytes but only {free} free")
+            }
+            DtlError::UnknownVm(vm) => write!(f, "unknown VM handle {vm:?}"),
+            DtlError::Internal { reason } => write!(f, "internal invariant violated: {reason}"),
+            DtlError::QuotaExceeded { host, mapped_aus, quota_aus } => {
+                write!(f, "{host} at {mapped_aus} AUs would exceed its quota of {quota_aus}")
+            }
+            DtlError::UnknownAu { host, au } => write!(f, "{host} has no allocation unit {au}"),
+            DtlError::Dram(e) => write!(f, "dram: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DtlError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dtl_dram::DramError> for DtlError {
+    fn from(e: dtl_dram::DramError) -> Self {
+        DtlError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DtlError::UnknownHost(HostId(5));
+        assert!(e.to_string().contains("host5"));
+        let e = DtlError::OutOfCapacity { requested: 100, free: 10 };
+        assert!(e.to_string().contains("100"));
+        let e: DtlError = dtl_dram::DramError::InvalidConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("dram"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,632 @@
+//! Segment migration (paper §4.2): copy jobs for rank-level power-down,
+//! swap jobs for hotness-aware self-refresh, and the atomic-migration
+//! protocol that keeps foreground writes correct.
+//!
+//! One migration is in flight per channel (migration traffic only uses the
+//! bandwidth the foreground queue leaves idle — the backend enforces the
+//! scheduling; this engine enforces the bookkeeping):
+//!
+//! * a foreground **write** to a line the in-flight job has already copied
+//!   aborts the job, which retries; after `retry_limit` aborts the job goes
+//!   to the back of the queue;
+//! * a write after the job's data movement completed but before the mapping
+//!   update (the *completion bit* window) is routed to the new location;
+//! * reads always proceed against the still-valid old location.
+
+use std::collections::VecDeque;
+
+use dtl_dram::Picos;
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Dsn, SegmentGeometry, SegmentLocation};
+use crate::backend::MemoryBackend;
+use crate::error::DtlError;
+
+/// What a migration job does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationKind {
+    /// Copy a live segment to a free slot (power-down drain).
+    Copy {
+        /// Source (live) segment.
+        src: Dsn,
+        /// Destination (free) segment.
+        dst: Dsn,
+    },
+    /// Swap two segments' contents (hotness consolidation).
+    Swap {
+        /// First segment.
+        a: Dsn,
+        /// Second segment.
+        b: Dsn,
+    },
+}
+
+impl MigrationKind {
+    fn endpoints(&self) -> (Dsn, Dsn) {
+        match *self {
+            MigrationKind::Copy { src, dst } => (src, dst),
+            MigrationKind::Swap { a, b } => (a, b),
+        }
+    }
+}
+
+/// A queued or in-flight migration job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationJob {
+    /// Engine-assigned id.
+    pub id: u64,
+    /// What to move.
+    pub kind: MigrationKind,
+    /// Aborts suffered so far.
+    pub retries: u32,
+    /// When the job entered the queue (its earliest possible start).
+    pub enqueued_at: Picos,
+}
+
+/// A finished job, ready for mapping/allocator updates by the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedMigration {
+    /// The finished job.
+    pub job: MigrationJob,
+    /// When its data movement finished.
+    pub finished: Picos,
+}
+
+/// How the device must handle a foreground write hitting a segment with
+/// migration state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteRouting {
+    /// No migration state involved: write normally.
+    Proceed,
+    /// Data already moved, mapping not yet updated: write the new location.
+    RouteTo(Dsn),
+    /// The write invalidated already-copied data; the job was aborted and
+    /// will retry. The write itself proceeds against the old location.
+    AbortedJob,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveJob {
+    job: MigrationJob,
+    start: Picos,
+    complete_at: Picos,
+    bytes: u64,
+}
+
+impl ActiveJob {
+    /// Fraction of lines copied by `now`, by linear interpolation.
+    fn lines_done(&self, now: Picos) -> u64 {
+        let total_lines = self.bytes / 64;
+        if now >= self.complete_at {
+            return total_lines;
+        }
+        if now <= self.start {
+            return 0;
+        }
+        let num = (now - self.start).as_ps() as u128;
+        let den = (self.complete_at - self.start).as_ps().max(1) as u128;
+        (u128::from(total_lines) * num / den) as u64
+    }
+}
+
+/// Cumulative migration statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationStats {
+    /// Jobs completed.
+    pub completed: u64,
+    /// Bytes of segment data moved (swaps count both directions).
+    pub bytes_moved: u64,
+    /// Job aborts due to conflicting foreground writes.
+    pub aborts: u64,
+    /// Jobs demoted to the queue tail after exceeding the retry limit.
+    pub requeues: u64,
+}
+
+/// The migration engine: one in-flight job per channel, FIFO queue behind.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_core::{AnalyticBackend, Dsn, MigrationEngine, SegmentGeometry};
+/// use dtl_dram::{Picos, PowerParams};
+///
+/// let geo = SegmentGeometry { channels: 2, ranks_per_channel: 4, segs_per_rank: 16 };
+/// let mut backend = AnalyticBackend::new(geo, 256 << 10, PowerParams::ddr4_128gb_dimm());
+/// let mut eng = MigrationEngine::new(geo, 256 << 10, 3);
+/// eng.enqueue_copy(Dsn(0), Dsn(10), Picos::ZERO)?;   // same channel (even DSNs)
+/// let done = eng.pump(Picos::from_ms(10), &mut backend);
+/// assert_eq!(done.len(), 1);
+/// # Ok::<(), dtl_core::DtlError>(())
+/// ```
+#[derive(Debug)]
+pub struct MigrationEngine {
+    geo: SegmentGeometry,
+    segment_bytes: u64,
+    retry_limit: u32,
+    queue: VecDeque<MigrationJob>,
+    in_flight: Vec<Option<ActiveJob>>,
+    /// When each channel's migration slot last freed (successor jobs chain
+    /// back-to-back from here, not from the next pump call).
+    channel_free_at: Vec<Picos>,
+    /// Energy of aborted partial copies, charged at the next pump.
+    pending_charges: Vec<(SegmentLocation, SegmentLocation, u64)>,
+    next_id: u64,
+    stats: MigrationStats,
+}
+
+impl MigrationEngine {
+    /// Builds an idle engine.
+    pub fn new(geo: SegmentGeometry, segment_bytes: u64, retry_limit: u32) -> Self {
+        MigrationEngine {
+            geo,
+            segment_bytes,
+            retry_limit,
+            queue: VecDeque::new(),
+            in_flight: vec![None; geo.channels as usize],
+            channel_free_at: vec![Picos::ZERO; geo.channels as usize],
+            pending_charges: Vec::new(),
+            next_id: 0,
+            stats: MigrationStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// Queued jobs (not yet started).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently moving data.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.iter().filter(|j| j.is_some()).count()
+    }
+
+    /// True when no work is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_flight() == 0
+    }
+
+    /// Queues a copy job at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] if source and destination are on different
+    /// channels (DTL migrations are always intra-channel so per-VM channel
+    /// balance is preserved).
+    pub fn enqueue_copy(&mut self, src: Dsn, dst: Dsn, now: Picos) -> Result<u64, DtlError> {
+        self.enqueue(MigrationKind::Copy { src, dst }, now)
+    }
+
+    /// Queues a swap job at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Same channel restriction as [`MigrationEngine::enqueue_copy`].
+    pub fn enqueue_swap(&mut self, a: Dsn, b: Dsn, now: Picos) -> Result<u64, DtlError> {
+        self.enqueue(MigrationKind::Swap { a, b }, now)
+    }
+
+    fn enqueue(&mut self, kind: MigrationKind, now: Picos) -> Result<u64, DtlError> {
+        let (x, y) = kind.endpoints();
+        let (cx, cy) = (self.geo.location(x).channel, self.geo.location(y).channel);
+        if cx != cy {
+            return Err(DtlError::Internal {
+                reason: format!("cross-channel migration {x} -> {y} (ch{cx} vs ch{cy})"),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(MigrationJob { id, kind, retries: 0, enqueued_at: now });
+        Ok(id)
+    }
+
+    /// Starts queued jobs and collects completions, chaining successor jobs
+    /// back-to-back from each channel-slot release (so an entire rank drain
+    /// progresses within one pump, at the modeled migration bandwidth).
+    /// Call regularly; `now` must be monotonic.
+    pub fn pump<B: MemoryBackend>(&mut self, now: Picos, backend: &mut B) -> Vec<CompletedMigration> {
+        let mut done = Vec::new();
+        for (src, dst, lines) in self.pending_charges.drain(..) {
+            backend.charge_migration(src, dst, lines);
+        }
+        loop {
+            let mut progressed = false;
+            // Collect completions (charging the moved lines).
+            for (ch, slot) in self.in_flight.iter_mut().enumerate() {
+                if let Some(active) = slot {
+                    if now >= active.complete_at {
+                        self.stats.completed += 1;
+                        self.stats.bytes_moved += active.bytes;
+                        self.channel_free_at[ch] = active.complete_at;
+                        let (x, y) = active.job.kind.endpoints();
+                        let (sl, dl) = (self.geo.location(x), self.geo.location(y));
+                        match active.job.kind {
+                            MigrationKind::Copy { .. } => {
+                                backend.charge_migration(sl, dl, active.bytes / 64);
+                            }
+                            MigrationKind::Swap { .. } => {
+                                let half = active.bytes / 2 / 64;
+                                backend.charge_migration(sl, dl, half);
+                                backend.charge_migration(dl, sl, half);
+                            }
+                        }
+                        done.push(CompletedMigration {
+                            job: active.job,
+                            finished: active.complete_at,
+                        });
+                        *slot = None;
+                        progressed = true;
+                    }
+                }
+            }
+            // Start queued jobs on idle channels, in queue order.
+            let mut remaining = VecDeque::with_capacity(self.queue.len());
+            while let Some(job) = self.queue.pop_front() {
+                let (x, y) = job.kind.endpoints();
+                let ch = self.geo.location(x).channel as usize;
+                if self.in_flight[ch].is_some() {
+                    remaining.push_back(job);
+                    continue;
+                }
+                let start = job.enqueued_at.max(self.channel_free_at[ch]);
+                let (src_loc, dst_loc) = (self.geo.location(x), self.geo.location(y));
+                let bytes = match job.kind {
+                    MigrationKind::Copy { .. } => self.segment_bytes,
+                    MigrationKind::Swap { .. } => self.segment_bytes * 2,
+                };
+                let complete_at = match job.kind {
+                    MigrationKind::Copy { .. } => {
+                        backend.bulk_copy(src_loc, dst_loc, self.segment_bytes, start)
+                    }
+                    MigrationKind::Swap { .. } => {
+                        let t1 = backend.bulk_copy(src_loc, dst_loc, self.segment_bytes, start);
+                        backend.bulk_copy(dst_loc, src_loc, self.segment_bytes, t1)
+                    }
+                };
+                self.in_flight[ch] = Some(ActiveJob { job, start, complete_at, bytes });
+                progressed = true;
+            }
+            self.queue = remaining;
+            if !progressed {
+                break;
+            }
+            // Loop again: a job that started and completes before `now`
+            // frees its slot for the next queued job on that channel.
+            let any_completable = self
+                .in_flight
+                .iter()
+                .flatten()
+                .any(|a| a.complete_at <= now);
+            if !any_completable {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Classifies a foreground **write** to segment `dsn` at line `offset`
+    /// (bytes within the segment). Implements the §4.2 conflict protocol.
+    /// The energy of partially-copied-then-aborted lines is charged at the
+    /// next [`MigrationEngine::pump`].
+    pub fn on_foreground_write(&mut self, dsn: Dsn, offset: u64, now: Picos) -> WriteRouting {
+        let ch = self.geo.location(dsn).channel as usize;
+        let Some(active) = self.in_flight[ch] else {
+            return WriteRouting::Proceed;
+        };
+        let (src, dst) = active.job.kind.endpoints();
+        // Swaps touch both segments; copies only conflict on the source.
+        let involved = match active.job.kind {
+            MigrationKind::Copy { .. } => dsn == src,
+            MigrationKind::Swap { .. } => dsn == src || dsn == dst,
+        };
+        if !involved {
+            return WriteRouting::Proceed;
+        }
+        if now >= active.complete_at {
+            // Completion bit set; mapping not updated yet: route to the new
+            // physical location.
+            let new = match active.job.kind {
+                MigrationKind::Copy { .. } => dst,
+                MigrationKind::Swap { a, b } => {
+                    if dsn == a {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            };
+            return WriteRouting::RouteTo(new);
+        }
+        let line = offset / 64;
+        if line < active.lines_done(now) {
+            // The line was already copied: the copy is stale. Abort and
+            // retry the whole request (§4.2). A retry backs off
+            // exponentially in the job's own duration — without backoff a
+            // write-hot segment would re-copy (and re-pay) continuously.
+            self.stats.aborts += 1;
+            let mut job = active.job;
+            job.retries += 1;
+            let duration = active.complete_at.saturating_sub(active.start);
+            let backoff = duration * (1u64 << job.retries.min(8));
+            job.enqueued_at = now + backoff;
+            // Pay for the lines that were copied before the abort.
+            let wasted = active.lines_done(now);
+            if wasted > 0 {
+                let (x, y) = job.kind.endpoints();
+                self.pending_charges.push((self.geo.location(x), self.geo.location(y), wasted));
+            }
+            self.in_flight[ch] = None;
+            if job.retries > self.retry_limit {
+                self.stats.requeues += 1;
+                job.retries = 0;
+                self.queue.push_back(job);
+            } else {
+                self.queue.push_front(job);
+            }
+            WriteRouting::AbortedJob
+        } else {
+            WriteRouting::Proceed
+        }
+    }
+
+    /// Cancels every queued or in-flight job touching `dsn` (used when the
+    /// owning VM deallocates mid-migration). Returns the cancelled jobs so
+    /// the caller can release reservations and fix bookkeeping.
+    pub fn cancel_involving(&mut self, dsn: Dsn) -> Vec<MigrationJob> {
+        let hits = |j: &MigrationJob| {
+            let (x, y) = j.kind.endpoints();
+            x == dsn || y == dsn
+        };
+        let mut out = Vec::new();
+        self.queue.retain(|j| {
+            if hits(j) {
+                out.push(*j);
+                false
+            } else {
+                true
+            }
+        });
+        for slot in &mut self.in_flight {
+            if let Some(active) = slot {
+                if hits(&active.job) {
+                    out.push(active.job);
+                    *slot = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// Lists (without cancelling) every queued or in-flight job with an
+    /// endpoint in the given rank.
+    pub fn jobs_involving_rank(&self, channel: u32, rank: u32) -> Vec<MigrationJob> {
+        let hits = |j: &MigrationJob| {
+            let (x, y) = j.kind.endpoints();
+            [x, y].into_iter().any(|d| {
+                let loc = self.geo.location(d);
+                loc.channel == channel && loc.rank == rank
+            })
+        };
+        self.queue
+            .iter()
+            .copied()
+            .filter(&hits)
+            .chain(self.in_flight.iter().flatten().map(|a| a.job).filter(&hits))
+            .collect()
+    }
+
+    /// Cancels the jobs with the given ids (queued or in flight); returns
+    /// the ones actually found.
+    pub fn cancel_ids(&mut self, ids: &[u64]) -> Vec<MigrationJob> {
+        let mut out = Vec::new();
+        self.queue.retain(|j| {
+            if ids.contains(&j.id) {
+                out.push(*j);
+                false
+            } else {
+                true
+            }
+        });
+        for slot in &mut self.in_flight {
+            if let Some(active) = slot {
+                if ids.contains(&active.job.id) {
+                    out.push(active.job);
+                    *slot = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any queued or in-flight job has an endpoint in the given
+    /// rank (used by rank-level power-down to avoid draining a rank that
+    /// migrations are concurrently writing into).
+    pub fn involves_rank(&self, channel: u32, rank: u32) -> bool {
+        let hits = |j: &MigrationJob| {
+            let (x, y) = j.kind.endpoints();
+            [x, y].into_iter().any(|d| {
+                let loc = self.geo.location(d);
+                loc.channel == channel && loc.rank == rank
+            })
+        };
+        self.queue.iter().any(hits) || self.in_flight.iter().flatten().any(|a| hits(&a.job))
+    }
+
+    /// Whether `dsn` is an endpoint of any queued or in-flight job (used to
+    /// avoid planning conflicting migrations).
+    pub fn involves(&self, dsn: Dsn) -> bool {
+        let check = |j: &MigrationJob| {
+            let (x, y) = j.kind.endpoints();
+            x == dsn || y == dsn
+        };
+        self.queue.iter().any(check)
+            || self.in_flight.iter().flatten().any(|a| check(&a.job))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use dtl_dram::PowerParams;
+
+    fn geo() -> SegmentGeometry {
+        SegmentGeometry { channels: 2, ranks_per_channel: 4, segs_per_rank: 16 }
+    }
+
+    const SEG: u64 = 256 << 10;
+
+    fn setup() -> (MigrationEngine, AnalyticBackend) {
+        (
+            MigrationEngine::new(geo(), SEG, 3),
+            AnalyticBackend::new(geo(), SEG, PowerParams::ddr4_128gb_dimm()),
+        )
+    }
+
+    /// DSNs on channel 0: even numbers (2 channels).
+    fn dsn_ch0(n: u64) -> Dsn {
+        Dsn(n * 2)
+    }
+
+    #[test]
+    fn copy_job_completes_after_bandwidth_time() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        assert!(eng.pump(Picos::ZERO, &mut be).is_empty(), "just started");
+        assert_eq!(eng.in_flight(), 1);
+        let done = eng.pump(Picos::from_ms(10), &mut be);
+        assert_eq!(done.len(), 1);
+        assert!(eng.is_idle());
+        assert_eq!(eng.stats().completed, 1);
+        assert_eq!(eng.stats().bytes_moved, SEG);
+    }
+
+    #[test]
+    fn swap_moves_double_the_bytes() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_swap(dsn_ch0(1), dsn_ch0(7), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        eng.pump(Picos::from_ms(50), &mut be);
+        assert_eq!(eng.stats().bytes_moved, SEG * 2);
+    }
+
+    #[test]
+    fn cross_channel_migration_rejected() {
+        let (mut eng, _) = setup();
+        // Dsn(0) is channel 0; Dsn(1) is channel 1.
+        assert!(eng.enqueue_copy(Dsn(0), Dsn(1), Picos::ZERO).is_err());
+    }
+
+    #[test]
+    fn one_job_per_channel_at_a_time() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.enqueue_copy(dsn_ch0(1), dsn_ch0(6), Picos::ZERO).unwrap();
+        // A channel-1 job can start concurrently.
+        eng.enqueue_copy(Dsn(3), Dsn(9), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        assert_eq!(eng.in_flight(), 2, "one per channel");
+        assert_eq!(eng.queued(), 1);
+    }
+
+    #[test]
+    fn write_to_uncopied_line_proceeds() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        // At t=0+epsilon almost nothing is copied; the last line proceeds.
+        let r = eng.on_foreground_write(dsn_ch0(0), SEG - 64, Picos::from_ns(10));
+        assert_eq!(r, WriteRouting::Proceed);
+    }
+
+    #[test]
+    fn write_to_copied_line_aborts_job() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        // Halfway through, line 0 is long copied.
+        let halfway = Picos::from_us(60);
+        let r = eng.on_foreground_write(dsn_ch0(0), 0, halfway);
+        assert_eq!(r, WriteRouting::AbortedJob);
+        assert_eq!(eng.stats().aborts, 1);
+        assert_eq!(eng.in_flight(), 0);
+        assert_eq!(eng.queued(), 1, "job requeued for retry");
+        // It restarts on the next pump.
+        eng.pump(halfway, &mut be);
+        assert_eq!(eng.in_flight(), 1);
+    }
+
+    #[test]
+    fn repeated_aborts_demote_to_tail() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.enqueue_copy(dsn_ch0(1), dsn_ch0(6), Picos::ZERO).unwrap();
+        // One same-channel copy takes SEG / (4.6 GB/s / 2).
+        let dur = Picos::from_ps((SEG as f64 / (4.6e9 / 2.0) * 1e12) as u64);
+        let mut restart = Picos::ZERO;
+        for k in 1..=4u32 {
+            // Probe shortly after the retry's backoff expires: the job is
+            // mid-copy, and a write to its first (already copied) line
+            // aborts it again.
+            let probe = restart + Picos::from_us(20);
+            eng.pump(probe, &mut be);
+            let at = probe + Picos::from_us(1);
+            let r = eng.on_foreground_write(dsn_ch0(0), 0, at);
+            assert_eq!(r, WriteRouting::AbortedJob, "abort {k}");
+            restart = at + dur * (1u64 << k);
+        }
+        assert_eq!(eng.stats().requeues, 1);
+        // Job 1 completes first (it was never aborted); job 0 finally
+        // completes once its post-demotion backoff expires.
+        let done = eng.pump(restart + Picos::from_ms(200), &mut be);
+        assert_eq!(done.last().unwrap().job.kind, MigrationKind::Copy {
+            src: dsn_ch0(0),
+            dst: dsn_ch0(5),
+        });
+        assert_eq!(eng.stats().completed, 2);
+        assert!(eng.is_idle());
+    }
+
+    #[test]
+    fn write_after_completion_bit_routes_to_new_location() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        // Data movement done but pump (mapping update) not run yet.
+        let r = eng.on_foreground_write(dsn_ch0(0), 0, Picos::from_ms(10));
+        assert_eq!(r, WriteRouting::RouteTo(dsn_ch0(5)));
+    }
+
+    #[test]
+    fn swap_routes_writes_to_counterpart() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_swap(dsn_ch0(2), dsn_ch0(9), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        let r = eng.on_foreground_write(dsn_ch0(9), 0, Picos::from_ms(50));
+        assert_eq!(r, WriteRouting::RouteTo(dsn_ch0(2)));
+    }
+
+    #[test]
+    fn unrelated_write_proceeds() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        let r = eng.on_foreground_write(dsn_ch0(3), 0, Picos::from_us(60));
+        assert_eq!(r, WriteRouting::Proceed);
+    }
+
+    #[test]
+    fn involves_checks_queue_and_flight() {
+        let (mut eng, mut be) = setup();
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.enqueue_copy(dsn_ch0(1), dsn_ch0(6), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        assert!(eng.involves(dsn_ch0(0)), "in flight");
+        assert!(eng.involves(dsn_ch0(6)), "queued");
+        assert!(!eng.involves(dsn_ch0(12)));
+    }
+}

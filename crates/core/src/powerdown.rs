@@ -1,0 +1,612 @@
+//! Rank-level power-down (paper §3.3): at VM deallocation, when the active
+//! ranks hold at least one rank-group's worth of free capacity, drain the
+//! least-allocated rank of every channel into the remaining active ranks
+//! and put the (virtual) rank group into maximum power saving mode.
+//!
+//! Because hotness migration can leave different rank indices idle in
+//! different channels, the group is *virtual* (§4.3): one rank per channel,
+//! indices independent.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Dsn, SegmentGeometry, SegmentLocation};
+use crate::alloc::SegmentAllocator;
+use crate::error::DtlError;
+
+/// Power-down lifecycle of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankPdState {
+    /// Serving traffic and allocations.
+    Active,
+    /// Selected as a victim; live segments are migrating out.
+    Draining,
+    /// In maximum power saving mode.
+    PoweredDown,
+    /// Permanently taken out of service (reliability retirement); never
+    /// woken for capacity.
+    Retired,
+}
+
+/// A planned power-down: the victim rank per channel and the copy jobs that
+/// drain them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerDownPlan {
+    /// One `(channel, rank)` victim per channel — a virtual rank group.
+    pub group: Vec<(u32, u32)>,
+    /// `(src, dst)` segment copies needed to drain the group.
+    pub copies: Vec<(Dsn, Dsn)>,
+}
+
+/// Counters of the engine's activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerDownStats {
+    /// Rank groups that completed power-down.
+    pub groups_powered_down: u64,
+    /// Rank groups woken for capacity.
+    pub groups_woken: u64,
+    /// Segments drained out of victim ranks.
+    pub segments_drained: u64,
+    /// Ranks permanently retired (reliability extension).
+    pub ranks_retired: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DrainGroup {
+    ranks: Vec<(u32, u32)>,
+    pending_jobs: u64,
+    /// Per-rank terminal state: `Retired` instead of `PoweredDown`.
+    retire: Vec<bool>,
+}
+
+/// The rank-level power-down engine.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_core::{PowerDownEngine, RankPdState, SegmentAllocator, SegmentGeometry};
+///
+/// let geo = SegmentGeometry { channels: 2, ranks_per_channel: 4, segs_per_rank: 16 };
+/// let mut alloc = SegmentAllocator::new(geo);
+/// let mut pd = PowerDownEngine::new(geo);
+/// // An empty device can power a rank group down with zero copies.
+/// let plan = pd.plan_power_down(&mut alloc).expect("all free");
+/// assert!(plan.copies.is_empty());
+/// let ranks = pd.register_drain_jobs(&plan, &[]);
+/// assert_eq!(ranks.len(), 2); // one rank per channel
+/// assert_eq!(pd.rank_state(ranks[0].0, ranks[0].1), RankPdState::PoweredDown);
+/// ```
+#[derive(Debug)]
+pub struct PowerDownEngine {
+    geo: SegmentGeometry,
+    state: Vec<Vec<RankPdState>>,
+    draining: Vec<DrainGroup>,
+    /// job id -> index into `draining`.
+    job_to_group: HashMap<u64, usize>,
+    /// Which group currently owns a Draining rank. A rank can be
+    /// reactivated for capacity and later drained again by a *newer* plan;
+    /// only the owning group may finalize it.
+    rank_owner: HashMap<(u32, u32), usize>,
+    stats: PowerDownStats,
+}
+
+impl PowerDownEngine {
+    /// A fresh engine with every rank active.
+    pub fn new(geo: SegmentGeometry) -> Self {
+        PowerDownEngine {
+            geo,
+            state: (0..geo.channels)
+                .map(|_| vec![RankPdState::Active; geo.ranks_per_channel as usize])
+                .collect(),
+            draining: Vec::new(),
+            job_to_group: HashMap::new(),
+            rank_owner: HashMap::new(),
+            stats: PowerDownStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PowerDownStats {
+        self.stats
+    }
+
+    /// Lifecycle state of a rank.
+    pub fn rank_state(&self, channel: u32, rank: u32) -> RankPdState {
+        self.state[channel as usize][rank as usize]
+    }
+
+    /// Ranks of a channel currently active (serving allocations).
+    pub fn active_ranks(&self, channel: u32) -> u32 {
+        self.state[channel as usize]
+            .iter()
+            .filter(|s| **s == RankPdState::Active)
+            .count() as u32
+    }
+
+    /// Ranks in MPSM per channel (for power accounting).
+    pub fn powered_down_ranks(&self, channel: u32) -> u32 {
+        self.state[channel as usize]
+            .iter()
+            .filter(|s| **s == RankPdState::PoweredDown)
+            .count() as u32
+    }
+
+    /// Attempts to plan a rank-group power-down (call at VM deallocation).
+    ///
+    /// A plan exists when every channel keeps at least two active ranks and
+    /// the active ranks of every channel hold at least one rank of free
+    /// capacity. On success, the victims are marked `Draining`, removed
+    /// from the allocator's active set, and destination slots are reserved.
+    ///
+    /// Returns `None` when the condition does not hold (nothing mutated).
+    pub fn plan_power_down(&mut self, alloc: &mut SegmentAllocator) -> Option<PowerDownPlan> {
+        self.plan_power_down_excluding(alloc, |_, _| false)
+    }
+
+    /// Like [`PowerDownEngine::plan_power_down`], but never selects a rank
+    /// for which `excluded(channel, rank)` is true — the device excludes
+    /// ranks that in-flight migrations are still writing into.
+    pub fn plan_power_down_excluding<F>(
+        &mut self,
+        alloc: &mut SegmentAllocator,
+        excluded: F,
+    ) -> Option<PowerDownPlan>
+    where
+        F: Fn(u32, u32) -> bool,
+    {
+        // Feasibility across all channels first.
+        let mut victims = Vec::with_capacity(self.geo.channels as usize);
+        for c in 0..self.geo.channels {
+            if self.active_ranks(c) < 2 {
+                return None;
+            }
+            if alloc.free_in_channel_active(c) < self.geo.segs_per_rank {
+                return None;
+            }
+            let skip: Vec<u32> =
+                (0..self.geo.ranks_per_channel).filter(|r| excluded(c, *r)).collect();
+            let victim = alloc.least_allocated_active_rank(c, &skip)?;
+            // The other active ranks must absorb the victim's live data.
+            let spare =
+                alloc.free_in_channel_active(c) - alloc.free_in_rank(c, victim);
+            if spare < alloc.allocated_in_rank(c, victim) {
+                return None;
+            }
+            victims.push((c, victim));
+        }
+        // Commit: reserve destinations and mark the victims draining.
+        let mut copies = Vec::new();
+        for &(c, victim) in &victims {
+            self.state[c as usize][victim as usize] = RankPdState::Draining;
+            alloc.set_rank_active(c, victim, false);
+            let live: Vec<u64> = alloc.allocated_slots(c, victim).collect();
+            for within in live {
+                let src = self.geo.dsn(SegmentLocation { channel: c, rank: victim, within });
+                let dst_loc = self
+                    .pick_destination(alloc, c)
+                    .expect("spare capacity verified above");
+                copies.push((src, self.geo.dsn(dst_loc)));
+            }
+        }
+        self.stats.segments_drained += copies.len() as u64;
+        Some(PowerDownPlan { group: victims, copies })
+    }
+
+    /// Re-keys a drain job after the device re-aimed it at a new
+    /// destination (rank retirement cancels jobs into the retiring rank).
+    /// Returns whether the old id was tracked.
+    pub fn replace_job(&mut self, old_id: u64, new_id: u64) -> bool {
+        if let Some(idx) = self.job_to_group.remove(&old_id) {
+            self.job_to_group.insert(new_id, idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Picks a drain destination in channel `c`: the most utilized active
+    /// rank with free space (the allocator's packing preference).
+    fn pick_destination(
+        &self,
+        alloc: &mut SegmentAllocator,
+        c: u32,
+    ) -> Option<SegmentLocation> {
+        let rank = (0..self.geo.ranks_per_channel)
+            .filter(|r| {
+                self.state[c as usize][*r as usize] == RankPdState::Active
+                    && alloc.free_in_rank(c, *r) > 0
+            })
+            .max_by_key(|r| (alloc.allocated_in_rank(c, *r), u32::MAX - *r))?;
+        alloc.take_free_in_rank(c, rank)
+    }
+
+    /// Registers the migration job ids that drain `plan`'s group. Returns
+    /// the ranks that can power down immediately (when there is nothing to
+    /// drain).
+    pub fn register_drain_jobs(
+        &mut self,
+        plan: &PowerDownPlan,
+        job_ids: &[u64],
+    ) -> Vec<(u32, u32)> {
+        self.register_jobs_inner(plan, job_ids, false)
+    }
+
+    fn register_jobs_inner(
+        &mut self,
+        plan: &PowerDownPlan,
+        job_ids: &[u64],
+        retire: bool,
+    ) -> Vec<(u32, u32)> {
+        let terminal = if retire { RankPdState::Retired } else { RankPdState::PoweredDown };
+        if job_ids.is_empty() {
+            for &(c, r) in &plan.group {
+                self.state[c as usize][r as usize] = terminal;
+            }
+            if retire {
+                self.stats.ranks_retired += plan.group.len() as u64;
+            } else {
+                self.stats.groups_powered_down += 1;
+            }
+            return plan.group.clone();
+        }
+        let idx = self.draining.len();
+        self.draining.push(DrainGroup {
+            ranks: plan.group.clone(),
+            pending_jobs: job_ids.len() as u64,
+            retire: vec![retire; plan.group.len()],
+        });
+        for &(c, r) in &plan.group {
+            self.rank_owner.insert((c, r), idx);
+        }
+        for id in job_ids {
+            self.job_to_group.insert(*id, idx);
+        }
+        Vec::new()
+    }
+
+    /// Converts an in-progress drain of `(channel, rank)` into a
+    /// retirement: when its group finishes draining, this rank lands in
+    /// [`RankPdState::Retired`] instead of [`RankPdState::PoweredDown`].
+    /// Returns whether the rank was found draining.
+    pub fn convert_drain_to_retirement(&mut self, channel: u32, rank: u32) -> bool {
+        let Some(&idx) = self.rank_owner.get(&(channel, rank)) else {
+            return false;
+        };
+        let group = &mut self.draining[idx];
+        for (i, (c, r)) in group.ranks.iter().enumerate() {
+            if *c == channel && *r == rank {
+                group.retire[i] = true;
+                return self.state[channel as usize][rank as usize] == RankPdState::Draining;
+            }
+        }
+        false
+    }
+
+    /// Plans the permanent retirement of one rank (the reliability
+    /// extension of the paper's §9: a rank showing correctable-error storms
+    /// can be vacated online, transparently to every host). The rank's
+    /// live segments are drained exactly like a power-down victim's; the
+    /// terminal state is [`RankPdState::Retired`] and the rank is never
+    /// woken for capacity again.
+    ///
+    /// An already powered-down rank retires immediately (it holds no data).
+    ///
+    /// # Errors
+    ///
+    /// * [`DtlError::OutOfCapacity`] when the channel's other active ranks
+    ///   cannot absorb the rank's live segments (wake a group and retry);
+    /// * [`DtlError::Internal`] when the rank is already retiring/retired
+    ///   or is the channel's last active rank.
+    pub fn plan_retirement(
+        &mut self,
+        alloc: &mut SegmentAllocator,
+        channel: u32,
+        rank: u32,
+    ) -> Result<PowerDownPlan, DtlError> {
+        let state = self.state[channel as usize][rank as usize];
+        match state {
+            RankPdState::Retired | RankPdState::Draining => {
+                return Err(DtlError::Internal {
+                    reason: format!("rank ch{channel}/rk{rank} is already {state:?}"),
+                });
+            }
+            RankPdState::PoweredDown => {
+                // Nothing stored there; flip the state.
+                self.state[channel as usize][rank as usize] = RankPdState::Retired;
+                self.stats.ranks_retired += 1;
+                return Ok(PowerDownPlan {
+                    group: vec![(channel, rank)],
+                    copies: Vec::new(),
+                });
+            }
+            RankPdState::Active => {}
+        }
+        if self.active_ranks(channel) < 2 {
+            // The caller may wake a powered-down group and retry; with
+            // nothing to wake, the retirement is genuinely impossible.
+            return Err(DtlError::OutOfCapacity {
+                requested: alloc.allocated_in_rank(channel, rank),
+                free: 0,
+            });
+        }
+        let live = alloc.allocated_in_rank(channel, rank);
+        let spare = alloc.free_in_channel_active(channel) - alloc.free_in_rank(channel, rank);
+        if spare < live {
+            return Err(DtlError::OutOfCapacity { requested: live, free: spare });
+        }
+        self.state[channel as usize][rank as usize] = RankPdState::Draining;
+        alloc.set_rank_active(channel, rank, false);
+        let mut copies = Vec::new();
+        let slots: Vec<u64> = alloc.allocated_slots(channel, rank).collect();
+        for within in slots {
+            let src = self.geo.dsn(SegmentLocation { channel, rank, within });
+            let dst = self
+                .pick_destination(alloc, channel)
+                .expect("spare capacity verified above");
+            copies.push((src, self.geo.dsn(dst)));
+        }
+        self.stats.segments_drained += copies.len() as u64;
+        Ok(PowerDownPlan { group: vec![(channel, rank)], copies })
+    }
+
+    /// Registers the drain jobs of a retirement plan; returns the rank if
+    /// it can power off immediately.
+    pub fn register_retirement_jobs(
+        &mut self,
+        plan: &PowerDownPlan,
+        job_ids: &[u64],
+    ) -> Vec<(u32, u32)> {
+        self.register_jobs_inner(plan, job_ids, true)
+    }
+
+    /// Notifies that a drain migration finished. Returns ranks to put into
+    /// MPSM when their whole group has drained.
+    pub fn on_migration_complete(&mut self, job_id: u64) -> Vec<(u32, u32)> {
+        let Some(idx) = self.job_to_group.remove(&job_id) else {
+            return Vec::new();
+        };
+        let group = &mut self.draining[idx];
+        group.pending_jobs = group.pending_jobs.saturating_sub(1);
+        if group.pending_jobs > 0 {
+            return Vec::new();
+        }
+        let ranks = group.ranks.clone();
+        let retire = group.retire.clone();
+        let group_idx = idx;
+        let mut out = Vec::new();
+        let mut any_powerdown = false;
+        for (i, (c, r)) in ranks.into_iter().enumerate() {
+            // The rank may have been reactivated for capacity (and possibly
+            // re-drained by a newer plan): only the owning group finalizes.
+            let owned = self.rank_owner.get(&(c, r)) == Some(&group_idx);
+            if owned && self.state[c as usize][r as usize] == RankPdState::Draining {
+                if retire[i] {
+                    self.state[c as usize][r as usize] = RankPdState::Retired;
+                    self.stats.ranks_retired += 1;
+                } else {
+                    self.state[c as usize][r as usize] = RankPdState::PoweredDown;
+                    any_powerdown = true;
+                }
+                self.rank_owner.remove(&(c, r));
+                out.push((c, r));
+            }
+        }
+        if any_powerdown {
+            self.stats.groups_powered_down += 1;
+        }
+        out
+    }
+
+    /// Wakes one rank per channel to regain capacity (call when allocation
+    /// fails). Prefers `PoweredDown` ranks; falls back to reactivating
+    /// `Draining` victims. Returns the ranks that need an MPSM exit
+    /// (powered-down ones) — reactivated draining ranks need no DRAM
+    /// command.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::OutOfCapacity`] if no channel has a rank to wake.
+    pub fn wake_one_group(
+        &mut self,
+        alloc: &mut SegmentAllocator,
+    ) -> Result<Vec<(u32, u32)>, DtlError> {
+        let mut mpsm_exits = Vec::new();
+        let mut woke_any = false;
+        for c in 0..self.geo.channels {
+            let states = &mut self.state[c as usize];
+            if let Some(r) = states.iter().position(|s| *s == RankPdState::PoweredDown) {
+                states[r] = RankPdState::Active;
+                alloc.set_rank_active(c, r as u32, true);
+                mpsm_exits.push((c, r as u32));
+                woke_any = true;
+            } else {
+                // Reactivate a draining power-down victim — but never a
+                // retiring rank (it is leaving service for good).
+                let retiring: Vec<u32> = self
+                    .draining
+                    .iter()
+                    .filter(|g| g.pending_jobs > 0)
+                    .flat_map(|g| {
+                        g.ranks
+                            .iter()
+                            .zip(g.retire.iter())
+                            .filter(|(_, retire)| **retire)
+                            .map(|((gc, gr), _)| (*gc, *gr))
+                            .collect::<Vec<_>>()
+                    })
+                    .filter(|(gc, _)| *gc == c)
+                    .map(|(_, r)| r)
+                    .collect();
+                if let Some(r) = states.iter().enumerate().position(|(i, s)| {
+                    *s == RankPdState::Draining && !retiring.contains(&(i as u32))
+                }) {
+                    states[r] = RankPdState::Active;
+                    alloc.set_rank_active(c, r as u32, true);
+                    self.rank_owner.remove(&(c, r as u32));
+                    woke_any = true;
+                }
+            }
+        }
+        if !woke_any {
+            return Err(DtlError::OutOfCapacity { requested: 0, free: alloc.free_active_total() });
+        }
+        self.stats.groups_woken += 1;
+        Ok(mpsm_exits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> SegmentGeometry {
+        SegmentGeometry { channels: 2, ranks_per_channel: 4, segs_per_rank: 16 }
+    }
+
+    fn setup() -> (PowerDownEngine, SegmentAllocator) {
+        (PowerDownEngine::new(geo()), SegmentAllocator::new(geo()))
+    }
+
+    #[test]
+    fn empty_device_plans_trivial_power_down() {
+        let (mut pd, mut alloc) = setup();
+        let plan = pd.plan_power_down(&mut alloc).expect("all free: must plan");
+        assert_eq!(plan.group.len(), 2, "one victim per channel");
+        assert!(plan.copies.is_empty(), "nothing to drain");
+        let ranks = pd.register_drain_jobs(&plan, &[]);
+        assert_eq!(ranks, plan.group);
+        for (c, r) in ranks {
+            assert_eq!(pd.rank_state(c, r), RankPdState::PoweredDown);
+            assert!(!alloc.is_rank_active(c, r));
+        }
+        assert_eq!(pd.stats().groups_powered_down, 1);
+    }
+
+    #[test]
+    fn victim_with_live_data_produces_copies() {
+        let (mut pd, mut alloc) = setup();
+        // Five AUs: the first four fill one rank per channel (16 segments),
+        // the fifth spills into a second rank. Deallocating three of the
+        // packed AUs leaves two partially-loaded active ranks after the two
+        // empty ranks power down — forcing a victim with live data.
+        let aus: Vec<Vec<Dsn>> = (0..5).map(|_| alloc.allocate_au(8).unwrap()).collect();
+        for au in &aus[1..4] {
+            alloc.free_segments(au).unwrap();
+        }
+        for _ in 0..2 {
+            let plan = pd.plan_power_down(&mut alloc).unwrap();
+            assert!(plan.copies.is_empty(), "empty ranks drain for free");
+            pd.register_drain_jobs(&plan, &[]);
+        }
+        // Two active ranks per channel, 4 live segments each; the plan must
+        // drain one of them: 4 segments per channel = 8 copies.
+        let plan = pd.plan_power_down(&mut alloc).unwrap();
+        assert_eq!(plan.copies.len(), 8, "all live segments must move");
+        for (c, r) in &plan.group {
+            assert_eq!(pd.rank_state(*c, *r), RankPdState::Draining);
+        }
+        // Copies must leave the victim and land in the surviving rank.
+        let g = geo();
+        for (src, dst) in &plan.copies {
+            let (s, d) = (g.location(*src), g.location(*dst));
+            assert_eq!(s.channel, d.channel, "drain stays in its channel");
+            assert!(plan.group.contains(&(s.channel, s.rank)));
+            assert!(!plan.group.contains(&(d.channel, d.rank)));
+        }
+        // Complete via migration notifications.
+        let job_ids: Vec<u64> = (100..108).collect();
+        assert!(pd.register_drain_jobs(&plan, &job_ids).is_empty());
+        let mut downed = Vec::new();
+        for id in job_ids {
+            downed.extend(pd.on_migration_complete(id));
+        }
+        assert_eq!(downed.len(), 2);
+        alloc.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn no_plan_when_capacity_tight() {
+        let (mut pd, mut alloc) = setup();
+        // Fill 7 of 8 rank-capacities: 16 segs/rank * 4 ranks * 2 ch = 128;
+        // allocate 14 AUs of 8 = 112 segments, leaving 16 free (1 rank per
+        // channel would need 16 per channel; we have 8 per channel).
+        for _ in 0..14 {
+            alloc.allocate_au(8).unwrap();
+        }
+        assert!(pd.plan_power_down(&mut alloc).is_none());
+    }
+
+    #[test]
+    fn keeps_at_least_one_active_rank() {
+        let (mut pd, mut alloc) = setup();
+        for _ in 0..3 {
+            let plan = pd.plan_power_down(&mut alloc).unwrap();
+            pd.register_drain_jobs(&plan, &[]);
+        }
+        // 3 of 4 ranks down; a 4th plan would leave zero active.
+        assert!(pd.plan_power_down(&mut alloc).is_none());
+        assert_eq!(pd.active_ranks(0), 1);
+        assert_eq!(pd.powered_down_ranks(0), 3);
+    }
+
+    #[test]
+    fn wake_restores_capacity() {
+        let (mut pd, mut alloc) = setup();
+        for _ in 0..3 {
+            let plan = pd.plan_power_down(&mut alloc).unwrap();
+            pd.register_drain_jobs(&plan, &[]);
+        }
+        let free_before = alloc.free_active_total();
+        let exits = pd.wake_one_group(&mut alloc).unwrap();
+        assert_eq!(exits.len(), 2, "one MPSM exit per channel");
+        assert!(alloc.free_active_total() > free_before);
+        assert_eq!(pd.stats().groups_woken, 1);
+        assert_eq!(pd.active_ranks(0), 2);
+    }
+
+    #[test]
+    fn wake_with_nothing_down_errors() {
+        let (mut pd, mut alloc) = setup();
+        assert!(pd.wake_one_group(&mut alloc).is_err());
+    }
+
+    #[test]
+    fn reactivated_draining_rank_does_not_power_down() {
+        let (mut pd, mut alloc) = setup();
+        let aus: Vec<Vec<Dsn>> = (0..5).map(|_| alloc.allocate_au(8).unwrap()).collect();
+        for au in &aus[1..4] {
+            alloc.free_segments(au).unwrap();
+        }
+        for _ in 0..2 {
+            let plan = pd.plan_power_down(&mut alloc).unwrap();
+            pd.register_drain_jobs(&plan, &[]);
+        }
+        let plan = pd.plan_power_down(&mut alloc).unwrap();
+        assert!(!plan.copies.is_empty());
+        let ids: Vec<u64> = (0..plan.copies.len() as u64).collect();
+        pd.register_drain_jobs(&plan, &ids);
+        // Capacity crunch: wake everything. Powered-down groups go first
+        // (they need MPSM exits); the draining group reactivates last and
+        // needs no DRAM command.
+        for _ in 0..2 {
+            let exits = pd.wake_one_group(&mut alloc).unwrap();
+            assert_eq!(exits.len(), 2, "powered-down ranks need MPSM exits");
+        }
+        let exits = pd.wake_one_group(&mut alloc).unwrap();
+        assert!(exits.is_empty(), "draining ranks reactivate without MPSM exit");
+        // Migrations finish, but the group must NOT power down.
+        let mut downed = Vec::new();
+        for id in ids {
+            downed.extend(pd.on_migration_complete(id));
+        }
+        assert!(downed.is_empty());
+        assert_eq!(pd.active_ranks(0), 4, "everything woke back up");
+    }
+
+    #[test]
+    fn unknown_job_completion_is_ignored() {
+        let (mut pd, _alloc) = setup();
+        assert!(pd.on_migration_complete(999).is_empty());
+    }
+}

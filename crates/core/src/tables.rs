@@ -1,0 +1,371 @@
+//! The DTL's mapping metadata (paper §3.2, §4.2): host base address table,
+//! per-host AU tables, the segment mapping table (HSN→DSN) and the reverse
+//! mapping table (DSN→HSN).
+//!
+//! In hardware the first two levels live in on-chip SRAM and the segment
+//! mapping table in reserved DRAM; the functional simulator keeps them all
+//! in memory and the latency model charges the appropriate access costs.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{AuId, Dsn, HostId, Hsn};
+use crate::error::DtlError;
+
+/// One allocation unit's segment mapping: AU offset → DSN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct AuTable {
+    map: Vec<Dsn>,
+}
+
+/// All mapping state of the device.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_core::{AuId, Dsn, HostId, Hsn, MappingTables};
+///
+/// let mut t = MappingTables::new(4);
+/// t.register_host(HostId(0));
+/// t.create_au(HostId(0), AuId(0), vec![Dsn(0), Dsn(1), Dsn(2), Dsn(3)])?;
+/// let hsn = Hsn { host: HostId(0), au: AuId(0), au_offset: 2 };
+/// assert_eq!(t.translate(hsn), Some(Dsn(2)));
+/// assert_eq!(t.reverse(Dsn(2)), Some(hsn));
+/// # Ok::<(), dtl_core::DtlError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MappingTables {
+    segments_per_au: u64,
+    hosts: HashMap<HostId, HashMap<AuId, AuTable>>,
+    reverse: HashMap<Dsn, Hsn>,
+}
+
+impl MappingTables {
+    /// Builds empty tables for AUs of `segments_per_au` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments_per_au` is zero.
+    pub fn new(segments_per_au: u64) -> Self {
+        assert!(segments_per_au > 0, "an AU must hold at least one segment");
+        MappingTables { segments_per_au, hosts: HashMap::new(), reverse: HashMap::new() }
+    }
+
+    /// Registers a host (idempotent).
+    pub fn register_host(&mut self, host: HostId) {
+        self.hosts.entry(host).or_default();
+    }
+
+    /// Whether a host is registered.
+    pub fn has_host(&self, host: HostId) -> bool {
+        self.hosts.contains_key(&host)
+    }
+
+    /// Number of AUs currently mapped for `host` (0 if unknown).
+    pub fn au_count(&self, host: HostId) -> usize {
+        self.hosts.get(&host).map_or(0, HashMap::len)
+    }
+
+    /// Installs a new AU for `host` backed by exactly `segments_per_au`
+    /// DSNs.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtlError::UnknownHost`] if the host is unregistered;
+    /// * [`DtlError::Internal`] if the DSN count is wrong, the AU already
+    ///   exists, or a DSN is already mapped.
+    pub fn create_au(&mut self, host: HostId, au: AuId, dsns: Vec<Dsn>) -> Result<(), DtlError> {
+        if dsns.len() as u64 != self.segments_per_au {
+            return Err(DtlError::Internal {
+                reason: format!(
+                    "AU needs {} segments, got {}",
+                    self.segments_per_au,
+                    dsns.len()
+                ),
+            });
+        }
+        for (off, d) in dsns.iter().enumerate() {
+            if self.reverse.contains_key(d) {
+                return Err(DtlError::Internal {
+                    reason: format!("DSN {d} already mapped (offset {off})"),
+                });
+            }
+        }
+        let aus = self.hosts.get_mut(&host).ok_or(DtlError::UnknownHost(host))?;
+        if aus.contains_key(&au) {
+            return Err(DtlError::Internal { reason: format!("{host} already has {au}") });
+        }
+        for (off, d) in dsns.iter().enumerate() {
+            self.reverse.insert(*d, Hsn { host, au, au_offset: off as u32 });
+        }
+        self.hosts
+            .get_mut(&host)
+            .expect("checked above")
+            .insert(au, AuTable { map: dsns });
+        Ok(())
+    }
+
+    /// Removes an AU, returning the DSNs it occupied.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::UnknownHost`] / [`DtlError::UnknownAu`] when absent.
+    pub fn remove_au(&mut self, host: HostId, au: AuId) -> Result<Vec<Dsn>, DtlError> {
+        let aus = self.hosts.get_mut(&host).ok_or(DtlError::UnknownHost(host))?;
+        let table = aus.remove(&au).ok_or(DtlError::UnknownAu { host, au })?;
+        for d in &table.map {
+            self.reverse.remove(d);
+        }
+        Ok(table.map)
+    }
+
+    /// The full three-level walk: HSN → DSN.
+    pub fn translate(&self, hsn: Hsn) -> Option<Dsn> {
+        self.hosts
+            .get(&hsn.host)?
+            .get(&hsn.au)?
+            .map
+            .get(hsn.au_offset as usize)
+            .copied()
+    }
+
+    /// The reverse walk: DSN → HSN (None for unallocated segments).
+    pub fn reverse(&self, dsn: Dsn) -> Option<Hsn> {
+        self.reverse.get(&dsn).copied()
+    }
+
+    /// Points `hsn` at a new DSN (after migration). Returns the old DSN.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtlError::UnknownHost`] / [`DtlError::UnknownAu`] /
+    ///   [`DtlError::Internal`] when the HSN is not currently mapped or the
+    ///   destination is occupied by another HSN.
+    pub fn remap(&mut self, hsn: Hsn, new_dsn: Dsn) -> Result<Dsn, DtlError> {
+        if let Some(owner) = self.reverse.get(&new_dsn) {
+            if *owner != hsn {
+                return Err(DtlError::Internal {
+                    reason: format!("remap target {new_dsn} already owned by {owner}"),
+                });
+            }
+        }
+        let aus = self.hosts.get_mut(&hsn.host).ok_or(DtlError::UnknownHost(hsn.host))?;
+        let table = aus
+            .get_mut(&hsn.au)
+            .ok_or(DtlError::UnknownAu { host: hsn.host, au: hsn.au })?;
+        let slot = table.map.get_mut(hsn.au_offset as usize).ok_or(DtlError::Internal {
+            reason: format!("AU offset {} out of range", hsn.au_offset),
+        })?;
+        let old = *slot;
+        *slot = new_dsn;
+        self.reverse.remove(&old);
+        self.reverse.insert(new_dsn, hsn);
+        Ok(old)
+    }
+
+    /// Swaps the contents of two device segments in the mapping: whatever
+    /// HSNs pointed at `a` and `b` now point at the other. Either side may
+    /// be unallocated. Returns the HSNs that were affected.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] if a mapped HSN's forward entry is
+    /// inconsistent with the reverse table (indicates a bug).
+    pub fn swap(&mut self, a: Dsn, b: Dsn) -> Result<(Option<Hsn>, Option<Hsn>), DtlError> {
+        if a == b {
+            let owner = self.reverse(a);
+            return Ok((owner, owner));
+        }
+        let ha = self.reverse(a);
+        let hb = self.reverse(b);
+        if let Some(h) = ha {
+            self.point(h, b)?;
+        }
+        if let Some(h) = hb {
+            self.point(h, a)?;
+        }
+        // Rebuild the reverse entries explicitly (point() fixed forward).
+        self.reverse.remove(&a);
+        self.reverse.remove(&b);
+        if let Some(h) = ha {
+            self.reverse.insert(b, h);
+        }
+        if let Some(h) = hb {
+            self.reverse.insert(a, h);
+        }
+        Ok((ha, hb))
+    }
+
+    /// Updates only the forward table (internal helper for `swap`).
+    fn point(&mut self, hsn: Hsn, dsn: Dsn) -> Result<(), DtlError> {
+        let table = self
+            .hosts
+            .get_mut(&hsn.host)
+            .and_then(|aus| aus.get_mut(&hsn.au))
+            .ok_or(DtlError::Internal { reason: format!("dangling reverse entry {hsn}") })?;
+        let slot = table.map.get_mut(hsn.au_offset as usize).ok_or(DtlError::Internal {
+            reason: format!("AU offset {} out of range", hsn.au_offset),
+        })?;
+        *slot = dsn;
+        Ok(())
+    }
+
+    /// Iterates over all mapped (DSN, HSN) pairs (unordered).
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (Dsn, Hsn)> + '_ {
+        self.reverse.iter().map(|(d, h)| (*d, *h))
+    }
+
+    /// Number of mapped segments.
+    pub fn mapped_segments(&self) -> u64 {
+        self.reverse.len() as u64
+    }
+
+    /// Verifies forward/reverse consistency; returns the number of mapped
+    /// segments.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] describing the first inconsistency found.
+    pub fn check_consistency(&self) -> Result<u64, DtlError> {
+        for (dsn, hsn) in &self.reverse {
+            match self.translate(*hsn) {
+                Some(d) if d == *dsn => {}
+                other => {
+                    return Err(DtlError::Internal {
+                        reason: format!("reverse {dsn}->{hsn} but forward says {other:?}"),
+                    })
+                }
+            }
+        }
+        let mut forward_count = 0u64;
+        for aus in self.hosts.values() {
+            for table in aus.values() {
+                forward_count += table.map.len() as u64;
+            }
+        }
+        if forward_count != self.reverse.len() as u64 {
+            return Err(DtlError::Internal {
+                reason: format!(
+                    "forward maps {forward_count} segments, reverse {}",
+                    self.reverse.len()
+                ),
+            });
+        }
+        Ok(forward_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> MappingTables {
+        let mut t = MappingTables::new(4);
+        t.register_host(HostId(0));
+        t.register_host(HostId(1));
+        t.create_au(HostId(0), AuId(0), vec![Dsn(0), Dsn(1), Dsn(2), Dsn(3)]).unwrap();
+        t.create_au(HostId(1), AuId(0), vec![Dsn(10), Dsn(11), Dsn(12), Dsn(13)]).unwrap();
+        t
+    }
+
+    fn hsn(host: u16, au: u32, off: u32) -> Hsn {
+        Hsn { host: HostId(host), au: AuId(au), au_offset: off }
+    }
+
+    #[test]
+    fn translate_and_reverse_agree() {
+        let t = tables();
+        assert_eq!(t.translate(hsn(0, 0, 2)), Some(Dsn(2)));
+        assert_eq!(t.reverse(Dsn(2)), Some(hsn(0, 0, 2)));
+        assert_eq!(t.translate(hsn(0, 1, 0)), None);
+        assert_eq!(t.reverse(Dsn(99)), None);
+        t.check_consistency().unwrap();
+        assert_eq!(t.mapped_segments(), 8);
+    }
+
+    #[test]
+    fn create_au_validations() {
+        let mut t = tables();
+        // Wrong segment count.
+        assert!(t.create_au(HostId(0), AuId(1), vec![Dsn(20)]).is_err());
+        // Duplicate AU.
+        assert!(t
+            .create_au(HostId(0), AuId(0), vec![Dsn(20), Dsn(21), Dsn(22), Dsn(23)])
+            .is_err());
+        // DSN already mapped.
+        assert!(t
+            .create_au(HostId(0), AuId(1), vec![Dsn(10), Dsn(21), Dsn(22), Dsn(23)])
+            .is_err());
+        // Unknown host.
+        assert!(t
+            .create_au(HostId(9), AuId(0), vec![Dsn(20), Dsn(21), Dsn(22), Dsn(23)])
+            .is_err());
+    }
+
+    #[test]
+    fn remove_au_returns_segments() {
+        let mut t = tables();
+        let dsns = t.remove_au(HostId(0), AuId(0)).unwrap();
+        assert_eq!(dsns, vec![Dsn(0), Dsn(1), Dsn(2), Dsn(3)]);
+        assert_eq!(t.translate(hsn(0, 0, 0)), None);
+        assert_eq!(t.reverse(Dsn(0)), None);
+        assert!(t.remove_au(HostId(0), AuId(0)).is_err(), "double remove");
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remap_moves_a_segment() {
+        let mut t = tables();
+        let old = t.remap(hsn(0, 0, 1), Dsn(50)).unwrap();
+        assert_eq!(old, Dsn(1));
+        assert_eq!(t.translate(hsn(0, 0, 1)), Some(Dsn(50)));
+        assert_eq!(t.reverse(Dsn(50)), Some(hsn(0, 0, 1)));
+        assert_eq!(t.reverse(Dsn(1)), None);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remap_to_occupied_target_rejected() {
+        let mut t = tables();
+        assert!(t.remap(hsn(0, 0, 1), Dsn(10)).is_err(), "owned by host 1");
+    }
+
+    #[test]
+    fn swap_two_live_segments() {
+        let mut t = tables();
+        let (a, b) = t.swap(Dsn(0), Dsn(10)).unwrap();
+        assert_eq!(a, Some(hsn(0, 0, 0)));
+        assert_eq!(b, Some(hsn(1, 0, 0)));
+        assert_eq!(t.translate(hsn(0, 0, 0)), Some(Dsn(10)));
+        assert_eq!(t.translate(hsn(1, 0, 0)), Some(Dsn(0)));
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn swap_live_with_free() {
+        let mut t = tables();
+        let (a, b) = t.swap(Dsn(0), Dsn(77)).unwrap();
+        assert_eq!(a, Some(hsn(0, 0, 0)));
+        assert_eq!(b, None);
+        assert_eq!(t.translate(hsn(0, 0, 0)), Some(Dsn(77)));
+        assert_eq!(t.reverse(Dsn(0)), None);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn swap_with_self_is_identity() {
+        let mut t = tables();
+        t.swap(Dsn(0), Dsn(0)).unwrap();
+        assert_eq!(t.translate(hsn(0, 0, 0)), Some(Dsn(0)));
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn swap_two_free_segments_is_noop() {
+        let mut t = tables();
+        let (a, b) = t.swap(Dsn(70), Dsn(71)).unwrap();
+        assert_eq!((a, b), (None, None));
+        t.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Serde round-trip tests for the public data-model types (C-SERDE): the
+//! experiment binaries dump these as JSON; they must survive the trip.
+
+use dtl_core::{
+    AuId, DtlConfig, Dsn, HostId, HostPhysAddr, Hsn, MigrationKind, SegmentGeometry,
+    SegmentLocation, VmHandle,
+};
+use dtl_dram::{DramConfig, Picos, PowerState, RankEnergy};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn address_types_round_trip() {
+    let hsn = Hsn { host: HostId(3), au: AuId(17), au_offset: 512 };
+    assert_eq!(round_trip(&hsn), hsn);
+    assert_eq!(round_trip(&Dsn(123456)), Dsn(123456));
+    assert_eq!(round_trip(&HostPhysAddr::new(0xdead_b000)), HostPhysAddr::new(0xdead_b000));
+    let loc = SegmentLocation { channel: 2, rank: 5, within: 4095 };
+    assert_eq!(round_trip(&loc), loc);
+    let vm = VmHandle { host: HostId(1), vm: 42 };
+    assert_eq!(round_trip(&vm), vm);
+}
+
+#[test]
+fn configs_round_trip() {
+    let c = DtlConfig::paper();
+    assert_eq!(round_trip(&c), c);
+    let d = DramConfig::cxl_1tb_ddr4_2933();
+    assert_eq!(round_trip(&d), d);
+    let g = SegmentGeometry { channels: 4, ranks_per_channel: 8, segs_per_rank: 6144 };
+    assert_eq!(round_trip(&g), g);
+}
+
+#[test]
+fn time_and_power_round_trip() {
+    assert_eq!(round_trip(&Picos::from_ns(121)), Picos::from_ns(121));
+    assert_eq!(round_trip(&Picos::MAX), Picos::MAX);
+    for s in PowerState::ALL {
+        assert_eq!(round_trip(&s), s);
+    }
+    let e = RankEnergy {
+        background_mj: 1.5,
+        activate_mj: 0.25,
+        read_mj: 0.5,
+        write_mj: 0.125,
+        refresh_mj: 0.0,
+    };
+    assert_eq!(round_trip(&e), e);
+}
+
+#[test]
+fn migration_kinds_round_trip() {
+    for k in [
+        MigrationKind::Copy { src: Dsn(1), dst: Dsn(2) },
+        MigrationKind::Swap { a: Dsn(3), b: Dsn(4) },
+    ] {
+        assert_eq!(round_trip(&k), k);
+    }
+}

@@ -1,0 +1,70 @@
+//! CXL link latency model.
+//!
+//! The paper emulates CXL-attached memory by adding latency to local DRAM
+//! accesses (Quartz, §5.1, Table 1): native DRAM is 121 ns and CXL memory
+//! 210 ns. Quartz itself only injects delays, so a delay model reproduces
+//! the paper's methodology exactly.
+
+use serde::{Deserialize, Serialize};
+
+use dtl_dram::Picos;
+
+/// Idle (unloaded) access latency of a memory attachment point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way request latency added by the interconnect before the request
+    /// reaches the device controller.
+    pub request_latency: Picos,
+    /// Response latency added after the device produces data.
+    pub response_latency: Picos,
+}
+
+impl LinkModel {
+    /// Native (direct-attached) DRAM: the 121 ns of Table 1 comes from the
+    /// DRAM itself, so the link adds nothing.
+    pub fn native() -> Self {
+        LinkModel { request_latency: Picos::ZERO, response_latency: Picos::ZERO }
+    }
+
+    /// CXL attachment: Table 1 measures 210 ns vs 121 ns native, i.e. the
+    /// link adds 89 ns, split evenly between request and response paths.
+    pub fn cxl() -> Self {
+        LinkModel {
+            request_latency: Picos::from_ns_f64(44.5),
+            response_latency: Picos::from_ns_f64(44.5),
+        }
+    }
+
+    /// A custom symmetric link adding `total_ns` round-trip.
+    pub fn symmetric_ns(total_ns: f64) -> Self {
+        LinkModel {
+            request_latency: Picos::from_ns_f64(total_ns / 2.0),
+            response_latency: Picos::from_ns_f64(total_ns / 2.0),
+        }
+    }
+
+    /// Total round-trip latency added by the link.
+    pub fn round_trip(&self) -> Picos {
+        self.request_latency + self.response_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxl_adds_89ns_over_native() {
+        let native = LinkModel::native();
+        let cxl = LinkModel::cxl();
+        assert_eq!(native.round_trip(), Picos::ZERO);
+        assert_eq!(cxl.round_trip(), Picos::from_ns(89));
+    }
+
+    #[test]
+    fn symmetric_splits_evenly() {
+        let l = LinkModel::symmetric_ns(100.0);
+        assert_eq!(l.request_latency, l.response_latency);
+        assert_eq!(l.round_trip(), Picos::from_ns(100));
+    }
+}

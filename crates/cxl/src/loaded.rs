@@ -1,0 +1,136 @@
+//! Loaded-latency model: average memory latency as a function of bandwidth
+//! utilization, the standard "loaded latency" characterization of memory
+//! systems (cf. Intel MLC, which the paper uses for its Table 1 numbers).
+//!
+//! The model is M/D/1-shaped: a fixed service time plus a queueing term
+//! that diverges as utilization approaches the sustainable peak. It is
+//! *validated against the cycle-level simulator* by the
+//! `loaded_latency` experiment in `dtl-sim`.
+
+use serde::{Deserialize, Serialize};
+
+use dtl_dram::Picos;
+
+/// Parameters of the loaded-latency curve.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_cxl::LoadedLatencyModel;
+/// use dtl_dram::Picos;
+///
+/// let m = LoadedLatencyModel::ddr4_2933_channel(Picos::from_ns(89));
+/// let light = m.latency_at(1.0e9).unwrap();
+/// let heavy = m.latency_at(15.0e9).unwrap();
+/// assert!(heavy > light);
+/// assert!(m.latency_at(m.sustainable_bandwidth()).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadedLatencyModel {
+    /// Unloaded (idle) latency.
+    pub idle_latency: Picos,
+    /// Mean service time of one request at the bottleneck resource.
+    pub service_time: Picos,
+    /// Sustainable peak bandwidth, bytes/second.
+    pub peak_bandwidth: f64,
+    /// Fraction of the peak actually reachable before the queue diverges
+    /// (banks, turnarounds and refresh steal headroom; ~0.75–0.9 for DDR4).
+    pub efficiency: f64,
+}
+
+impl LoadedLatencyModel {
+    /// A model for one DDR4-2933 channel behind an optional link.
+    pub fn ddr4_2933_channel(link_round_trip: Picos) -> Self {
+        LoadedLatencyModel {
+            idle_latency: Picos::from_ns(55) + link_round_trip,
+            // One BL8 burst occupies the data bus for 4 clocks (~2.7 ns).
+            service_time: Picos::from_ns_f64(2.73),
+            peak_bandwidth: 23.5e9,
+            efficiency: 0.82,
+        }
+    }
+
+    /// Mean latency at the given offered bandwidth (bytes/second).
+    ///
+    /// Returns `None` when the offered load meets or exceeds the
+    /// sustainable bandwidth (the queue has no steady state).
+    pub fn latency_at(&self, offered: f64) -> Option<Picos> {
+        let sustainable = self.peak_bandwidth * self.efficiency;
+        if offered >= sustainable {
+            return None;
+        }
+        let rho = offered / sustainable;
+        // M/D/1 mean waiting time: rho * s / (2 (1 - rho)).
+        let wait_ns = rho * self.service_time.as_ns_f64() / (2.0 * (1.0 - rho));
+        Some(self.idle_latency + Picos::from_ns_f64(wait_ns))
+    }
+
+    /// The sustainable bandwidth (bytes/second).
+    pub fn sustainable_bandwidth(&self) -> f64 {
+        self.peak_bandwidth * self.efficiency
+    }
+
+    /// The utilization (fraction of sustainable bandwidth) at which the
+    /// mean latency exceeds `limit`, by bisection. Returns 1.0 when even
+    /// 99.9 % load stays under the limit.
+    pub fn knee(&self, limit: Picos) -> f64 {
+        let (mut lo, mut hi) = (0.0f64, 0.999f64);
+        if self.latency_at(self.sustainable_bandwidth() * hi).is_none_or(|l| l <= limit) {
+            return 1.0;
+        }
+        for _ in 0..40 {
+            let mid = (lo + hi) / 2.0;
+            match self.latency_at(self.sustainable_bandwidth() * mid) {
+                Some(l) if l <= limit => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_latency_at_zero_load() {
+        let m = LoadedLatencyModel::ddr4_2933_channel(Picos::ZERO);
+        assert_eq!(m.latency_at(0.0), Some(m.idle_latency));
+    }
+
+    #[test]
+    fn latency_grows_monotonically_and_diverges() {
+        let m = LoadedLatencyModel::ddr4_2933_channel(Picos::from_ns(89));
+        let mut prev = Picos::ZERO;
+        for pct in [10u32, 30, 50, 70, 90] {
+            let offered = m.sustainable_bandwidth() * f64::from(pct) / 100.0;
+            let l = m.latency_at(offered).expect("below sustainable");
+            assert!(l > prev, "latency must grow with load");
+            prev = l;
+        }
+        assert_eq!(m.latency_at(m.sustainable_bandwidth()), None);
+        assert_eq!(m.latency_at(m.peak_bandwidth * 2.0), None);
+    }
+
+    #[test]
+    fn link_latency_shifts_the_curve() {
+        let local = LoadedLatencyModel::ddr4_2933_channel(Picos::ZERO);
+        let cxl = LoadedLatencyModel::ddr4_2933_channel(Picos::from_ns(89));
+        let offered = local.sustainable_bandwidth() * 0.5;
+        let dl = local.latency_at(offered).unwrap();
+        let dc = cxl.latency_at(offered).unwrap();
+        assert_eq!(dc - dl, Picos::from_ns(89));
+    }
+
+    #[test]
+    fn knee_is_sane() {
+        let m = LoadedLatencyModel::ddr4_2933_channel(Picos::ZERO);
+        // Latency doubles somewhere well past half load for DDR-like
+        // service times.
+        let knee = m.knee(m.idle_latency * 2);
+        assert!(knee > 0.5 && knee < 1.0, "knee {knee}");
+        // A huge limit is never exceeded.
+        assert_eq!(m.knee(Picos::from_ms(1)), 1.0);
+    }
+}

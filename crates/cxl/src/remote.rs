@@ -1,0 +1,186 @@
+//! A DRAM device behind a CXL (or native) link: adds link latency to each
+//! request's arrival and each completion's finish time.
+
+use dtl_dram::{
+    AccessKind, AddressMapping, Completion, DramConfig, DramError, DramSystem, PhysAddr, Picos,
+    Priority,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkModel;
+
+/// Latency statistics of host-observed accesses through the link.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteStats {
+    /// Completed round trips.
+    pub completed: u64,
+    /// Sum of host-observed latency (ps).
+    pub total_latency_ps: u128,
+    /// Max host-observed latency.
+    pub max_latency: Picos,
+}
+
+impl RemoteStats {
+    /// Mean host-observed latency.
+    pub fn mean_latency(&self) -> Picos {
+        if self.completed == 0 {
+            Picos::ZERO
+        } else {
+            Picos::from_ps((self.total_latency_ps / u128::from(self.completed)) as u64)
+        }
+    }
+}
+
+/// A [`DramSystem`] accessed over a [`LinkModel`].
+///
+/// Requests submitted at host time `t` arrive at the device at
+/// `t + request_latency`; device completions are observed by the host
+/// `response_latency` later.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_cxl::{LinkModel, RemoteMemory};
+/// use dtl_dram::{AccessKind, AddressMapping, DramConfig, PhysAddr, Picos, Priority};
+///
+/// let mut m = RemoteMemory::new(
+///     DramConfig::tiny(),
+///     AddressMapping::RankInterleaved,
+///     LinkModel::cxl(),
+/// )?;
+/// m.submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::ZERO)?;
+/// m.advance_to(Picos::from_us(1));
+/// let done = m.drain_completions();
+/// assert!(done[0].latency() >= Picos::from_ns(89), "link latency included");
+/// # Ok::<(), dtl_dram::DramError>(())
+/// ```
+#[derive(Debug)]
+pub struct RemoteMemory {
+    dram: DramSystem,
+    link: LinkModel,
+    stats: RemoteStats,
+}
+
+impl RemoteMemory {
+    /// Builds a remote memory device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`DramSystem::new`].
+    pub fn new(
+        config: DramConfig,
+        mapping: AddressMapping,
+        link: LinkModel,
+    ) -> Result<Self, DramError> {
+        Ok(RemoteMemory { dram: DramSystem::new(config, mapping)?, link, stats: RemoteStats::default() })
+    }
+
+    /// The link model in effect.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    /// The wrapped DRAM device.
+    pub fn dram(&self) -> &DramSystem {
+        &self.dram
+    }
+
+    /// Mutable access to the wrapped DRAM device (power-state control,
+    /// reports).
+    pub fn dram_mut(&mut self) -> &mut DramSystem {
+        &mut self.dram
+    }
+
+    /// Host-observed latency statistics.
+    pub fn stats(&self) -> RemoteStats {
+        self.stats
+    }
+
+    /// Submits a request issued by the host at `host_time`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-range errors from the device.
+    pub fn submit(
+        &mut self,
+        addr: PhysAddr,
+        kind: AccessKind,
+        priority: Priority,
+        host_time: Picos,
+    ) -> Result<u64, DramError> {
+        self.dram.submit(addr, kind, priority, host_time + self.link.request_latency)
+    }
+
+    /// Advances device time.
+    pub fn advance_to(&mut self, t: Picos) {
+        self.dram.advance_to(t);
+    }
+
+    /// Drains completions with host-observed times: `finished` includes the
+    /// response latency, `arrival` is rolled back to the host issue time, so
+    /// [`Completion::latency`] is the full host-observed round trip.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        let req = self.link.request_latency;
+        let resp = self.link.response_latency;
+        let out: Vec<Completion> = self
+            .dram
+            .drain_completions()
+            .into_iter()
+            .map(|mut c| {
+                c.finished += resp;
+                c.arrival = c.arrival.saturating_sub(req);
+                c
+            })
+            .collect();
+        for c in &out {
+            self.stats.completed += 1;
+            self.stats.total_latency_ps += u128::from(c.latency().as_ps());
+            self.stats.max_latency = self.stats.max_latency.max(c.latency());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn remote(link: LinkModel) -> RemoteMemory {
+        RemoteMemory::new(DramConfig::tiny(), AddressMapping::RankInterleaved, link).unwrap()
+    }
+
+    #[test]
+    fn cxl_latency_exceeds_native_by_round_trip() {
+        let mut native = remote(LinkModel::native());
+        let mut cxl = remote(LinkModel::cxl());
+        for m in [&mut native, &mut cxl] {
+            m.submit(PhysAddr::new(4096), AccessKind::Read, Priority::Foreground, Picos::ZERO)
+                .unwrap();
+            m.advance_to(Picos::from_us(1));
+        }
+        let ln = native.drain_completions()[0].latency();
+        let lc = cxl.drain_completions()[0].latency();
+        assert_eq!(lc, ln + Picos::from_ns(89));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = remote(LinkModel::cxl());
+        for i in 0..10u64 {
+            m.submit(PhysAddr::new(i * 64), AccessKind::Read, Priority::Foreground, Picos::ZERO)
+                .unwrap();
+        }
+        m.advance_to(Picos::from_us(2));
+        let done = m.drain_completions();
+        assert_eq!(done.len(), 10);
+        assert_eq!(m.stats().completed, 10);
+        assert!(m.stats().mean_latency() >= Picos::from_ns(89));
+        assert!(m.stats().max_latency >= m.stats().mean_latency());
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        let m = remote(LinkModel::native());
+        assert_eq!(m.stats().mean_latency(), Picos::ZERO);
+    }
+}

@@ -1,0 +1,158 @@
+//! Device physical addresses and their decoded form.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A DRAM **device physical address** (DPA) in bytes.
+///
+/// This is the address space *behind* the DTL indirection: what the device's
+/// internal memory controllers see. Host physical addresses live in
+/// `dtl-core` as a separate newtype so the two can never be mixed up.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_dram::PhysAddr;
+///
+/// let a = PhysAddr::new(0x4000_0040);
+/// assert_eq!(a.line_index(), 0x4000_0040 / 64);
+/// assert_eq!(a.align_down_to_line(), PhysAddr::new(0x4000_0040));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        PhysAddr(addr)
+    }
+
+    /// Raw byte offset.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The 64 B cache-line index containing this address.
+    #[inline]
+    pub const fn line_index(self) -> u64 {
+        self.0 >> 6
+    }
+
+    /// This address rounded down to its cache line.
+    #[inline]
+    pub const fn align_down_to_line(self) -> PhysAddr {
+        PhysAddr(self.0 & !63)
+    }
+
+    /// Byte offset plus `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(v: PhysAddr) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// A fully decoded DRAM location.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodedAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank group within the rank.
+    pub bank_group: u32,
+    /// Bank within the bank group.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column, in cache-line units within the row.
+    pub column: u64,
+}
+
+impl DecodedAddr {
+    /// Flat bank index within the rank (`bank_group * banks_per_group + bank`).
+    #[inline]
+    pub fn flat_bank(&self, banks_per_group: u32) -> u32 {
+        self.bank_group * banks_per_group + self.bank
+    }
+}
+
+impl fmt::Display for DecodedAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/bg{}/bk{}/row{:#x}/col{}",
+            self.channel, self.rank, self.bank_group, self.bank, self.row, self.column
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic() {
+        let a = PhysAddr::new(130);
+        assert_eq!(a.line_index(), 2);
+        assert_eq!(a.align_down_to_line(), PhysAddr::new(128));
+        assert_eq!(a.offset(62).as_u64(), 192);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: PhysAddr = 0xdead_beef_u64.into();
+        let v: u64 = a.into();
+        assert_eq!(v, 0xdead_beef);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = PhysAddr::new(0xabc);
+        assert_eq!(a.to_string(), "0x0000000abc");
+        assert_eq!(format!("{a:x}"), "abc");
+        assert_eq!(format!("{a:X}"), "ABC");
+        let d = DecodedAddr { channel: 1, rank: 2, bank_group: 3, bank: 0, row: 16, column: 5 };
+        assert_eq!(d.to_string(), "ch1/rk2/bg3/bk0/row0x10/col5");
+    }
+
+    #[test]
+    fn flat_bank_combines_group_and_bank() {
+        let d = DecodedAddr { bank_group: 2, bank: 3, ..Default::default() };
+        assert_eq!(d.flat_bank(4), 11);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-bank state machine: open row plus earliest-issue timestamps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::TimingParams;
+use crate::time::Picos;
+
+/// One DRAM bank: its row buffer and the timing constraints that gate each
+/// command class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Earliest time an ACT may issue (tRP after the last PRE).
+    act_ready: Picos,
+    /// Earliest time a RD may issue (tRCD after ACT).
+    rd_ready: Picos,
+    /// Earliest time a WR may issue (tRCD after ACT).
+    wr_ready: Picos,
+    /// Earliest time a PRE may issue (tRAS after ACT, tRTP after RD,
+    /// write-recovery after WR).
+    pre_ready: Picos,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+impl Bank {
+    /// A closed, immediately usable bank.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            act_ready: Picos::ZERO,
+            rd_ready: Picos::ZERO,
+            wr_ready: Picos::ZERO,
+            pre_ready: Picos::ZERO,
+        }
+    }
+
+    /// The open row, if the bank is active.
+    #[inline]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Whether `row` currently sits in the row buffer.
+    #[inline]
+    pub fn is_row_hit(&self, row: u64) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Earliest ACT issue time (bank-local constraints only).
+    #[inline]
+    pub fn act_ready(&self) -> Picos {
+        self.act_ready
+    }
+
+    /// Earliest RD issue time (bank-local constraints only).
+    #[inline]
+    pub fn rd_ready(&self) -> Picos {
+        self.rd_ready
+    }
+
+    /// Earliest WR issue time (bank-local constraints only).
+    #[inline]
+    pub fn wr_ready(&self) -> Picos {
+        self.wr_ready
+    }
+
+    /// Earliest PRE issue time.
+    #[inline]
+    pub fn pre_ready(&self) -> Picos {
+        self.pre_ready
+    }
+
+    /// Applies an ACT issued at `at` opening `row`.
+    pub fn do_activate(&mut self, at: Picos, row: u64, t: &TimingParams) {
+        debug_assert!(self.open_row.is_none(), "ACT to an open bank");
+        debug_assert!(at >= self.act_ready, "ACT violates tRP");
+        self.open_row = Some(row);
+        self.rd_ready = at + t.cycles(t.trcd);
+        self.wr_ready = at + t.cycles(t.trcd);
+        self.pre_ready = at + t.cycles(t.tras);
+    }
+
+    /// Applies a PRE issued at `at`.
+    pub fn do_precharge(&mut self, at: Picos, t: &TimingParams) {
+        debug_assert!(self.open_row.is_some(), "PRE to a closed bank");
+        debug_assert!(at >= self.pre_ready, "PRE violates tRAS/tRTP/tWR");
+        self.open_row = None;
+        self.act_ready = at + t.cycles(t.trp);
+    }
+
+    /// Applies a RD issued at `at`; returns the data-burst end time.
+    pub fn do_read(&mut self, at: Picos, t: &TimingParams) -> Picos {
+        debug_assert!(self.open_row.is_some(), "RD to a closed bank");
+        debug_assert!(at >= self.rd_ready, "RD violates tRCD/tCCD");
+        let data_end = at + t.cycles(t.cl) + t.burst_time();
+        self.pre_ready = self.pre_ready.max(at + t.cycles(t.trtp));
+        data_end
+    }
+
+    /// Applies a WR issued at `at`; returns the data-burst end time.
+    pub fn do_write(&mut self, at: Picos, t: &TimingParams) -> Picos {
+        debug_assert!(self.open_row.is_some(), "WR to a closed bank");
+        debug_assert!(at >= self.wr_ready, "WR violates tRCD/tCCD");
+        let data_end = at + t.cycles(t.cwl) + t.burst_time();
+        self.pre_ready = self.pre_ready.max(data_end + t.cycles(t.twr));
+        data_end
+    }
+
+    /// Forces the bank closed without timing effects (used when a rank exits
+    /// a deep power state, which implies all banks precharged).
+    pub fn force_close(&mut self, ready_at: Picos) {
+        self.open_row = None;
+        self.act_ready = self.act_ready.max(ready_at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_2933()
+    }
+
+    #[test]
+    fn activate_then_read_obeys_trcd() {
+        let t = t();
+        let mut b = Bank::new();
+        b.do_activate(Picos::ZERO, 7, &t);
+        assert!(b.is_row_hit(7));
+        assert_eq!(b.rd_ready(), t.cycles(t.trcd));
+        let data_end = b.do_read(b.rd_ready(), &t);
+        assert_eq!(data_end, t.cycles(t.trcd) + t.cycles(t.cl) + t.burst_time());
+    }
+
+    #[test]
+    fn precharge_respects_tras_and_sets_trp() {
+        let t = t();
+        let mut b = Bank::new();
+        b.do_activate(Picos::ZERO, 1, &t);
+        assert_eq!(b.pre_ready(), t.cycles(t.tras));
+        b.do_precharge(b.pre_ready(), &t);
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.act_ready(), t.cycles(t.tras) + t.cycles(t.trp));
+    }
+
+    #[test]
+    fn write_extends_precharge_by_write_recovery() {
+        let t = t();
+        let mut b = Bank::new();
+        b.do_activate(Picos::ZERO, 1, &t);
+        let wr_at = b.wr_ready();
+        let data_end = b.do_write(wr_at, &t);
+        assert_eq!(data_end, wr_at + t.cycles(t.cwl) + t.burst_time());
+        assert_eq!(b.pre_ready(), data_end + t.cycles(t.twr));
+    }
+
+    #[test]
+    fn force_close_discards_row() {
+        let t = t();
+        let mut b = Bank::new();
+        b.do_activate(Picos::ZERO, 1, &t);
+        b.force_close(Picos::from_ns(1000));
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.act_ready(), Picos::from_ns(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "ACT to an open bank")]
+    fn double_activate_panics_in_debug() {
+        let t = t();
+        let mut b = Bank::new();
+        b.do_activate(Picos::ZERO, 1, &t);
+        b.do_activate(Picos::from_secs(1), 2, &t);
+    }
+}

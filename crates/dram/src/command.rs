@@ -1,0 +1,111 @@
+//! DRAM command vocabulary and the command-trace hook used by timing tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::DecodedAddr;
+use crate::time::Picos;
+
+/// A DDR4 command, as issued on a channel's command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Activate a row (open it into the bank's row buffer).
+    Activate,
+    /// Precharge (close) one bank.
+    Precharge,
+    /// Column read burst.
+    Read,
+    /// Column write burst.
+    Write,
+    /// All-bank refresh of one rank.
+    Refresh,
+    /// Self-refresh entry.
+    SelfRefreshEnter,
+    /// Self-refresh exit.
+    SelfRefreshExit,
+    /// Maximum power saving mode entry.
+    MpsmEnter,
+    /// Maximum power saving mode exit.
+    MpsmExit,
+    /// Power-down entry (CKE low).
+    PowerDownEnter,
+    /// Power-down exit (CKE high).
+    PowerDownExit,
+}
+
+/// One issued command with its time and target, for inspection in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IssuedCommand {
+    /// Issue time on the command bus.
+    pub at: Picos,
+    /// What was issued.
+    pub kind: CommandKind,
+    /// Channel the command was issued on.
+    pub channel: u32,
+    /// Target rank.
+    pub rank: u32,
+    /// Target location (rank-level commands carry the rank only; bank/row
+    /// fields are zero).
+    pub target: DecodedAddr,
+}
+
+/// Observer for issued commands. The default no-op observer compiles away.
+pub trait CommandSink {
+    /// Called for every command the controller issues, in time order per
+    /// channel.
+    fn on_command(&mut self, cmd: IssuedCommand);
+}
+
+/// A sink that discards all commands (the default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl CommandSink for NullSink {
+    #[inline]
+    fn on_command(&mut self, _cmd: IssuedCommand) {}
+}
+
+/// A sink that records every command, for timing verification in tests.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingSink {
+    /// All commands observed so far, in issue order.
+    pub commands: Vec<IssuedCommand>,
+}
+
+impl CommandSink for RecordingSink {
+    fn on_command(&mut self, cmd: IssuedCommand) {
+        self.commands.push(cmd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_records_in_order() {
+        let mut sink = RecordingSink::default();
+        for i in 0..3 {
+            sink.on_command(IssuedCommand {
+                at: Picos::from_ns(i),
+                kind: CommandKind::Activate,
+                channel: 0,
+                rank: 0,
+                target: DecodedAddr::default(),
+            });
+        }
+        assert_eq!(sink.commands.len(), 3);
+        assert!(sink.commands.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn null_sink_is_a_noop() {
+        let mut sink = NullSink;
+        sink.on_command(IssuedCommand {
+            at: Picos::ZERO,
+            kind: CommandKind::Refresh,
+            channel: 1,
+            rank: 2,
+            target: DecodedAddr::default(),
+        });
+    }
+}

@@ -1,0 +1,406 @@
+//! Device geometry, DDR4 timing parameters, and configuration presets.
+//!
+//! The default preset models the paper's evaluation platform: a CXL memory
+//! device populated with DDR4-2933 DRAM, 4 channels × 8 ranks (two 4-rank
+//! 128 GB DIMMs per channel), 1 TB total (Table 1 of the paper, reorganized
+//! to the 4-channel CXL device of Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DramError;
+use crate::power::PowerParams;
+use crate::time::Picos;
+
+/// Cache-line (and DRAM burst) size in bytes: BL8 on a 64-bit channel.
+pub const LINE_BYTES: u64 = 64;
+
+/// Physical organization of the DRAM behind one device.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_dram::Geometry;
+///
+/// let g = Geometry::cxl_1tb();
+/// assert_eq!(g.channels, 4);
+/// assert_eq!(g.ranks_per_channel, 8);
+/// assert_eq!(g.capacity_bytes(), 1 << 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of independent DDR channels.
+    pub channels: u32,
+    /// Ranks per channel (power-state granularity is the rank).
+    pub ranks_per_channel: u32,
+    /// Bank groups per rank (DDR4: 4 for x4/x8 devices).
+    pub bank_groups: u32,
+    /// Banks per bank group (DDR4: 4).
+    pub banks_per_group: u32,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Column *cache lines* per row (row size / 64 B).
+    pub columns: u64,
+}
+
+impl Geometry {
+    /// The paper's 1 TB CXL device: 4 channels, 8 ranks/channel (Figure 6).
+    ///
+    /// Each rank is 32 GiB (one rank of a 128 GB 4-rank DIMM). Row size is
+    /// 8 KiB (x4 devices, 16 devices/rank).
+    pub fn cxl_1tb() -> Self {
+        Geometry {
+            channels: 4,
+            ranks_per_channel: 8,
+            bank_groups: 4,
+            banks_per_group: 4,
+            // 32 GiB / (16 banks * 8 KiB row) = 256 Ki rows.
+            rows: 256 * 1024,
+            columns: 8 * 1024 / LINE_BYTES, // 8 KiB row = 128 lines
+        }
+    }
+
+    /// The hypothetical 4 TB device of Section 6.6: 8 channels with two
+    /// 8-rank 256 GB DIMMs per channel (16 ranks/channel).
+    pub fn cxl_4tb() -> Self {
+        Geometry {
+            channels: 8,
+            ranks_per_channel: 16,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows: 256 * 1024,
+            columns: 8 * 1024 / LINE_BYTES,
+        }
+    }
+
+    /// A small geometry for fast tests: 2 channels × 4 ranks, 64 MiB/rank.
+    pub fn tiny() -> Self {
+        Geometry {
+            channels: 2,
+            ranks_per_channel: 4,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows: 512,
+            columns: 8 * 1024 / LINE_BYTES,
+        }
+    }
+
+    /// Banks per rank.
+    #[inline]
+    pub fn banks_per_rank(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Bytes per row (columns × 64 B).
+    #[inline]
+    pub fn row_bytes(&self) -> u64 {
+        self.columns * LINE_BYTES
+    }
+
+    /// Bytes per rank.
+    #[inline]
+    pub fn rank_bytes(&self) -> u64 {
+        self.rows * self.row_bytes() * u64::from(self.banks_per_rank())
+    }
+
+    /// Bytes per channel.
+    #[inline]
+    pub fn channel_bytes(&self) -> u64 {
+        self.rank_bytes() * u64::from(self.ranks_per_channel)
+    }
+
+    /// Total device capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channel_bytes() * u64::from(self.channels)
+    }
+
+    /// Total number of ranks in the device.
+    #[inline]
+    pub fn total_ranks(&self) -> u32 {
+        self.channels * self.ranks_per_channel
+    }
+
+    /// Validates that every field is non-zero and power-of-two where the
+    /// address decoder requires it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if any dimension is zero or a
+    /// required dimension is not a power of two.
+    pub fn validate(&self) -> Result<(), DramError> {
+        let fields: [(&str, u64); 6] = [
+            ("channels", u64::from(self.channels)),
+            ("ranks_per_channel", u64::from(self.ranks_per_channel)),
+            ("bank_groups", u64::from(self.bank_groups)),
+            ("banks_per_group", u64::from(self.banks_per_group)),
+            ("rows", self.rows),
+            ("columns", self.columns),
+        ];
+        for (name, v) in fields {
+            if v == 0 {
+                return Err(DramError::InvalidConfig { reason: format!("{name} must be non-zero") });
+            }
+            if !v.is_power_of_two() {
+                return Err(DramError::InvalidConfig {
+                    reason: format!("{name} = {v} must be a power of two"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// DDR4 timing parameters, expressed in DRAM clock cycles except where noted.
+///
+/// Field names follow the JEDEC DDR4 specification. The preset values model
+/// the DDR4-2933 speed bin used by the paper's server (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Clock period.
+    pub tck: Picos,
+    /// CAS (read) latency.
+    pub cl: u32,
+    /// CAS write latency.
+    pub cwl: u32,
+    /// ACT to internal read/write delay.
+    pub trcd: u32,
+    /// PRE to ACT delay (row precharge).
+    pub trp: u32,
+    /// ACT to PRE minimum (row active time).
+    pub tras: u32,
+    /// ACT to ACT, different bank group.
+    pub trrd_s: u32,
+    /// ACT to ACT, same bank group.
+    pub trrd_l: u32,
+    /// Four-activate window.
+    pub tfaw: u32,
+    /// CAS to CAS, different bank group.
+    pub tccd_s: u32,
+    /// CAS to CAS, same bank group.
+    pub tccd_l: u32,
+    /// Write recovery time (end of write data to PRE).
+    pub twr: u32,
+    /// Write to read turnaround, different bank group.
+    pub twtr_s: u32,
+    /// Write to read turnaround, same bank group.
+    pub twtr_l: u32,
+    /// Read to PRE delay.
+    pub trtp: u32,
+    /// Refresh cycle time (all-bank REF duration), 16 Gb die.
+    pub trfc: u32,
+    /// Average refresh interval.
+    pub trefi: u32,
+    /// Burst length in beats (DDR4: 8).
+    pub burst_length: u32,
+    /// Rank-to-rank data-bus turnaround penalty (cycles).
+    pub rank_to_rank: u32,
+    /// Self-refresh exit to first valid command (~ tRFC + 10 ns).
+    pub txs: u32,
+    /// Power-down exit latency.
+    pub txp: u32,
+    /// Minimum CKE low pulse (power-down entry).
+    pub tcke: u32,
+    /// Maximum power saving mode exit latency ("hundreds of ns", §2).
+    pub txmpsm: u32,
+}
+
+impl TimingParams {
+    /// DDR4-2933 (speed bin 2933AA, CL21-21-21) with 16 Gb dies.
+    pub fn ddr4_2933() -> Self {
+        TimingParams {
+            tck: Picos::from_ps(682), // 1466.5 MHz clock
+            cl: 21,
+            cwl: 16,
+            trcd: 21,
+            trp: 21,
+            tras: 47,   // 32 ns
+            trrd_s: 5,  // 3.4 ns (x4, 1/2KB page)
+            trrd_l: 8,  // 4.9 ns
+            tfaw: 31,   // 21 ns
+            tccd_s: 4,
+            tccd_l: 8,  // 5.355 ns
+            twr: 22,    // 15 ns
+            twtr_s: 4,  // 2.5 ns
+            twtr_l: 11, // 7.5 ns
+            trtp: 11,   // 7.5 ns
+            trfc: 807,  // 550 ns (16 Gb)
+            trefi: 11442, // 7.8 us
+            burst_length: 8,
+            rank_to_rank: 2,
+            txs: 822,   // tRFC + 10 ns
+            txp: 10,    // 6.4 ns
+            tcke: 8,    // 5 ns
+            txmpsm: 733, // 500 ns MPSM exit penalty
+        }
+    }
+
+    /// Converts a cycle count to picoseconds at this clock.
+    #[inline]
+    pub fn cycles(&self, n: u32) -> Picos {
+        self.tck * u64::from(n)
+    }
+
+    /// Data-transfer time of one burst (BL/2 clocks for DDR).
+    #[inline]
+    pub fn burst_time(&self) -> Picos {
+        self.cycles(self.burst_length / 2)
+    }
+
+    /// Peak per-channel data bandwidth in bytes/second.
+    pub fn peak_channel_bandwidth(&self) -> f64 {
+        LINE_BYTES as f64 / self.burst_time().as_secs_f64()
+    }
+
+    /// Validates internal consistency of the timing set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] when a parameter is zero that
+    /// must not be, or when ordering relations are violated (e.g.
+    /// `tras < trcd`).
+    pub fn validate(&self) -> Result<(), DramError> {
+        if self.tck == Picos::ZERO {
+            return Err(DramError::InvalidConfig { reason: "tck must be non-zero".into() });
+        }
+        if self.burst_length == 0 || !self.burst_length.is_multiple_of(2) {
+            return Err(DramError::InvalidConfig {
+                reason: "burst_length must be a non-zero multiple of two".into(),
+            });
+        }
+        if self.tras < self.trcd {
+            return Err(DramError::InvalidConfig { reason: "tras must be >= trcd".into() });
+        }
+        if self.trrd_l < self.trrd_s || self.tccd_l < self.tccd_s || self.twtr_l < self.twtr_s {
+            return Err(DramError::InvalidConfig {
+                reason: "same-bank-group delays must be >= different-bank-group delays".into(),
+            });
+        }
+        if self.trefi <= self.trfc {
+            return Err(DramError::InvalidConfig { reason: "trefi must exceed trfc".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Row-buffer management policy of the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Leave rows open after a CAS (FR-FCFS exploits row hits; the
+    /// default, and what the DTL's row-buffer-friendly segment layout is
+    /// designed for).
+    OpenPage,
+    /// Auto-precharge with every CAS (RDA/WRA): each access pays a fresh
+    /// ACT but never a conflict PRE.
+    ClosedPage,
+}
+
+/// Complete configuration of a simulated DRAM device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Physical organization.
+    pub geometry: Geometry,
+    /// DDR timing set.
+    pub timing: TimingParams,
+    /// Power/energy model parameters.
+    pub power: PowerParams,
+    /// Row-buffer policy.
+    pub page_policy: PagePolicy,
+}
+
+impl DramConfig {
+    /// The paper's 1 TB CXL device with DDR4-2933 timing.
+    pub fn cxl_1tb_ddr4_2933() -> Self {
+        DramConfig {
+            geometry: Geometry::cxl_1tb(),
+            timing: TimingParams::ddr4_2933(),
+            power: PowerParams::ddr4_128gb_dimm(),
+            page_policy: PagePolicy::OpenPage,
+        }
+    }
+
+    /// A small, fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        DramConfig {
+            geometry: Geometry::tiny(),
+            timing: TimingParams::ddr4_2933(),
+            power: PowerParams::ddr4_128gb_dimm(),
+            page_policy: PagePolicy::OpenPage,
+        }
+    }
+
+    /// Validates geometry and timing together.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError::InvalidConfig`] from the component validators.
+    pub fn validate(&self) -> Result<(), DramError> {
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        self.power.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxl_1tb_capacity_matches_paper() {
+        let g = Geometry::cxl_1tb();
+        assert_eq!(g.rank_bytes(), 32 << 30);
+        assert_eq!(g.channel_bytes(), 256 << 30);
+        assert_eq!(g.capacity_bytes(), 1 << 40);
+        assert_eq!(g.total_ranks(), 32);
+        g.validate().expect("preset must validate");
+    }
+
+    #[test]
+    fn cxl_4tb_capacity_matches_section_6_6() {
+        let g = Geometry::cxl_4tb();
+        assert_eq!(g.capacity_bytes(), 4 << 40);
+        assert_eq!(g.channels, 8);
+        assert_eq!(g.ranks_per_channel, 16);
+        g.validate().expect("preset must validate");
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut g = Geometry::tiny();
+        g.channels = 0;
+        assert!(g.validate().is_err());
+        let mut g = Geometry::tiny();
+        g.rows = 3;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn ddr4_2933_timing_sane() {
+        let t = TimingParams::ddr4_2933();
+        t.validate().expect("preset must validate");
+        // Read latency CL = 21 cycles ~ 14.3 ns.
+        let cl = t.cycles(t.cl);
+        assert!((cl.as_ns_f64() - 14.3).abs() < 0.2, "CL was {cl}");
+        // Peak channel bandwidth ~ 23.5 GB/s (2933 MT/s x 8 B).
+        let bw = t.peak_channel_bandwidth() / 1e9;
+        assert!((bw - 23.5).abs() < 0.3, "bw was {bw}");
+    }
+
+    #[test]
+    fn timing_ordering_violations_rejected() {
+        let mut t = TimingParams::ddr4_2933();
+        t.tras = 5;
+        assert!(t.validate().is_err());
+        let mut t = TimingParams::ddr4_2933();
+        t.trefi = t.trfc;
+        assert!(t.validate().is_err());
+        let mut t = TimingParams::ddr4_2933();
+        t.burst_length = 7;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn full_config_validates() {
+        DramConfig::cxl_1tb_ddr4_2933().validate().unwrap();
+        DramConfig::tiny().validate().unwrap();
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the DRAM simulator.
+
+use core::fmt;
+
+use crate::addr::DecodedAddr;
+use crate::config::Geometry;
+
+/// Errors reported by the DRAM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A physical address decodes outside the configured geometry.
+    AddressOutOfRange {
+        /// The offending device physical address.
+        addr: u64,
+        /// Total capacity in bytes of the configured device.
+        capacity: u64,
+    },
+    /// A decoded address component exceeds the geometry (indicates a broken
+    /// custom mapping).
+    ComponentOutOfRange {
+        /// The decoded address that failed validation.
+        decoded: DecodedAddr,
+        /// The geometry it was validated against.
+        geometry: Geometry,
+    },
+    /// A rank power-state transition was requested that is not legal from
+    /// the current state (e.g. entering self-refresh with open banks).
+    IllegalPowerTransition {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The configuration failed validation.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::AddressOutOfRange { addr, capacity } => {
+                write!(f, "address {addr:#x} outside device capacity {capacity:#x}")
+            }
+            DramError::ComponentOutOfRange { decoded, geometry } => {
+                write!(f, "decoded address {decoded:?} outside geometry {geometry:?}")
+            }
+            DramError::IllegalPowerTransition { reason } => {
+                write!(f, "illegal power transition: {reason}")
+            }
+            DramError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DramError::AddressOutOfRange { addr: 0x1000, capacity: 0x100 };
+        assert!(e.to_string().contains("0x1000"));
+        let e = DramError::InvalidConfig { reason: "zero channels".into() };
+        assert!(e.to_string().contains("zero channels"));
+    }
+}

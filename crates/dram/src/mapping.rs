@@ -1,0 +1,378 @@
+//! DPA bit-mapping policies.
+//!
+//! Two policies are provided, matching the paper's comparison:
+//!
+//! * [`AddressMapping::RankInterleaved`] — the conventional server mapping
+//!   that interleaves channels at line granularity and ranks at row
+//!   granularity to maximize memory-level parallelism. This is the baseline
+//!   the paper argues against for power management.
+//! * [`AddressMapping::DtlRankMsb`] — the paper's Figure 6 mapping: rank
+//!   bits are the **most significant** bits (so a rank fills contiguously
+//!   and can be vacated), channels are interleaved at *segment* granularity
+//!   (so per-VM channel bandwidth is preserved), and the segment offset maps
+//!   row-buffer-friendly within one rank.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{DecodedAddr, PhysAddr};
+use crate::config::{Geometry, LINE_BYTES};
+use crate::error::DramError;
+
+/// Which bit-mapping policy to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// Conventional fine-grained interleaving (channel at line granularity,
+    /// then column/bank/rank, row on top).
+    RankInterleaved,
+    /// The paper's mapping (Figure 6): rank bits MSB, channel bits directly
+    /// above the segment offset.
+    DtlRankMsb {
+        /// Segment size in bytes (the paper's default is 2 MiB).
+        segment_bytes: u64,
+    },
+}
+
+impl AddressMapping {
+    /// The paper's default: rank-MSB with 2 MiB segments.
+    pub fn dtl_default() -> Self {
+        AddressMapping::DtlRankMsb { segment_bytes: 2 << 20 }
+    }
+}
+
+fn log2(v: u64) -> u32 {
+    debug_assert!(v.is_power_of_two());
+    v.trailing_zeros()
+}
+
+/// A bidirectional DPA ⇄ (channel, rank, bank, row, column) translator for
+/// a specific geometry and mapping policy.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_dram::{AddressMapper, AddressMapping, Geometry, PhysAddr};
+///
+/// let m = AddressMapper::new(Geometry::cxl_1tb(), AddressMapping::dtl_default())?;
+/// let d = m.decode(PhysAddr::new(0))?;
+/// assert_eq!((d.channel, d.rank), (0, 0));
+/// // The very top of the device lands in the last rank: rank bits are MSB.
+/// let top = m.decode(PhysAddr::new(m.capacity_bytes() - 64))?;
+/// assert_eq!(top.rank, 7);
+/// # Ok::<(), dtl_dram::DramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressMapper {
+    geometry: Geometry,
+    mapping: AddressMapping,
+    ch_bits: u32,
+    rank_bits: u32,
+    bg_bits: u32,
+    bank_bits: u32,
+    row_bits: u32,
+    col_bits: u32,
+    /// `DtlRankMsb` only: row bits that live inside the segment offset.
+    row_low_bits: u32,
+}
+
+impl AddressMapper {
+    /// Builds a mapper, validating that the mapping fits the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if the geometry fails
+    /// validation, or if a `DtlRankMsb` segment is smaller than one full
+    /// row sweep across all banks of a rank or larger than a rank.
+    pub fn new(geometry: Geometry, mapping: AddressMapping) -> Result<Self, DramError> {
+        geometry.validate()?;
+        let ch_bits = log2(u64::from(geometry.channels));
+        let rank_bits = log2(u64::from(geometry.ranks_per_channel));
+        let bg_bits = log2(u64::from(geometry.bank_groups));
+        let bank_bits = log2(u64::from(geometry.banks_per_group));
+        let row_bits = log2(geometry.rows);
+        let col_bits = log2(geometry.columns);
+        let mut row_low_bits = 0;
+        if let AddressMapping::DtlRankMsb { segment_bytes } = mapping {
+            if !segment_bytes.is_power_of_two() {
+                return Err(DramError::InvalidConfig {
+                    reason: format!("segment_bytes = {segment_bytes} must be a power of two"),
+                });
+            }
+            let seg_bits = log2(segment_bytes);
+            let below = log2(LINE_BYTES) + col_bits + bg_bits + bank_bits;
+            if seg_bits < below {
+                return Err(DramError::InvalidConfig {
+                    reason: format!(
+                        "segment ({segment_bytes} B) smaller than one row sweep across the rank's banks ({} B)",
+                        1u64 << below
+                    ),
+                });
+            }
+            row_low_bits = seg_bits - below;
+            if row_low_bits > row_bits {
+                return Err(DramError::InvalidConfig {
+                    reason: format!(
+                        "segment ({segment_bytes} B) larger than one rank ({} B)",
+                        geometry.rank_bytes()
+                    ),
+                });
+            }
+        }
+        Ok(AddressMapper {
+            geometry,
+            mapping,
+            ch_bits,
+            rank_bits,
+            bg_bits,
+            bank_bits,
+            row_bits,
+            col_bits,
+            row_low_bits,
+        })
+    }
+
+    /// The geometry this mapper was built for.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The mapping policy in effect.
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+
+    /// Total capacity covered by the mapping.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.geometry.capacity_bytes()
+    }
+
+    /// Decodes a device physical address to its DRAM coordinates.
+    ///
+    /// The low 6 bits (offset within the cache line) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] if `addr` exceeds capacity.
+    pub fn decode(&self, addr: PhysAddr) -> Result<DecodedAddr, DramError> {
+        if addr.as_u64() >= self.capacity_bytes() {
+            return Err(DramError::AddressOutOfRange {
+                addr: addr.as_u64(),
+                capacity: self.capacity_bytes(),
+            });
+        }
+        let mut bits = addr.as_u64() >> log2(LINE_BYTES);
+        let mut take = |n: u32| -> u64 {
+            let v = bits & ((1u64 << n) - 1);
+            bits >>= n;
+            v
+        };
+        let d = match self.mapping {
+            AddressMapping::RankInterleaved => {
+                // LSB -> MSB: channel | column | bank_group | bank | rank | row
+                let channel = take(self.ch_bits) as u32;
+                let column = take(self.col_bits);
+                let bank_group = take(self.bg_bits) as u32;
+                let bank = take(self.bank_bits) as u32;
+                let rank = take(self.rank_bits) as u32;
+                let row = take(self.row_bits);
+                DecodedAddr { channel, rank, bank_group, bank, row, column }
+            }
+            AddressMapping::DtlRankMsb { .. } => {
+                // LSB -> MSB: column | bank_group | bank | row_low | channel
+                //             | row_high | rank        (Figure 6)
+                let column = take(self.col_bits);
+                let bank_group = take(self.bg_bits) as u32;
+                let bank = take(self.bank_bits) as u32;
+                let row_low = take(self.row_low_bits);
+                let channel = take(self.ch_bits) as u32;
+                let row_high = take(self.row_bits - self.row_low_bits);
+                let rank = take(self.rank_bits) as u32;
+                DecodedAddr {
+                    channel,
+                    rank,
+                    bank_group,
+                    bank,
+                    row: (row_high << self.row_low_bits) | row_low,
+                    column,
+                }
+            }
+        };
+        debug_assert_eq!(bits, 0, "unconsumed address bits");
+        Ok(d)
+    }
+
+    /// Encodes DRAM coordinates back to the (line-aligned) device physical
+    /// address. Inverse of [`AddressMapper::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::ComponentOutOfRange`] if any component exceeds
+    /// the geometry.
+    pub fn encode(&self, d: &DecodedAddr) -> Result<PhysAddr, DramError> {
+        let g = &self.geometry;
+        if d.channel >= g.channels
+            || d.rank >= g.ranks_per_channel
+            || d.bank_group >= g.bank_groups
+            || d.bank >= g.banks_per_group
+            || d.row >= g.rows
+            || d.column >= g.columns
+        {
+            return Err(DramError::ComponentOutOfRange { decoded: *d, geometry: *g });
+        }
+        let mut bits: u64 = 0;
+        let mut shift: u32 = 0;
+        let mut put = |v: u64, n: u32| {
+            bits |= v << shift;
+            shift += n;
+        };
+        match self.mapping {
+            AddressMapping::RankInterleaved => {
+                put(u64::from(d.channel), self.ch_bits);
+                put(d.column, self.col_bits);
+                put(u64::from(d.bank_group), self.bg_bits);
+                put(u64::from(d.bank), self.bank_bits);
+                put(u64::from(d.rank), self.rank_bits);
+                put(d.row, self.row_bits);
+            }
+            AddressMapping::DtlRankMsb { .. } => {
+                let row_low = d.row & ((1u64 << self.row_low_bits) - 1);
+                let row_high = d.row >> self.row_low_bits;
+                put(d.column, self.col_bits);
+                put(u64::from(d.bank_group), self.bg_bits);
+                put(u64::from(d.bank), self.bank_bits);
+                put(row_low, self.row_low_bits);
+                put(u64::from(d.channel), self.ch_bits);
+                put(row_high, self.row_bits - self.row_low_bits);
+                put(u64::from(d.rank), self.rank_bits);
+            }
+        }
+        Ok(PhysAddr::new(bits << log2(LINE_BYTES)))
+    }
+
+    /// For `DtlRankMsb`, the segment index of `addr` within its (channel,
+    /// rank); for `RankInterleaved` this is not meaningful and returns the
+    /// plain division by segment size.
+    pub fn segment_of(&self, addr: PhysAddr, segment_bytes: u64) -> u64 {
+        addr.as_u64() / segment_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mappers() -> Vec<AddressMapper> {
+        vec![
+            AddressMapper::new(Geometry::cxl_1tb(), AddressMapping::RankInterleaved).unwrap(),
+            AddressMapper::new(Geometry::cxl_1tb(), AddressMapping::dtl_default()).unwrap(),
+            AddressMapper::new(Geometry::tiny(), AddressMapping::RankInterleaved).unwrap(),
+            AddressMapper::new(
+                Geometry::tiny(),
+                AddressMapping::DtlRankMsb { segment_bytes: 256 << 10 },
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        for m in mappers() {
+            let cap = m.capacity_bytes();
+            assert!(m.decode(PhysAddr::new(cap)).is_err());
+            assert!(m.decode(PhysAddr::new(cap - 64)).is_ok());
+        }
+    }
+
+    #[test]
+    fn encode_rejects_bad_components() {
+        let m = &mappers()[0];
+        let mut d = m.decode(PhysAddr::new(0)).unwrap();
+        d.rank = 99;
+        assert!(m.encode(&d).is_err());
+    }
+
+    #[test]
+    fn round_trip_spot_checks() {
+        for m in mappers() {
+            for addr in [0u64, 64, 4096, 1 << 21, (1 << 21) + 64, m.capacity_bytes() - 64] {
+                let a = PhysAddr::new(addr);
+                let d = m.decode(a).unwrap();
+                assert_eq!(m.encode(&d).unwrap(), a, "mapping {:?} addr {addr:#x}", m.mapping());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_interleaved_spreads_channels_at_line_granularity() {
+        let m = AddressMapper::new(Geometry::cxl_1tb(), AddressMapping::RankInterleaved).unwrap();
+        let d0 = m.decode(PhysAddr::new(0)).unwrap();
+        let d1 = m.decode(PhysAddr::new(64)).unwrap();
+        assert_ne!(d0.channel, d1.channel);
+    }
+
+    #[test]
+    fn dtl_mapping_puts_rank_bits_msb() {
+        let m = AddressMapper::new(Geometry::cxl_1tb(), AddressMapping::dtl_default()).unwrap();
+        // The first 256 GB (8 rank-slots of 32 GB across 4 channels... i.e.
+        // the bottom 1/8th of the device) must all be rank 0.
+        for addr in (0..(1u64 << 37)).step_by(1 << 33) {
+            assert_eq!(m.decode(PhysAddr::new(addr)).unwrap().rank, 0);
+        }
+        // The top 1/8th must be the last rank.
+        let top = m.capacity_bytes() - (1 << 37);
+        for off in (0..(1u64 << 37)).step_by(1 << 33) {
+            assert_eq!(m.decode(PhysAddr::new(top + off)).unwrap().rank, 7);
+        }
+    }
+
+    #[test]
+    fn dtl_mapping_interleaves_channels_at_segment_granularity() {
+        let m = AddressMapper::new(Geometry::cxl_1tb(), AddressMapping::dtl_default()).unwrap();
+        let seg = 2u64 << 20;
+        let within = m.decode(PhysAddr::new(seg - 64)).unwrap();
+        let first = m.decode(PhysAddr::new(0)).unwrap();
+        assert_eq!(first.channel, within.channel, "a segment stays in one channel");
+        let next = m.decode(PhysAddr::new(seg)).unwrap();
+        assert_eq!(next.channel, first.channel + 1, "adjacent segments alternate channels");
+        assert_eq!(next.rank, first.rank);
+    }
+
+    #[test]
+    fn dtl_segment_is_row_buffer_friendly() {
+        let m = AddressMapper::new(Geometry::cxl_1tb(), AddressMapping::dtl_default()).unwrap();
+        // First 8 KiB of a segment stays within one row of one bank.
+        let d0 = m.decode(PhysAddr::new(0)).unwrap();
+        let d1 = m.decode(PhysAddr::new(8 * 1024 - 64)).unwrap();
+        assert_eq!((d0.row, d0.bank_group, d0.bank), (d1.row, d1.bank_group, d1.bank));
+        // The next 8 KiB moves to another bank (bank-level parallelism).
+        let d2 = m.decode(PhysAddr::new(8 * 1024)).unwrap();
+        assert_ne!((d0.bank_group, d0.bank), (d2.bank_group, d2.bank));
+    }
+
+    #[test]
+    fn segment_too_small_rejected() {
+        // One row sweep across 16 banks of 8 KiB rows = 128 KiB minimum.
+        let err = AddressMapper::new(
+            Geometry::cxl_1tb(),
+            AddressMapping::DtlRankMsb { segment_bytes: 64 << 10 },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn segment_larger_than_rank_rejected() {
+        let err = AddressMapper::new(
+            Geometry::tiny(),
+            AddressMapping::DtlRankMsb { segment_bytes: 1 << 40 },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_segment_rejected() {
+        let err = AddressMapper::new(
+            Geometry::cxl_1tb(),
+            AddressMapping::DtlRankMsb { segment_bytes: 3 << 20 },
+        );
+        assert!(err.is_err());
+    }
+}

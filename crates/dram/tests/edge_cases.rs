@@ -1,0 +1,234 @@
+//! Edge-case integration tests of the DRAM simulator: starvation control,
+//! MPSM auto-exit, queue bookkeeping, and long-idle correctness.
+
+use dtl_dram::{
+    AccessKind, AddressMapping, CommandKind, DramConfig, DramSystem, PhysAddr, Picos,
+    PowerState, Priority, RankId, RecordingSink,
+};
+
+fn sys() -> DramSystem {
+    DramSystem::new(DramConfig::tiny(), AddressMapping::RankInterleaved).unwrap()
+}
+
+#[test]
+fn starvation_cap_bounds_worst_case_latency() {
+    let mut s = sys();
+    // A stream of row hits to one bank, plus one conflicting request that
+    // FR-FCFS would starve without the age cap.
+    let mapper = s.mapper().clone();
+    let hit_addr = |col: u64| {
+        mapper
+            .encode(&dtl_dram::DecodedAddr {
+                channel: 0,
+                rank: 0,
+                bank_group: 0,
+                bank: 0,
+                row: 1,
+                column: col % 128,
+            })
+            .unwrap()
+    };
+    let conflict = mapper
+        .encode(&dtl_dram::DecodedAddr {
+            channel: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+            row: 2,
+            column: 0,
+        })
+        .unwrap();
+    let victim =
+        s.submit(conflict, AccessKind::Read, Priority::Foreground, Picos::from_ns(10)).unwrap();
+    // Saturating hit stream arriving continuously for 20 us.
+    let mut t = Picos::from_ns(11);
+    for i in 0..2_000u64 {
+        s.submit(hit_addr(i), AccessKind::Read, Priority::Foreground, t).unwrap();
+        t += Picos::from_ns(10);
+    }
+    s.run_until_idle(Picos::from_us(10));
+    let done = s.drain_completions();
+    let v = done.iter().find(|c| c.id == victim).unwrap();
+    // Must complete within the starvation cap plus service, not after the
+    // whole 20 us hit stream.
+    assert!(
+        v.latency() < Picos::from_us(8),
+        "victim starved: {}",
+        v.latency()
+    );
+}
+
+#[test]
+fn mpsm_rank_auto_exits_with_long_penalty() {
+    let mut s = sys();
+    s.set_rank_state(RankId { channel: 0, rank: 1 }, PowerState::Mpsm, Picos::ZERO).unwrap();
+    let mapper = s.mapper().clone();
+    let addr = mapper
+        .encode(&dtl_dram::DecodedAddr {
+            channel: 0,
+            rank: 1,
+            bank_group: 0,
+            bank: 0,
+            row: 0,
+            column: 0,
+        })
+        .unwrap();
+    s.submit(addr, AccessKind::Read, Priority::Foreground, Picos::from_us(1)).unwrap();
+    let mut sink = RecordingSink::default();
+    s.advance_to_with_sink(Picos::from_us(20), &mut sink);
+    let done = s.drain_completions();
+    assert_eq!(done.len(), 1);
+    let t = s.config().timing;
+    assert!(done[0].latency() >= t.cycles(t.txmpsm), "latency {}", done[0].latency());
+    assert!(sink.commands.iter().any(|c| c.kind == CommandKind::MpsmExit));
+    assert_eq!(s.rank_state(RankId { channel: 0, rank: 1 }), PowerState::Standby);
+    assert_eq!(s.rank_counters(RankId { channel: 0, rank: 1 }).mpsm_exits, 1);
+}
+
+#[test]
+fn long_idle_period_accumulates_only_refresh_and_background() {
+    let mut s = sys();
+    s.advance_to(Picos::from_secs(1));
+    let t = s.config().timing;
+    let expected = Picos::from_secs(1).as_ps() / t.cycles(t.trefi).as_ps();
+    for id in s.rank_ids() {
+        let c = s.rank_counters(id);
+        assert_eq!(c.reads + c.writes + c.activates, 0);
+        assert!(c.refreshes >= expected && c.refreshes <= expected + 1);
+    }
+    let rep = s.power_report(Picos::from_secs(1));
+    assert_eq!(rep.total.read_mj + rep.total.write_mj, 0.0);
+    assert!(rep.total.background_mj > 0.0);
+}
+
+#[test]
+fn self_refresh_rank_skips_external_refreshes() {
+    let mut s = sys();
+    let id = RankId { channel: 1, rank: 0 };
+    s.set_rank_state(id, PowerState::SelfRefresh, Picos::ZERO).unwrap();
+    s.advance_to(Picos::from_ms(10));
+    assert_eq!(s.rank_counters(id).refreshes, 0, "SR refreshes internally");
+    // Its standby siblings refreshed normally.
+    let sibling = RankId { channel: 1, rank: 1 };
+    assert!(s.rank_counters(sibling).refreshes > 1000);
+}
+
+#[test]
+fn migration_and_foreground_stats_are_separate() {
+    let mut s = sys();
+    for i in 0..32u64 {
+        let p = if i % 2 == 0 { Priority::Foreground } else { Priority::Migration };
+        s.submit(PhysAddr::new(i * 64), AccessKind::Read, p, Picos::ZERO).unwrap();
+    }
+    s.run_until_idle(Picos::from_us(5));
+    assert_eq!(s.foreground_stats().count, 16);
+    assert_eq!(s.migration_stats().count, 16);
+    assert!(s.foreground_stats().min <= s.foreground_stats().mean());
+    assert!(s.foreground_stats().mean() <= s.foreground_stats().max);
+}
+
+#[test]
+fn run_until_idle_with_zero_chunk_uses_default() {
+    let mut s = sys();
+    s.submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::ZERO).unwrap();
+    let end = s.run_until_idle(Picos::ZERO);
+    assert!(end > Picos::ZERO);
+    assert_eq!(s.pending(), 0);
+}
+
+#[test]
+fn requests_arriving_far_in_the_future_wait() {
+    let mut s = sys();
+    s.submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::from_ms(5))
+        .unwrap();
+    s.advance_to(Picos::from_ms(1));
+    assert_eq!(s.drain_completions().len(), 0, "not arrived yet");
+    s.advance_to(Picos::from_ms(6));
+    let done = s.drain_completions();
+    assert_eq!(done.len(), 1);
+    assert!(done[0].finished >= Picos::from_ms(5));
+}
+
+#[test]
+fn power_transitions_while_queued_requests_elsewhere() {
+    let mut s = sys();
+    // Rank 0 busy; rank 3 goes to self-refresh concurrently.
+    for i in 0..64u64 {
+        s.submit(PhysAddr::new(i * 64), AccessKind::Write, Priority::Foreground, Picos::ZERO)
+            .unwrap();
+    }
+    s.set_rank_state(RankId { channel: 0, rank: 3 }, PowerState::SelfRefresh, Picos::ZERO)
+        .unwrap();
+    s.run_until_idle(Picos::from_us(5));
+    assert_eq!(s.rank_state(RankId { channel: 0, rank: 3 }), PowerState::SelfRefresh);
+    assert_eq!(s.drain_completions().len(), 64);
+}
+
+mod page_policy {
+    use dtl_dram::{
+        AccessKind, AddressMapping, DramConfig, DramSystem, PagePolicy, PhysAddr, Picos,
+        Priority,
+    };
+
+    fn run(policy: PagePolicy, addrs: &[u64]) -> (Picos, u64, u64) {
+        let cfg = DramConfig { page_policy: policy, ..DramConfig::tiny() };
+        let mut s = DramSystem::new(cfg, AddressMapping::RankInterleaved).unwrap();
+        let mut t = Picos::ZERO;
+        for a in addrs {
+            t += Picos::from_ns(200);
+            s.submit(PhysAddr::new(*a), AccessKind::Read, Priority::Foreground, t).unwrap();
+        }
+        s.run_until_idle(Picos::from_us(5));
+        let mean = s.foreground_stats().mean();
+        let mut hits = 0;
+        let mut acts = 0;
+        for id in s.rank_ids() {
+            hits += s.rank_counters(id).row_hits;
+            acts += s.rank_counters(id).activates;
+        }
+        (mean, hits, acts)
+    }
+
+    #[test]
+    fn closed_page_kills_row_hits_for_streams() {
+        // A sequential stream within one row: open page hits, closed page
+        // re-activates every access.
+        let addrs: Vec<u64> = (0..64u64).map(|i| i * 128).collect();
+        let (open_mean, open_hits, open_acts) = run(PagePolicy::OpenPage, &addrs);
+        let (closed_mean, closed_hits, closed_acts) = run(PagePolicy::ClosedPage, &addrs);
+        assert!(open_hits > closed_hits, "open {open_hits} vs closed {closed_hits}");
+        assert!(closed_acts > open_acts, "closed must re-activate: {closed_acts} vs {open_acts}");
+        assert!(closed_mean >= open_mean, "closed {closed_mean} vs open {open_mean}");
+        assert_eq!(closed_hits, 0, "auto-precharge leaves nothing open");
+    }
+
+    #[test]
+    fn closed_page_never_pays_conflict_precharge() {
+        // Ping-pong between two rows of the same bank: open page pays a
+        // conflict PRE on every switch; closed page pre-emptively closed.
+        let cfg = DramConfig::tiny();
+        let mapper =
+            dtl_dram::AddressMapper::new(cfg.geometry, AddressMapping::RankInterleaved).unwrap();
+        let addr = |row: u64| {
+            mapper
+                .encode(&dtl_dram::DecodedAddr {
+                    channel: 0,
+                    rank: 0,
+                    bank_group: 0,
+                    bank: 0,
+                    row,
+                    column: 0,
+                })
+                .unwrap()
+                .as_u64()
+        };
+        let addrs: Vec<u64> = (0..32u64).map(|i| addr(i % 2 + 1)).collect();
+        let (open_mean, _, _) = run(PagePolicy::OpenPage, &addrs);
+        let (closed_mean, _, _) = run(PagePolicy::ClosedPage, &addrs);
+        // For pure row ping-pong, closed page is at least as good.
+        assert!(
+            closed_mean <= open_mean + Picos::from_ns(2),
+            "closed {closed_mean} vs open {open_mean}"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: address-mapping bijectivity and decode validity for
+//! every mapping policy over every geometry.
+
+use dtl_dram::{AddressMapper, AddressMapping, Geometry, PhysAddr};
+use proptest::prelude::*;
+
+fn geometries() -> Vec<Geometry> {
+    vec![Geometry::tiny(), Geometry::cxl_1tb(), Geometry::cxl_4tb()]
+}
+
+fn mappings(g: &Geometry) -> Vec<AddressMapping> {
+    let min_seg = 64 * g.columns * u64::from(g.banks_per_rank());
+    vec![
+        AddressMapping::RankInterleaved,
+        AddressMapping::DtlRankMsb { segment_bytes: min_seg },
+        AddressMapping::DtlRankMsb { segment_bytes: (2 << 20).max(min_seg) },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode → encode is the identity on line-aligned addresses.
+    #[test]
+    fn decode_encode_round_trip(line in 0u64..u64::MAX) {
+        for g in geometries() {
+            for m in mappings(&g) {
+                let mapper = AddressMapper::new(g, m).unwrap();
+                let addr = PhysAddr::new((line % (mapper.capacity_bytes() / 64)) * 64);
+                let d = mapper.decode(addr).unwrap();
+                prop_assert_eq!(mapper.encode(&d).unwrap(), addr);
+            }
+        }
+    }
+
+    /// Decoded components always respect the geometry bounds.
+    #[test]
+    fn decode_within_bounds(line in 0u64..u64::MAX) {
+        for g in geometries() {
+            for m in mappings(&g) {
+                let mapper = AddressMapper::new(g, m).unwrap();
+                let addr = PhysAddr::new((line % (mapper.capacity_bytes() / 64)) * 64);
+                let d = mapper.decode(addr).unwrap();
+                prop_assert!(d.channel < g.channels);
+                prop_assert!(d.rank < g.ranks_per_channel);
+                prop_assert!(d.bank_group < g.bank_groups);
+                prop_assert!(d.bank < g.banks_per_group);
+                prop_assert!(d.row < g.rows);
+                prop_assert!(d.column < g.columns);
+            }
+        }
+    }
+
+    /// Distinct lines decode to distinct locations (injectivity).
+    #[test]
+    fn mapping_is_injective(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        prop_assume!(a != b);
+        let g = Geometry::tiny();
+        for m in mappings(&g) {
+            let mapper = AddressMapper::new(g, m).unwrap();
+            let cap_lines = mapper.capacity_bytes() / 64;
+            let (x, y) = (a % cap_lines, b % cap_lines);
+            prop_assume!(x != y);
+            let da = mapper.decode(PhysAddr::new(x * 64)).unwrap();
+            let db = mapper.decode(PhysAddr::new(y * 64)).unwrap();
+            prop_assert_ne!(da, db, "lines {} and {} collide", x, y);
+        }
+    }
+
+    /// Under the DTL mapping, all lines of one segment share (channel, rank)
+    /// and consecutive segments rotate channels.
+    #[test]
+    fn dtl_segment_locality(seg in 0u64..10_000) {
+        let g = Geometry::cxl_1tb();
+        let seg_bytes = 2u64 << 20;
+        let mapper =
+            AddressMapper::new(g, AddressMapping::DtlRankMsb { segment_bytes: seg_bytes }).unwrap();
+        let n_segs = mapper.capacity_bytes() / seg_bytes;
+        let s = seg % n_segs;
+        let base = s * seg_bytes;
+        let d0 = mapper.decode(PhysAddr::new(base)).unwrap();
+        for off in [64u64, 4096, seg_bytes / 2, seg_bytes - 64] {
+            let d = mapper.decode(PhysAddr::new(base + off)).unwrap();
+            prop_assert_eq!(d.channel, d0.channel);
+            prop_assert_eq!(d.rank, d0.rank);
+        }
+        if s + 1 < n_segs {
+            let dn = mapper.decode(PhysAddr::new(base + seg_bytes)).unwrap();
+            prop_assert_eq!(dn.channel, (d0.channel + 1) % g.channels);
+        }
+    }
+}

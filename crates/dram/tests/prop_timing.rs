@@ -1,0 +1,145 @@
+//! Property tests: the FR-FCFS scheduler serves arbitrary request streams
+//! completely, with monotone per-channel command order and JEDEC-legal
+//! spacing for the core constraints.
+
+use dtl_dram::{
+    AccessKind, AddressMapping, CommandKind, DramConfig, DramSystem, PhysAddr, Picos, Priority,
+    RecordingSink, TimingParams,
+};
+use proptest::prelude::*;
+
+fn any_request() -> impl Strategy<Value = (u64, bool, u64)> {
+    // (line index, is_write, arrival gap in ns)
+    (0u64..4096, any::<bool>(), 0u64..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted request eventually completes, exactly once.
+    #[test]
+    fn all_requests_complete(reqs in prop::collection::vec(any_request(), 1..200)) {
+        let mut sys = DramSystem::new(DramConfig::tiny(), AddressMapping::RankInterleaved).unwrap();
+        let cap_lines = sys.config().geometry.capacity_bytes() / 64;
+        let mut t = Picos::ZERO;
+        let mut ids = Vec::new();
+        for (line, w, gap) in &reqs {
+            t += Picos::from_ns(*gap);
+            let kind = if *w { AccessKind::Write } else { AccessKind::Read };
+            let addr = PhysAddr::new((line % cap_lines) * 64);
+            ids.push(sys.submit(addr, kind, Priority::Foreground, t).unwrap());
+        }
+        sys.run_until_idle(Picos::from_us(10));
+        let mut done: Vec<u64> = sys.drain_completions().iter().map(|c| c.id).collect();
+        done.sort_unstable();
+        ids.sort_unstable();
+        prop_assert_eq!(done, ids);
+    }
+
+    /// Per (channel, bank): ACT/PRE alternate and CAS commands only appear
+    /// while a row is open; tRCD/tRP hold between them.
+    #[test]
+    fn command_stream_is_legal(reqs in prop::collection::vec(any_request(), 1..120)) {
+        let cfg = DramConfig::tiny();
+        let t: TimingParams = cfg.timing;
+        let mut sys = DramSystem::new(cfg, AddressMapping::RankInterleaved).unwrap();
+        let cap_lines = sys.config().geometry.capacity_bytes() / 64;
+        let mut now = Picos::ZERO;
+        for (line, w, gap) in &reqs {
+            now += Picos::from_ns(*gap);
+            let kind = if *w { AccessKind::Write } else { AccessKind::Read };
+            sys.submit(PhysAddr::new((line % cap_lines) * 64), kind, Priority::Foreground, now)
+                .unwrap();
+        }
+        let mut sink = RecordingSink::default();
+        let mut horizon = now + Picos::from_us(10);
+        while sys.pending() > 0 {
+            sys.advance_to_with_sink(horizon, &mut sink);
+            horizon += Picos::from_us(10);
+        }
+        // Group by (channel, rank); track per-bank state within the rank
+        // because an all-bank REF implies a PREA.
+        use std::collections::HashMap;
+        let mut per_rank: HashMap<(u32, u32), Vec<_>> = HashMap::new();
+        for c in &sink.commands {
+            match c.kind {
+                CommandKind::Activate | CommandKind::Precharge | CommandKind::Read
+                | CommandKind::Write | CommandKind::Refresh => {
+                    per_rank.entry((c.channel, c.rank)).or_default().push(*c);
+                }
+                _ => {}
+            }
+        }
+        for (rank, cmds) in per_rank {
+            let mut open: HashMap<(u32, u32), Picos> = HashMap::new(); // bank -> ACT time
+            let mut last_pre: HashMap<(u32, u32), Picos> = HashMap::new();
+            for c in cmds {
+                let bank = (c.target.bank_group, c.target.bank);
+                match c.kind {
+                    CommandKind::Activate => {
+                        prop_assert!(!open.contains_key(&bank), "double ACT on {rank:?}/{bank:?}");
+                        if let Some(p) = last_pre.get(&bank) {
+                            prop_assert!(
+                                c.at >= *p + t.cycles(t.trp),
+                                "tRP violation on {rank:?}/{bank:?}"
+                            );
+                        }
+                        open.insert(bank, c.at);
+                    }
+                    CommandKind::Precharge => {
+                        let act = open.remove(&bank);
+                        prop_assert!(act.is_some(), "PRE on closed {rank:?}/{bank:?}");
+                        prop_assert!(
+                            c.at >= act.unwrap() + t.cycles(t.tras),
+                            "tRAS violation on {rank:?}/{bank:?}"
+                        );
+                        last_pre.insert(bank, c.at);
+                    }
+                    CommandKind::Read | CommandKind::Write => {
+                        let act = open.get(&bank);
+                        prop_assert!(act.is_some(), "CAS on closed {rank:?}/{bank:?}");
+                        prop_assert!(
+                            c.at >= *act.unwrap() + t.cycles(t.trcd),
+                            "tRCD violation on {rank:?}/{bank:?}"
+                        );
+                    }
+                    CommandKind::Refresh => {
+                        // All-bank refresh implies a precharge-all.
+                        open.clear();
+                        last_pre.clear();
+                    }
+                    _ => unreachable!("filtered above"),
+                }
+            }
+        }
+    }
+
+    /// Completion times are never before arrival plus the minimum service
+    /// latency (CAS + burst).
+    #[test]
+    fn latency_lower_bound(reqs in prop::collection::vec(any_request(), 1..100)) {
+        let cfg = DramConfig::tiny();
+        let t = cfg.timing;
+        let min_rd = t.cycles(t.cl) + t.burst_time();
+        let min_wr = t.cycles(t.cwl) + t.burst_time();
+        let mut sys = DramSystem::new(cfg, AddressMapping::RankInterleaved).unwrap();
+        let cap_lines = sys.config().geometry.capacity_bytes() / 64;
+        let mut now = Picos::ZERO;
+        let mut writes = std::collections::HashSet::new();
+        for (line, w, gap) in &reqs {
+            now += Picos::from_ns(*gap);
+            let kind = if *w { AccessKind::Write } else { AccessKind::Read };
+            let id = sys
+                .submit(PhysAddr::new((line % cap_lines) * 64), kind, Priority::Foreground, now)
+                .unwrap();
+            if *w {
+                writes.insert(id);
+            }
+        }
+        sys.run_until_idle(Picos::from_us(10));
+        for c in sys.drain_completions() {
+            let min = if writes.contains(&c.id) { min_wr } else { min_rd };
+            prop_assert!(c.latency() >= min, "latency {} below floor {}", c.latency(), min);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! **Figure 11** — the DRAM power model: (a) background power versus the
+//! number of active ranks per channel, and (b) active power scaling
+//! linearly with bandwidth utilization.
+//!
+//! The paper measures these on its server and uses them to build the
+//! §5.1 power estimator; here they are produced by the same energy model
+//! the full-system simulation uses, closing the loop.
+
+use dtl_dram::{PowerParams, PowerState};
+use serde::{Deserialize, Serialize};
+
+/// One point of Figure 11(a): background power at a rank count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BackgroundPoint {
+    /// Active ranks per channel (the rest are in MPSM).
+    pub active_ranks: u32,
+    /// Background power normalized to the all-active configuration.
+    pub normalized_power: f64,
+}
+
+/// One point of Figure 11(b): active power at a bandwidth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ActivePoint {
+    /// Bandwidth utilization of one rank, bytes/s.
+    pub bandwidth: f64,
+    /// Active power, milliwatts.
+    pub active_mw: f64,
+    /// Power-to-bandwidth ratio, mW per GB/s.
+    pub mw_per_gbps: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Result {
+    /// Figure 11(a) series for 2/4/6/8 active ranks of 8.
+    pub background: Vec<BackgroundPoint>,
+    /// Figure 11(b) series over a bandwidth sweep.
+    pub active: Vec<ActivePoint>,
+}
+
+/// Runs the model.
+pub fn run() -> Fig11Result {
+    let p = PowerParams::ddr4_128gb_dimm();
+    let total_ranks = 8u32;
+    let all_active = f64::from(total_ranks) * p.background_mw(PowerState::Standby);
+    let background = [2u32, 4, 6, 8]
+        .iter()
+        .map(|&n| {
+            let power = f64::from(n) * p.background_mw(PowerState::Standby)
+                + f64::from(total_ranks - n) * p.background_mw(PowerState::Mpsm);
+            BackgroundPoint { active_ranks: n, normalized_power: power / all_active }
+        })
+        .collect();
+    // Active power: reads+writes at the given line rate (2:1 read:write),
+    // one ACT per four accesses.
+    let active = (1..=8)
+        .map(|i| {
+            let bandwidth = i as f64 * 2.9e9; // up to ~23 GB/s
+            let lines_per_s = bandwidth / 64.0;
+            let read_w = lines_per_s * (2.0 / 3.0) * p.read_nj * 1e-9;
+            let write_w = lines_per_s * (1.0 / 3.0) * p.write_nj * 1e-9;
+            let act_w = lines_per_s / 4.0 * p.act_pre_nj * 1e-9;
+            let active_mw = (read_w + write_w + act_w) * 1000.0;
+            ActivePoint {
+                bandwidth,
+                active_mw,
+                mw_per_gbps: active_mw / (bandwidth / 1e9),
+            }
+        })
+        .collect();
+    Fig11Result { background, active }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_scales_near_linearly_with_rank_count() {
+        let r = run();
+        assert_eq!(r.background.len(), 4);
+        // 2 of 8 ranks active: 2/8 + 6/8*0.068 = 0.301.
+        let two = r.background[0].normalized_power;
+        assert!((two - 0.301).abs() < 0.005, "2-rank normalized {two}");
+        let eight = r.background[3].normalized_power;
+        assert!((eight - 1.0).abs() < 1e-12);
+        // Monotone increasing.
+        assert!(r.background.windows(2).all(|w| w[0].normalized_power < w[1].normalized_power));
+    }
+
+    #[test]
+    fn active_power_is_linear_in_bandwidth() {
+        let r = run();
+        let ratios: Vec<f64> = r.active.iter().map(|p| p.mw_per_gbps).collect();
+        let first = ratios[0];
+        for q in &ratios {
+            assert!((q - first).abs() / first < 1e-9, "ratio drifted: {q} vs {first}");
+        }
+        assert!(r.active.windows(2).all(|w| w[0].active_mw < w[1].active_mw));
+    }
+}

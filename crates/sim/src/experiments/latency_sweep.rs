@@ -1,0 +1,186 @@
+//! Shared cycle-level latency measurement for the rank-count (Figure 2)
+//! and rank-interleaving (Figure 5) studies.
+//!
+//! A post-cache trace is replayed against the cycle-level DRAM simulator
+//! as an open-loop arrival process whose rate models `cores` cores retiring
+//! instructions at a fixed IPC; the measured mean device latency plus the
+//! link latency gives the AMAT that the [`crate::PerfModel`] converts into
+//! an execution-time ratio.
+
+use dtl_dram::{
+    AccessKind, AddressMapping, DramConfig, DramSystem, Geometry, PagePolicy, PhysAddr, Picos,
+    Priority,
+};
+use dtl_trace::{TraceGen, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Channels (paper: 4).
+    pub channels: u32,
+    /// Ranks per channel (power of two; the mapper requires it).
+    pub ranks_per_channel: u32,
+    /// Bit-mapping policy.
+    pub mapping: AddressMapping,
+    /// One-way+return link latency added to every access.
+    pub link_round_trip: Picos,
+    /// Cores generating traffic.
+    pub cores: u32,
+    /// Per-core IPC for the arrival-rate model.
+    pub ipc: f64,
+    /// Core frequency, GHz.
+    pub core_ghz: f64,
+    /// Requests to replay.
+    pub requests: u64,
+    /// Footprint the trace addresses are folded into (bytes). Keeping it
+    /// constant across rank counts makes configurations comparable.
+    pub footprint_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Row-buffer policy of the controller.
+    pub page_policy: PagePolicy,
+}
+
+impl SweepConfig {
+    /// A paper-like configuration at the given rank count and mapping.
+    pub fn paper(ranks_per_channel: u32, mapping: AddressMapping, link_ns: u64) -> Self {
+        SweepConfig {
+            channels: 4,
+            ranks_per_channel,
+            mapping,
+            link_round_trip: Picos::from_ns(link_ns),
+            cores: 28,
+            // CloudSuite cores average well under one instruction per
+            // cycle; 0.5 keeps the arrival process at realistic bandwidth.
+            ipc: 0.5,
+            core_ghz: 2.7,
+            requests: 60_000,
+            // 2 ranks x 4 channels x 32 GiB = 256 GiB minimum capacity;
+            // use a quarter of it so every config sees identical addresses.
+            footprint_bytes: 64 << 30,
+            seed: 1,
+            page_policy: PagePolicy::OpenPage,
+        }
+    }
+}
+
+/// Outcome of one measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Mean host-observed AMAT (device latency + link).
+    pub amat: Picos,
+    /// Maximum observed latency.
+    pub max_latency: Picos,
+    /// Achieved bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Row-buffer hit fraction.
+    pub row_hit_fraction: f64,
+}
+
+/// Replays `spec`'s post-cache stream against the configured device.
+///
+/// # Panics
+///
+/// Panics on invalid geometry (callers use validated presets).
+pub fn measure(cfg: &SweepConfig, spec: &WorkloadSpec) -> SweepOutcome {
+    let geometry = Geometry {
+        channels: cfg.channels,
+        ranks_per_channel: cfg.ranks_per_channel,
+        ..Geometry::cxl_1tb()
+    };
+    let dram_cfg = DramConfig {
+        geometry,
+        page_policy: cfg.page_policy,
+        ..DramConfig::cxl_1tb_ddr4_2933()
+    };
+    let mut dram = DramSystem::new(dram_cfg, cfg.mapping).expect("valid preset geometry");
+    let mut gen = TraceGen::new(*spec, cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed);
+    // Arrival rate: cores * IPC * f GHz instructions/ns, MAPKI accesses
+    // per kilo-instruction.
+    let instr_per_ns = f64::from(cfg.cores) * cfg.ipc * cfg.core_ghz;
+    let accesses_per_ns = instr_per_ns * spec.mapki / 1000.0;
+    let mean_gap_ps = 1000.0 / accesses_per_ns;
+    let mut t = Picos::ZERO;
+    let footprint = cfg.footprint_bytes.min(geometry.capacity_bytes());
+    for _ in 0..cfg.requests {
+        let r = gen.next_record();
+        // Fold into the footprint but keep the stream's spatial locality —
+        // row-buffer behaviour is what differentiates the configurations.
+        let addr = PhysAddr::new(r.addr % footprint).align_down_to_line();
+        let kind = if r.is_write { AccessKind::Write } else { AccessKind::Read };
+        let u: f64 = rng.gen_range(1e-9..1.0f64);
+        t += Picos::from_ps(((-u.ln()) * mean_gap_ps).max(1.0) as u64);
+        dram.submit(addr, kind, Priority::Foreground, t).expect("footprint within capacity");
+        // Keep queues bounded: drain periodically.
+        if dram.pending() > 512 {
+            dram.advance_to(t);
+        }
+    }
+    let end = dram.run_until_idle(Picos::from_us(10));
+    let stats = dram.foreground_stats();
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    for id in dram.rank_ids() {
+        let c = dram.rank_counters(id);
+        hits += c.row_hits;
+        total += c.reads + c.writes;
+    }
+    SweepOutcome {
+        amat: stats.mean() + cfg.link_round_trip,
+        max_latency: stats.max + cfg.link_round_trip,
+        bandwidth: dram.bytes_transferred() as f64 / end.as_secs_f64(),
+        row_hit_fraction: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtl_trace::WorkloadKind;
+
+    fn quick(ranks: u32, mapping: AddressMapping) -> SweepOutcome {
+        let mut cfg = SweepConfig::paper(ranks, mapping, 0);
+        cfg.requests = 5_000;
+        cfg.footprint_bytes = 1 << 30;
+        measure(&cfg, &WorkloadKind::DataServing.spec())
+    }
+
+    #[test]
+    fn fewer_ranks_never_speed_things_up() {
+        let r8 = quick(8, AddressMapping::RankInterleaved);
+        let r2 = quick(2, AddressMapping::RankInterleaved);
+        assert!(
+            r2.amat >= r8.amat,
+            "2 ranks {} must not beat 8 ranks {}",
+            r2.amat,
+            r8.amat
+        );
+        // But the gap stays small (the paper's point).
+        let ratio = r2.amat.as_ns_f64() / r8.amat.as_ns_f64();
+        assert!(ratio < 1.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn link_latency_is_additive() {
+        let near = quick(4, AddressMapping::RankInterleaved);
+        let mut cfg = SweepConfig::paper(4, AddressMapping::RankInterleaved, 89);
+        cfg.requests = 5_000;
+        cfg.footprint_bytes = 1 << 30;
+        let far = measure(&cfg, &WorkloadKind::DataServing.spec());
+        let delta = far.amat.as_ns_f64() - near.amat.as_ns_f64();
+        assert!((delta - 89.0).abs() < 1.0, "delta {delta}");
+    }
+
+    #[test]
+    fn outcome_fields_are_sane() {
+        let o = quick(4, AddressMapping::dtl_default());
+        assert!(o.amat > Picos::from_ns(10));
+        assert!(o.max_latency >= o.amat);
+        assert!(o.bandwidth > 0.0);
+        assert!(o.row_hit_fraction >= 0.0 && o.row_hit_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! One module per paper table/figure. Every `run` function is
+//! deterministic given its parameters and returns plain-data rows that the
+//! `dtl-bench` binaries render as text and JSON.
+//!
+//! | Module | Paper artifact | Headline |
+//! |---|---|---|
+//! | [`fig01`] | Figure 1 | Azure-like committed memory averages < 50 % |
+//! | [`fig02`] | Figure 2 | 8→2 ranks/channel costs ~0.7 % |
+//! | [`fig05`] | Figure 5 | no rank-interleave: −1.7 % local, −1.4 % CXL |
+//! | [`fig09`] | Figure 9 | ≥4 MiB strides dominate (89.3 % mixed) |
+//! | [`fig10`] | Figure 10 | 61.5 % cold @2 MiB vs 33.2 % @4 MiB |
+//! | [`fig11`] | Figure 11 | background ∝ ranks; active ∝ bandwidth |
+//! | [`fig12`] | Figures 12–13 | −31.6 % energy at 1.6 % slowdown |
+//! | [`fig14`] | Figure 14 | self-refresh adds up to ~20 % (14.9 % @8rk) |
+//! | [`fig15`] | Figure 15 | stacked savings 25.6–32.3 % |
+//! | [`tab04`] | Table 4 | per-workload MAPKI calibration |
+//! | [`tab05`] | Table 5 | metadata sizes 384 GB vs 4 TB |
+//! | [`tab06`] | Table 6 | controller 25.7→36.2 mW, 0.165→1.1 mm² |
+//! | [`sec6_1`] | §6.1 | AMAT 214.2 ns (+4.2 ns), +0.18 % runtime |
+//! | [`cache_pipeline`] | §5.2 methodology | Table 3 hierarchy compresses intensity, widens strides |
+//! | [`sec6_6`] | §6.6 | bigger devices lose less from the DTL mapping |
+
+pub mod cache_pipeline;
+pub mod fig01;
+pub mod fig02;
+pub mod fig05;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig15;
+pub mod latency_sweep;
+pub mod loaded_latency;
+pub mod sec6_1;
+pub mod sec6_6;
+pub mod tab04;
+pub mod tab05;
+pub mod tab06;

@@ -1,0 +1,64 @@
+//! **Table 5** — sizes of the DTL data structures for a 384 GB and a 4 TB
+//! CXL device supporting 16 hosts.
+
+use dtl_core::{OverheadConfig, StructureSizes};
+use serde::{Deserialize, Serialize};
+
+/// One device sizing column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab05Column {
+    /// Capacity label.
+    pub label: String,
+    /// Computed sizes.
+    pub sizes: StructureSizes,
+    /// Total on-chip SRAM, bytes.
+    pub sram_total: u64,
+    /// Total reserved-DRAM metadata, bytes.
+    pub dram_total: u64,
+    /// Metadata as a fraction of device capacity.
+    pub metadata_fraction: f64,
+}
+
+/// Full result: both capacities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab05Result {
+    /// 384 GB and 4 TB columns.
+    pub columns: Vec<Tab05Column>,
+}
+
+/// Computes the table.
+pub fn run() -> Tab05Result {
+    let columns = [("384GB", OverheadConfig::paper_384gb()), ("4TB", OverheadConfig::paper_4tb())]
+        .into_iter()
+        .map(|(label, cfg)| {
+            let sizes = StructureSizes::compute(&cfg);
+            Tab05Column {
+                label: label.to_string(),
+                sram_total: sizes.sram_total(),
+                dram_total: sizes.dram_total(),
+                metadata_fraction: sizes.dram_total() as f64 / cfg.capacity_bytes as f64,
+                sizes,
+            }
+        })
+        .collect();
+    Tab05Result { columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_headlines() {
+        let r = run();
+        assert_eq!(r.columns.len(), 2);
+        let small = &r.columns[0];
+        let big = &r.columns[1];
+        // Paper: SRAM 0.5 MB -> 5.3 MB; DRAM 1.9 MB -> 22.6 MB; 4 TB
+        // metadata is ~0.0005% of capacity.
+        assert!((small.sram_total as f64 / (1 << 20) as f64 - 0.5).abs() < 0.2);
+        assert!((big.sram_total as f64 / (1 << 20) as f64 - 5.3).abs() < 1.5);
+        assert!(big.metadata_fraction < 1e-5);
+        assert!(big.dram_total > small.dram_total);
+    }
+}

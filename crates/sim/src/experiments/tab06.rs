@@ -1,0 +1,57 @@
+//! **Table 6** — power and area of the DTL-augmented CXL controller at
+//! 7 nm: 25.7 mW / 0.165 mm² for the 384 GB device, 36.2 mW / 1.1 mm² for
+//! 4 TB.
+
+use dtl_core::{ControllerCost, OverheadConfig, StructureSizes};
+use serde::{Deserialize, Serialize};
+
+/// One device column of Table 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab06Column {
+    /// Capacity label.
+    pub label: String,
+    /// Component breakdown.
+    pub cost: ControllerCost,
+    /// Total power, mW.
+    pub total_mw: f64,
+    /// Total area, mm².
+    pub total_mm2: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab06Result {
+    /// 384 GB and 4 TB columns.
+    pub columns: Vec<Tab06Column>,
+}
+
+/// Computes the table.
+pub fn run() -> Tab06Result {
+    let columns = [("384GB", OverheadConfig::paper_384gb()), ("4TB", OverheadConfig::paper_4tb())]
+        .into_iter()
+        .map(|(label, cfg)| {
+            let sizes = StructureSizes::compute(&cfg);
+            let cost = ControllerCost::estimate_7nm(&sizes);
+            Tab06Column {
+                label: label.to_string(),
+                total_mw: cost.total_mw(),
+                total_mm2: cost.total_mm2(),
+                cost,
+            }
+        })
+        .collect();
+    Tab06Result { columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_totals() {
+        let r = run();
+        assert!((r.columns[0].total_mw - 25.7).abs() < 4.0, "{}", r.columns[0].total_mw);
+        assert!((r.columns[1].total_mw - 36.2).abs() < 6.0, "{}", r.columns[1].total_mw);
+        assert!(r.columns[1].total_mm2 > r.columns[0].total_mm2);
+    }
+}

@@ -1,0 +1,574 @@
+//! The hotness-aware self-refresh experiment harness (paper §5.2, Figure
+//! 14): replay mixed post-cache traces against a DTL device whose
+//! rank-level power-down already reduced it to N active ranks, and measure
+//! the *additional* energy the self-refresh mechanism saves.
+//!
+//! Space and time are scaled together by `scale` (a laptop cannot replay
+//! 20-billion-instruction traces against 384 GB): a 1/256-scale device
+//! sweeps its working set 256× faster, so the profiling thresholds shrink
+//! by the same factor and every dimensionless quantity — accesses per
+//! segment per threshold window, migration time over threshold — is
+//! preserved.
+
+use dtl_core::{AnalyticBackend, DtlConfig, DtlDevice, DtlError, HostId, SegmentGeometry};
+use dtl_dram::{AccessKind, Picos, PowerParams};
+use dtl_trace::{Mixer, WorkloadKind, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one hotness replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotnessRunConfig {
+    /// Trace seed.
+    pub seed: u64,
+    /// Space/time scale versus the paper's 384 GB node (must divide the
+    /// 1024-segment AU by more than the channel count: ≤ 256).
+    pub scale: u64,
+    /// DRAM channels (paper: 4).
+    pub channels: u32,
+    /// Active ranks per channel after power-down (paper: 6 or 8).
+    pub active_ranks: u32,
+    /// Fraction of device capacity allocated to VMs (paper Figure 14:
+    /// 208/224/240 GB of 288 GB, or 304 GB of 384 GB).
+    pub allocated_fraction: f64,
+    /// Applications in the mix.
+    pub n_apps: usize,
+    /// Replay bandwidth in bytes/s (paper: > 30 GB/s).
+    pub target_bw: f64,
+    /// Post-cache accesses to replay.
+    pub accesses: u64,
+    /// Whether the hotness mechanism runs (off = baseline).
+    pub hotness: bool,
+}
+
+impl HotnessRunConfig {
+    /// A Figure 14-style configuration at 1/128 scale.
+    pub fn paper_scaled(seed: u64, active_ranks: u32, allocated_fraction: f64) -> Self {
+        HotnessRunConfig {
+            seed,
+            scale: 128,
+            channels: 4,
+            active_ranks,
+            allocated_fraction,
+            n_apps: 6,
+            target_bw: 30.0e9,
+            accesses: 6_000_000,
+            hotness: true,
+        }
+    }
+
+    /// A fast test configuration.
+    pub fn tiny(seed: u64, hotness: bool) -> Self {
+        HotnessRunConfig {
+            seed,
+            scale: 256,
+            channels: 2,
+            active_ranks: 4,
+            allocated_fraction: 0.6,
+            n_apps: 3,
+            target_bw: 30.0e9,
+            accesses: 1_200_000,
+            hotness,
+        }
+    }
+
+    fn segs_per_rank(&self) -> u64 {
+        // Paper rank: 12 GiB (384 GB / 32 ranks) of 2 MiB segments.
+        6144 / self.scale
+    }
+
+    fn capacity_bytes(&self, segment_bytes: u64) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.active_ranks)
+            * self.segs_per_rank()
+            * segment_bytes
+    }
+}
+
+/// Result of one hotness replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotnessRunResult {
+    /// Total DRAM energy over the replay, millijoules.
+    pub total_energy_mj: f64,
+    /// Background share.
+    pub background_mj: f64,
+    /// Mean DRAM power over the stable phase (final 40 % of the replay,
+    /// after warmup consolidation), milliwatts.
+    pub stable_power_mw: f64,
+    /// Fraction of rank-time spent in self-refresh.
+    pub sr_residency: f64,
+    /// Time of the first self-refresh entry (warmup), if any.
+    pub first_sr_entry: Option<Picos>,
+    /// Self-refresh entries.
+    pub sr_entries: u64,
+    /// Self-refresh exits (ping-pong indicator).
+    pub sr_exits: u64,
+    /// Segment swaps executed.
+    pub swaps_executed: u64,
+    /// Replay length in simulated time.
+    pub duration: Picos,
+    /// Accesses replayed.
+    pub accesses: u64,
+}
+
+/// Replays a mixed trace against a DTL device with only the hotness
+/// mechanism active.
+///
+/// # Errors
+///
+/// Propagates device errors (which indicate harness or device bugs).
+pub fn run_hotness(cfg: &HotnessRunConfig) -> Result<HotnessRunResult, DtlError> {
+    run_hotness_with_threshold_factor(cfg, 1.0)
+}
+
+/// Like [`run_hotness`], but scales the profiling idle threshold by
+/// `factor` relative to the paper's 50 ms default (for the threshold
+/// ablation study).
+///
+/// # Errors
+///
+/// Propagates device errors (which indicate harness or device bugs).
+pub fn run_hotness_with_threshold_factor(
+    cfg: &HotnessRunConfig,
+    factor: f64,
+) -> Result<HotnessRunResult, DtlError> {
+    let mut dtl_cfg = DtlConfig::paper();
+    dtl_cfg.au_bytes = (2 << 30) / cfg.scale;
+    dtl_cfg.profile_window = Picos::from_ps(Picos::from_us(500).as_ps() / cfg.scale);
+    dtl_cfg.profile_threshold = Picos::from_ps(
+        ((Picos::from_ms(50).as_ps() / cfg.scale) as f64 * factor) as u64,
+    );
+    let geo = SegmentGeometry {
+        channels: cfg.channels,
+        ranks_per_channel: cfg.active_ranks,
+        segs_per_rank: cfg.segs_per_rank(),
+    };
+    let mut backend =
+        AnalyticBackend::new(geo, dtl_cfg.segment_bytes, PowerParams::ddr4_128gb_dimm());
+    // Migration must keep its real-time ratio to the (scaled) thresholds.
+    backend.migration_bw_bytes_per_sec *= cfg.scale as f64;
+    let mut dev = DtlDevice::new(dtl_cfg, backend);
+    dev.set_powerdown_enabled(false);
+    dev.set_hotness_enabled(cfg.hotness);
+    dev.register_host(HostId(0))?;
+
+    // Build the application mix: equal working sets adding up to the
+    // allocated fraction, AU-aligned so app-local offsets map through
+    // per-AU base addresses.
+    let capacity = cfg.capacity_bytes(dtl_cfg.segment_bytes);
+    let allocated = (capacity as f64 * cfg.allocated_fraction) as u64;
+    let per_app =
+        (allocated / cfg.n_apps as u64 / dtl_cfg.au_bytes).max(1) * dtl_cfg.au_bytes;
+    let specs: Vec<WorkloadSpec> = WorkloadKind::TRACED
+        .iter()
+        .cycle()
+        .take(cfg.n_apps)
+        .map(|k| {
+            let mut s = k.spec();
+            s.working_set_bytes = per_app;
+            s
+        })
+        .collect();
+    let mut mix = Mixer::new(&specs, cfg.seed);
+    // Allocate one AU at a time, round-robin over the applications and
+    // interleaved with filler AUs that are freed afterwards: live and
+    // unallocated capacity end up *fragmented across all ranks*, exactly
+    // the state a real pool reaches after allocation churn. (A freshly
+    // packed device would leave whole ranks empty and make the hotness
+    // mechanism's job trivial.)
+    let per_app_aus = per_app / dtl_cfg.au_bytes;
+    let total_aus = capacity / dtl_cfg.au_bytes;
+    let filler_aus = total_aus - per_app_aus * cfg.n_apps as u64;
+    let mut app_au_bases: Vec<Vec<dtl_core::HostPhysAddr>> = vec![Vec::new(); cfg.n_apps];
+    let mut fillers = Vec::new();
+    let mut filler_credit = 0.0f64;
+    let filler_per_slot = filler_aus as f64 / (per_app_aus * cfg.n_apps as u64).max(1) as f64;
+    for round in 0..per_app_aus {
+        let _ = round;
+        for bases in app_au_bases.iter_mut() {
+            let vm = dev.alloc_vm(HostId(0), dtl_cfg.au_bytes, Picos::ZERO)?;
+            bases.push(vm.hpa_base(0, dtl_cfg.au_bytes));
+            filler_credit += filler_per_slot;
+            while filler_credit >= 1.0 {
+                filler_credit -= 1.0;
+                let f = dev.alloc_vm(HostId(0), dtl_cfg.au_bytes, Picos::ZERO)?;
+                fillers.push(f.handle);
+            }
+        }
+    }
+    for f in fillers {
+        dev.dealloc_vm(f, Picos::ZERO)?;
+    }
+
+    let dt = Picos::from_ps((64.0 / cfg.target_bw * 1e12) as u64);
+    let tick_every = 256u64;
+    let mut now = Picos::from_ns(1);
+    let mut first_sr_entry = None;
+    let stable_from = cfg.accesses * 6 / 10;
+    let mut stable_start: Option<(Picos, f64)> = None;
+    for i in 0..cfg.accesses {
+        let r = mix.next_record();
+        let local = r.addr - mix.base_of(r.instance);
+        let au_idx = (local / dtl_cfg.au_bytes) as usize;
+        let hpa = app_au_bases[r.instance as usize][au_idx]
+            .offset_by(local % dtl_cfg.au_bytes);
+        let kind = if r.is_write { AccessKind::Write } else { AccessKind::Read };
+        dev.access(HostId(0), hpa, kind, now)?;
+        now += dt;
+        if i % tick_every == 0 {
+            dev.tick(now)?;
+            if first_sr_entry.is_none() && dev.hotness_stats().sr_entries > 0 {
+                first_sr_entry = Some(now);
+            }
+        }
+        if i == stable_from {
+            let rep = dev.power_report(now);
+            stable_start = Some((now, rep.total.total_mj()));
+        }
+    }
+    dev.tick(now)?;
+    dev.check_invariants()?;
+    let report = dev.power_report(now);
+    // Self-refresh residency over all ranks.
+    let mut sr_ps: u128 = 0;
+    for ch in &report.residency {
+        for rank_res in ch {
+            sr_ps += u128::from(rank_res[3].as_ps()); // PowerState::ALL[3] = SelfRefresh
+        }
+    }
+    let total_ps = u128::from(now.as_ps()) * u128::from(geo.channels * geo.ranks_per_channel);
+    let hs = dev.hotness_stats();
+    let (t0, e0) = stable_start.expect("stable point sampled");
+    let stable_power_mw = (report.total.total_mj() - e0) / (now - t0).as_secs_f64();
+    Ok(HotnessRunResult {
+        total_energy_mj: report.total.total_mj(),
+        background_mj: report.total.background_mj,
+        stable_power_mw,
+        sr_residency: sr_ps as f64 / total_ps as f64,
+        first_sr_entry,
+        sr_entries: hs.sr_entries,
+        sr_exits: hs.sr_exits,
+        swaps_executed: dev.migration_stats().completed,
+        duration: now,
+        accesses: cfg.accesses,
+    })
+}
+
+/// Runs baseline (hotness off) and treatment (hotness on) with identical
+/// traffic; returns `(baseline, treatment, stable_saving_fraction)`.
+///
+/// The saving compares **stable-phase power** — the paper's Figure 14
+/// likewise reports stable-phase savings; warmup consolidation energy
+/// amortizes over the minutes-to-hours that datacenter access patterns
+/// stay stable (§6.3).
+///
+/// # Errors
+///
+/// Propagates device errors from either replay.
+pub fn hotness_savings(
+    cfg: &HotnessRunConfig,
+) -> Result<(HotnessRunResult, HotnessRunResult, f64), DtlError> {
+    let off = run_hotness(&HotnessRunConfig { hotness: false, ..*cfg })?;
+    let on = run_hotness(&HotnessRunConfig { hotness: true, ..*cfg })?;
+    let saving = 1.0 - on.stable_power_mw / off.stable_power_mw;
+    Ok((off, on, saving))
+}
+
+/// Result of the self-refresh re-entry study (paper §3.4: "a reactivated
+/// rank requires only a small amount of data migration to re-enter the
+/// self-refresh mode", because most victim segments stay cold).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReentryResult {
+    /// Segment migrations executed before the first self-refresh entries.
+    pub initial_migrations: u64,
+    /// Probes issued until one landed on a self-refreshing rank.
+    pub probes_to_wake: u64,
+    /// Migrations executed between the forced wake and re-entry.
+    pub reentry_migrations: u64,
+    /// Time from the wake to re-entry.
+    pub reentry_time: Picos,
+    /// Self-refresh entries observed in total.
+    pub sr_entries: u64,
+}
+
+/// Runs the re-entry study: replay until the victim ranks sit in
+/// self-refresh, wake one by touching its (live) contents, keep replaying,
+/// and measure how much migration the re-entry needs.
+///
+/// # Errors
+///
+/// Propagates device errors; fails with [`DtlError::Internal`] if the
+/// replay never reaches self-refresh or never re-enters (use a config that
+/// is known to, e.g. [`HotnessRunConfig::tiny`] with a denser allocation).
+pub fn run_reentry(cfg: &HotnessRunConfig) -> Result<ReentryResult, DtlError> {
+    let mut dtl_cfg = DtlConfig::paper();
+    dtl_cfg.au_bytes = (2 << 30) / cfg.scale;
+    dtl_cfg.profile_window = Picos::from_ps(Picos::from_us(500).as_ps() / cfg.scale);
+    dtl_cfg.profile_threshold = Picos::from_ps(Picos::from_ms(50).as_ps() / cfg.scale);
+    let geo = SegmentGeometry {
+        channels: cfg.channels,
+        ranks_per_channel: cfg.active_ranks,
+        segs_per_rank: cfg.segs_per_rank(),
+    };
+    let mut backend =
+        AnalyticBackend::new(geo, dtl_cfg.segment_bytes, PowerParams::ddr4_128gb_dimm());
+    backend.migration_bw_bytes_per_sec *= cfg.scale as f64;
+    let mut dev = DtlDevice::new(dtl_cfg, backend);
+    dev.set_powerdown_enabled(false);
+    dev.set_hotness_enabled(true);
+    dev.register_host(HostId(0))?;
+    let capacity = cfg.capacity_bytes(dtl_cfg.segment_bytes);
+    let allocated = (capacity as f64 * cfg.allocated_fraction) as u64;
+    let per_app =
+        (allocated / cfg.n_apps as u64 / dtl_cfg.au_bytes).max(1) * dtl_cfg.au_bytes;
+    let specs: Vec<WorkloadSpec> = WorkloadKind::TRACED
+        .iter()
+        .cycle()
+        .take(cfg.n_apps)
+        .map(|k| {
+            let mut s = k.spec();
+            s.working_set_bytes = per_app;
+            s
+        })
+        .collect();
+    let mut mix = Mixer::new(&specs, cfg.seed);
+    let per_app_aus = per_app / dtl_cfg.au_bytes;
+    let total_aus = capacity / dtl_cfg.au_bytes;
+    let filler_aus = total_aus - per_app_aus * cfg.n_apps as u64;
+    let mut app_au_bases: Vec<Vec<dtl_core::HostPhysAddr>> = vec![Vec::new(); cfg.n_apps];
+    let mut fillers = Vec::new();
+    let mut credit = 0.0f64;
+    let per_slot = filler_aus as f64 / (per_app_aus * cfg.n_apps as u64).max(1) as f64;
+    for _ in 0..per_app_aus {
+        for bases in app_au_bases.iter_mut() {
+            let vm = dev.alloc_vm(HostId(0), dtl_cfg.au_bytes, Picos::ZERO)?;
+            bases.push(vm.hpa_base(0, dtl_cfg.au_bytes));
+            credit += per_slot;
+            while credit >= 1.0 {
+                credit -= 1.0;
+                fillers.push(dev.alloc_vm(HostId(0), dtl_cfg.au_bytes, Picos::ZERO)?.handle);
+            }
+        }
+    }
+    for f in fillers {
+        dev.dealloc_vm(f, Picos::ZERO)?;
+    }
+
+    let dt = Picos::from_ps((64.0 / cfg.target_bw * 1e12) as u64);
+    let mut now = Picos::from_ns(1);
+    let replay = |dev: &mut DtlDevice<AnalyticBackend>,
+                      mix: &mut Mixer,
+                      now: &mut Picos,
+                      steps: u64|
+     -> Result<(), DtlError> {
+        for i in 0..steps {
+            let r = mix.next_record();
+            let local = r.addr - mix.base_of(r.instance);
+            let au_idx = (local / dtl_cfg.au_bytes) as usize;
+            let hpa = app_au_bases[r.instance as usize][au_idx]
+                .offset_by(local % dtl_cfg.au_bytes);
+            let kind = if r.is_write { AccessKind::Write } else { AccessKind::Read };
+            dev.access(HostId(0), hpa, kind, *now)?;
+            *now += dt;
+            if i % 256 == 0 {
+                dev.tick(*now)?;
+            }
+        }
+        Ok(())
+    };
+
+    // Phase 1: reach stable self-refresh on every channel.
+    let mut budget = cfg.accesses;
+    while dev.hotness_stats().sr_entries < u64::from(cfg.channels) && budget > 0 {
+        replay(&mut dev, &mut mix, &mut now, 100_000.min(budget))?;
+        budget = budget.saturating_sub(100_000);
+    }
+    if dev.hotness_stats().sr_entries < u64::from(cfg.channels) {
+        return Err(DtlError::Internal {
+            reason: "replay never reached stable self-refresh".into(),
+        });
+    }
+    let initial_migrations = dev.migration_stats().completed;
+    let entries_before = dev.hotness_stats().sr_entries;
+    let exits_before = dev.hotness_stats().sr_exits;
+
+    // Phase 2: probe until an access lands on a self-refreshing rank (the
+    // probe itself is the wake). Walk every segment of every app.
+    let mut probes = 0u64;
+    'probe: for (app, bases) in app_au_bases.iter().enumerate() {
+        let _ = app;
+        for (ai, base) in bases.iter().enumerate() {
+            let _ = ai;
+            for seg in 0..dtl_cfg.segments_per_au() {
+                dev.access(
+                    HostId(0),
+                    base.offset_by(seg * dtl_cfg.segment_bytes),
+                    AccessKind::Read,
+                    now,
+                )?;
+                now += dt;
+                probes += 1;
+                dev.tick(now)?;
+                if dev.hotness_stats().sr_exits > exits_before {
+                    break 'probe;
+                }
+            }
+        }
+    }
+    if dev.hotness_stats().sr_exits == exits_before {
+        return Err(DtlError::Internal {
+            reason: "no probe reached a self-refreshing rank (victims hold no live data)".into(),
+        });
+    }
+    let wake_time = now;
+    let migrations_at_wake = dev.migration_stats().completed;
+
+    // Phase 3: keep replaying until the woken rank re-enters.
+    let mut budget = cfg.accesses;
+    while dev.hotness_stats().sr_entries == entries_before && budget > 0 {
+        replay(&mut dev, &mut mix, &mut now, 50_000.min(budget))?;
+        budget = budget.saturating_sub(50_000);
+    }
+    if dev.hotness_stats().sr_entries == entries_before {
+        return Err(DtlError::Internal { reason: "woken rank never re-entered".into() });
+    }
+    dev.check_invariants()?;
+    Ok(ReentryResult {
+        initial_migrations,
+        probes_to_wake: probes,
+        reentry_migrations: dev.migration_stats().completed - migrations_at_wake,
+        reentry_time: now - wake_time,
+        sr_entries: dev.hotness_stats().sr_entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotness_enters_self_refresh_and_saves_energy() {
+        let (off, on, saving) = hotness_savings(&HotnessRunConfig::tiny(5, true)).unwrap();
+        assert_eq!(off.sr_entries, 0, "baseline never self-refreshes");
+        assert!(on.sr_entries > 0, "treatment must reach self-refresh: {on:?}");
+        assert!(on.sr_residency > 0.02, "SR residency {}", on.sr_residency);
+        assert!(saving > 0.0, "saving {saving}");
+        assert!(on.first_sr_entry.is_some());
+    }
+
+    #[test]
+    fn nearly_full_device_struggles_to_self_refresh() {
+        let loose = HotnessRunConfig::tiny(5, true);
+        let tight = HotnessRunConfig { allocated_fraction: 0.95, ..loose };
+        let l = run_hotness(&loose).unwrap();
+        let t = run_hotness(&tight).unwrap();
+        // The paper's Figure 14 contrast: scarce unallocated capacity makes
+        // cold collection harder. Our workload model includes dormant
+        // (allocated-but-cold) regions, which soften the paper's cliff —
+        // the tight configuration may still reach self-refresh — but it
+        // must never do *better* than the loose one beyond noise.
+        assert!(
+            t.sr_residency <= l.sr_residency + 0.02,
+            "tight {} vs loose {}",
+            t.sr_residency,
+            l.sr_residency
+        );
+        assert!(l.sr_entries > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_hotness(&HotnessRunConfig::tiny(9, true)).unwrap();
+        let b = run_hotness(&HotnessRunConfig::tiny(9, true)).unwrap();
+        assert_eq!(a.total_energy_mj, b.total_energy_mj);
+        assert_eq!(a.sr_entries, b.sr_entries);
+    }
+
+    #[test]
+    fn reentry_needs_little_migration() {
+        // The §3.4 claim: after a wake, most victim segments are still
+        // cold, so re-entering self-refresh is cheap.
+        let cfg = HotnessRunConfig {
+            allocated_fraction: 0.8,
+            accesses: 2_000_000,
+            ..HotnessRunConfig::tiny(5, true)
+        };
+        let r = run_reentry(&cfg).unwrap();
+        assert!(r.sr_entries > cfg.channels as u64, "{r:?}");
+        assert!(
+            r.reentry_migrations <= r.initial_migrations.max(4),
+            "re-entry should be no more expensive than warmup: {r:?}"
+        );
+        assert!(r.reentry_time > Picos::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod drift_tests {
+    use super::*;
+    use dtl_core::DtlDevice;
+    use dtl_trace::TraceGen;
+
+    /// When the access pattern shifts (hot set drifts), the hotness engine
+    /// adapts: the parked victim gets touched, wakes, and a new
+    /// consolidation round re-establishes self-refresh.
+    #[test]
+    fn engine_adapts_to_pattern_drift() {
+        let scale = 256u64;
+        let mut dtl_cfg = DtlConfig::paper();
+        dtl_cfg.au_bytes = (2u64 << 30) / scale;
+        dtl_cfg.profile_window = Picos::from_ps(Picos::from_us(500).as_ps() / scale);
+        dtl_cfg.profile_threshold = Picos::from_ps(Picos::from_ms(50).as_ps() / scale);
+        let geo = SegmentGeometry { channels: 2, ranks_per_channel: 4, segs_per_rank: 24 };
+        let mut backend =
+            AnalyticBackend::new(geo, dtl_cfg.segment_bytes, PowerParams::ddr4_128gb_dimm());
+        backend.migration_bw_bytes_per_sec *= scale as f64;
+        let mut dev = DtlDevice::new(dtl_cfg, backend);
+        dev.set_powerdown_enabled(false);
+        dev.register_host(dtl_core::HostId(0)).unwrap();
+        // One app covering ~85% of capacity so victims hold live data.
+        let capacity = geo.total_segments() * dtl_cfg.segment_bytes;
+        let ws = (capacity * 85 / 100 / dtl_cfg.au_bytes) * dtl_cfg.au_bytes;
+        let mut spec = dtl_trace::WorkloadKind::DataServing.spec();
+        spec.working_set_bytes = ws;
+        let mut gen = TraceGen::new(spec, 5);
+        let vm = dev.alloc_vm(dtl_core::HostId(0), ws, Picos::ZERO).unwrap();
+        let base = vm.hpa_base(0, dtl_cfg.au_bytes);
+        let dt = Picos::from_ps((64.0 / 30.0e9 * 1e12) as u64);
+        let mut now = Picos::from_ns(1);
+        let replay = |dev: &mut DtlDevice<AnalyticBackend>,
+                          gen: &mut TraceGen,
+                          now: &mut Picos,
+                          n: u64| {
+            for i in 0..n {
+                let r = gen.next_record();
+                dev.access(dtl_core::HostId(0), base.offset_by(r.addr), AccessKind::Read, *now)
+                    .unwrap();
+                *now += dt;
+                if i % 256 == 0 {
+                    dev.tick(*now).unwrap();
+                }
+            }
+        };
+        // Phase 1: reach self-refresh.
+        let mut budget = 3_000_000u64;
+        while dev.hotness_stats().sr_entries < 2 && budget > 0 {
+            replay(&mut dev, &mut gen, &mut now, 100_000);
+            budget -= 100_000;
+        }
+        assert!(dev.hotness_stats().sr_entries >= 2, "{:?}", dev.hotness_stats());
+        let entries_before = dev.hotness_stats().sr_entries;
+        // Phase 2: the pattern shifts hard.
+        gen.drift_hot_set(0.7);
+        let mut budget = 3_000_000u64;
+        while dev.hotness_stats().sr_entries <= entries_before && budget > 0 {
+            replay(&mut dev, &mut gen, &mut now, 100_000);
+            budget -= 100_000;
+        }
+        let hs = dev.hotness_stats();
+        assert!(
+            hs.sr_entries > entries_before,
+            "the engine must re-establish self-refresh after drift: {hs:?}"
+        );
+        dev.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! # dtl-sim — full-system simulation and the experiment library
+//!
+//! Glues the substrates together and reproduces every table and figure of
+//! the paper's evaluation. Each experiment lives in [`experiments`] as a
+//! function returning typed rows; the `dtl-bench` binaries render them.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+mod hotness_run;
+mod perf;
+mod powerdown_run;
+mod report;
+
+pub use hotness_run::{
+    hotness_savings, run_hotness, run_hotness_with_threshold_factor, run_reentry,
+    HotnessRunConfig, HotnessRunResult, ReentryResult,
+};
+pub use perf::PerfModel;
+pub use powerdown_run::{run_schedule, IntervalSample, PowerDownRunConfig, PowerDownRunResult};
+pub use report::{f1, f2, f3, pct, to_json, Table};

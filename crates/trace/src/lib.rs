@@ -1,0 +1,37 @@
+//! # dtl-trace — synthetic workloads and VM schedules
+//!
+//! The DTL paper evaluates with CloudSuite traces (collected with Pin) and
+//! the Microsoft Azure public VM dataset. Neither can be shipped, so this
+//! crate synthesizes statistical twins calibrated to every number the paper
+//! publishes about them:
+//!
+//! * [`WorkloadKind::spec`] — per-benchmark MAPKI (Table 4), stride profile
+//!   (Figure 9) and hot-set shape (Figure 10);
+//! * [`Mixer`] — multi-application mixes over disjoint regions (§5.2);
+//! * [`VmSchedule`] — 6-hour VM alloc/dealloc schedules whose committed
+//!   memory averages below 50 % of the node (Figure 1);
+//! * [`StrideHistogram`] / [`ReuseAnalyzer`] — the measurement tools that
+//!   regenerate Figures 9 and 10 from any stream.
+//!
+//! ```
+//! use dtl_trace::{TraceGen, WorkloadKind};
+//!
+//! let mut gen = TraceGen::new(WorkloadKind::GraphAnalytics.spec().scaled(256), 1);
+//! let burst = gen.take_records(1000);
+//! assert_eq!(burst.len(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod mix;
+mod reuse;
+mod stride;
+mod vm;
+mod workload;
+
+pub use mix::{MixedRecord, Mixer};
+pub use reuse::{ColdFraction, ReuseAnalyzer, COLD_THRESHOLD_INSTRUCTIONS};
+pub use stride::{StrideBucket, StrideHistogram, StrideProfile};
+pub use vm::{NodeConfig, UsageSample, VmEvent, VmEventKind, VmId, VmSchedule, VmSpec};
+pub use workload::{TraceGen, TraceRecord, WorkloadKind, WorkloadSpec, SEGMENT_BYTES};

@@ -1,0 +1,274 @@
+//! Access-stride modeling and measurement (paper Figure 9).
+//!
+//! The paper characterizes post-cache streams by the distance between
+//! consecutive memory accesses, bucketed as `<4 KiB`, `<64 KiB`, `<1 MiB`,
+//! `<4 MiB` and `>=4 MiB`. [`StrideProfile`] drives the synthetic workload
+//! generators; [`StrideHistogram`] measures a stream the same way the paper
+//! does.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Stride buckets used throughout the reproduction, matching Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrideBucket {
+    /// 64 B — sequential line streaming.
+    Line,
+    /// (64 B, 4 KiB] — within-page strides.
+    UpTo4K,
+    /// (4 KiB, 64 KiB].
+    UpTo64K,
+    /// (64 KiB, 1 MiB].
+    UpTo1M,
+    /// (1 MiB, 4 MiB).
+    UpTo4M,
+    /// >= 4 MiB — the bucket that dominates datacenter mixes.
+    AtLeast4M,
+}
+
+impl StrideBucket {
+    /// All buckets in ascending stride order.
+    pub const ALL: [StrideBucket; 6] = [
+        StrideBucket::Line,
+        StrideBucket::UpTo4K,
+        StrideBucket::UpTo64K,
+        StrideBucket::UpTo1M,
+        StrideBucket::UpTo4M,
+        StrideBucket::AtLeast4M,
+    ];
+
+    /// Classifies an absolute stride in bytes.
+    pub fn classify(stride: u64) -> StrideBucket {
+        if stride <= 64 {
+            StrideBucket::Line
+        } else if stride <= 4 << 10 {
+            StrideBucket::UpTo4K
+        } else if stride <= 64 << 10 {
+            StrideBucket::UpTo64K
+        } else if stride <= 1 << 20 {
+            StrideBucket::UpTo1M
+        } else if stride < 4 << 20 {
+            StrideBucket::UpTo4M
+        } else {
+            StrideBucket::AtLeast4M
+        }
+    }
+
+    /// A representative stride (bytes) drawn uniformly from the bucket.
+    pub fn sample_stride<R: Rng>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = match self {
+            StrideBucket::Line => (64, 64),
+            StrideBucket::UpTo4K => (128, 4 << 10),
+            StrideBucket::UpTo64K => ((4 << 10) + 64, 64 << 10),
+            StrideBucket::UpTo1M => ((64 << 10) + 64, 1 << 20),
+            StrideBucket::UpTo4M => ((1 << 20) + 64, (4 << 20) - 64),
+            StrideBucket::AtLeast4M => (4 << 20, 64 << 20),
+        };
+        if lo == hi {
+            lo
+        } else {
+            let s: u64 = rng.gen_range(lo..=hi);
+            s & !63 // line aligned
+        }
+    }
+
+    /// Display label matching the paper's figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrideBucket::Line => "64B",
+            StrideBucket::UpTo4K => "<=4KB",
+            StrideBucket::UpTo64K => "<=64KB",
+            StrideBucket::UpTo1M => "<=1MB",
+            StrideBucket::UpTo4M => "<4MB",
+            StrideBucket::AtLeast4M => ">=4MB",
+        }
+    }
+}
+
+/// A probability distribution over stride buckets.
+///
+/// # Examples
+///
+/// ```
+/// use dtl_trace::StrideProfile;
+///
+/// assert!(StrideProfile::sequential().is_normalized());
+/// assert!(StrideProfile::wide().mass[5] > StrideProfile::sequential().mass[5]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrideProfile {
+    /// Probability mass per bucket, in [`StrideBucket::ALL`] order. Must sum
+    /// to ~1.
+    pub mass: [f64; 6],
+}
+
+impl StrideProfile {
+    /// A profile dominated by sequential streaming (media-streaming style).
+    pub fn sequential() -> Self {
+        StrideProfile { mass: [0.70, 0.15, 0.06, 0.04, 0.02, 0.03] }
+    }
+
+    /// Narrow strides with some page-level jumps (data-serving style).
+    pub fn narrow() -> Self {
+        StrideProfile { mass: [0.40, 0.30, 0.12, 0.08, 0.04, 0.06] }
+    }
+
+    /// Mixed strides (analytics style).
+    pub fn mixed() -> Self {
+        StrideProfile { mass: [0.12, 0.13, 0.12, 0.10, 0.08, 0.45] }
+    }
+
+    /// Wide random access (graph / search style).
+    pub fn wide() -> Self {
+        StrideProfile { mass: [0.05, 0.06, 0.06, 0.06, 0.07, 0.70] }
+    }
+
+    /// Samples a bucket.
+    pub fn sample_bucket<R: Rng>(&self, rng: &mut R) -> StrideBucket {
+        let mut x: f64 = rng.gen();
+        for (i, m) in self.mass.iter().enumerate() {
+            if x < *m {
+                return StrideBucket::ALL[i];
+            }
+            x -= m;
+        }
+        StrideBucket::AtLeast4M
+    }
+
+    /// Checks the mass sums to 1 within tolerance.
+    pub fn is_normalized(&self) -> bool {
+        (self.mass.iter().sum::<f64>() - 1.0).abs() < 1e-6
+    }
+}
+
+/// Histogram of consecutive-access strides, measured like Figure 9.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrideHistogram {
+    counts: [u64; 6],
+    last_addr: Option<u64>,
+}
+
+impl StrideHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the next access address.
+    pub fn observe(&mut self, addr: u64) {
+        if let Some(prev) = self.last_addr {
+            let stride = addr.abs_diff(prev);
+            let b = StrideBucket::classify(stride);
+            self.counts[Self::index(b)] += 1;
+        }
+        self.last_addr = Some(addr);
+    }
+
+    fn index(b: StrideBucket) -> usize {
+        StrideBucket::ALL.iter().position(|x| *x == b).expect("bucket in ALL")
+    }
+
+    /// Raw count for a bucket.
+    pub fn count(&self, b: StrideBucket) -> u64 {
+        self.counts[Self::index(b)]
+    }
+
+    /// Total strides observed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of strides in `b` (0 if empty).
+    pub fn fraction(&self, b: StrideBucket) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(b) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of strides that are at least 4 MiB (the paper's headline
+    /// statistic: 89.3 % for the 8-application mix).
+    pub fn fraction_at_least_4m(&self) -> f64 {
+        self.fraction(StrideBucket::AtLeast4M)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(StrideBucket::classify(0), StrideBucket::Line);
+        assert_eq!(StrideBucket::classify(64), StrideBucket::Line);
+        assert_eq!(StrideBucket::classify(65), StrideBucket::UpTo4K);
+        assert_eq!(StrideBucket::classify(4096), StrideBucket::UpTo4K);
+        assert_eq!(StrideBucket::classify(4097), StrideBucket::UpTo64K);
+        assert_eq!(StrideBucket::classify(1 << 20), StrideBucket::UpTo1M);
+        assert_eq!(StrideBucket::classify((4 << 20) - 1), StrideBucket::UpTo4M);
+        assert_eq!(StrideBucket::classify(4 << 20), StrideBucket::AtLeast4M);
+    }
+
+    #[test]
+    fn sampled_strides_fall_in_their_bucket() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for b in StrideBucket::ALL {
+            for _ in 0..100 {
+                let s = b.sample_stride(&mut rng);
+                assert_eq!(StrideBucket::classify(s), b, "stride {s} for {b:?}");
+                assert_eq!(s % 64, 0, "strides are line-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn presets_are_normalized() {
+        for p in [
+            StrideProfile::sequential(),
+            StrideProfile::narrow(),
+            StrideProfile::mixed(),
+            StrideProfile::wide(),
+        ] {
+            assert!(p.is_normalized());
+        }
+    }
+
+    #[test]
+    fn sampling_follows_mass() {
+        let p = StrideProfile::wide();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut big = 0;
+        for _ in 0..n {
+            if p.sample_bucket(&mut rng) == StrideBucket::AtLeast4M {
+                big += 1;
+            }
+        }
+        let frac = big as f64 / n as f64;
+        assert!((frac - 0.70).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn histogram_measures_stream() {
+        let mut h = StrideHistogram::new();
+        h.observe(0);
+        h.observe(64); // Line
+        h.observe(128); // Line
+        h.observe(10 << 20); // AtLeast4M
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(StrideBucket::Line), 2);
+        assert!((h.fraction_at_least_4m() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_uses_absolute_stride() {
+        let mut h = StrideHistogram::new();
+        h.observe(10 << 20);
+        h.observe(0); // backwards 10 MiB
+        assert_eq!(h.count(StrideBucket::AtLeast4M), 1);
+    }
+}

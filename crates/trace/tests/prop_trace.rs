@@ -1,0 +1,89 @@
+//! Property tests on the trace substrates: generator envelope properties,
+//! mixer ordering/partitioning, and schedule accounting.
+
+use dtl_trace::{
+    Mixer, NodeConfig, TraceGen, VmEventKind, VmSchedule, WorkloadKind, SEGMENT_BYTES,
+};
+use proptest::prelude::*;
+
+fn kinds() -> Vec<WorkloadKind> {
+    WorkloadKind::ALL.to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated addresses are always line-aligned and inside the working
+    /// set, for every workload and seed.
+    #[test]
+    fn generator_envelope(seed in 0u64..1000, kind_idx in 0usize..10) {
+        let spec = kinds()[kind_idx].spec().scaled(512);
+        let mut gen = TraceGen::new(spec, seed);
+        for r in gen.take_records(2000) {
+            prop_assert!(r.addr < spec.working_set_bytes);
+            prop_assert_eq!(r.addr % 64, 0);
+        }
+    }
+
+    /// MAPKI holds within 15% for every workload and seed.
+    #[test]
+    fn generator_mapki_envelope(seed in 0u64..100, kind_idx in 0usize..10) {
+        let spec = kinds()[kind_idx].spec().scaled(512);
+        let mut gen = TraceGen::new(spec, seed);
+        let n = 20_000usize;
+        let recs = gen.take_records(n);
+        let mapki = n as f64 * 1000.0 / recs.last().unwrap().icount as f64;
+        prop_assert!(
+            (mapki - spec.mapki).abs() / spec.mapki < 0.15,
+            "{:?}: {} vs {}", kinds()[kind_idx], mapki, spec.mapki
+        );
+    }
+
+    /// Mixed streams are icount-ordered and every record belongs to its
+    /// instance's region.
+    #[test]
+    fn mixer_partition(seed in 0u64..500, n_apps in 2usize..8) {
+        let specs: Vec<_> = kinds().into_iter().take(n_apps).map(|k| k.spec().scaled(512)).collect();
+        let mut mix = Mixer::new(&specs, seed);
+        let mut last = 0u64;
+        for _ in 0..3000 {
+            let r = mix.next_record();
+            prop_assert!(r.icount >= last);
+            last = r.icount;
+            let base = mix.base_of(r.instance);
+            prop_assert!(r.addr >= base);
+            prop_assert!(r.addr < base + specs[r.instance as usize].working_set_bytes);
+            prop_assert_eq!(base % SEGMENT_BYTES, 0);
+        }
+    }
+
+    /// Schedules never exceed node capacity, balance alloc/dealloc, and
+    /// keep committed memory non-negative at every instant.
+    #[test]
+    fn schedule_accounting(seed in 0u64..500, hours in 1u32..8) {
+        let node = NodeConfig::paper();
+        let s = VmSchedule::synthesize(seed, node, hours * 60);
+        let mut mem = 0i128;
+        let mut vcpus = 0i64;
+        let mut specs = std::collections::HashMap::new();
+        for e in s.events() {
+            match e.kind {
+                VmEventKind::Alloc(vm) => {
+                    mem += i128::from(vm.mem_bytes);
+                    vcpus += i64::from(vm.vcpus);
+                    specs.insert(vm.id, vm);
+                }
+                VmEventKind::Dealloc(id) => {
+                    let vm = specs.remove(&id).expect("balanced");
+                    mem -= i128::from(vm.mem_bytes);
+                    vcpus -= i64::from(vm.vcpus);
+                }
+            }
+            prop_assert!(mem >= 0 && vcpus >= 0);
+            prop_assert!(mem <= i128::from(node.mem_bytes));
+            prop_assert!(vcpus <= i64::from(node.vcpus));
+        }
+        prop_assert_eq!(mem, 0, "everything deallocated at the end");
+        prop_assert!(specs.is_empty());
+    }
+}

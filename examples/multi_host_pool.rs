@@ -1,0 +1,75 @@
+//! A pooled CXL memory device shared by three compute hosts: per-host
+//! quotas, ballooning, and the management-plane snapshot a pool operator
+//! would watch.
+//!
+//! ```sh
+//! cargo run --release --example multi_host_pool
+//! ```
+
+use dtl_core::{DtlConfig, DtlDevice, DtlError, HostId, HotnessRole};
+use dtl_dram::Picos;
+
+fn print_pool(dev: &DtlDevice<dtl_core::AnalyticBackend>, label: &str) {
+    let snap = dev.snapshot();
+    println!("\n== {label} ==");
+    for h in &snap.hosts {
+        println!("  {}: {} VMs, {} AUs mapped", h.host, h.vms, h.aus);
+    }
+    for r in &snap.ranks {
+        let role = match r.hotness {
+            HotnessRole::SelfRefreshing => " [self-refresh]",
+            HotnessRole::Victim => " [hotness victim]",
+            HotnessRole::None => "",
+        };
+        println!(
+            "  ch{}/rk{}: {:?}/{:?} {}live/{}free{}",
+            r.channel, r.rank, r.power, r.lifecycle, r.allocated_segments, r.free_segments, role
+        );
+    }
+    println!(
+        "  mapped segments: {}; migrations pending: {}",
+        snap.mapped_segments, snap.migrations_pending
+    );
+}
+
+fn main() -> Result<(), DtlError> {
+    let cfg = DtlConfig::tiny();
+    let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+    for h in 0..3 {
+        dev.register_host(HostId(h))?;
+    }
+    // Host 2 is a noisy neighbor: cap it at 2 AUs.
+    dev.set_host_quota(HostId(2), Some(2))?;
+
+    let mut now = Picos::from_us(1);
+    let a = dev.alloc_vm(HostId(0), 2 * cfg.au_bytes, now)?;
+    let b = dev.alloc_vm(HostId(1), cfg.au_bytes, now)?;
+    let c = dev.alloc_vm(HostId(2), 2 * cfg.au_bytes, now)?;
+    print_pool(&dev, "three tenants up");
+
+    // The capped host wants more and is refused; host 1 balloons instead.
+    match dev.alloc_vm(HostId(2), cfg.au_bytes, now) {
+        Err(e) => println!("\nhost2 denied: {e}"),
+        Ok(_) => unreachable!("quota must gate this"),
+    }
+    dev.grow_vm(b.handle, cfg.au_bytes, now)?;
+    print_pool(&dev, "after host1 ballooned up");
+
+    // Two tenants leave; the pool consolidates and powers ranks down.
+    dev.dealloc_vm(a.handle, now)?;
+    dev.dealloc_vm(c.handle, now)?;
+    for _ in 0..100 {
+        now += Picos::from_ms(1);
+        dev.tick(now)?;
+    }
+    print_pool(&dev, "after departures (rank groups in MPSM)");
+
+    let report = dev.power_report(now);
+    println!(
+        "\nbackground energy so far: {:.1} mJ (all-standby would be {:.1} mJ)",
+        report.total.background_mj,
+        1250.0 * 8.0 * now.as_secs_f64()
+    );
+    dev.check_invariants()?;
+    Ok(())
+}

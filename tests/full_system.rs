@@ -1,0 +1,144 @@
+//! Capstone integration: everything at once. A multi-host pool serves live
+//! traffic while VMs come and go, balloon up and down, both power
+//! mechanisms run, and a rank is retired mid-flight — over a long
+//! deterministic replay with invariants checked throughout and energy
+//! strictly below an all-standby baseline.
+
+use dtl_core::{
+    AnalyticBackend, DtlConfig, DtlDevice, DtlError, HostId, VmAllocation,
+};
+use dtl_dram::{AccessKind, Picos, PowerState};
+use dtl_trace::{TraceGen, WorkloadKind};
+
+struct Tenant {
+    host: HostId,
+    vm: VmAllocation,
+    gen: TraceGen,
+}
+
+#[test]
+fn everything_at_once() {
+    let cfg = DtlConfig::tiny();
+    let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+    for h in 0..3 {
+        dev.register_host(HostId(h)).unwrap();
+    }
+    dev.set_host_quota(HostId(2), Some(3)).unwrap();
+
+    let mut tenants: Vec<Tenant> = Vec::new();
+    let mut now = Picos::from_us(1);
+    let dt = Picos::from_ns(300);
+    let spawn = |dev: &mut DtlDevice<AnalyticBackend>,
+                     host: u16,
+                     aus: u64,
+                     seed: u64,
+                     now: Picos|
+     -> Result<Tenant, DtlError> {
+        let vm = dev.alloc_vm(HostId(host), aus * cfg.au_bytes, now)?;
+        let mut spec = WorkloadKind::TRACED[(seed % 8) as usize].spec();
+        // The generator's segment granularity is the paper's 2 MiB; give
+        // it a valid working set and fold addresses onto the VM's AUs.
+        spec.working_set_bytes = vm.bytes.max(16 << 20);
+        Ok(Tenant { host: HostId(host), vm, gen: TraceGen::new(spec, seed) })
+    };
+
+    // Boot three tenants.
+    for (h, aus, seed) in [(0u16, 2u64, 1u64), (1, 2, 2), (2, 1, 3)] {
+        tenants.push(spawn(&mut dev, h, aus, seed, now).unwrap());
+    }
+
+    let mut checkpoints = 0;
+    for round in 0..60_000u64 {
+        // Traffic: one access per live tenant per round.
+        for t in &mut tenants {
+            let r = t.gen.next_record();
+            let au_idx = (r.addr / cfg.au_bytes) as usize % t.vm.aus.len();
+            let hpa = t.vm.hpa_base(au_idx, cfg.au_bytes).offset_by(r.addr % cfg.au_bytes);
+            let kind = if r.is_write { AccessKind::Write } else { AccessKind::Read };
+            dev.access(t.host, hpa, kind, now).unwrap();
+        }
+        now += dt;
+        if round % 64 == 0 {
+            dev.tick(now).unwrap();
+        }
+        // Lifecycle events at fixed points.
+        match round {
+            10_000 => {
+                // Tenant 1 balloons up; its generator keeps its region.
+                let t = &mut tenants[1];
+                dev.grow_vm(t.vm.handle, cfg.au_bytes, now).unwrap();
+                let grown = dev.snapshot();
+                assert!(grown.hosts.iter().any(|h| h.aus >= 3));
+            }
+            20_000 => {
+                // Tenant 0 leaves; power-down reclaims.
+                let t = tenants.remove(0);
+                dev.dealloc_vm(t.vm.handle, now).unwrap();
+            }
+            30_000 => {
+                // A rank starts failing: retire whichever rank holds
+                // tenant data right now.
+                let probe = tenants[0].vm.hpa_base(0, cfg.au_bytes);
+                let out = dev.access(tenants[0].host, probe, AccessKind::Read, now).unwrap();
+                let loc = dev.geometry().location(out.dsn);
+                dev.retire_rank(loc.channel, loc.rank, now).unwrap();
+            }
+            40_000 => {
+                // A new tenant arrives (may need rank wake-ups).
+                if let Ok(t) = spawn(&mut dev, 0, 2, 9, now) {
+                    tenants.push(t);
+                }
+            }
+            50_000 => {
+                // Tenant with the quota shifts its pattern.
+                tenants[0].gen.drift_hot_set(0.5);
+            }
+            _ => {}
+        }
+        if round % 5_000 == 0 {
+            dev.check_invariants().unwrap();
+            checkpoints += 1;
+        }
+    }
+    assert!(checkpoints >= 12);
+
+    // Drain all outstanding migrations.
+    for _ in 0..300 {
+        now += Picos::from_ms(1);
+        dev.tick(now).unwrap();
+    }
+    dev.check_invariants().unwrap();
+
+    // The mechanisms actually did things.
+    let pd = dev.powerdown_stats();
+    let hs = dev.hotness_stats();
+    let ms = dev.migration_stats();
+    assert!(pd.ranks_retired >= 1, "{pd:?}");
+    assert!(pd.groups_powered_down >= 1, "{pd:?}");
+    assert!(hs.sr_entries >= 1, "{hs:?}");
+    assert!(ms.completed >= 1, "{ms:?}");
+
+    // Energy sits strictly below the all-standby baseline.
+    let report = dev.power_report(now);
+    let standby_mw = 1250.0 * 8.0;
+    let baseline_mj = standby_mw * now.as_secs_f64();
+    assert!(
+        report.total.background_mj < baseline_mj * 0.98,
+        "background {} vs baseline {}",
+        report.total.background_mj,
+        baseline_mj
+    );
+
+    // Every surviving tenant's memory is intact (translatable end to end).
+    for t in &tenants {
+        for (i, _) in t.vm.aus.iter().enumerate() {
+            let hpa = t.vm.hpa_base(i, cfg.au_bytes);
+            dev.access(t.host, hpa, AccessKind::Read, now).unwrap();
+        }
+    }
+
+    // And at least one rank is off (MPSM) while tenants keep running.
+    let snap = dev.snapshot();
+    assert!(snap.ranks.iter().any(|r| r.power == PowerState::Mpsm));
+    assert!(snap.hosts.iter().map(|h| h.vms).sum::<u32>() >= 2);
+}

@@ -1,0 +1,117 @@
+//! Multi-host pooled-memory integration: several compute nodes share one
+//! DTL device. Address spaces are isolated by construction (the HSN keys
+//! on host id — the paper's security argument), capacity is shared, and
+//! power management acts on the pool as a whole.
+
+use dtl_core::{DtlConfig, DtlDevice, DtlError, HostId, HostPhysAddr, MemoryBackend};
+use dtl_dram::{AccessKind, Picos, PowerState};
+
+fn device() -> DtlDevice<dtl_core::AnalyticBackend> {
+    let cfg = DtlConfig::tiny();
+    let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+    for h in 0..4 {
+        dev.register_host(HostId(h)).unwrap();
+    }
+    dev
+}
+
+#[test]
+fn hosts_have_disjoint_address_spaces() {
+    let mut dev = device();
+    let au = dev.config().au_bytes;
+    let a = dev.alloc_vm(HostId(0), au, Picos::ZERO).unwrap();
+    let b = dev.alloc_vm(HostId(1), au, Picos::ZERO).unwrap();
+    // Both hosts see HPA 0 as their own first AU...
+    assert_eq!(a.hpa_base(0, au), b.hpa_base(0, au));
+    // ...but the device maps them to different segments.
+    let da = dev.access(HostId(0), a.hpa_base(0, au), AccessKind::Read, Picos::from_us(1)).unwrap();
+    let db = dev.access(HostId(1), b.hpa_base(0, au), AccessKind::Read, Picos::from_us(2)).unwrap();
+    assert_ne!(da.dsn, db.dsn, "host address spaces must not alias");
+    dev.check_invariants().unwrap();
+}
+
+#[test]
+fn host_cannot_reach_another_hosts_memory() {
+    let mut dev = device();
+    let au = dev.config().au_bytes;
+    let _a = dev.alloc_vm(HostId(0), au, Picos::ZERO).unwrap();
+    // Host 1 has no allocation: every address is unmapped *for host 1*,
+    // including the HPA that is valid for host 0.
+    let err = dev.access(HostId(1), HostPhysAddr::new(0), AccessKind::Read, Picos::from_us(1));
+    assert!(matches!(err, Err(DtlError::UnmappedAddress { host, .. }) if host == HostId(1)));
+}
+
+#[test]
+fn pool_capacity_is_shared_and_reclaimed_across_hosts() {
+    let mut dev = device();
+    dev.set_hotness_enabled(false);
+    let au = dev.config().au_bytes;
+    // Device: 256 segments = 8 AUs of 32 segments; split across 4 hosts.
+    let mut vms = Vec::new();
+    for h in 0..4u16 {
+        for _ in 0..2 {
+            vms.push((HostId(h), dev.alloc_vm(HostId(h), au, Picos::ZERO).unwrap()));
+        }
+    }
+    assert!(matches!(
+        dev.alloc_vm(HostId(0), au, Picos::ZERO),
+        Err(DtlError::OutOfCapacity { .. })
+    ));
+    // Two hosts leave; their capacity consolidates into powered-down ranks.
+    let mut t = Picos::from_us(1);
+    for (h, vm) in vms.drain(0..4) {
+        dev.dealloc_vm(vm.handle, t).unwrap();
+        let _ = h;
+        t += Picos::from_us(1);
+    }
+    for _ in 0..100 {
+        t += Picos::from_ms(1);
+        dev.tick(t).unwrap();
+    }
+    assert!(dev.powerdown_stats().groups_powered_down > 0);
+    // A third host can use the reclaimed capacity (waking ranks as needed).
+    let c = dev.alloc_vm(HostId(3), 2 * au, t).unwrap();
+    assert_eq!(c.aus.len(), 2);
+    dev.check_invariants().unwrap();
+}
+
+#[test]
+fn unregistered_host_is_rejected_everywhere() {
+    let mut dev = device();
+    let ghost = HostId(9);
+    assert!(matches!(dev.alloc_vm(ghost, 1, Picos::ZERO), Err(DtlError::UnknownHost(_))));
+    assert!(matches!(
+        dev.access(ghost, HostPhysAddr::new(0), AccessKind::Read, Picos::ZERO),
+        Err(DtlError::UnknownHost(_))
+    ));
+}
+
+#[test]
+fn retirement_is_transparent_to_all_hosts() {
+    let mut dev = device();
+    dev.set_hotness_enabled(false);
+    dev.set_powerdown_enabled(false);
+    let au = dev.config().au_bytes;
+    let vms: Vec<_> =
+        (0..3u16).map(|h| (h, dev.alloc_vm(HostId(h), au, Picos::ZERO).unwrap())).collect();
+    // Find a rank holding host 0's data and retire it.
+    let out = dev
+        .access(HostId(0), vms[0].1.hpa_base(0, au), AccessKind::Read, Picos::from_us(1))
+        .unwrap();
+    let loc = dev.geometry().location(out.dsn);
+    dev.retire_rank(loc.channel, loc.rank, Picos::from_us(2)).unwrap();
+    let mut t = Picos::from_us(3);
+    for _ in 0..200 {
+        t += Picos::from_ms(1);
+        dev.tick(t).unwrap();
+        if dev.migrations_pending() == 0 {
+            break;
+        }
+    }
+    assert_eq!(dev.backend().rank_state(loc.channel, loc.rank), PowerState::Mpsm);
+    // Every host's memory is still reachable at unchanged HPAs.
+    for (h, vm) in &vms {
+        dev.access(HostId(*h), vm.hpa_base(0, au), AccessKind::Read, t).unwrap();
+    }
+    dev.check_invariants().unwrap();
+}
