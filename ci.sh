@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Run from the repository root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "ci: all green"

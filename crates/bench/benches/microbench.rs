@@ -6,12 +6,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dtl_cache::{CacheHierarchy, HierarchyConfig};
 use dtl_core::{
-    AuId, DtlConfig, DtlDevice, Dsn, HostId, HotnessEngine, HotnessParams, Hsn,
-    SegmentAllocator, SegmentGeometry, SegmentLocation, SegmentMappingCache,
+    AuId, Dsn, DtlConfig, DtlDevice, HostId, HotnessEngine, HotnessParams, Hsn, SegmentAllocator,
+    SegmentGeometry, SegmentLocation, SegmentMappingCache,
 };
-use dtl_dram::{
-    AccessKind, AddressMapping, DramConfig, DramSystem, PhysAddr, Picos, Priority,
-};
+use dtl_dram::{AccessKind, AddressMapping, DramConfig, DramSystem, PhysAddr, Picos, Priority};
 use dtl_trace::{TraceGen, WorkloadKind};
 
 fn bench_smc(c: &mut Criterion) {
@@ -19,7 +17,10 @@ fn bench_smc(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     let mut smc = SegmentMappingCache::paper();
     for i in 0..2048u32 {
-        smc.fill(Hsn { host: HostId(0), au: AuId(i / 1024), au_offset: i % 1024 }, Dsn(u64::from(i)));
+        smc.fill(
+            Hsn { host: HostId(0), au: AuId(i / 1024), au_offset: i % 1024 },
+            Dsn(u64::from(i)),
+        );
     }
     let mut i = 0u32;
     g.bench_function("lookup_mixed", |b| {

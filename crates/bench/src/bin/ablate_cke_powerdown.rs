@@ -103,7 +103,7 @@ fn main() {
     let requests = if quick { 20_000 } else { 120_000 };
     let p = PowerParams::ddr4_128gb_dimm();
     let pd_factor = 1.0 - p.factor(PowerState::PrechargePowerDown); // 0.65 reclaimable
-    // The DTL's Figure 12 background saving at the same occupancy.
+                                                                    // The DTL's Figure 12 background saving at the same occupancy.
     let dtl_saving = 0.457;
     let timeouts = [100u64, 1_000, 10_000];
     let mut rows = Vec::new();

@@ -61,13 +61,8 @@ fn main() {
 /// Runs the hotness replay with the profiling threshold scaled by `factor`
 /// relative to the paper's 50 ms default, extending the replay so longer
 /// thresholds still see several threshold windows.
-fn run_hotness_with_threshold(
-    base: &HotnessRunConfig,
-    factor: f64,
-) -> dtl_sim::HotnessRunResult {
-    let cfg = HotnessRunConfig {
-        accesses: (base.accesses as f64 * factor.max(1.0)) as u64,
-        ..*base
-    };
+fn run_hotness_with_threshold(base: &HotnessRunConfig, factor: f64) -> dtl_sim::HotnessRunResult {
+    let cfg =
+        HotnessRunConfig { accesses: (base.accesses as f64 * factor.max(1.0)) as u64, ..*base };
     dtl_sim::run_hotness_with_threshold_factor(&cfg, factor).expect("hotness replay")
 }

@@ -8,9 +8,7 @@
 //! paper's design avoids.
 
 use dtl_bench::emit;
-use dtl_dram::{
-    AccessKind, AddressMapping, DramConfig, DramSystem, PhysAddr, Picos, Priority,
-};
+use dtl_dram::{AccessKind, AddressMapping, DramConfig, DramSystem, PhysAddr, Picos, Priority};
 use dtl_sim::{f1, to_json, Table};
 use dtl_trace::{TraceGen, WorkloadKind};
 use serde::Serialize;
@@ -32,10 +30,20 @@ fn run(policy_background: bool, requests: u64) -> Row {
     let seg = 256u64 << 10;
     let mig_priority = if policy_background { Priority::Migration } else { Priority::Foreground };
     for i in 0..(seg / 64) {
-        sys.submit(PhysAddr::new((cap / 2 + i * 64) % cap), AccessKind::Read, mig_priority, Picos::ZERO)
-            .unwrap();
-        sys.submit(PhysAddr::new((cap / 2 + seg + i * 64) % cap), AccessKind::Write, mig_priority, Picos::ZERO)
-            .unwrap();
+        sys.submit(
+            PhysAddr::new((cap / 2 + i * 64) % cap),
+            AccessKind::Read,
+            mig_priority,
+            Picos::ZERO,
+        )
+        .unwrap();
+        sys.submit(
+            PhysAddr::new((cap / 2 + seg + i * 64) % cap),
+            AccessKind::Write,
+            mig_priority,
+            Picos::ZERO,
+        )
+        .unwrap();
     }
     // Foreground stream at a moderate rate.
     let mut t = Picos::ZERO;
@@ -69,7 +77,11 @@ fn run(policy_background: bool, requests: u64) -> Row {
         }
     }
     Row {
-        policy: if policy_background { "background (paper)".into() } else { "same-priority".into() },
+        policy: if policy_background {
+            "background (paper)".into()
+        } else {
+            "same-priority".into()
+        },
         fg_mean_ns: sum / n as f64,
         fg_max_ns: max,
         migration_bytes: seg * 2,
@@ -89,7 +101,5 @@ fn main() {
     }
     emit("ablate_migration_priority", &t.render(), &to_json(&rows));
     let delta = rows[1].fg_mean_ns - rows[0].fg_mean_ns;
-    println!(
-        "strict-background migration keeps foreground latency {delta:.1} ns lower on average"
-    );
+    println!("strict-background migration keeps foreground latency {delta:.1} ns lower on average");
 }

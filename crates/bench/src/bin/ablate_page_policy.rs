@@ -22,7 +22,8 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let requests = if quick { 8_000 } else { 40_000 };
     let mut rows = Vec::new();
-    for kind in [WorkloadKind::MediaStreaming, WorkloadKind::DataServing, WorkloadKind::GraphAnalytics]
+    for kind in
+        [WorkloadKind::MediaStreaming, WorkloadKind::DataServing, WorkloadKind::GraphAnalytics]
     {
         for policy in [PagePolicy::OpenPage, PagePolicy::ClosedPage] {
             let mut cfg = SweepConfig::paper(8, AddressMapping::dtl_default(), 0);

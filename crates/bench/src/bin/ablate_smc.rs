@@ -3,7 +3,7 @@
 //! measured miss ratios on the mixed trace plus the resulting AMAT adder.
 
 use dtl_bench::emit;
-use dtl_core::{Dsn, Hsn, HostId, AuId, SegmentMappingCache};
+use dtl_core::{AuId, Dsn, HostId, Hsn, SegmentMappingCache};
 use dtl_cxl::AmatModel;
 use dtl_dram::Picos;
 use dtl_sim::{f1, pct, to_json, Table};
@@ -23,12 +23,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let accesses = if quick { 100_000 } else { 600_000 };
     // One mixed post-cache trace reused across all SMC sizings.
-    let specs: Vec<_> =
-        WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(16)).collect();
+    let specs: Vec<_> = WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(16)).collect();
     let mut mix = Mixer::new(&specs, 3);
     let seg = dtl_trace::SEGMENT_BYTES;
-    let trace: Vec<u32> =
-        (0..accesses).map(|_| (mix.next_record().addr / seg) as u32).collect();
+    let trace: Vec<u32> = (0..accesses).map(|_| (mix.next_record().addr / seg) as u32).collect();
     let mut rows = Vec::new();
     for l1 in [16usize, 32, 64, 128] {
         for l2 in [256usize, 1024, 4096] {

@@ -8,10 +8,29 @@ fn main() {
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin directory");
     let bins = [
-        "fig01", "fig02", "fig05", "fig09", "fig10", "fig11", "fig12", "fig14", "fig15",
-        "tab04", "tab05", "tab06", "sec6_1", "sec6_6", "sec3_4_reentry", "cache_pipeline", "ablate_segment_size",
-        "ablate_smc", "ablate_hotness_params", "ablate_migration_priority",
-        "ablate_cke_powerdown", "ablate_page_policy", "loaded_latency",
+        "fig01",
+        "fig02",
+        "fig05",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig14",
+        "fig15",
+        "tab04",
+        "tab05",
+        "tab06",
+        "sec6_1",
+        "sec6_6",
+        "sec3_4_reentry",
+        "cache_pipeline",
+        "ablate_segment_size",
+        "ablate_smc",
+        "ablate_hotness_params",
+        "ablate_migration_priority",
+        "ablate_cke_powerdown",
+        "ablate_page_policy",
+        "loaded_latency",
     ];
     for b in bins {
         println!("\n########## {b} ##########");

@@ -12,7 +12,16 @@ fn main() {
     let r = cache_pipeline::run(7, records, &WorkloadKind::TRACED);
     let mut t = Table::new(
         "Cache pipeline (Section 5.2 methodology)",
-        &["workload", "raw_apki", "post_mapki", "l1_miss", "l2_miss", "llc_miss", "pre_4m", "post_4m"],
+        &[
+            "workload",
+            "raw_apki",
+            "post_mapki",
+            "l1_miss",
+            "l2_miss",
+            "llc_miss",
+            "pre_4m",
+            "post_4m",
+        ],
     );
     for row in &r.rows {
         let (l1, l2, llc) = row.miss_ratios;

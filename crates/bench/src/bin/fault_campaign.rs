@@ -1,0 +1,15 @@
+//! Runs the fault campaign: the Figure 12 VM schedule replayed fault-free
+//! and under a deterministic fault load (ECC noise, an error storm on one
+//! victim rank, CXL link CRC corruption, migration interruptions), and
+//! reports the capacity, energy, and latency cost of the faults.
+
+use dtl_bench::{emit, render};
+use dtl_sim::experiments::fault_campaign;
+use dtl_sim::{to_json, FaultRunConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { FaultRunConfig::tiny_storm(1) } else { fault_campaign::paper(1) };
+    let r = fault_campaign::run(&cfg).expect("fault campaign replay");
+    emit("fault_campaign", &render::fault_campaign(&r).render(), &to_json(&r));
+}

@@ -7,11 +7,8 @@ use dtl_sim::{to_json, PowerDownRunConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
-        PowerDownRunConfig::tiny(1, true)
-    } else {
-        PowerDownRunConfig::paper(1, true)
-    };
+    let cfg =
+        if quick { PowerDownRunConfig::tiny(1, true) } else { PowerDownRunConfig::paper(1, true) };
     // Execution-overhead inputs: Figure 5's CXL interleaving cost plus the
     // Section 6.1 translation inflation.
     let r = fig12::run(&cfg, (0.014, 0.0018)).expect("schedule replay");

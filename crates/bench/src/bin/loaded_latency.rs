@@ -14,11 +14,7 @@ fn main() {
         &["offered_gbps", "measured_ns", "model_ns"],
     );
     for p in &r.points {
-        t.row(&[
-            f1(p.offered / 1e9),
-            f1(p.measured_ns),
-            p.predicted_ns.map_or("-".into(), f1),
-        ]);
+        t.row(&[f1(p.offered / 1e9), f1(p.measured_ns), p.predicted_ns.map_or("-".into(), f1)]);
     }
     emit("loaded_latency", &t.render(), &to_json(&r));
 }

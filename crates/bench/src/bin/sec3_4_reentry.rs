@@ -16,10 +16,7 @@ fn main() {
         };
     }
     let r = run_reentry(&cfg).expect("re-entry study");
-    let mut t = Table::new(
-        "Section 3.4 - self-refresh exit and re-entry",
-        &["metric", "value"],
-    );
+    let mut t = Table::new("Section 3.4 - self-refresh exit and re-entry", &["metric", "value"]);
     t.row(&["migrations before first SR entries".into(), r.initial_migrations.to_string()]);
     t.row(&["probes until a victim woke".into(), r.probes_to_wake.to_string()]);
     t.row(&["migrations to re-enter".into(), r.reentry_migrations.to_string()]);

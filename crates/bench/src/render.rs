@@ -1,7 +1,8 @@
 //! Renderers: experiment result types → aligned text tables.
 
 use dtl_sim::experiments::{
-    fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15, sec6_1, tab04, tab05, tab06,
+    fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15, sec6_1, tab04,
+    tab05, tab06,
 };
 use dtl_sim::{f1, f2, f3, pct, Table};
 
@@ -269,7 +270,13 @@ pub fn tab06(r: &tab06::Tab06Result) -> Table {
         f3(a.smc_mm2),
         f3(b.smc_mm2),
     ]);
-    t.row(&["SRAM structures".into(), f2(a.sram_mw), f2(b.sram_mw), f3(a.sram_mm2), f3(b.sram_mm2)]);
+    t.row(&[
+        "SRAM structures".into(),
+        f2(a.sram_mw),
+        f2(b.sram_mw),
+        f3(a.sram_mm2),
+        f3(b.sram_mm2),
+    ]);
     t.row(&["Microprocessor".into(), f2(a.cpu_mw), f2(b.cpu_mw), f3(a.cpu_mm2), f3(b.cpu_mm2)]);
     t.row(&[
         "Total".into(),
@@ -295,6 +302,47 @@ pub fn sec6_1(r: &sec6_1::Sec61Result) -> Table {
             f1(e.translation_ns),
             f1(e.amat_ns),
             pct(e.exec_inflation),
+        ]);
+    }
+    t
+}
+
+/// Fault campaign: what a deterministic fault load costs the pool.
+pub fn fault_campaign(r: &fault_campaign::FaultCampaignResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fault campaign - capacity lost {}, energy delta {}, latency penalty {} ns/line",
+            pct(r.capacity_lost_fraction),
+            pct(r.energy_delta_fraction),
+            f3(r.latency_penalty_ns),
+        ),
+        &[
+            "run",
+            "energy_mj",
+            "faults",
+            "correctable",
+            "uncorrectable",
+            "retired_ranks",
+            "capacity_lost_gb",
+            "interrupts",
+            "rollbacks",
+            "crc_errors",
+            "link_retries",
+        ],
+    );
+    for (name, s) in [("baseline", &r.baseline), ("faulted", &r.faulted)] {
+        t.row(&[
+            name.to_string(),
+            f1(s.total_energy_mj),
+            s.faults_injected.to_string(),
+            s.errors.correctable_errors.to_string(),
+            s.errors.uncorrectable_errors.to_string(),
+            s.ranks_retired.to_string(),
+            f2(s.capacity_lost_bytes as f64 / (1u64 << 30) as f64),
+            s.migration_interrupts.to_string(),
+            s.migration_rollbacks.to_string(),
+            s.link.crc_errors.to_string(),
+            s.link.retries.to_string(),
         ]);
     }
     t
@@ -365,11 +413,9 @@ mod more_render_tests {
 
     #[test]
     fn fig12_and_fig13_render_from_one_run() {
-        let r = dtl_sim::experiments::fig12::run(
-            &PowerDownRunConfig::tiny(3, true),
-            (0.014, 0.0018),
-        )
-        .unwrap();
+        let r =
+            dtl_sim::experiments::fig12::run(&PowerDownRunConfig::tiny(3, true), (0.014, 0.0018))
+                .unwrap();
         let t12 = fig12(&r);
         assert_eq!(t12.len(), r.baseline.len());
         let t13 = fig13(&r);

@@ -169,11 +169,7 @@ pub struct SegmentGeometry {
 impl SegmentGeometry {
     /// Derives the segment geometry from a device geometry and segment size.
     pub fn new(channels: u32, ranks_per_channel: u32, rank_bytes: u64, segment_bytes: u64) -> Self {
-        SegmentGeometry {
-            channels,
-            ranks_per_channel,
-            segs_per_rank: rank_bytes / segment_bytes,
-        }
+        SegmentGeometry { channels, ranks_per_channel, segs_per_rank: rank_bytes / segment_bytes }
     }
 
     /// Total segments in the device.
@@ -197,10 +193,8 @@ impl SegmentGeometry {
 
     /// Recomposes a DSN.
     pub fn dsn(&self, loc: SegmentLocation) -> Dsn {
-        Dsn(
-            (u64::from(loc.rank) * self.segs_per_rank + loc.within) * u64::from(self.channels)
-                + u64::from(loc.channel),
-        )
+        Dsn((u64::from(loc.rank) * self.segs_per_rank + loc.within) * u64::from(self.channels)
+            + u64::from(loc.channel))
     }
 }
 

@@ -139,9 +139,8 @@ impl SegmentAllocator {
         for c in 0..self.geo.channels {
             let mut slots = Vec::with_capacity(per_channel as usize);
             while (slots.len() as u64) < per_channel {
-                let rank = self
-                    .most_utilized_active_rank_with_free(c)
-                    .expect("feasibility checked above");
+                let rank =
+                    self.most_utilized_active_rank_with_free(c).expect("feasibility checked above");
                 let within = self.free[c as usize][rank as usize]
                     .pop_front()
                     .expect("rank selected with free space");
@@ -216,7 +215,9 @@ impl SegmentAllocator {
     pub fn complete_move(&mut self, src: SegmentLocation) -> Result<(), DtlError> {
         let set = &mut self.allocated[src.channel as usize][src.rank as usize];
         if !set.remove(&src.within) {
-            return Err(DtlError::Internal { reason: format!("move source {src:?} not allocated") });
+            return Err(DtlError::Internal {
+                reason: format!("move source {src:?} not allocated"),
+            });
         }
         self.free[src.channel as usize][src.rank as usize].push_back(src.within);
         Ok(())
@@ -298,13 +299,10 @@ mod tests {
         assert_eq!(dsns.len(), 8);
         // Equal share per channel.
         let g = geo();
-        let per_ch = dsns
-            .iter()
-            .map(|d| g.location(*d).channel)
-            .fold([0u32; 2], |mut acc, c| {
-                acc[c as usize] += 1;
-                acc
-            });
+        let per_ch = dsns.iter().map(|d| g.location(*d).channel).fold([0u32; 2], |mut acc, c| {
+            acc[c as usize] += 1;
+            acc
+        });
         assert_eq!(per_ch, [4, 4]);
         // Consecutive offsets rotate channels (DTL channel interleaving).
         for (k, d) in dsns.iter().enumerate() {

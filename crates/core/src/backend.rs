@@ -226,10 +226,7 @@ impl MemoryBackend for AnalyticBackend {
         if from == state {
             return Ok(now);
         }
-        let legal = matches!(
-            (from, state),
-            (PowerState::Standby, _) | (_, PowerState::Standby)
-        );
+        let legal = matches!((from, state), (PowerState::Standby, _) | (_, PowerState::Standby));
         if !legal {
             return Err(DtlError::Dram(dtl_dram::DramError::IllegalPowerTransition {
                 reason: format!("cannot move {from:?} -> {state:?} without passing Standby"),
@@ -358,10 +355,7 @@ impl CycleBackend {
             config.geometry.rank_bytes(),
             segment_bytes,
         );
-        let dram = dtl_dram::DramSystem::new(
-            config,
-            AddressMapping::DtlRankMsb { segment_bytes },
-        )?;
+        let dram = dtl_dram::DramSystem::new(config, AddressMapping::DtlRankMsb { segment_bytes })?;
         Ok(CycleBackend { dram, geo, segment_bytes, est_latency: Picos::from_ns(121) })
     }
 
@@ -408,9 +402,7 @@ impl MemoryBackend for CycleBackend {
         at: Picos,
     ) -> Picos {
         let dpa = self.dpa(loc, offset);
-        self.dram
-            .submit(dpa, kind, priority, at)
-            .expect("segment-geometry addresses are in range");
+        self.dram.submit(dpa, kind, priority, at).expect("segment-geometry addresses are in range");
         at + self.est_latency
     }
 
@@ -421,9 +413,7 @@ impl MemoryBackend for CycleBackend {
         state: PowerState,
         now: Picos,
     ) -> Result<Picos, DtlError> {
-        self.dram
-            .set_rank_state(RankId { channel, rank }, state, now)
-            .map_err(DtlError::Dram)
+        self.dram.set_rank_state(RankId { channel, rank }, state, now).map_err(DtlError::Dram)
     }
 
     fn rank_state(&self, channel: u32, rank: u32) -> PowerState {

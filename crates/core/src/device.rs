@@ -21,8 +21,11 @@ use crate::alloc::SegmentAllocator;
 use crate::backend::MemoryBackend;
 use crate::config::DtlConfig;
 use crate::error::DtlError;
+use crate::health::{HealthParams, HealthStats, HealthTracker, RankErrorRecord, RankHealth};
 use crate::hotness::{HotnessEngine, HotnessParams, HotnessStats};
-use crate::migrate::{MigrationEngine, MigrationKind, MigrationStats, WriteRouting};
+use crate::migrate::{
+    MigrationEngine, MigrationInterrupt, MigrationKind, MigrationStats, WriteRouting,
+};
 use crate::powerdown::{PowerDownEngine, PowerDownStats, RankPdState};
 use crate::smc::{SmcOutcome, SmcStats};
 use crate::tables::MappingTables;
@@ -59,6 +62,17 @@ pub struct AccessOutcome {
     pub completion_estimate: Picos,
 }
 
+/// Host-visible impact of an injected uncorrectable error
+/// ([`DtlDevice::inject_uncorrectable_error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UncorrectableReport {
+    /// Live (mapped) segments resident in the faulting rank when the error
+    /// struck — the blast radius reported to hosts as poisoned.
+    pub segments_at_risk: u64,
+    /// The rank's health after recording the error.
+    pub health: RankHealth,
+}
+
 /// Aggregate device statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceStats {
@@ -76,6 +90,10 @@ pub struct DeviceStats {
     pub vms_deallocated: u64,
     /// Rank wake-ups forced by allocation pressure.
     pub capacity_wakes: u64,
+    /// Injected migration interruptions that hit an in-flight job.
+    pub migration_interrupts: u64,
+    /// Rank retirements triggered automatically by error health.
+    pub auto_retirements: u64,
 }
 
 #[derive(Debug, Default)]
@@ -125,6 +143,12 @@ pub struct RankSnapshot {
     pub lifecycle: RankPdState,
     /// Hotness role.
     pub hotness: HotnessRole,
+    /// Error-health lifecycle.
+    pub health: RankHealth,
+    /// Correctable ECC errors recorded on the rank.
+    pub correctable_errors: u64,
+    /// Uncorrectable ECC errors recorded on the rank.
+    pub uncorrectable_errors: u64,
     /// Live (allocated) segments.
     pub allocated_segments: u64,
     /// Free segments.
@@ -156,6 +180,8 @@ pub struct DeviceSnapshot {
     pub migrations_pending: usize,
     /// Aggregate statistics.
     pub stats: DeviceStats,
+    /// Aggregate error-health statistics.
+    pub errors: HealthStats,
 }
 
 /// The DTL device: translation, allocation, power management and migration
@@ -185,6 +211,7 @@ pub struct DtlDevice<B: MemoryBackend> {
     alloc: SegmentAllocator,
     migrate: MigrationEngine,
     powerdown: PowerDownEngine,
+    health: HealthTracker,
     hotness: HotnessEngine,
     hotness_enabled: bool,
     powerdown_enabled: bool,
@@ -221,8 +248,8 @@ impl<B: MemoryBackend> DtlDevice<B> {
         let hotness_params = HotnessParams {
             window: config.profile_window,
             threshold: config.profile_threshold,
-            tsp_max_steps: (config.tsp_timeout.as_ps()
-                / config.controller_cycle().as_ps().max(1)) as u32,
+            tsp_max_steps: (config.tsp_timeout.as_ps() / config.controller_cycle().as_ps().max(1))
+                as u32,
         };
         DtlDevice {
             translator: Translator::new(&config),
@@ -230,6 +257,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
             alloc: SegmentAllocator::new(geo),
             migrate: MigrationEngine::new(geo, config.segment_bytes, config.migration_retry_limit),
             powerdown: PowerDownEngine::new(geo),
+            health: HealthTracker::new(geo, HealthParams::default()),
             hotness: HotnessEngine::new(geo, hotness_params),
             hotness_enabled: true,
             powerdown_enabled: true,
@@ -349,8 +377,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                         match self.powerdown.wake_one_group(&mut self.alloc) {
                             Ok(exits) => {
                                 for (c, r) in exits {
-                                    self.backend
-                                        .set_rank_state(c, r, PowerState::Standby, now)?;
+                                    self.backend.set_rank_state(c, r, PowerState::Standby, now)?;
                                 }
                                 self.stats.capacity_wakes += 1;
                             }
@@ -390,11 +417,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
         state.next_vm += 1;
         state.vms.insert(vm, aus.clone());
         self.stats.vms_allocated += 1;
-        Ok(VmAllocation {
-            handle: VmHandle { host, vm },
-            aus,
-            bytes: n_aus * self.config.au_bytes,
-        })
+        Ok(VmAllocation { handle: VmHandle { host, vm }, aus, bytes: n_aus * self.config.au_bytes })
     }
 
     /// Sets (or clears) a host's capacity quota in allocation units. An
@@ -415,11 +438,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
         if let Some(quota) = state.quota_aus {
             let mapped = state.mapped_aus();
             if mapped + additional_aus > quota {
-                return Err(DtlError::QuotaExceeded {
-                    host,
-                    mapped_aus: mapped,
-                    quota_aus: quota,
-                });
+                return Err(DtlError::QuotaExceeded { host, mapped_aus: mapped, quota_aus: quota });
             }
         }
         Ok(())
@@ -451,11 +470,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
         let state = self.hosts.get_mut(&handle.host).expect("checked above");
         let new_aus = state.vms.remove(&scratch.handle.vm).expect("just created");
         state.next_vm -= 1; // the scratch id was never observable
-        state
-            .vms
-            .get_mut(&handle.vm)
-            .expect("checked above")
-            .extend(new_aus.iter().copied());
+        state.vms.get_mut(&handle.vm).expect("checked above").extend(new_aus.iter().copied());
         self.stats.vms_allocated -= 1; // the scratch was not a real VM
         Ok(new_aus)
     }
@@ -468,12 +483,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
     /// * [`DtlError::UnknownVm`] for stale handles;
     /// * [`DtlError::Internal`] when asked to release more AUs than the VM
     ///   holds (release everything via [`DtlDevice::dealloc_vm`] instead).
-    pub fn shrink_vm(
-        &mut self,
-        handle: VmHandle,
-        n_aus: u32,
-        now: Picos,
-    ) -> Result<(), DtlError> {
+    pub fn shrink_vm(&mut self, handle: VmHandle, n_aus: u32, now: Picos) -> Result<(), DtlError> {
         let state = self.hosts.get_mut(&handle.host).ok_or(DtlError::UnknownVm(handle))?;
         let aus = state.vms.get_mut(&handle.vm).ok_or(DtlError::UnknownVm(handle))?;
         if n_aus as usize >= aus.len() {
@@ -492,18 +502,10 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 for job in cancelled {
                     self.cancel_job(job.id, job.kind, *dsn, now)?;
                 }
-                self.translator.invalidate(Hsn {
-                    host: handle.host,
-                    au,
-                    au_offset: off as u32,
-                });
+                self.translator.invalidate(Hsn { host: handle.host, au, au_offset: off as u32 });
             }
             self.alloc.free_segments(&dsns)?;
-            self.hosts
-                .get_mut(&handle.host)
-                .expect("still present")
-                .free_aus
-                .push(au);
+            self.hosts.get_mut(&handle.host).expect("still present").free_aus.push(au);
         }
         if self.powerdown_enabled {
             self.try_power_down(now)?;
@@ -527,11 +529,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 for job in cancelled {
                     self.cancel_job(job.id, job.kind, *dsn, now)?;
                 }
-                self.translator.invalidate(Hsn {
-                    host: handle.host,
-                    au,
-                    au_offset: off as u32,
-                });
+                self.translator.invalidate(Hsn { host: handle.host, au, au_offset: off as u32 });
             }
             self.alloc.free_segments(&dsns)?;
             let state = self.hosts.get_mut(&handle.host).expect("still present");
@@ -586,9 +584,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
             let plan = {
                 let migrate = &self.migrate;
                 self.powerdown
-                    .plan_power_down_excluding(&mut self.alloc, |c, r| {
-                        migrate.involves_rank(c, r)
-                    })
+                    .plan_power_down_excluding(&mut self.alloc, |c, r| migrate.involves_rank(c, r))
             };
             let Some(plan) = plan else { break };
             let mut ids = Vec::with_capacity(plan.copies.len());
@@ -659,10 +655,8 @@ impl<B: MemoryBackend> DtlDevice<B> {
             let reaim = match (self.job_origin.get(&job.id), job.kind) {
                 (Some(JobOrigin::Drain), MigrationKind::Copy { src, dst }) => {
                     let src_loc = self.geo.location(src);
-                    let src_elsewhere =
-                        !(src_loc.channel == channel && src_loc.rank == rank);
-                    (src_elsewhere && self.tables.reverse(src).is_some())
-                        .then_some((src, dst))
+                    let src_elsewhere = !(src_loc.channel == channel && src_loc.rank == rank);
+                    (src_elsewhere && self.tables.reverse(src).is_some()).then_some((src, dst))
                 }
                 _ => None,
             };
@@ -671,13 +665,13 @@ impl<B: MemoryBackend> DtlDevice<B> {
                     self.job_origin.remove(&job.id);
                     self.alloc.free_segments(&[dst])?;
                     let src_loc = self.geo.location(src);
-                    let new_dst = self
-                        .pick_drain_destination(src_loc.channel, rank)
-                        .ok_or(DtlError::Internal {
+                    let new_dst = self.pick_drain_destination(src_loc.channel, rank).ok_or(
+                        DtlError::Internal {
                             reason: format!(
                                 "no destination to re-aim drain of {src} during retirement"
                             ),
-                        })?;
+                        },
+                    )?;
                     let new_id = self.migrate.enqueue_copy(src, self.geo.dsn(new_dst), now)?;
                     self.job_origin.insert(new_id, JobOrigin::Drain);
                     self.powerdown.replace_job(job.id, new_id);
@@ -732,6 +726,194 @@ impl<B: MemoryBackend> DtlDevice<B> {
         self.alloc.take_free_in_rank(channel, rank)
     }
 
+    /// Replaces the error-health parameters, resetting all error history.
+    /// Call before injecting any errors.
+    pub fn set_health_params(&mut self, params: HealthParams) {
+        self.health = HealthTracker::new(self.geo, params);
+    }
+
+    /// Aggregate error-health statistics.
+    pub fn health_stats(&self) -> HealthStats {
+        self.health.stats()
+    }
+
+    /// The rank's effective error-health lifecycle state.
+    pub fn rank_health(&self, channel: u32, rank: u32) -> RankHealth {
+        self.health.health(channel, rank, self.powerdown.rank_state(channel, rank))
+    }
+
+    /// The rank's error counters and leaky-bucket level.
+    pub fn rank_errors(&self, channel: u32, rank: u32) -> RankErrorRecord {
+        self.health.counters(channel, rank)
+    }
+
+    fn check_rank(&self, channel: u32, rank: u32) -> Result<(), DtlError> {
+        if channel >= self.geo.channels || rank >= self.geo.ranks_per_channel {
+            return Err(DtlError::Internal {
+                reason: format!("rank ch{channel}/rk{rank} outside the device geometry"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reports a correctable (ECC-fixed) error on a rank. The data is
+    /// intact; the error only feeds the rank's leaky-bucket health counter.
+    /// Crossing the retirement threshold triggers an automatic
+    /// [`DtlDevice::retire_rank`]; a refused retirement (last active rank,
+    /// or no spare capacity anywhere) leaves the rank `Degraded` but
+    /// serving. Returns the rank's health after the error.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] for a rank outside the geometry, or a broken
+    /// invariant while draining the rank.
+    pub fn inject_correctable_error(
+        &mut self,
+        channel: u32,
+        rank: u32,
+        now: Picos,
+    ) -> Result<RankHealth, DtlError> {
+        self.check_rank(channel, rank)?;
+        let tripped = self.health.record_correctable(channel, rank, now);
+        self.auto_retire_if_due(channel, rank, tripped, now)?;
+        Ok(self.rank_health(channel, rank))
+    }
+
+    /// Reports an uncorrectable (multi-bit) error on a rank. The mapping
+    /// machinery is unaffected — translations stay consistent — but every
+    /// live segment resident in the rank is at risk of returning poisoned
+    /// data, and the report carries that blast radius so the harness can
+    /// account host-visible loss. Counts heavily toward retirement.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DtlDevice::inject_correctable_error`].
+    pub fn inject_uncorrectable_error(
+        &mut self,
+        channel: u32,
+        rank: u32,
+        now: Picos,
+    ) -> Result<UncorrectableReport, DtlError> {
+        self.check_rank(channel, rank)?;
+        let segments_at_risk = self
+            .tables
+            .iter_mapped()
+            .filter(|(dsn, _)| {
+                let loc = self.geo.location(*dsn);
+                loc.channel == channel && loc.rank == rank
+            })
+            .count() as u64;
+        let tripped = self.health.record_uncorrectable(channel, rank, now);
+        self.auto_retire_if_due(channel, rank, tripped, now)?;
+        Ok(UncorrectableReport { segments_at_risk, health: self.rank_health(channel, rank) })
+    }
+
+    fn auto_retire_if_due(
+        &mut self,
+        channel: u32,
+        rank: u32,
+        tripped: bool,
+        now: Picos,
+    ) -> Result<(), DtlError> {
+        if !tripped {
+            return Ok(());
+        }
+        match self.retire_rank(channel, rank, now) {
+            Ok(()) => {
+                self.stats.auto_retirements += 1;
+                Ok(())
+            }
+            // Refused: the channel cannot spare the rank right now (last
+            // active rank, or no capacity anywhere to absorb its data).
+            // The rank stays Degraded and keeps serving.
+            Err(DtlError::OutOfCapacity { .. }) | Err(DtlError::Internal { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Cuts off the channel's in-flight migration mid-transfer (fault
+    /// injection: controller reset / queue flush). Crash consistency holds
+    /// in every outcome — mapping tables and SMC only ever change on job
+    /// completion, so an interrupted job's partial destination data is
+    /// discarded and the job *replays*; past its retry budget it is
+    /// *rolled back*: a drain restarts from scratch (the rank must still
+    /// empty), while a hotness move is abandoned and its reservation
+    /// released.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] for a channel outside the geometry or broken
+    /// rollback bookkeeping.
+    pub fn inject_migration_interrupt(
+        &mut self,
+        channel: u32,
+        now: Picos,
+    ) -> Result<MigrationInterrupt, DtlError> {
+        if channel >= self.geo.channels {
+            return Err(DtlError::Internal {
+                reason: format!("channel {channel} outside the device geometry"),
+            });
+        }
+        let outcome = self.migrate.interrupt_channel(channel, now);
+        if outcome != MigrationInterrupt::Idle {
+            self.stats.migration_interrupts += 1;
+        }
+        if let MigrationInterrupt::RolledBack { job } = outcome {
+            self.rollback_job(job, now)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Unwinds a migration job the engine rolled back after an
+    /// interruption exhausted its retry budget.
+    fn rollback_job(
+        &mut self,
+        job: crate::migrate::MigrationJob,
+        now: Picos,
+    ) -> Result<(), DtlError> {
+        match self.job_origin.remove(&job.id) {
+            Some(JobOrigin::Drain) => {
+                let MigrationKind::Copy { src, dst } = job.kind else {
+                    return Err(DtlError::Internal { reason: "drain job must be a copy".into() });
+                };
+                if self.tables.reverse(src).is_some() {
+                    // Source still live: the rank must still empty, so the
+                    // drain restarts from scratch under a fresh id.
+                    let new_id = self.migrate.enqueue_copy(src, dst, now)?;
+                    self.job_origin.insert(new_id, JobOrigin::Drain);
+                    self.powerdown.replace_job(job.id, new_id);
+                } else {
+                    // Source vanished (deallocated): release the
+                    // reservation and let the drain bookkeeping complete.
+                    self.alloc.free_segments(&[dst])?;
+                    let ranks = self.powerdown.on_migration_complete(job.id);
+                    self.power_down_ranks(&ranks, now)?;
+                }
+            }
+            Some(JobOrigin::Hotness { channel }) => {
+                // Abandon the consolidation move: release a copy's
+                // destination reservation and drop any cached translations
+                // of the endpoints, leaving the original mapping
+                // authoritative.
+                if let MigrationKind::Copy { dst, .. } = job.kind {
+                    self.alloc.free_segments(&[dst])?;
+                }
+                let (x, y) = match job.kind {
+                    MigrationKind::Copy { src, dst } => (src, dst),
+                    MigrationKind::Swap { a, b } => (a, b),
+                };
+                for d in [x, y] {
+                    if let Some(h) = self.tables.reverse(d) {
+                        self.translator.invalidate(h);
+                    }
+                }
+                self.finish_hotness_job(channel, now)?;
+            }
+            None => {}
+        }
+        Ok(())
+    }
+
     /// Serves one 64 B access from a host.
     ///
     /// # Errors
@@ -773,8 +955,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
         }
         let loc = self.geo.location(routed_dsn);
         let completion_estimate =
-            self.backend
-                .access(loc, offset, kind, Priority::Foreground, now + translation_latency);
+            self.backend.access(loc, offset, kind, Priority::Foreground, now + translation_latency);
         if self.hotness_enabled {
             self.hotness.on_access(loc, now);
         }
@@ -806,9 +987,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
         }
         if self.hotness_enabled {
             let pd = &self.powerdown;
-            let plans = self
-                .hotness
-                .pump(now, |c, r| pd.rank_state(c, r) == RankPdState::Active);
+            let plans = self.hotness.pump(now, |c, r| pd.rank_state(c, r) == RankPdState::Active);
             for plan in plans {
                 let mut count = 0u64;
                 for (v_loc, t_loc) in &plan.swaps {
@@ -819,9 +998,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                     // The TSP may have claimed a slot in a rank that the
                     // power-down engine has since selected (or drained):
                     // moving live data there would end up in MPSM.
-                    if self.powerdown.rank_state(t_loc.channel, t_loc.rank)
-                        != RankPdState::Active
-                    {
+                    if self.powerdown.rank_state(t_loc.channel, t_loc.rank) != RankPdState::Active {
                         continue;
                     }
                     // The victim slot must still hold live, mapped data —
@@ -849,8 +1026,12 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 }
                 if count == 0 {
                     let victim = self.hotness.on_plan_migrated(plan.channel, now);
-                    self.backend
-                        .set_rank_state(plan.channel, victim, PowerState::SelfRefresh, now)?;
+                    self.backend.set_rank_state(
+                        plan.channel,
+                        victim,
+                        PowerState::SelfRefresh,
+                        now,
+                    )?;
                 } else {
                     self.hotness_pending.insert(plan.channel, count);
                 }
@@ -904,9 +1085,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 }
                 self.finish_hotness_job(channel, now)?;
             }
-            None => {
-                return Err(DtlError::Internal { reason: format!("job {id} has no origin") })
-            }
+            None => return Err(DtlError::Internal { reason: format!("job {id} has no origin") }),
         }
         Ok(())
     }
@@ -939,9 +1118,8 @@ impl<B: MemoryBackend> DtlDevice<B> {
 
     /// Takes an operational snapshot (cheap; read-only).
     pub fn snapshot(&self) -> DeviceSnapshot {
-        let mut ranks = Vec::with_capacity(
-            (self.geo.channels * self.geo.ranks_per_channel) as usize,
-        );
+        let mut ranks =
+            Vec::with_capacity((self.geo.channels * self.geo.ranks_per_channel) as usize);
         for c in 0..self.geo.channels {
             for r in 0..self.geo.ranks_per_channel {
                 let hotness = if self.hotness.sr_rank(c) == Some(r) {
@@ -951,12 +1129,16 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 } else {
                     HotnessRole::None
                 };
+                let errors = self.health.counters(c, r);
                 ranks.push(RankSnapshot {
                     channel: c,
                     rank: r,
                     power: self.backend.rank_state(c, r),
                     lifecycle: self.powerdown.rank_state(c, r),
                     hotness,
+                    health: self.rank_health(c, r),
+                    correctable_errors: errors.correctable,
+                    uncorrectable_errors: errors.uncorrectable,
                     allocated_segments: self.alloc.allocated_in_rank(c, r),
                     free_segments: self.alloc.free_in_rank(c, r),
                 });
@@ -978,6 +1160,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
             mapped_segments: self.tables.mapped_segments(),
             migrations_pending: self.migrations_pending(),
             stats: self.stats,
+            errors: self.health.stats(),
         }
     }
 
@@ -1016,7 +1199,6 @@ impl<B: MemoryBackend> DtlDevice<B> {
 mod tests {
     use super::*;
     use crate::backend::AnalyticBackend;
-    
 
     /// Tiny device: 2 channels x 4 ranks x 32 segments (256 KiB segments,
     /// 8 MiB AUs of 32 segments = 16 per channel... AU = 32 segments).
@@ -1058,10 +1240,7 @@ mod tests {
             Err(DtlError::UnknownHost(_))
         ));
         // And hosts beyond max_hosts cannot register.
-        assert!(matches!(
-            dev.register_host(HostId(100)),
-            Err(DtlError::TooManyHosts { .. })
-        ));
+        assert!(matches!(dev.register_host(HostId(100)), Err(DtlError::TooManyHosts { .. })));
     }
 
     #[test]
@@ -1069,9 +1248,7 @@ mod tests {
         let mut dev = device();
         let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
         let base = vm.hpa_base(0, au_bytes());
-        let out1 = dev
-            .access(HostId(0), base, AccessKind::Read, Picos::from_us(1))
-            .unwrap();
+        let out1 = dev.access(HostId(0), base, AccessKind::Read, Picos::from_us(1)).unwrap();
         assert_eq!(out1.smc, SmcOutcome::Miss, "cold translation");
         let out2 = dev
             .access(HostId(0), base.offset_by(64), AccessKind::Write, Picos::from_us(2))
@@ -1151,9 +1328,8 @@ mod tests {
         // One rank per channel = 32 segments/ch; an AU takes 16/ch. Two AUs
         // fit; the third forces a wake.
         let capacity_of_one_rank_group = 2 * 32 * dev.config().segment_bytes;
-        let vm2 = dev
-            .alloc_vm(HostId(0), capacity_of_one_rank_group * 2, Picos::from_us(20))
-            .unwrap();
+        let vm2 =
+            dev.alloc_vm(HostId(0), capacity_of_one_rank_group * 2, Picos::from_us(20)).unwrap();
         assert!(dev.stats().capacity_wakes > 0);
         assert!(dev.active_ranks(0) > 1);
         dev.check_invariants().unwrap();
@@ -1169,10 +1345,7 @@ mod tests {
         let vm1 = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
         let vm2 = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
         let base2 = vm2.hpa_base(0, au_bytes());
-        let before = dev
-            .access(HostId(0), base2, AccessKind::Read, Picos::from_us(1))
-            .unwrap()
-            .dsn;
+        let before = dev.access(HostId(0), base2, AccessKind::Read, Picos::from_us(1)).unwrap().dsn;
         dev.dealloc_vm(vm1.handle, Picos::from_us(10)).unwrap();
         // Run migrations to completion.
         let mut t = Picos::from_us(20);
@@ -1186,10 +1359,7 @@ mod tests {
         }
         dev.check_invariants().unwrap();
         // vm2's data must still be reachable (possibly remapped).
-        let after = dev
-            .access(HostId(0), base2, AccessKind::Read, t)
-            .unwrap()
-            .dsn;
+        let after = dev.access(HostId(0), base2, AccessKind::Read, t).unwrap().dsn;
         let _ = (before, after); // both valid translations; invariants hold
         assert!(dev.powerdown_stats().groups_powered_down >= 1);
     }
@@ -1372,9 +1542,7 @@ mod retirement_tests {
         assert_eq!(dev.powerdown_stats().ranks_retired, 1);
         assert_eq!(dev.backend().rank_state(loc.channel, loc.rank), PowerState::Mpsm);
         // The data is still reachable, now from a different rank.
-        let out2 = dev
-            .access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, t)
-            .unwrap();
+        let out2 = dev.access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, t).unwrap();
         let loc2 = dev.geometry().location(out2.dsn);
         assert_ne!((loc2.channel, loc2.rank), (loc.channel, loc.rank));
         dev.check_invariants().unwrap();
@@ -1437,6 +1605,184 @@ mod retirement_tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+
+    fn device() -> DtlDevice<AnalyticBackend> {
+        let cfg = DtlConfig::tiny();
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.register_host(HostId(0)).unwrap();
+        dev
+    }
+
+    fn au_bytes() -> u64 {
+        DtlConfig::tiny().au_bytes
+    }
+
+    #[test]
+    fn sparse_correctable_errors_stay_healthy() {
+        let mut dev = device();
+        for k in 0..10u64 {
+            let h = dev.inject_correctable_error(0, 0, Picos::from_secs(10 * k)).unwrap();
+            assert_eq!(h, RankHealth::Healthy);
+        }
+        assert_eq!(dev.health_stats().correctable_errors, 10);
+        assert_eq!(dev.stats().auto_retirements, 0);
+        assert_eq!(dev.rank_errors(0, 0).correctable, 10);
+    }
+
+    #[test]
+    fn out_of_range_injections_rejected() {
+        let mut dev = device();
+        assert!(dev.inject_correctable_error(0, 9, Picos::ZERO).is_err());
+        assert!(dev.inject_uncorrectable_error(5, 0, Picos::ZERO).is_err());
+        assert!(dev.inject_migration_interrupt(7, Picos::ZERO).is_err());
+    }
+
+    #[test]
+    fn error_storm_drives_victim_through_lifecycle() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        dev.set_powerdown_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let base = vm.hpa_base(0, au_bytes());
+        // The AU spreads over both channels; find a rank holding live data.
+        let out = dev.access(HostId(0), base, AccessKind::Read, Picos::from_us(1)).unwrap();
+        let loc = dev.geometry().location(out.dsn);
+        // Storm: one correctable error per millisecond on the victim.
+        let mut t = Picos::from_us(10);
+        let mut saw_degraded = false;
+        let mut tripped = false;
+        for _ in 0..40 {
+            let h = dev.inject_correctable_error(loc.channel, loc.rank, t).unwrap();
+            match h {
+                RankHealth::Degraded => saw_degraded = true,
+                RankHealth::Draining | RankHealth::Retired => {
+                    tripped = true;
+                    break;
+                }
+                RankHealth::Healthy => {}
+            }
+            t += Picos::from_ms(1);
+        }
+        assert!(saw_degraded, "the bucket passes through Degraded first");
+        assert!(tripped, "a dense storm must trip retirement");
+        assert_eq!(dev.stats().auto_retirements, 1);
+        // Drain to completion: the victim ends Retired with nothing live.
+        for _ in 0..200 {
+            t += Picos::from_ms(1);
+            dev.tick(t).unwrap();
+            if dev.migrations_pending() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dev.rank_health(loc.channel, loc.rank), RankHealth::Retired);
+        let snap = dev.snapshot();
+        let victim =
+            snap.ranks.iter().find(|r| r.channel == loc.channel && r.rank == loc.rank).unwrap();
+        assert_eq!(victim.health, RankHealth::Retired);
+        assert_eq!(victim.allocated_segments, 0, "live segments migrated out");
+        assert!(victim.correctable_errors >= 12);
+        // The VM's data survived the retirement.
+        let out2 = dev.access(HostId(0), base, AccessKind::Read, t).unwrap();
+        let loc2 = dev.geometry().location(out2.dsn);
+        assert_ne!((loc2.channel, loc2.rank), (loc.channel, loc.rank));
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn uncorrectable_error_reports_blast_radius() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        dev.set_powerdown_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let out = dev
+            .access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, Picos::from_us(1))
+            .unwrap();
+        let loc = dev.geometry().location(out.dsn);
+        let live = dev
+            .snapshot()
+            .ranks
+            .iter()
+            .find(|r| r.channel == loc.channel && r.rank == loc.rank)
+            .unwrap()
+            .allocated_segments;
+        let report =
+            dev.inject_uncorrectable_error(loc.channel, loc.rank, Picos::from_us(2)).unwrap();
+        assert_eq!(report.segments_at_risk, live);
+        assert_eq!(report.health, RankHealth::Degraded, "one uncorrectable degrades");
+        // An empty rank has no blast radius.
+        let empty = (0..4).find(|r| {
+            dev.snapshot()
+                .ranks
+                .iter()
+                .any(|s| s.channel == 0 && s.rank == *r && s.allocated_segments == 0)
+        });
+        if let Some(r) = empty {
+            let rep = dev.inject_uncorrectable_error(0, r, Picos::from_us(3)).unwrap();
+            assert_eq!(rep.segments_at_risk, 0);
+        }
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn interrupted_drain_replays_and_still_retires() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        dev.set_powerdown_enabled(false);
+        let vm = dev.alloc_vm(HostId(0), au_bytes(), Picos::ZERO).unwrap();
+        let out = dev
+            .access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, Picos::from_us(1))
+            .unwrap();
+        let loc = dev.geometry().location(out.dsn);
+        dev.retire_rank(loc.channel, loc.rank, Picos::from_us(2)).unwrap();
+        // Interrupt the drain repeatedly while ticking; replay/rollback
+        // must keep every structure consistent and the drain must still
+        // finish.
+        let mut t = Picos::from_us(3);
+        let mut interrupted = 0u64;
+        for round in 0..400u64 {
+            t += Picos::from_us(200);
+            dev.tick(t).unwrap();
+            if round % 3 == 0 {
+                let r = dev.inject_migration_interrupt(loc.channel, t).unwrap();
+                if r != MigrationInterrupt::Idle {
+                    interrupted += 1;
+                }
+            }
+            dev.check_invariants().unwrap();
+            if dev.migrations_pending() == 0 && dev.powerdown_stats().ranks_retired > 0 {
+                break;
+            }
+        }
+        assert!(interrupted > 0, "interrupts must hit in-flight drains");
+        assert_eq!(dev.stats().migration_interrupts, interrupted);
+        // Let any tail work finish.
+        for _ in 0..200 {
+            t += Picos::from_ms(1);
+            dev.tick(t).unwrap();
+            if dev.migrations_pending() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dev.powerdown_stats().ranks_retired, 1, "drain survives interruptions");
+        assert_eq!(dev.rank_health(loc.channel, loc.rank), RankHealth::Retired);
+        dev.access(HostId(0), vm.hpa_base(0, au_bytes()), AccessKind::Read, t).unwrap();
+        dev.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn interrupt_on_idle_channel_is_harmless() {
+        let mut dev = device();
+        let r = dev.inject_migration_interrupt(0, Picos::ZERO).unwrap();
+        assert_eq!(r, MigrationInterrupt::Idle);
+        assert_eq!(dev.stats().migration_interrupts, 0);
+        dev.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
 mod snapshot_tests {
     use super::*;
     use crate::backend::AnalyticBackend;
@@ -1458,8 +1804,7 @@ mod snapshot_tests {
         assert_eq!(snap.mapped_segments, cfg.segments_per_au());
         let allocated: u64 = snap.ranks.iter().map(|r| r.allocated_segments).sum();
         assert_eq!(allocated, cfg.segments_per_au());
-        let total: u64 =
-            snap.ranks.iter().map(|r| r.allocated_segments + r.free_segments).sum();
+        let total: u64 = snap.ranks.iter().map(|r| r.allocated_segments + r.free_segments).sum();
         assert_eq!(total, 2 * 4 * 32);
         // Power-down after dealloc shows up in the snapshot.
         dev.dealloc_vm(vm.handle, Picos::from_us(1)).unwrap();
@@ -1476,7 +1821,11 @@ mod snapshot_tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: DeviceSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
-        let _ = AnalyticBackend::new(dev.geometry(), cfg.segment_bytes, dtl_dram::PowerParams::ddr4_128gb_dimm());
+        let _ = AnalyticBackend::new(
+            dev.geometry(),
+            cfg.segment_bytes,
+            dtl_dram::PowerParams::ddr4_128gb_dimm(),
+        );
     }
 
     #[test]
@@ -1501,7 +1850,6 @@ mod snapshot_tests {
 #[cfg(test)]
 mod write_conflict_tests {
     use super::*;
-
 
     /// Drives a live-data drain and hammers the migrating segments with
     /// writes: the §4.2 protocol must reroute completion-bit-window writes

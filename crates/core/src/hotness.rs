@@ -112,11 +112,7 @@ struct ChannelState {
 impl ChannelState {
     fn new(ranks: u32, segs_per_rank: u64) -> Self {
         let table = (0..ranks)
-            .map(|r| {
-                (0..segs_per_rank)
-                    .map(|w| Entry { access: false, planned: (r, w) })
-                    .collect()
-            })
+            .map(|r| (0..segs_per_rank).map(|w| Entry { access: false, planned: (r, w) }).collect())
             .collect();
         ChannelState {
             phase: HotnessPhase::Sampling,
@@ -345,13 +341,9 @@ impl HotnessEngine {
                         if planned == (victim, vw) {
                             continue;
                         }
-                        let v_loc =
-                            SegmentLocation { channel: c, rank: victim, within: vw };
-                        let t_loc = SegmentLocation {
-                            channel: c,
-                            rank: planned.0,
-                            within: planned.1,
-                        };
+                        let v_loc = SegmentLocation { channel: c, rank: victim, within: vw };
+                        let t_loc =
+                            SegmentLocation { channel: c, rank: planned.0, within: planned.1 };
                         swaps.push((v_loc, t_loc));
                     }
                     ch.phase = HotnessPhase::Migrating;
@@ -394,8 +386,7 @@ impl HotnessEngine {
 
     /// The planned location of a physical slot (test/diagnostic hook).
     pub fn planned_of(&self, loc: SegmentLocation) -> SegmentLocation {
-        let e = &self.channels[loc.channel as usize].table[loc.rank as usize]
-            [loc.within as usize];
+        let e = &self.channels[loc.channel as usize].table[loc.rank as usize][loc.within as usize];
         SegmentLocation { channel: loc.channel, rank: e.planned.0, within: e.planned.1 }
     }
 }
@@ -497,7 +488,7 @@ mod tests {
         // Plan: victim slot 3 swaps with some target entry.
         eng.on_access(loc(0, 3), t1 + Picos::from_us(10));
         let cold = eng.planned_of(loc(0, 3)); // the target slot planned into victim
-        // That target slot gets accessed: Fig 8c restore + re-pair.
+                                              // That target slot gets accessed: Fig 8c restore + re-pair.
         eng.on_access(cold, t1 + Picos::from_us(20));
         assert_eq!(eng.stats().restores, 1);
         let restored = eng.planned_of(cold);
@@ -530,10 +521,7 @@ mod tests {
 
     #[test]
     fn tsp_timeout_advances_target_rank() {
-        let mut eng = HotnessEngine::new(
-            geo(),
-            HotnessParams { tsp_max_steps: 4, ..params() },
-        );
+        let mut eng = HotnessEngine::new(geo(), HotnessParams { tsp_max_steps: 4, ..params() });
         let t1 = enter_planning(&mut eng, 0);
         // Heat all of rank 1 so the 4-step search times out inside it.
         for w in 0..8 {
@@ -594,7 +582,10 @@ mod tests {
         // completely idle.
         for r in 1..4u32 {
             for w in 0..4 {
-                eng.on_access(SegmentLocation { channel: 0, rank: r, within: w }, Picos::from_us(10));
+                eng.on_access(
+                    SegmentLocation { channel: 0, rank: r, within: w },
+                    Picos::from_us(10),
+                );
             }
         }
         let plans = eng.pump(Picos::from_us(150), |_, _| true);

@@ -42,6 +42,7 @@ mod backend;
 mod config;
 mod device;
 mod error;
+mod health;
 mod hotness;
 mod migrate;
 mod overhead;
@@ -55,13 +56,15 @@ pub use alloc::SegmentAllocator;
 pub use backend::{AnalyticBackend, CycleBackend, MemoryBackend};
 pub use config::DtlConfig;
 pub use device::{
-    AccessOutcome, DeviceSnapshot, DeviceStats, DtlDevice, HostSnapshot, HotnessRole,
-    RankSnapshot, VmAllocation,
+    AccessOutcome, DeviceSnapshot, DeviceStats, DtlDevice, HostSnapshot, HotnessRole, RankSnapshot,
+    UncorrectableReport, VmAllocation,
 };
 pub use error::DtlError;
+pub use health::{HealthParams, HealthStats, HealthTracker, RankErrorRecord, RankHealth};
 pub use hotness::{HotnessEngine, HotnessParams, HotnessPhase, HotnessPlan, HotnessStats};
 pub use migrate::{
-    CompletedMigration, MigrationEngine, MigrationJob, MigrationKind, MigrationStats, WriteRouting,
+    CompletedMigration, MigrationEngine, MigrationInterrupt, MigrationJob, MigrationKind,
+    MigrationStats, WriteRouting,
 };
 pub use overhead::{ControllerCost, OverheadConfig, StructureSizes};
 pub use powerdown::{PowerDownEngine, PowerDownPlan, PowerDownStats, RankPdState};

@@ -85,6 +85,29 @@ pub enum WriteRouting {
     AbortedJob,
 }
 
+/// Outcome of interrupting a channel's in-flight migration
+/// ([`MigrationEngine::interrupt_channel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationInterrupt {
+    /// No migration was in flight on the channel.
+    Idle,
+    /// The job's partial progress was discarded and it was requeued to
+    /// replay after a backoff.
+    Replayed {
+        /// The replaying job's id.
+        id: u64,
+        /// Aborts the job has now suffered.
+        retries: u32,
+    },
+    /// The job exhausted its retry budget and was removed from the engine;
+    /// the caller must roll back its bookkeeping (release reservations,
+    /// restart or abandon the move).
+    RolledBack {
+        /// The removed job, as it was when interrupted.
+        job: MigrationJob,
+    },
+}
+
 #[derive(Debug, Clone, Copy)]
 struct ActiveJob {
     job: MigrationJob,
@@ -120,6 +143,10 @@ pub struct MigrationStats {
     pub aborts: u64,
     /// Jobs demoted to the queue tail after exceeding the retry limit.
     pub requeues: u64,
+    /// In-flight jobs cut off by injected interruptions.
+    pub interrupts: u64,
+    /// Interrupted jobs handed back for rollback (retry budget exhausted).
+    pub rollbacks: u64,
 }
 
 /// The migration engine: one in-flight job per channel, FIFO queue behind.
@@ -228,7 +255,11 @@ impl MigrationEngine {
     /// back-to-back from each channel-slot release (so an entire rank drain
     /// progresses within one pump, at the modeled migration bandwidth).
     /// Call regularly; `now` must be monotonic.
-    pub fn pump<B: MemoryBackend>(&mut self, now: Picos, backend: &mut B) -> Vec<CompletedMigration> {
+    pub fn pump<B: MemoryBackend>(
+        &mut self,
+        now: Picos,
+        backend: &mut B,
+    ) -> Vec<CompletedMigration> {
         let mut done = Vec::new();
         for (src, dst, lines) in self.pending_charges.drain(..) {
             backend.charge_migration(src, dst, lines);
@@ -296,11 +327,7 @@ impl MigrationEngine {
             }
             // Loop again: a job that started and completes before `now`
             // frees its slot for the next queued job on that channel.
-            let any_completable = self
-                .in_flight
-                .iter()
-                .flatten()
-                .any(|a| a.complete_at <= now);
+            let any_completable = self.in_flight.iter().flatten().any(|a| a.complete_at <= now);
             if !any_completable {
                 break;
             }
@@ -371,6 +398,43 @@ impl MigrationEngine {
         } else {
             WriteRouting::Proceed
         }
+    }
+
+    /// Cuts off the channel's in-flight migration mid-transfer (a fault
+    /// injector's controller reset / queue flush). The crash-consistency
+    /// contract of §4.2 applies: mapping updates only ever happen on
+    /// completion, so the partially-written destination is simply
+    /// discarded — its already-copied lines are charged as wasted energy —
+    /// and the job either *replays* (requeued at the front, with the same
+    /// exponential backoff as a write-conflict abort) or, once its retry
+    /// budget is exhausted, is *rolled back*: removed from the engine and
+    /// returned so the device can release reservations and restart or
+    /// abandon the move.
+    pub fn interrupt_channel(&mut self, channel: u32, now: Picos) -> MigrationInterrupt {
+        let Some(slot) = self.in_flight.get_mut(channel as usize) else {
+            return MigrationInterrupt::Idle;
+        };
+        let Some(active) = slot.take() else {
+            return MigrationInterrupt::Idle;
+        };
+        self.stats.interrupts += 1;
+        // Energy of the lines copied before the cut-off is still spent.
+        let wasted = active.lines_done(now);
+        if wasted > 0 {
+            let (x, y) = active.job.kind.endpoints();
+            self.pending_charges.push((self.geo.location(x), self.geo.location(y), wasted));
+        }
+        let mut job = active.job;
+        job.retries += 1;
+        if job.retries > self.retry_limit {
+            self.stats.rollbacks += 1;
+            return MigrationInterrupt::RolledBack { job };
+        }
+        let duration = active.complete_at.saturating_sub(active.start);
+        let backoff = duration * (1u64 << job.retries.min(8));
+        job.enqueued_at = now + backoff;
+        self.queue.push_front(job);
+        MigrationInterrupt::Replayed { id: job.id, retries: job.retries }
     }
 
     /// Cancels every queued or in-flight job touching `dsn` (used when the
@@ -463,8 +527,7 @@ impl MigrationEngine {
             let (x, y) = j.kind.endpoints();
             x == dsn || y == dsn
         };
-        self.queue.iter().any(check)
-            || self.in_flight.iter().flatten().any(|a| check(&a.job))
+        self.queue.iter().any(check) || self.in_flight.iter().flatten().any(|a| check(&a.job))
     }
 }
 
@@ -583,10 +646,10 @@ mod tests {
         // Job 1 completes first (it was never aborted); job 0 finally
         // completes once its post-demotion backoff expires.
         let done = eng.pump(restart + Picos::from_ms(200), &mut be);
-        assert_eq!(done.last().unwrap().job.kind, MigrationKind::Copy {
-            src: dsn_ch0(0),
-            dst: dsn_ch0(5),
-        });
+        assert_eq!(
+            done.last().unwrap().job.kind,
+            MigrationKind::Copy { src: dsn_ch0(0), dst: dsn_ch0(5) }
+        );
         assert_eq!(eng.stats().completed, 2);
         assert!(eng.is_idle());
     }
@@ -617,6 +680,59 @@ mod tests {
         eng.pump(Picos::ZERO, &mut be);
         let r = eng.on_foreground_write(dsn_ch0(3), 0, Picos::from_us(60));
         assert_eq!(r, WriteRouting::Proceed);
+    }
+
+    #[test]
+    fn interrupt_idle_channel_is_a_no_op() {
+        let (mut eng, _) = setup();
+        assert_eq!(eng.interrupt_channel(0, Picos::ZERO), MigrationInterrupt::Idle);
+        assert_eq!(eng.interrupt_channel(99, Picos::ZERO), MigrationInterrupt::Idle);
+        assert_eq!(eng.stats().interrupts, 0);
+    }
+
+    #[test]
+    fn interrupted_job_replays_and_completes() {
+        let (mut eng, mut be) = setup();
+        let id = eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        eng.pump(Picos::ZERO, &mut be);
+        let r = eng.interrupt_channel(0, Picos::from_us(60));
+        assert_eq!(r, MigrationInterrupt::Replayed { id, retries: 1 });
+        assert_eq!(eng.stats().interrupts, 1);
+        assert_eq!(eng.in_flight(), 0);
+        assert_eq!(eng.queued(), 1);
+        let done = eng.pump(Picos::from_ms(50), &mut be);
+        assert_eq!(done.len(), 1, "replay finishes the copy");
+        assert_eq!(eng.stats().completed, 1);
+    }
+
+    #[test]
+    fn interrupts_past_retry_limit_roll_back() {
+        let (mut eng, mut be) = setup();
+        let id = eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::ZERO).unwrap();
+        // One same-channel copy takes SEG / (4.6 GB/s / 2); interrupt each
+        // attempt mid-copy, just after its backoff expires. retry_limit = 3:
+        // the 4th interruption rolls the job back.
+        let dur = Picos::from_ps((SEG as f64 / (4.6e9 / 2.0) * 1e12) as u64);
+        let mut restart = Picos::ZERO;
+        let mut outcome = MigrationInterrupt::Idle;
+        for k in 1..=4u32 {
+            eng.pump(restart, &mut be);
+            let at = restart + Picos::from_us(1);
+            outcome = eng.interrupt_channel(0, at);
+            if matches!(outcome, MigrationInterrupt::RolledBack { .. }) {
+                break;
+            }
+            assert_eq!(outcome, MigrationInterrupt::Replayed { id, retries: k });
+            restart = at + dur * (1u64 << k);
+        }
+        let MigrationInterrupt::RolledBack { job } = outcome else {
+            panic!("expected rollback, got {outcome:?}");
+        };
+        assert_eq!(job.id, id);
+        assert_eq!(job.retries, 4);
+        assert_eq!(eng.stats().rollbacks, 1);
+        assert!(eng.is_idle(), "rolled-back job left the engine");
+        assert_eq!(eng.stats().completed, 0);
     }
 
     #[test]

@@ -275,11 +275,7 @@ mod tests {
         let s = StructureSizes::compute(&OverheadConfig::paper_4tb());
         assert!(within(s.l1_smc_bytes as f64, 752.0, 0.3), "L1 {}", s.l1_smc_bytes);
         assert!(within(s.l2_smc_bytes as f64, 5.9 * 1024.0, 0.3), "L2 {}", s.l2_smc_bytes);
-        assert!(
-            within(s.au_table_bytes as f64, 260.0 * 1024.0, 0.3),
-            "au {}",
-            s.au_table_bytes
-        );
+        assert!(within(s.au_table_bytes as f64, 260.0 * 1024.0, 0.3), "au {}", s.au_table_bytes);
         assert!(
             within(s.migration_table_bytes as f64, 5.0 * 1024.0 * 1024.0, 0.3),
             "mig {}",

@@ -118,18 +118,13 @@ impl PowerDownEngine {
 
     /// Ranks of a channel currently active (serving allocations).
     pub fn active_ranks(&self, channel: u32) -> u32 {
-        self.state[channel as usize]
-            .iter()
-            .filter(|s| **s == RankPdState::Active)
-            .count() as u32
+        self.state[channel as usize].iter().filter(|s| **s == RankPdState::Active).count() as u32
     }
 
     /// Ranks in MPSM per channel (for power accounting).
     pub fn powered_down_ranks(&self, channel: u32) -> u32 {
-        self.state[channel as usize]
-            .iter()
-            .filter(|s| **s == RankPdState::PoweredDown)
-            .count() as u32
+        self.state[channel as usize].iter().filter(|s| **s == RankPdState::PoweredDown).count()
+            as u32
     }
 
     /// Attempts to plan a rank-group power-down (call at VM deallocation).
@@ -168,8 +163,7 @@ impl PowerDownEngine {
                 (0..self.geo.ranks_per_channel).filter(|r| excluded(c, *r)).collect();
             let victim = alloc.least_allocated_active_rank(c, &skip)?;
             // The other active ranks must absorb the victim's live data.
-            let spare =
-                alloc.free_in_channel_active(c) - alloc.free_in_rank(c, victim);
+            let spare = alloc.free_in_channel_active(c) - alloc.free_in_rank(c, victim);
             if spare < alloc.allocated_in_rank(c, victim) {
                 return None;
             }
@@ -183,9 +177,8 @@ impl PowerDownEngine {
             let live: Vec<u64> = alloc.allocated_slots(c, victim).collect();
             for within in live {
                 let src = self.geo.dsn(SegmentLocation { channel: c, rank: victim, within });
-                let dst_loc = self
-                    .pick_destination(alloc, c)
-                    .expect("spare capacity verified above");
+                let dst_loc =
+                    self.pick_destination(alloc, c).expect("spare capacity verified above");
                 copies.push((src, self.geo.dsn(dst_loc)));
             }
         }
@@ -207,11 +200,7 @@ impl PowerDownEngine {
 
     /// Picks a drain destination in channel `c`: the most utilized active
     /// rank with free space (the allocator's packing preference).
-    fn pick_destination(
-        &self,
-        alloc: &mut SegmentAllocator,
-        c: u32,
-    ) -> Option<SegmentLocation> {
+    fn pick_destination(&self, alloc: &mut SegmentAllocator, c: u32) -> Option<SegmentLocation> {
         let rank = (0..self.geo.ranks_per_channel)
             .filter(|r| {
                 self.state[c as usize][*r as usize] == RankPdState::Active
@@ -315,10 +304,7 @@ impl PowerDownEngine {
                 // Nothing stored there; flip the state.
                 self.state[channel as usize][rank as usize] = RankPdState::Retired;
                 self.stats.ranks_retired += 1;
-                return Ok(PowerDownPlan {
-                    group: vec![(channel, rank)],
-                    copies: Vec::new(),
-                });
+                return Ok(PowerDownPlan { group: vec![(channel, rank)], copies: Vec::new() });
             }
             RankPdState::Active => {}
         }
@@ -341,9 +327,7 @@ impl PowerDownEngine {
         let slots: Vec<u64> = alloc.allocated_slots(channel, rank).collect();
         for within in slots {
             let src = self.geo.dsn(SegmentLocation { channel, rank, within });
-            let dst = self
-                .pick_destination(alloc, channel)
-                .expect("spare capacity verified above");
+            let dst = self.pick_destination(alloc, channel).expect("spare capacity verified above");
             copies.push((src, self.geo.dsn(dst)));
         }
         self.stats.segments_drained += copies.len() as u64;

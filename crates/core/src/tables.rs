@@ -78,11 +78,7 @@ impl MappingTables {
     pub fn create_au(&mut self, host: HostId, au: AuId, dsns: Vec<Dsn>) -> Result<(), DtlError> {
         if dsns.len() as u64 != self.segments_per_au {
             return Err(DtlError::Internal {
-                reason: format!(
-                    "AU needs {} segments, got {}",
-                    self.segments_per_au,
-                    dsns.len()
-                ),
+                reason: format!("AU needs {} segments, got {}", self.segments_per_au, dsns.len()),
             });
         }
         for (off, d) in dsns.iter().enumerate() {
@@ -99,10 +95,7 @@ impl MappingTables {
         for (off, d) in dsns.iter().enumerate() {
             self.reverse.insert(*d, Hsn { host, au, au_offset: off as u32 });
         }
-        self.hosts
-            .get_mut(&host)
-            .expect("checked above")
-            .insert(au, AuTable { map: dsns });
+        self.hosts.get_mut(&host).expect("checked above").insert(au, AuTable { map: dsns });
         Ok(())
     }
 
@@ -122,12 +115,7 @@ impl MappingTables {
 
     /// The full three-level walk: HSN → DSN.
     pub fn translate(&self, hsn: Hsn) -> Option<Dsn> {
-        self.hosts
-            .get(&hsn.host)?
-            .get(&hsn.au)?
-            .map
-            .get(hsn.au_offset as usize)
-            .copied()
+        self.hosts.get(&hsn.host)?.get(&hsn.au)?.map.get(hsn.au_offset as usize).copied()
     }
 
     /// The reverse walk: DSN → HSN (None for unallocated segments).
@@ -151,9 +139,8 @@ impl MappingTables {
             }
         }
         let aus = self.hosts.get_mut(&hsn.host).ok_or(DtlError::UnknownHost(hsn.host))?;
-        let table = aus
-            .get_mut(&hsn.au)
-            .ok_or(DtlError::UnknownAu { host: hsn.host, au: hsn.au })?;
+        let table =
+            aus.get_mut(&hsn.au).ok_or(DtlError::UnknownAu { host: hsn.host, au: hsn.au })?;
         let slot = table.map.get_mut(hsn.au_offset as usize).ok_or(DtlError::Internal {
             reason: format!("AU offset {} out of range", hsn.au_offset),
         })?;
@@ -290,17 +277,11 @@ mod tests {
         // Wrong segment count.
         assert!(t.create_au(HostId(0), AuId(1), vec![Dsn(20)]).is_err());
         // Duplicate AU.
-        assert!(t
-            .create_au(HostId(0), AuId(0), vec![Dsn(20), Dsn(21), Dsn(22), Dsn(23)])
-            .is_err());
+        assert!(t.create_au(HostId(0), AuId(0), vec![Dsn(20), Dsn(21), Dsn(22), Dsn(23)]).is_err());
         // DSN already mapped.
-        assert!(t
-            .create_au(HostId(0), AuId(1), vec![Dsn(10), Dsn(21), Dsn(22), Dsn(23)])
-            .is_err());
+        assert!(t.create_au(HostId(0), AuId(1), vec![Dsn(10), Dsn(21), Dsn(22), Dsn(23)]).is_err());
         // Unknown host.
-        assert!(t
-            .create_au(HostId(9), AuId(0), vec![Dsn(20), Dsn(21), Dsn(22), Dsn(23)])
-            .is_err());
+        assert!(t.create_au(HostId(9), AuId(0), vec![Dsn(20), Dsn(21), Dsn(22), Dsn(23)]).is_err());
     }
 
     #[test]

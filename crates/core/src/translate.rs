@@ -47,8 +47,7 @@ impl TranslationLatency {
             SmcOutcome::L1Hit => self.cycle * self.l1_hit_cycles,
             SmcOutcome::L2Hit => self.cycle * (self.l1_hit_cycles + self.l2_hit_cycles),
             SmcOutcome::Miss => {
-                self.cycle
-                    * (self.l1_hit_cycles + self.l2_hit_cycles + self.walk_sram_cycles)
+                self.cycle * (self.l1_hit_cycles + self.l2_hit_cycles + self.walk_sram_cycles)
                     + dram_access
             }
         }
@@ -99,10 +98,7 @@ impl Translator {
     pub fn hsn_of(&self, host: HostId, hpa: HostPhysAddr) -> (Hsn, u64) {
         let au = AuId((hpa.as_u64() / self.au_bytes) as u32);
         let au_offset = (hpa.as_u64() % self.au_bytes) / self.segment_bytes;
-        (
-            Hsn { host, au, au_offset: au_offset as u32 },
-            hpa.as_u64() % self.segment_bytes,
-        )
+        (Hsn { host, au, au_offset: au_offset as u32 }, hpa.as_u64() % self.segment_bytes)
     }
 
     /// Translates one access, filling the SMC on a miss. `dram_access` is
@@ -123,9 +119,7 @@ impl Translator {
         let dsn = match cached {
             Some(d) => d,
             None => {
-                let d = tables
-                    .translate(hsn)
-                    .ok_or(DtlError::UnmappedAddress { host, hpa })?;
+                let d = tables.translate(hsn).ok_or(DtlError::UnmappedAddress { host, hpa })?;
                 self.smc.fill(hsn, d);
                 d
             }

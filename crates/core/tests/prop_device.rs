@@ -54,8 +54,7 @@ fn run_ops(ops: &[Op], hotness: bool, powerdown: bool) -> Result<(), TestCaseErr
                     continue;
                 }
                 let (h, _) = vms.swap_remove(*idx as usize % vms.len());
-                dev.dealloc_vm(h, now)
-                    .map_err(|e| TestCaseError::fail(format!("dealloc: {e}")))?;
+                dev.dealloc_vm(h, now).map_err(|e| TestCaseError::fail(format!("dealloc: {e}")))?;
             }
             Op::Access { vm_idx, offset, write } => {
                 if vms.is_empty() {
@@ -119,12 +118,10 @@ fn run_ops(ops: &[Op], hotness: bool, powerdown: bool) -> Result<(), TestCaseErr
         now += Picos::from_ms(1);
         dev.tick(now).map_err(|e| TestCaseError::fail(format!("drain tick: {e}")))?;
     }
-    dev.check_invariants()
-        .map_err(|e| TestCaseError::fail(format!("final invariant: {e}")))?;
+    dev.check_invariants().map_err(|e| TestCaseError::fail(format!("final invariant: {e}")))?;
     // Deallocate everything; device must come back fully free.
     for (h, _) in vms {
-        dev.dealloc_vm(h, now)
-            .map_err(|e| TestCaseError::fail(format!("final dealloc: {e}")))?;
+        dev.dealloc_vm(h, now).map_err(|e| TestCaseError::fail(format!("final dealloc: {e}")))?;
     }
     for _ in 0..50 {
         now += Picos::from_ms(1);

@@ -5,8 +5,7 @@
 use std::collections::HashMap;
 
 use dtl_core::{
-    AuId, Dsn, HostId, Hsn, MappingTables, SegmentAllocator, SegmentGeometry,
-    SegmentMappingCache,
+    AuId, Dsn, HostId, Hsn, MappingTables, SegmentAllocator, SegmentGeometry, SegmentMappingCache,
 };
 use proptest::prelude::*;
 

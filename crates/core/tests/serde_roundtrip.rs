@@ -2,14 +2,14 @@
 //! experiment binaries dump these as JSON; they must survive the trip.
 
 use dtl_core::{
-    AuId, DtlConfig, Dsn, HostId, HostPhysAddr, Hsn, MigrationKind, SegmentGeometry,
+    AuId, Dsn, DtlConfig, HostId, HostPhysAddr, Hsn, MigrationKind, SegmentGeometry,
     SegmentLocation, VmHandle,
 };
 use dtl_dram::{DramConfig, Picos, PowerState, RankEnergy};
 
 fn round_trip<T>(value: &T) -> T
 where
-    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+    T: serde::Serialize + serde::Deserialize,
 {
     let json = serde_json::to_string(value).expect("serialize");
     serde_json::from_str(&json).expect("deserialize")

@@ -84,8 +84,7 @@ impl AmatModel {
         exposed: f64,
     ) -> f64 {
         let mem_per_instr = |amat_ns: f64| mapki / 1000.0 * amat_ns * exposed;
-        let base_ns =
-            base_cpi / core_ghz + mem_per_instr(self.cxl_mem_latency.as_ns_f64());
+        let base_ns = base_cpi / core_ghz + mem_per_instr(self.cxl_mem_latency.as_ns_f64());
         let added_ns = mem_per_instr(self.translation_overhead().as_ns_f64());
         added_ns / base_ns
     }
@@ -127,10 +126,7 @@ mod tests {
         m.l2_miss_ratio = 1.0;
         let expect = m.l1_hit + m.l2_hit + m.l2_miss_penalty;
         let got = m.translation_overhead();
-        assert!(
-            got.as_ps().abs_diff(expect.as_ps()) <= 10,
-            "expected {expect}, got {got}"
-        );
+        assert!(got.as_ps().abs_diff(expect.as_ps()) <= 10, "expected {expect}, got {got}");
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //!
 //! * [`LinkModel`] — the added latency of CXL vs native DRAM (Table 1 of
 //!   the paper: 121 ns native, 210 ns CXL);
+//! * [`RetryEngine`] — the CXL link-layer CRC/ack/replay loop, charging
+//!   exponential-backoff latency and link energy to corrupted transfers;
 //! * [`AmatModel`] — the paper's §6.1 analytical AMAT under DTL address
 //!   translation (Equations 1–2);
 //! * [`RemoteMemory`] — a cycle-level [`dtl_dram::DramSystem`] behind a
-//!   link, reporting host-observed latencies.
+//!   link, reporting host-observed latencies (including retry delays).
 //!
 //! ```
 //! use dtl_cxl::AmatModel;
@@ -26,6 +28,6 @@ mod loaded;
 mod remote;
 
 pub use amat::AmatModel;
-pub use link::LinkModel;
+pub use link::{LinkDelivery, LinkModel, LinkRetryStats, RetryEngine, RetryPolicy};
 pub use loaded::LoadedLatencyModel;
 pub use remote::{RemoteMemory, RemoteStats};

@@ -1,9 +1,19 @@
-//! CXL link latency model.
+//! CXL link latency model and link-level retry.
 //!
 //! The paper emulates CXL-attached memory by adding latency to local DRAM
 //! accesses (Quartz, §5.1, Table 1): native DRAM is 121 ns and CXL memory
 //! 210 ns. Quartz itself only injects delays, so a delay model reproduces
 //! the paper's methodology exactly.
+//!
+//! CXL flits carry a CRC; a corrupted flit is replayed from the retry
+//! buffer rather than surfaced to the host. [`RetryEngine`] models that
+//! ack/replay loop: each corrupted transfer costs one exponentially
+//! backed-off replay, and a transfer corrupted more than
+//! [`RetryPolicy::max_retries`] times forces a link recovery (counted as a
+//! give-up) before the request finally goes through. Retries are invisible
+//! to the host except as added latency and link energy.
+
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +59,125 @@ impl LinkModel {
     }
 }
 
+/// Link-level retry parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Replays attempted before the link declares recovery (a give-up).
+    pub max_retries: u32,
+    /// Backoff before the first replay; each further replay doubles it.
+    pub base_backoff: Picos,
+    /// Link energy charged per replayed transfer (pJ).
+    pub retry_energy_pj: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // A flit replay round trip is on the order of the link latency;
+        // 100 ns base backoff keeps a single CRC hit cheap (~100 ns) while
+        // a pathological burst escalates fast enough to be visible.
+        RetryPolicy { max_retries: 4, base_backoff: Picos::from_ns(100), retry_energy_pj: 15.0 }
+    }
+}
+
+/// Accumulated retry activity on a link.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkRetryStats {
+    /// CRC-corrupted transfers observed.
+    pub crc_errors: u64,
+    /// Replays performed.
+    pub retries: u64,
+    /// Transfers that exhausted [`RetryPolicy::max_retries`] and forced a
+    /// link recovery. The request is still delivered afterwards.
+    pub giveups: u64,
+    /// Total time spent in backoff/replay.
+    pub retry_time: Picos,
+    /// Total link energy spent on replays (pJ).
+    pub retry_energy_pj: f64,
+}
+
+/// Outcome of pushing one request through the retry layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDelivery {
+    /// Extra latency the retry loop added to this request.
+    pub delay: Picos,
+    /// `false` when the transfer exhausted its retries and needed a link
+    /// recovery before delivery.
+    pub clean: bool,
+}
+
+/// Models the CXL link-layer CRC/ack/replay loop.
+///
+/// Fault injectors queue corruption bursts with
+/// [`RetryEngine::inject_crc_burst`]; the next submitted request consumes
+/// one burst and pays the replay cost. Requests are never lost — the link
+/// layer guarantees delivery — so faults surface only as latency and
+/// energy.
+#[derive(Debug, Default)]
+pub struct RetryEngine {
+    policy: RetryPolicy,
+    stats: LinkRetryStats,
+    /// Corruption counts waiting to be consumed, one per upcoming request.
+    pending: VecDeque<u32>,
+}
+
+impl RetryEngine {
+    /// Builds an engine with the given policy.
+    pub fn new(policy: RetryPolicy) -> Self {
+        RetryEngine { policy, stats: LinkRetryStats::default(), pending: VecDeque::new() }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Replaces the retry policy. Accumulated statistics are kept.
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Accumulated retry statistics.
+    pub fn stats(&self) -> LinkRetryStats {
+        self.stats
+    }
+
+    /// Queues a corruption burst: the next submitted request's transfer is
+    /// corrupted `burst` times before getting through. Bursts queue FIFO,
+    /// one per request.
+    pub fn inject_crc_burst(&mut self, burst: u32) {
+        if burst > 0 {
+            self.pending.push_back(burst);
+        }
+    }
+
+    /// Corruption bursts queued but not yet consumed by a request.
+    pub fn pending_bursts(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Passes one request through the link, consuming a queued corruption
+    /// burst if present, and returns the latency it cost.
+    pub fn on_submit(&mut self) -> LinkDelivery {
+        let Some(burst) = self.pending.pop_front() else {
+            return LinkDelivery { delay: Picos::ZERO, clean: true };
+        };
+        self.stats.crc_errors += u64::from(burst);
+        let replays = burst.min(self.policy.max_retries);
+        let clean = burst <= self.policy.max_retries;
+        if !clean {
+            self.stats.giveups += 1;
+        }
+        let mut delay = Picos::ZERO;
+        for k in 0..replays {
+            delay += self.policy.base_backoff * (1u64 << k.min(16));
+        }
+        self.stats.retries += u64::from(replays);
+        self.stats.retry_time += delay;
+        self.stats.retry_energy_pj += f64::from(replays) * self.policy.retry_energy_pj;
+        LinkDelivery { delay, clean }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +195,61 @@ mod tests {
         let l = LinkModel::symmetric_ns(100.0);
         assert_eq!(l.request_latency, l.response_latency);
         assert_eq!(l.round_trip(), Picos::from_ns(100));
+    }
+
+    #[test]
+    fn clean_submit_costs_nothing() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        let d = r.on_submit();
+        assert_eq!(d, LinkDelivery { delay: Picos::ZERO, clean: true });
+        assert_eq!(r.stats(), LinkRetryStats::default());
+    }
+
+    #[test]
+    fn single_crc_hit_costs_one_backoff() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        r.inject_crc_burst(1);
+        let d = r.on_submit();
+        assert!(d.clean);
+        assert_eq!(d.delay, Picos::from_ns(100));
+        let s = r.stats();
+        assert_eq!((s.crc_errors, s.retries, s.giveups), (1, 1, 0));
+        assert_eq!(s.retry_time, Picos::from_ns(100));
+        assert!((s.retry_energy_pj - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_doubles_per_replay() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        r.inject_crc_burst(3);
+        let d = r.on_submit();
+        assert!(d.clean);
+        // 100 + 200 + 400 ns.
+        assert_eq!(d.delay, Picos::from_ns(700));
+    }
+
+    #[test]
+    fn exhausted_retries_force_recovery_but_deliver() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        r.inject_crc_burst(9);
+        let d = r.on_submit();
+        assert!(!d.clean, "past max_retries the link recovers");
+        // Capped at max_retries = 4 replays: 100 + 200 + 400 + 800 ns.
+        assert_eq!(d.delay, Picos::from_ns(1500));
+        let s = r.stats();
+        assert_eq!((s.crc_errors, s.retries, s.giveups), (9, 4, 1));
+    }
+
+    #[test]
+    fn bursts_queue_one_per_request() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        r.inject_crc_burst(1);
+        r.inject_crc_burst(2);
+        r.inject_crc_burst(0); // ignored
+        assert_eq!(r.pending_bursts(), 2);
+        assert_eq!(r.on_submit().delay, Picos::from_ns(100));
+        assert_eq!(r.on_submit().delay, Picos::from_ns(300));
+        assert_eq!(r.on_submit().delay, Picos::ZERO);
+        assert_eq!(r.pending_bursts(), 0);
     }
 }

@@ -1,5 +1,8 @@
 //! A DRAM device behind a CXL (or native) link: adds link latency to each
-//! request's arrival and each completion's finish time.
+//! request's arrival and each completion's finish time, including any
+//! link-level CRC retry delay.
+
+use std::collections::HashMap;
 
 use dtl_dram::{
     AccessKind, AddressMapping, Completion, DramConfig, DramError, DramSystem, PhysAddr, Picos,
@@ -7,7 +10,7 @@ use dtl_dram::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::link::LinkModel;
+use crate::link::{LinkModel, LinkRetryStats, RetryEngine, RetryPolicy};
 
 /// Latency statistics of host-observed accesses through the link.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,6 +61,11 @@ impl RemoteStats {
 pub struct RemoteMemory {
     dram: DramSystem,
     link: LinkModel,
+    retry: RetryEngine,
+    /// Retry delay charged to each in-flight request, keyed by the device's
+    /// request id, so completions can roll arrivals back to the true host
+    /// issue time.
+    retry_delays: HashMap<u64, Picos>,
     stats: RemoteStats,
 }
 
@@ -72,7 +80,13 @@ impl RemoteMemory {
         mapping: AddressMapping,
         link: LinkModel,
     ) -> Result<Self, DramError> {
-        Ok(RemoteMemory { dram: DramSystem::new(config, mapping)?, link, stats: RemoteStats::default() })
+        Ok(RemoteMemory {
+            dram: DramSystem::new(config, mapping)?,
+            link,
+            retry: RetryEngine::new(RetryPolicy::default()),
+            retry_delays: HashMap::new(),
+            stats: RemoteStats::default(),
+        })
     }
 
     /// The link model in effect.
@@ -96,7 +110,27 @@ impl RemoteMemory {
         self.stats
     }
 
+    /// Accumulated link-retry statistics.
+    pub fn retry_stats(&self) -> LinkRetryStats {
+        self.retry.stats()
+    }
+
+    /// Replaces the link retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry.set_policy(policy);
+    }
+
+    /// Queues a CRC corruption burst against the next submitted request
+    /// (fault injection). The request is still delivered; it just pays the
+    /// replay latency and energy.
+    pub fn inject_crc_error(&mut self, burst: u32) {
+        self.retry.inject_crc_burst(burst);
+    }
+
     /// Submits a request issued by the host at `host_time`.
+    ///
+    /// If a CRC corruption burst is queued, the request is delayed by the
+    /// link-layer replay loop before reaching the device.
     ///
     /// # Errors
     ///
@@ -108,7 +142,13 @@ impl RemoteMemory {
         priority: Priority,
         host_time: Picos,
     ) -> Result<u64, DramError> {
-        self.dram.submit(addr, kind, priority, host_time + self.link.request_latency)
+        let delivery = self.retry.on_submit();
+        let arrive = host_time + self.link.request_latency + delivery.delay;
+        let id = self.dram.submit(addr, kind, priority, arrive)?;
+        if delivery.delay > Picos::ZERO {
+            self.retry_delays.insert(id, delivery.delay);
+        }
+        Ok(id)
     }
 
     /// Advances device time.
@@ -117,8 +157,10 @@ impl RemoteMemory {
     }
 
     /// Drains completions with host-observed times: `finished` includes the
-    /// response latency, `arrival` is rolled back to the host issue time, so
-    /// [`Completion::latency`] is the full host-observed round trip.
+    /// response latency, `arrival` is rolled back to the host issue time
+    /// (undoing the request latency and any CRC retry delay), so
+    /// [`Completion::latency`] is the full host-observed round trip
+    /// including retries.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         let req = self.link.request_latency;
         let resp = self.link.response_latency;
@@ -127,8 +169,9 @@ impl RemoteMemory {
             .drain_completions()
             .into_iter()
             .map(|mut c| {
+                let retry = self.retry_delays.remove(&c.id).unwrap_or(Picos::ZERO);
                 c.finished += resp;
-                c.arrival = c.arrival.saturating_sub(req);
+                c.arrival = c.arrival.saturating_sub(req + retry);
                 c
             })
             .collect();
@@ -182,5 +225,63 @@ mod tests {
     fn empty_stats_mean_is_zero() {
         let m = remote(LinkModel::native());
         assert_eq!(m.stats().mean_latency(), Picos::ZERO);
+    }
+
+    #[test]
+    fn crc_retry_adds_host_observed_latency() {
+        let mut clean = remote(LinkModel::cxl());
+        let mut faulty = remote(LinkModel::cxl());
+        faulty.inject_crc_error(1);
+        for m in [&mut clean, &mut faulty] {
+            m.submit(PhysAddr::new(4096), AccessKind::Read, Priority::Foreground, Picos::ZERO)
+                .unwrap();
+            m.advance_to(Picos::from_us(2));
+        }
+        let lc = clean.drain_completions()[0].latency();
+        let lf = faulty.drain_completions()[0].latency();
+        assert_eq!(lf, lc + Picos::from_ns(100), "one replay = one base backoff");
+        let s = faulty.retry_stats();
+        assert_eq!((s.crc_errors, s.retries, s.giveups), (1, 1, 0));
+        assert_eq!(clean.retry_stats(), LinkRetryStats::default());
+    }
+
+    #[test]
+    fn giveup_still_delivers_the_request() {
+        let mut m = remote(LinkModel::cxl());
+        m.set_retry_policy(RetryPolicy {
+            max_retries: 2,
+            base_backoff: Picos::from_ns(50),
+            retry_energy_pj: 10.0,
+        });
+        m.inject_crc_error(5);
+        m.submit(PhysAddr::new(0), AccessKind::Write, Priority::Foreground, Picos::ZERO).unwrap();
+        m.advance_to(Picos::from_us(2));
+        let done = m.drain_completions();
+        assert_eq!(done.len(), 1, "no lost writes at the link layer");
+        let s = m.retry_stats();
+        assert_eq!((s.crc_errors, s.retries, s.giveups), (5, 2, 1));
+        // 50 + 100 ns of replay time.
+        assert_eq!(s.retry_time, Picos::from_ns(150));
+        assert!((s.retry_energy_pj - 20.0).abs() < 1e-9);
+        assert!(done[0].latency() >= Picos::from_ns(150));
+    }
+
+    #[test]
+    fn retry_delay_is_charged_per_request() {
+        let mut m = remote(LinkModel::native());
+        m.inject_crc_error(1);
+        // First request eats the burst; second is clean.
+        m.submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::ZERO).unwrap();
+        m.submit(PhysAddr::new(1 << 20), AccessKind::Read, Priority::Foreground, Picos::ZERO)
+            .unwrap();
+        m.advance_to(Picos::from_us(2));
+        let done = m.drain_completions();
+        assert_eq!(done.len(), 2);
+        let (lo, hi) = {
+            let a = done[0].latency();
+            let b = done[1].latency();
+            (a.min(b), a.max(b))
+        };
+        assert!(hi >= lo + Picos::from_ns(100), "only the corrupted request pays");
     }
 }

@@ -113,9 +113,8 @@ impl Channel {
         power: PowerParams,
         page_policy: PagePolicy,
     ) -> Self {
-        let ranks = (0..geometry.ranks_per_channel)
-            .map(|_| Rank::new(geometry, &timing, power))
-            .collect();
+        let ranks =
+            (0..geometry.ranks_per_channel).map(|_| Rank::new(geometry, &timing, power)).collect();
         Channel {
             index,
             timing,
@@ -244,11 +243,7 @@ impl Channel {
 
     /// The earliest arrival time among queued requests, if any.
     pub fn earliest_arrival(&self) -> Option<Picos> {
-        self.fg
-            .iter()
-            .chain(self.mig.iter())
-            .map(|p| p.req.arrival)
-            .min()
+        self.fg.iter().chain(self.mig.iter()).map(|p| p.req.arrival).min()
     }
 
     // ---- internals ----------------------------------------------------
@@ -273,7 +268,11 @@ impl Channel {
                     kind: CommandKind::Refresh,
                     channel: self.index,
                     rank: ri as u32,
-                    target: DecodedAddr { channel: self.index, rank: ri as u32, ..Default::default() },
+                    target: DecodedAddr {
+                        channel: self.index,
+                        rank: ri as u32,
+                        ..Default::default()
+                    },
                 });
             }
         }
@@ -383,8 +382,7 @@ impl Channel {
                     .max(rank.cas_constraint(p.dec.bank_group, is_read, t));
                 // Data-bus availability: the burst must start after the bus
                 // frees (plus a turnaround bubble on rank/direction change).
-                let cas_lat =
-                    if is_read { t.cycles(t.cl) } else { t.cycles(t.cwl) };
+                let cas_lat = if is_read { t.cycles(t.cl) } else { t.cycles(t.cwl) };
                 let mut bus_avail = self.bus_free;
                 let switching = self.last_bus_rank.is_some()
                     && (self.last_bus_rank != Some(p.dec.rank)
@@ -398,10 +396,7 @@ impl Channel {
                 (NextCommand::Cas, ti)
             }
             Some(_) => {
-                let ti = arrival
-                    .max(self.clock)
-                    .max(bank.pre_ready())
-                    .max(rank.busy_until());
+                let ti = arrival.max(self.clock).max(bank.pre_ready()).max(rank.busy_until());
                 (NextCommand::Pre, ti)
             }
             None => {
@@ -415,7 +410,13 @@ impl Channel {
     }
 
     /// Issues `cmd` at `at` for the request in `slot`, updating all state.
-    fn issue<S: CommandSink>(&mut self, slot: QueueSlot, cmd: NextCommand, at: Picos, sink: &mut S) {
+    fn issue<S: CommandSink>(
+        &mut self,
+        slot: QueueSlot,
+        cmd: NextCommand,
+        at: Picos,
+        sink: &mut S,
+    ) {
         let t = self.timing;
         let p = match slot {
             QueueSlot::Fg(i) => self.fg[i].clone(),
@@ -555,8 +556,7 @@ mod tests {
 
     fn channel() -> (Channel, AddressMapper) {
         let cfg = DramConfig::tiny();
-        let mapper =
-            AddressMapper::new(cfg.geometry, AddressMapping::RankInterleaved).unwrap();
+        let mapper = AddressMapper::new(cfg.geometry, AddressMapping::RankInterleaved).unwrap();
         (Channel::new(0, &cfg.geometry, cfg.timing, cfg.power), mapper)
     }
 
@@ -588,7 +588,8 @@ mod tests {
     fn single_read_latency_is_act_plus_cas() {
         let (mut ch, mapper) = channel();
         let a = addr_for(&mapper, 0, 0, 0, 5, 3);
-        let (r, d) = req_at(&ch, &mapper, 1, a, AccessKind::Read, Picos::ZERO, Priority::Foreground);
+        let (r, d) =
+            req_at(&ch, &mapper, 1, a, AccessKind::Read, Picos::ZERO, Priority::Foreground);
         ch.enqueue(r, d);
         ch.advance_to(Picos::from_us(1), &mut NullSink);
         let done = ch.drain_completions();

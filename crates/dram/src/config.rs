@@ -138,7 +138,9 @@ impl Geometry {
         ];
         for (name, v) in fields {
             if v == 0 {
-                return Err(DramError::InvalidConfig { reason: format!("{name} must be non-zero") });
+                return Err(DramError::InvalidConfig {
+                    reason: format!("{name} must be non-zero"),
+                });
             }
             if !v.is_power_of_two() {
                 return Err(DramError::InvalidConfig {
@@ -213,23 +215,23 @@ impl TimingParams {
             cwl: 16,
             trcd: 21,
             trp: 21,
-            tras: 47,   // 32 ns
-            trrd_s: 5,  // 3.4 ns (x4, 1/2KB page)
-            trrd_l: 8,  // 4.9 ns
-            tfaw: 31,   // 21 ns
+            tras: 47,  // 32 ns
+            trrd_s: 5, // 3.4 ns (x4, 1/2KB page)
+            trrd_l: 8, // 4.9 ns
+            tfaw: 31,  // 21 ns
             tccd_s: 4,
-            tccd_l: 8,  // 5.355 ns
-            twr: 22,    // 15 ns
-            twtr_s: 4,  // 2.5 ns
-            twtr_l: 11, // 7.5 ns
-            trtp: 11,   // 7.5 ns
-            trfc: 807,  // 550 ns (16 Gb)
+            tccd_l: 8,    // 5.355 ns
+            twr: 22,      // 15 ns
+            twtr_s: 4,    // 2.5 ns
+            twtr_l: 11,   // 7.5 ns
+            trtp: 11,     // 7.5 ns
+            trfc: 807,    // 550 ns (16 Gb)
             trefi: 11442, // 7.8 us
             burst_length: 8,
             rank_to_rank: 2,
-            txs: 822,   // tRFC + 10 ns
-            txp: 10,    // 6.4 ns
-            tcke: 8,    // 5 ns
+            txs: 822,    // tRFC + 10 ns
+            txp: 10,     // 6.4 ns
+            tcke: 8,     // 5 ns
             txmpsm: 733, // 500 ns MPSM exit penalty
         }
     }

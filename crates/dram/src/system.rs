@@ -295,7 +295,8 @@ mod tests {
     #[test]
     fn submit_and_complete_round_trip() {
         let mut s = sys();
-        let id0 = s.submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::ZERO)
+        let id0 = s
+            .submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::ZERO)
             .unwrap();
         let id1 = s
             .submit(PhysAddr::new(64), AccessKind::Write, Priority::Foreground, Picos::ZERO)
@@ -320,13 +321,8 @@ mod tests {
     fn run_until_idle_drains_everything() {
         let mut s = sys();
         for i in 0..100 {
-            s.submit(
-                PhysAddr::new(i * 64),
-                AccessKind::Read,
-                Priority::Foreground,
-                Picos::ZERO,
-            )
-            .unwrap();
+            s.submit(PhysAddr::new(i * 64), AccessKind::Read, Priority::Foreground, Picos::ZERO)
+                .unwrap();
         }
         s.run_until_idle(Picos::from_us(1));
         assert_eq!(s.pending(), 0);
@@ -396,8 +392,7 @@ mod tests {
     fn migration_traffic_counted_separately() {
         let mut s = sys();
         s.submit(PhysAddr::new(0), AccessKind::Read, Priority::Migration, Picos::ZERO).unwrap();
-        s.submit(PhysAddr::new(64), AccessKind::Read, Priority::Foreground, Picos::ZERO)
-            .unwrap();
+        s.submit(PhysAddr::new(64), AccessKind::Read, Priority::Foreground, Picos::ZERO).unwrap();
         s.run_until_idle(Picos::from_us(1));
         assert_eq!(s.foreground_stats().count, 1);
         assert_eq!(s.migration_stats().count, 1);

@@ -2,8 +2,8 @@
 //! MPSM auto-exit, queue bookkeeping, and long-idle correctness.
 
 use dtl_dram::{
-    AccessKind, AddressMapping, CommandKind, DramConfig, DramSystem, PhysAddr, Picos,
-    PowerState, Priority, RankId, RecordingSink,
+    AccessKind, AddressMapping, CommandKind, DramConfig, DramSystem, PhysAddr, Picos, PowerState,
+    Priority, RankId, RecordingSink,
 };
 
 fn sys() -> DramSystem {
@@ -51,11 +51,7 @@ fn starvation_cap_bounds_worst_case_latency() {
     let v = done.iter().find(|c| c.id == victim).unwrap();
     // Must complete within the starvation cap plus service, not after the
     // whole 20 us hit stream.
-    assert!(
-        v.latency() < Picos::from_us(8),
-        "victim starved: {}",
-        v.latency()
-    );
+    assert!(v.latency() < Picos::from_us(8), "victim starved: {}", v.latency());
 }
 
 #[test]
@@ -139,8 +135,7 @@ fn run_until_idle_with_zero_chunk_uses_default() {
 #[test]
 fn requests_arriving_far_in_the_future_wait() {
     let mut s = sys();
-    s.submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::from_ms(5))
-        .unwrap();
+    s.submit(PhysAddr::new(0), AccessKind::Read, Priority::Foreground, Picos::from_ms(5)).unwrap();
     s.advance_to(Picos::from_ms(1));
     assert_eq!(s.drain_completions().len(), 0, "not arrived yet");
     s.advance_to(Picos::from_ms(6));
@@ -157,8 +152,7 @@ fn power_transitions_while_queued_requests_elsewhere() {
         s.submit(PhysAddr::new(i * 64), AccessKind::Write, Priority::Foreground, Picos::ZERO)
             .unwrap();
     }
-    s.set_rank_state(RankId { channel: 0, rank: 3 }, PowerState::SelfRefresh, Picos::ZERO)
-        .unwrap();
+    s.set_rank_state(RankId { channel: 0, rank: 3 }, PowerState::SelfRefresh, Picos::ZERO).unwrap();
     s.run_until_idle(Picos::from_us(5));
     assert_eq!(s.rank_state(RankId { channel: 0, rank: 3 }), PowerState::SelfRefresh);
     assert_eq!(s.drain_completions().len(), 64);
@@ -166,8 +160,7 @@ fn power_transitions_while_queued_requests_elsewhere() {
 
 mod page_policy {
     use dtl_dram::{
-        AccessKind, AddressMapping, DramConfig, DramSystem, PagePolicy, PhysAddr, Picos,
-        Priority,
+        AccessKind, AddressMapping, DramConfig, DramSystem, PagePolicy, PhysAddr, Picos, Priority,
     };
 
     fn run(policy: PagePolicy, addrs: &[u64]) -> (Picos, u64, u64) {

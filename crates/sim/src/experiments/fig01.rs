@@ -23,10 +23,8 @@ pub fn run(seed: u64) -> Fig01Result {
     let schedule = VmSchedule::synthesize(seed, node, 360);
     let series = schedule.usage_series(5);
     let average_fraction = schedule.average_usage_fraction();
-    let peak_fraction = series
-        .iter()
-        .map(|s| s.mem_bytes as f64 / node.mem_bytes as f64)
-        .fold(0.0, f64::max);
+    let peak_fraction =
+        series.iter().map(|s| s.mem_bytes as f64 / node.mem_bytes as f64).fold(0.0, f64::max);
     Fig01Result { vm_count: schedule.vm_count(), series, average_fraction, peak_fraction }
 }
 

@@ -107,10 +107,7 @@ mod tests {
         assert!(local >= 0.999, "local {local}");
         assert!(local < 1.08, "local cost too large: {local}");
         // The paper's shape: the relative cost shrinks with CXL latency.
-        assert!(
-            cxl <= local + 1e-9,
-            "cxl {cxl} must not exceed local {local}"
-        );
+        assert!(cxl <= local + 1e-9, "cxl {cxl} must not exceed local {local}");
         assert!((r.amat_gap_ns() - 89.0).abs() < 1.0);
     }
 }

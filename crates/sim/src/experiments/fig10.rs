@@ -32,8 +32,7 @@ pub struct Fig10Result {
 /// accesses per segment visit) stretches per-segment revisit distances by
 /// roughly 4×, which the paper's full-size traces amortize.
 pub fn run(seed: u64, records: usize, scale: u64) -> Fig10Result {
-    let specs: Vec<_> =
-        WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(scale)).collect();
+    let specs: Vec<_> = WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(scale)).collect();
     let mut mix = Mixer::new(&specs, seed);
     let mut analyzers: Vec<ReuseAnalyzer> =
         [1u64 << 20, 2 << 20, 4 << 20].iter().map(|g| ReuseAnalyzer::new(*g)).collect();

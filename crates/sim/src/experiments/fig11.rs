@@ -61,11 +61,7 @@ pub fn run() -> Fig11Result {
             let write_w = lines_per_s * (1.0 / 3.0) * p.write_nj * 1e-9;
             let act_w = lines_per_s / 4.0 * p.act_pre_nj * 1e-9;
             let active_mw = (read_w + write_w + act_w) * 1000.0;
-            ActivePoint {
-                bandwidth,
-                active_mw,
-                mw_per_gbps: active_mw / (bandwidth / 1e9),
-            }
+            ActivePoint { bandwidth, active_mw, mw_per_gbps: active_mw / (bandwidth / 1e9) }
         })
         .collect();
     Fig11Result { background, active }

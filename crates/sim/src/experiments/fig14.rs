@@ -55,11 +55,7 @@ pub const PAPER_POINTS: [(&str, u32, f64); 4] = [
 pub fn run(base: &HotnessRunConfig, points: &[(&str, u32, f64)]) -> Result<Fig14Result, DtlError> {
     let mut rows = Vec::new();
     for (label, ranks, frac) in points {
-        let cfg = HotnessRunConfig {
-            active_ranks: *ranks,
-            allocated_fraction: *frac,
-            ..*base
-        };
+        let cfg = HotnessRunConfig { active_ranks: *ranks, allocated_fraction: *frac, ..*base };
         let (_, on, saving) = hotness_savings(&cfg)?;
         rows.push(row(label, &cfg, &on, saving));
     }
@@ -88,13 +84,9 @@ mod tests {
             accesses: 1_000_000,
             n_apps: 3,
             channels: 2,
-            ..HotnessRunConfig::tiny(5, true)
+            ..HotnessRunConfig::tiny(1, true)
         };
-        let r = run(
-            &base,
-            &[("loose", 4, 0.55), ("tight", 4, 0.95)],
-        )
-        .unwrap();
+        let r = run(&base, &[("loose", 4, 0.55), ("tight", 4, 0.95)]).unwrap();
         assert_eq!(r.rows.len(), 2);
         let loose = &r.rows[0];
         let tight = &r.rows[1];

@@ -53,11 +53,7 @@ pub fn run(
     let mpsm = p.factor(PowerState::Mpsm);
     let mut rows = Vec::new();
     for (label, active, frac) in points {
-        let cfg = HotnessRunConfig {
-            active_ranks: *active,
-            allocated_fraction: *frac,
-            ..*base
-        };
+        let cfg = HotnessRunConfig { active_ranks: *active, allocated_fraction: *frac, ..*base };
         let (_, _, hotness_additional) = hotness_savings(&cfg)?;
         let total_ranks = f64::from(physical_ranks);
         let act = f64::from(*active);
@@ -67,8 +63,7 @@ pub fn run(
         let powerdown_saving = 1.0 - powerdown_energy;
         // Hotness reduces the active-rank share further.
         let active_share = act / total_ranks;
-        let total_energy =
-            powerdown_energy - active_share * hotness_additional;
+        let total_energy = powerdown_energy - active_share * hotness_additional;
         rows.push(Fig15Row {
             label: label.to_string(),
             active_ranks: *active,

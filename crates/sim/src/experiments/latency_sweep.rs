@@ -91,11 +91,8 @@ pub fn measure(cfg: &SweepConfig, spec: &WorkloadSpec) -> SweepOutcome {
         ranks_per_channel: cfg.ranks_per_channel,
         ..Geometry::cxl_1tb()
     };
-    let dram_cfg = DramConfig {
-        geometry,
-        page_policy: cfg.page_policy,
-        ..DramConfig::cxl_1tb_ddr4_2933()
-    };
+    let dram_cfg =
+        DramConfig { geometry, page_policy: cfg.page_policy, ..DramConfig::cxl_1tb_ddr4_2933() };
     let mut dram = DramSystem::new(dram_cfg, cfg.mapping).expect("valid preset geometry");
     let mut gen = TraceGen::new(*spec, cfg.seed);
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed);
@@ -153,12 +150,7 @@ mod tests {
     fn fewer_ranks_never_speed_things_up() {
         let r8 = quick(8, AddressMapping::RankInterleaved);
         let r2 = quick(2, AddressMapping::RankInterleaved);
-        assert!(
-            r2.amat >= r8.amat,
-            "2 ranks {} must not beat 8 ranks {}",
-            r2.amat,
-            r8.amat
-        );
+        assert!(r2.amat >= r8.amat, "2 ranks {} must not beat 8 ranks {}", r2.amat, r8.amat);
         // But the gap stays small (the paper's point).
         let ratio = r2.amat.as_ns_f64() / r8.amat.as_ns_f64();
         assert!(ratio < 1.6, "ratio {ratio}");

@@ -19,8 +19,10 @@
 //! | [`sec6_1`] | §6.1 | AMAT 214.2 ns (+4.2 ns), +0.18 % runtime |
 //! | [`cache_pipeline`] | §5.2 methodology | Table 3 hierarchy compresses intensity, widens strides |
 //! | [`sec6_6`] | §6.6 | bigger devices lose less from the DTL mapping |
+//! | [`fault_campaign`] | §7 outlook | fault load → capacity / energy / latency cost |
 
 pub mod cache_pipeline;
+pub mod fault_campaign;
 pub mod fig01;
 pub mod fig02;
 pub mod fig05;

@@ -59,11 +59,7 @@ fn eval(source: &str, l1: f64, l2: f64) -> AmatEval {
 pub fn run(seed: u64, accesses: u64, scale: u64) -> Result<Sec61Result, DtlError> {
     let mut cfg = DtlConfig::paper();
     cfg.au_bytes = (2u64 << 30) / scale;
-    let geo = SegmentGeometry {
-        channels: 4,
-        ranks_per_channel: 8,
-        segs_per_rank: 6144 / scale,
-    };
+    let geo = SegmentGeometry { channels: 4, ranks_per_channel: 8, segs_per_rank: 6144 / scale };
     let backend = AnalyticBackend::new(geo, cfg.segment_bytes, PowerParams::ddr4_128gb_dimm());
     let mut dev = DtlDevice::new(cfg, backend);
     dev.set_powerdown_enabled(false);

@@ -134,9 +134,8 @@ pub fn run_hotness_with_threshold_factor(
     let mut dtl_cfg = DtlConfig::paper();
     dtl_cfg.au_bytes = (2 << 30) / cfg.scale;
     dtl_cfg.profile_window = Picos::from_ps(Picos::from_us(500).as_ps() / cfg.scale);
-    dtl_cfg.profile_threshold = Picos::from_ps(
-        ((Picos::from_ms(50).as_ps() / cfg.scale) as f64 * factor) as u64,
-    );
+    dtl_cfg.profile_threshold =
+        Picos::from_ps(((Picos::from_ms(50).as_ps() / cfg.scale) as f64 * factor) as u64);
     let geo = SegmentGeometry {
         channels: cfg.channels,
         ranks_per_channel: cfg.active_ranks,
@@ -156,8 +155,7 @@ pub fn run_hotness_with_threshold_factor(
     // per-AU base addresses.
     let capacity = cfg.capacity_bytes(dtl_cfg.segment_bytes);
     let allocated = (capacity as f64 * cfg.allocated_fraction) as u64;
-    let per_app =
-        (allocated / cfg.n_apps as u64 / dtl_cfg.au_bytes).max(1) * dtl_cfg.au_bytes;
+    let per_app = (allocated / cfg.n_apps as u64 / dtl_cfg.au_bytes).max(1) * dtl_cfg.au_bytes;
     let specs: Vec<WorkloadSpec> = WorkloadKind::TRACED
         .iter()
         .cycle()
@@ -209,8 +207,7 @@ pub fn run_hotness_with_threshold_factor(
         let r = mix.next_record();
         let local = r.addr - mix.base_of(r.instance);
         let au_idx = (local / dtl_cfg.au_bytes) as usize;
-        let hpa = app_au_bases[r.instance as usize][au_idx]
-            .offset_by(local % dtl_cfg.au_bytes);
+        let hpa = app_au_bases[r.instance as usize][au_idx].offset_by(local % dtl_cfg.au_bytes);
         let kind = if r.is_write { AccessKind::Write } else { AccessKind::Read };
         dev.access(HostId(0), hpa, kind, now)?;
         now += dt;
@@ -318,8 +315,7 @@ pub fn run_reentry(cfg: &HotnessRunConfig) -> Result<ReentryResult, DtlError> {
     dev.register_host(HostId(0))?;
     let capacity = cfg.capacity_bytes(dtl_cfg.segment_bytes);
     let allocated = (capacity as f64 * cfg.allocated_fraction) as u64;
-    let per_app =
-        (allocated / cfg.n_apps as u64 / dtl_cfg.au_bytes).max(1) * dtl_cfg.au_bytes;
+    let per_app = (allocated / cfg.n_apps as u64 / dtl_cfg.au_bytes).max(1) * dtl_cfg.au_bytes;
     let specs: Vec<WorkloadSpec> = WorkloadKind::TRACED
         .iter()
         .cycle()
@@ -356,16 +352,15 @@ pub fn run_reentry(cfg: &HotnessRunConfig) -> Result<ReentryResult, DtlError> {
     let dt = Picos::from_ps((64.0 / cfg.target_bw * 1e12) as u64);
     let mut now = Picos::from_ns(1);
     let replay = |dev: &mut DtlDevice<AnalyticBackend>,
-                      mix: &mut Mixer,
-                      now: &mut Picos,
-                      steps: u64|
+                  mix: &mut Mixer,
+                  now: &mut Picos,
+                  steps: u64|
      -> Result<(), DtlError> {
         for i in 0..steps {
             let r = mix.next_record();
             let local = r.addr - mix.base_of(r.instance);
             let au_idx = (local / dtl_cfg.au_bytes) as usize;
-            let hpa = app_au_bases[r.instance as usize][au_idx]
-                .offset_by(local % dtl_cfg.au_bytes);
+            let hpa = app_au_bases[r.instance as usize][au_idx].offset_by(local % dtl_cfg.au_bytes);
             let kind = if r.is_write { AccessKind::Write } else { AccessKind::Read };
             dev.access(HostId(0), hpa, kind, *now)?;
             *now += dt;
@@ -530,25 +525,23 @@ mod drift_tests {
         let ws = (capacity * 85 / 100 / dtl_cfg.au_bytes) * dtl_cfg.au_bytes;
         let mut spec = dtl_trace::WorkloadKind::DataServing.spec();
         spec.working_set_bytes = ws;
-        let mut gen = TraceGen::new(spec, 5);
+        let mut gen = TraceGen::new(spec, 2);
         let vm = dev.alloc_vm(dtl_core::HostId(0), ws, Picos::ZERO).unwrap();
         let base = vm.hpa_base(0, dtl_cfg.au_bytes);
         let dt = Picos::from_ps((64.0 / 30.0e9 * 1e12) as u64);
         let mut now = Picos::from_ns(1);
-        let replay = |dev: &mut DtlDevice<AnalyticBackend>,
-                          gen: &mut TraceGen,
-                          now: &mut Picos,
-                          n: u64| {
-            for i in 0..n {
-                let r = gen.next_record();
-                dev.access(dtl_core::HostId(0), base.offset_by(r.addr), AccessKind::Read, *now)
-                    .unwrap();
-                *now += dt;
-                if i % 256 == 0 {
-                    dev.tick(*now).unwrap();
+        let replay =
+            |dev: &mut DtlDevice<AnalyticBackend>, gen: &mut TraceGen, now: &mut Picos, n: u64| {
+                for i in 0..n {
+                    let r = gen.next_record();
+                    dev.access(dtl_core::HostId(0), base.offset_by(r.addr), AccessKind::Read, *now)
+                        .unwrap();
+                    *now += dt;
+                    if i % 256 == 0 {
+                        dev.tick(*now).unwrap();
+                    }
                 }
-            }
-        };
+            };
         // Phase 1: reach self-refresh.
         let mut budget = 3_000_000u64;
         while dev.hotness_stats().sr_entries < 2 && budget > 0 {

@@ -8,14 +8,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+mod fault_run;
 mod hotness_run;
 mod perf;
 mod powerdown_run;
 mod report;
 
+pub use fault_run::{run_faulted, FaultRunConfig, FaultRunResult};
 pub use hotness_run::{
-    hotness_savings, run_hotness, run_hotness_with_threshold_factor, run_reentry,
-    HotnessRunConfig, HotnessRunResult, ReentryResult,
+    hotness_savings, run_hotness, run_hotness_with_threshold_factor, run_reentry, HotnessRunConfig,
+    HotnessRunResult, ReentryResult,
 };
 pub use perf::PerfModel;
 pub use powerdown_run::{run_schedule, IntervalSample, PowerDownRunConfig, PowerDownRunResult};

@@ -47,8 +47,7 @@ impl PerfModel {
     /// Modeled time per instruction given a workload's memory intensity
     /// and the average memory access time.
     pub fn ns_per_instr(&self, mapki: f64, amat: Picos) -> f64 {
-        self.compute_ns_per_instr()
-            + mapki / 1000.0 * amat.as_ns_f64() * self.exposed_fraction
+        self.compute_ns_per_instr() + mapki / 1000.0 * amat.as_ns_f64() * self.exposed_fraction
     }
 
     /// Relative slowdown of `amat` versus `amat_base` (1.0 = no change).

@@ -70,8 +70,7 @@ impl Mixer {
     /// Total flat address-space size spanned by all instances.
     pub fn address_space_bytes(&self) -> u64 {
         let last = self.gens.len() - 1;
-        self.bases[last]
-            + self.gens[last].spec().working_set_bytes.next_multiple_of(SEGMENT_BYTES)
+        self.bases[last] + self.gens[last].spec().working_set_bytes.next_multiple_of(SEGMENT_BYTES)
     }
 
     /// Base offset of instance `i`.

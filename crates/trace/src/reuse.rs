@@ -164,8 +164,7 @@ mod tests {
         // cold than 4 MB. Working sets are scaled 64x for test speed; the
         // threshold scales by 64/4 = 16 (sweeps run 64x faster, but hot
         // bursts stretch revisit distances ~4x).
-        let specs: Vec<_> =
-            WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(64)).collect();
+        let specs: Vec<_> = WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(64)).collect();
         let mut mix = Mixer::new(&specs, 42);
         let mut a2 = ReuseAnalyzer::new(2 << 20);
         let mut a4 = ReuseAnalyzer::new(4 << 20);

@@ -12,9 +12,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a VM within one schedule.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct VmId(pub u32);
 
 /// Static shape of one VM.
@@ -174,10 +172,7 @@ impl VmSchedule {
 
     /// Total VMs that appear in the schedule.
     pub fn vm_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, VmEventKind::Alloc(_)))
-            .count()
+        self.events.iter().filter(|e| matches!(e.kind, VmEventKind::Alloc(_))).count()
     }
 
     /// Committed-memory time series sampled every `step_min` minutes.

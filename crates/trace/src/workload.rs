@@ -425,8 +425,8 @@ impl TraceGen {
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn drift_hot_set(&mut self, fraction: f64) {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
-        let n_replace = ((self.hot_segments.len() as f64 * fraction) as usize)
-            .min(self.hot_segments.len());
+        let n_replace =
+            ((self.hot_segments.len() as f64 * fraction) as usize).min(self.hot_segments.len());
         let live_segments = self.live_bytes / SEGMENT_BYTES;
         for i in 0..n_replace {
             let old = self.hot_segments[i];
@@ -619,10 +619,8 @@ mod tests {
         let spec = small_spec(WorkloadKind::DataCaching);
         let mut gen = TraceGen::new(spec, 2);
         let recs = gen.take_records(30_000);
-        let hot_hits = recs
-            .iter()
-            .filter(|r| gen.is_hot_segment(r.addr / SEGMENT_BYTES))
-            .count() as f64
+        let hot_hits = recs.iter().filter(|r| gen.is_hot_segment(r.addr / SEGMENT_BYTES)).count()
+            as f64
             / recs.len() as f64;
         assert!(
             hot_hits > spec.hot_access_prob - 0.05,
@@ -638,17 +636,14 @@ mod tests {
         let before: Vec<u64> =
             (0..gen.segment_count()).filter(|&s| gen.is_hot_segment(s)).collect();
         gen.drift_hot_set(0.5);
-        let after: Vec<u64> =
-            (0..gen.segment_count()).filter(|&s| gen.is_hot_segment(s)).collect();
+        let after: Vec<u64> = (0..gen.segment_count()).filter(|&s| gen.is_hot_segment(s)).collect();
         assert_eq!(before.len(), after.len(), "hot-set size is preserved");
         let moved = before.iter().filter(|s| !after.contains(s)).count();
         assert!(moved > 0, "some segments must move");
         // Traffic follows the new placement.
         let recs = gen.take_records(20_000);
-        let hot_hits = recs
-            .iter()
-            .filter(|r| gen.is_hot_segment(r.addr / SEGMENT_BYTES))
-            .count() as f64
+        let hot_hits = recs.iter().filter(|r| gen.is_hot_segment(r.addr / SEGMENT_BYTES)).count()
+            as f64
             / recs.len() as f64;
         assert!(hot_hits > spec.hot_access_prob - 0.05, "post-drift hot share {hot_hits}");
     }

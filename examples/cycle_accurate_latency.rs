@@ -14,7 +14,8 @@ use dtl_trace::WorkloadKind;
 fn main() {
     let perf = PerfModel::cloudsuite();
     println!("workload              mapping           AMAT      row-hit  bandwidth  slowdown");
-    for kind in [WorkloadKind::MediaStreaming, WorkloadKind::GraphAnalytics, WorkloadKind::WebSearch]
+    for kind in
+        [WorkloadKind::MediaStreaming, WorkloadKind::GraphAnalytics, WorkloadKind::WebSearch]
     {
         let spec = kind.spec();
         let mut base_amat = None;

@@ -21,14 +21,30 @@ fn print_pool(dev: &DtlDevice<dtl_core::AnalyticBackend>, label: &str) {
             HotnessRole::Victim => " [hotness victim]",
             HotnessRole::None => "",
         };
+        let errors = if r.correctable_errors + r.uncorrectable_errors > 0 {
+            format!(" ({}c/{}u errors)", r.correctable_errors, r.uncorrectable_errors)
+        } else {
+            String::new()
+        };
         println!(
-            "  ch{}/rk{}: {:?}/{:?} {}live/{}free{}",
-            r.channel, r.rank, r.power, r.lifecycle, r.allocated_segments, r.free_segments, role
+            "  ch{}/rk{}: {:?}/{:?}/{:?} {}live/{}free{}{}",
+            r.channel,
+            r.rank,
+            r.power,
+            r.lifecycle,
+            r.health,
+            r.allocated_segments,
+            r.free_segments,
+            role,
+            errors
         );
     }
     println!(
-        "  mapped segments: {}; migrations pending: {}",
-        snap.mapped_segments, snap.migrations_pending
+        "  mapped segments: {}; migrations pending: {}; errors: {}c/{}u",
+        snap.mapped_segments,
+        snap.migrations_pending,
+        snap.errors.correctable_errors,
+        snap.errors.uncorrectable_errors
     );
 }
 
@@ -54,6 +70,12 @@ fn main() -> Result<(), DtlError> {
     }
     dev.grow_vm(b.handle, cfg.au_bytes, now)?;
     print_pool(&dev, "after host1 ballooned up");
+
+    // A rank reports sparse correctable errors — the operator sees the
+    // counters climb while the leaky bucket keeps the rank Healthy.
+    dev.inject_correctable_error(1, 0, now)?;
+    dev.inject_correctable_error(1, 0, now + Picos::from_us(1))?;
+    print_pool(&dev, "after two correctable errors on ch1/rk0 (still Healthy)");
 
     // Two tenants leave; the pool consolidates and powers ranks down.
     dev.dealloc_vm(a.handle, now)?;

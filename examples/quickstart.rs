@@ -24,12 +24,8 @@ fn main() -> Result<(), DtlError> {
     let base = vm.hpa_base(0, cfg.au_bytes);
     let mut t = Picos::from_us(1);
     for k in 0..8u64 {
-        let out = dev.access(
-            HostId(0),
-            base.offset_by(k * cfg.segment_bytes),
-            AccessKind::Read,
-            t,
-        )?;
+        let out =
+            dev.access(HostId(0), base.offset_by(k * cfg.segment_bytes), AccessKind::Read, t)?;
         println!(
             "  read  hpa+{:>8} -> {} (translated via {:?}, +{})",
             k * cfg.segment_bytes,

@@ -27,7 +27,10 @@ fn main() -> Result<(), DtlError> {
         before.dsn, sick.channel, sick.rank
     );
 
-    println!("\n*** rank ch{}/rk{} reports an error storm: retiring it ***", sick.channel, sick.rank);
+    println!(
+        "\n*** rank ch{}/rk{} reports an error storm: retiring it ***",
+        sick.channel, sick.rank
+    );
     dev.retire_rank(sick.channel, sick.rank, Picos::from_us(2))?;
     let mut t = Picos::from_us(3);
     while dev.migrations_pending() > 0 {

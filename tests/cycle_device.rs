@@ -96,6 +96,97 @@ fn migration_traffic_yields_to_foreground() {
 }
 
 #[test]
+fn dealloc_races_an_inflight_retirement_drain() {
+    let (mut dev, cfg) = device();
+    dev.set_hotness_enabled(false);
+    let vm1 = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+    let vm2 = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+    let base2 = vm2.hpa_base(0, cfg.au_bytes);
+    // Retire the rank backing vm2's data: its live segments (both VMs')
+    // start draining out.
+    let out = dev.access(HostId(0), base2, AccessKind::Read, Picos::from_us(1)).unwrap();
+    let loc = dev.geometry().location(out.dsn);
+    dev.retire_rank(loc.channel, loc.rank, Picos::from_us(2)).unwrap();
+    assert!(dev.migrations_pending() > 0, "retirement drains must be pending for the race");
+    // Race: vm1 deallocates while its segments are mid-drain — the device
+    // must cancel/unwind its share of the jobs without corrupting the
+    // retirement in progress.
+    dev.dealloc_vm(vm1.handle, Picos::from_us(3)).unwrap();
+    dev.check_invariants().unwrap();
+    let mut t = Picos::from_us(4);
+    for _ in 0..300 {
+        t += Picos::from_ms(1);
+        dev.tick(t).unwrap();
+        if dev.migrations_pending() == 0 {
+            break;
+        }
+    }
+    assert_eq!(dev.migrations_pending(), 0, "retirement completes despite the race");
+    assert_eq!(dev.powerdown_stats().ranks_retired, 1);
+    let snap = dev.snapshot();
+    let victim =
+        snap.ranks.iter().find(|r| r.channel == loc.channel && r.rank == loc.rank).unwrap();
+    assert_eq!(victim.lifecycle, dtl_core::RankPdState::Retired);
+    assert_eq!(victim.allocated_segments, 0);
+    // vm2's data moved out of the retired rank but stayed reachable.
+    let out2 = dev.access(HostId(0), base2, AccessKind::Read, t).unwrap();
+    let loc2 = dev.geometry().location(out2.dsn);
+    assert_ne!((loc2.channel, loc2.rank), (loc.channel, loc.rank));
+    dev.check_invariants().unwrap();
+}
+
+#[test]
+fn retire_rank_reaims_migrations_racing_into_it() {
+    let (mut dev, cfg) = device();
+    dev.set_hotness_enabled(false);
+    let vm1 = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+    let vm2 = dev.alloc_vm(HostId(0), cfg.au_bytes, Picos::ZERO).unwrap();
+    let base2 = vm2.hpa_base(0, cfg.au_bytes);
+    let out = dev.access(HostId(0), base2, AccessKind::Read, Picos::from_us(1)).unwrap();
+    let src = dev.geometry().location(out.dsn);
+    // First retirement: drains start copying the rank's live segments into
+    // a destination rank in the same channel (visible as freshly allocated
+    // segments there).
+    dev.retire_rank(src.channel, src.rank, Picos::from_us(2)).unwrap();
+    assert!(dev.migrations_pending() > 0);
+    let snap = dev.snapshot();
+    let dst = snap
+        .ranks
+        .iter()
+        .find(|r| r.channel == src.channel && r.rank != src.rank && r.allocated_segments > 0)
+        .expect("retirement drains reserve segments in a destination rank");
+    // Race: retire the *destination* rank while copies into it are still
+    // in flight. Those jobs must be re-aimed at a fresh destination; both
+    // ranks must end up Retired with nothing live.
+    dev.retire_rank(dst.channel, dst.rank, Picos::from_us(3)).unwrap();
+    dev.check_invariants().unwrap();
+    let mut t = Picos::from_us(4);
+    for _ in 0..300 {
+        t += Picos::from_ms(1);
+        dev.tick(t).unwrap();
+        if dev.migrations_pending() == 0 {
+            break;
+        }
+    }
+    assert_eq!(dev.migrations_pending(), 0, "both retirements complete");
+    assert_eq!(dev.powerdown_stats().ranks_retired, 2);
+    let snap = dev.snapshot();
+    for loc in [(src.channel, src.rank), (dst.channel, dst.rank)] {
+        let r = snap.ranks.iter().find(|r| (r.channel, r.rank) == loc).unwrap();
+        assert_eq!(r.lifecycle, dtl_core::RankPdState::Retired, "{loc:?}");
+        assert_eq!(r.allocated_segments, 0, "{loc:?}");
+    }
+    // Both VMs' data survived the double race, outside the retired ranks.
+    for vm in [&vm1, &vm2] {
+        let o = dev.access(HostId(0), vm.hpa_base(0, cfg.au_bytes), AccessKind::Read, t).unwrap();
+        let l = dev.geometry().location(o.dsn);
+        assert_ne!((l.channel, l.rank), (src.channel, src.rank));
+        assert_ne!((l.channel, l.rank), (dst.channel, dst.rank));
+    }
+    dev.check_invariants().unwrap();
+}
+
+#[test]
 fn invariants_hold_over_cycle_backend_lifecycle() {
     let (mut dev, cfg) = device();
     let mut t = Picos::from_us(1);

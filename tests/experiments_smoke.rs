@@ -4,9 +4,10 @@
 //! `dtl-bench` binaries.
 
 use dtl_sim::experiments::{
-    fig01, fig02, fig05, fig09, fig10, fig11, fig14, fig15, sec6_1, tab04, tab05, tab06,
+    fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig14, fig15, sec6_1, tab04, tab05,
+    tab06,
 };
-use dtl_sim::HotnessRunConfig;
+use dtl_sim::{FaultRunConfig, HotnessRunConfig};
 use dtl_trace::WorkloadKind;
 
 #[test]
@@ -67,6 +68,25 @@ fn fig14_and_fig15_shapes() {
     // Two of eight ranks in MPSM: (1 - 0.068) * 2/8 = 23.3%.
     assert!((row.powerdown_saving - 0.233).abs() < 0.01);
     assert!(row.total_saving >= row.powerdown_saving - 1e-9);
+}
+
+#[test]
+fn fault_campaign_reports_capacity_energy_and_latency_cost() {
+    let r = fault_campaign::run(&FaultRunConfig::tiny_storm(7)).unwrap();
+    // The error storm retires its victim rank; the pool loses exactly one
+    // rank of capacity and reports the loss.
+    assert_eq!(r.faulted.ranks_retired, 1);
+    assert!(r.capacity_lost_fraction > 0.0 && r.capacity_lost_fraction < 0.5);
+    // The fault-free baseline is genuinely fault-free.
+    assert_eq!(r.baseline.faults_injected, 0);
+    assert_eq!(r.baseline.ranks_retired, 0);
+    // Link CRC faults surface as a (small) foreground latency penalty.
+    assert!(r.faulted.link.crc_errors > 0);
+    assert!(r.latency_penalty_ns >= 0.0);
+    // The JSON report round-trips (the dtl-bench binary emits this).
+    let json = dtl_sim::to_json(&r);
+    assert!(json.contains("capacity_lost_bytes"));
+    assert!(json.contains("latency_penalty_ns"));
 }
 
 #[test]

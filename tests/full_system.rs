@@ -4,9 +4,7 @@
 //! deterministic replay with invariants checked throughout and energy
 //! strictly below an all-standby baseline.
 
-use dtl_core::{
-    AnalyticBackend, DtlConfig, DtlDevice, DtlError, HostId, VmAllocation,
-};
+use dtl_core::{AnalyticBackend, DtlConfig, DtlDevice, DtlError, HostId, VmAllocation};
 use dtl_dram::{AccessKind, Picos, PowerState};
 use dtl_trace::{TraceGen, WorkloadKind};
 
@@ -29,10 +27,10 @@ fn everything_at_once() {
     let mut now = Picos::from_us(1);
     let dt = Picos::from_ns(300);
     let spawn = |dev: &mut DtlDevice<AnalyticBackend>,
-                     host: u16,
-                     aus: u64,
-                     seed: u64,
-                     now: Picos|
+                 host: u16,
+                 aus: u64,
+                 seed: u64,
+                 now: Picos|
      -> Result<Tenant, DtlError> {
         let vm = dev.alloc_vm(HostId(host), aus * cfg.au_bytes, now)?;
         let mut spec = WorkloadKind::TRACED[(seed % 8) as usize].spec();

@@ -1,0 +1,136 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides just enough API for the workspace's `harness = false` bench
+//! targets to compile and run: `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of statistical sampling it times a small fixed number of
+//! iterations and prints one `ns/iter` line per benchmark, so `cargo test`
+//! (which runs bench targets in test mode) completes quickly.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations timed per benchmark (after one warm-up call).
+const MEASURE_ITERS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Declared per-iteration workload (accepted, not used for reporting).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    MediumInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the declared throughput (no-op in this stand-in).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 { b.total_ns / b.iters } else { 0 };
+        println!("bench {}/{name}: ~{per_iter} ns/iter", self.name);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the measured routine.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed small number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += u128::from(MEASURE_ITERS);
+    }
+
+    /// Times `routine` over freshly set-up inputs.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

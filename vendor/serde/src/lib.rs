@@ -1,0 +1,510 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! tiny serialization framework exposing the same *surface* the code uses
+//! (`Serialize`, `Deserialize`, `#[derive(Serialize, Deserialize)]`) over a
+//! much simpler data model: every value serializes into an owned [`Value`]
+//! tree that `serde_json` (also vendored) renders to JSON text. Differences
+//! from upstream serde worth knowing:
+//!
+//! - `Deserialize` has no lifetime parameter; everything deserializes from a
+//!   borrowed [`Value`] into owned data.
+//! - Keyed collections (`HashMap`, `BTreeMap`) serialize as sequences of
+//!   `[key, value]` pairs so non-string keys survive the JSON round trip.
+//! - Non-finite floats serialize as `null` (matching `serde_json`).
+//! - `#[serde(...)]` attributes are not supported (and not used here).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also non-finite floats and `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    Uint(u128),
+    /// A negative integer.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A string-keyed map with preserved insertion order (struct fields,
+    /// enum variant wrappers).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the sequence elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected, and where.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A custom error message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// An unrecognized enum variant name.
+    pub fn unknown_variant(got: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{got}` for enum {ty}"))
+    }
+
+    /// A struct field missing from the input map.
+    pub fn missing_field(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a struct field in a [`Value::Map`] body (used by derived code).
+pub fn field<'a>(map: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::missing_field(name))
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can deserialize themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitives -----------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Uint(*self as u128) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Uint(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::expected(stringify!($t), "integer")),
+                    Value::Int(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::expected(stringify!($t), "integer")),
+                    _ => Err(DeError::expected(stringify!($t), "integer")),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i128;
+                if x >= 0 { Value::Uint(x as u128) } else { Value::Int(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Uint(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::expected(stringify!($t), "integer")),
+                    Value::Int(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::expected(stringify!($t), "integer")),
+                    _ => Err(DeError::expected(stringify!($t), "integer")),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Uint(x) => Ok(*x as f64),
+            Value::Int(x) => Ok(*x as f64),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("f64", "number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("single-char string", "char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
+
+// --- references and wrappers ----------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// --- sequences ------------------------------------------------------------
+
+fn seq_to_value<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Seq(items.map(Serialize::to_value).collect())
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("seq", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::expected("seq of fixed length", "array"))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::from_value(v).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::from_value(v).map(|v: Vec<T>| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::from_value(v).map(|v: Vec<T>| v.into_iter().collect())
+    }
+}
+
+// --- keyed maps (serialized as seqs of [k, v] pairs) ----------------------
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Seq(
+        entries
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
+}
+
+fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    v.as_seq()
+        .ok_or_else(|| DeError::expected("seq of pairs", "map"))?
+        .iter()
+        .map(|pair| {
+            let s = pair
+                .as_seq()
+                .ok_or_else(|| DeError::expected("[key, value] pair", "map entry"))?;
+            if s.len() != 2 {
+                return Err(DeError::expected("[key, value] pair", "map entry"));
+            }
+            Ok((K::from_value(&s[0])?, V::from_value(&s[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries(v).map(|e| e.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries(v).map(|e| e.into_iter().collect())
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError::expected("seq", "tuple"))?;
+                if s.len() != $len {
+                    return Err(DeError::expected("tuple-length seq", "tuple"));
+                }
+                Ok(($($name::from_value(&s[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4; 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5; 6),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collections_round_trip() {
+        let mut m: HashMap<u32, Vec<u64>> = HashMap::new();
+        m.insert(3, vec![1, 2]);
+        m.insert(9, vec![]);
+        let back: HashMap<u32, Vec<u64>> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
+
+        let t = (1u8, -5i64, "hi".to_string());
+        let back: (u8, i64, String) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+
+        let arr = [1u64, 2, 3];
+        let back: [u64; 3] = Deserialize::from_value(&arr.to_value()).unwrap();
+        assert_eq!(arr, back);
+    }
+
+    #[test]
+    fn option_and_floats() {
+        let x: Option<u32> = None;
+        assert_eq!(x.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(f64::from_value(&Value::Uint(4)).unwrap(), 4.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the *vendored* `serde` crate's `Serialize` /
+//! `Deserialize` traits (which use an owned `serde::Value` tree rather than
+//! the upstream visitor model). The parser walks the raw
+//! `proc_macro::TokenTree` stream directly — no `syn`/`quote` — and supports
+//! exactly the shapes this workspace uses: non-generic named structs, tuple
+//! structs, unit structs, and enums with unit / tuple / struct variants.
+//! `#[serde(...)]` field attributes are not supported and the workspace does
+//! not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives the vendored `serde::Serialize` for a non-generic type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` for a non-generic type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at `i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(ts: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => ItemKind::Struct(Shape::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        fields.push(name);
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "serde_derive stub: expected `:` after field name"
+        );
+        i += 1;
+        skip_type(&toks, &mut i);
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past a type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        skip_type(&toks, &mut i);
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                i += 1;
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next top-level comma.
+        if is_punct(toks.get(i), '=') {
+            while i < toks.len() && !is_punct(toks.get(i), ',') {
+                i += 1;
+            }
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const S: &str = "::serde::Serialize::to_value";
+const D: &str = "::serde::Deserialize::from_value";
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Shape::Tuple(1)) => format!("{S}(&self.0)"),
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n).map(|k| format!("{S}(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, {S}(&self.{f}))", string_lit(f)))
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", pairs.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({}),",
+                            string_lit(vn)
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![({}, {S}(__f0))]),",
+                            string_lit(vn)
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let elems: Vec<String> =
+                                (0..*n).map(|k| format!("{S}(__f{k})")).collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![({}, ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                string_lit(vn),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("({}, {S}({f}))", string_lit(f)))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![({}, ::serde::Value::Map(::std::vec![{}]))]),",
+                                string_lit(vn),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}({D}(__v)?))")
+        }
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n).map(|k| format!("{D}(&__s[{k}])?")).collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"seq\", \"{name}\"))?; \
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"seq of {n}\", \"{name}\")); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {D}(::serde::field(__m, \"{f}\")?)?"))
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({D}(__payload)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> =
+                                (0..*n).map(|k| format!("{D}(&__s[{k}])?")).collect();
+                            format!(
+                                "\"{vn}\" => {{ \
+                                   let __s = __payload.as_seq().ok_or_else(|| ::serde::DeError::expected(\"seq\", \"{name}::{vn}\"))?; \
+                                   if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"seq of {n}\", \"{name}::{vn}\")); }} \
+                                   ::std::result::Result::Ok({name}::{vn}({})) \
+                                 }}",
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: {D}(::serde::field(__fm, \"{f}\")?)?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ \
+                                   let __fm = __payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vn}\"))?; \
+                                   ::std::result::Result::Ok({name}::{vn} {{ {} }}) \
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {} \
+                     __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")), \
+                   }}, \
+                   ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                     let (__k, __payload) = &__m[0]; \
+                     match __k.as_str() {{ \
+                       {} \
+                       __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")), \
+                     }} \
+                   }} \
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum\", \"{name}\")), \
+                 }}",
+                unit_arms.join(" "),
+                payload_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(unused_variables)] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
