@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== cargo doc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "== telemetry overhead guard (release) =="
+cargo test -p dtl-telemetry --release --test overhead_guard -q -- --ignored
+
 echo "ci: all green"

@@ -144,6 +144,48 @@ fn bench_tracegen(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    use dtl_telemetry::{EventKind, MetricsRegistry, RingSink, Telemetry};
+    use std::sync::Arc;
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(1));
+    let kind = |i: u64| EventKind::SegmentMigrated {
+        channel: (i % 4) as u32,
+        src: i,
+        dst: i + 1,
+        swap: false,
+        bytes: 2 << 20,
+    };
+    // The disabled path is what every instrumented hot loop pays by default.
+    let off = Telemetry::disabled();
+    let mut i = 0u64;
+    g.bench_function("emit_disabled", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            off.emit(black_box(i), black_box(kind(i)));
+        })
+    });
+    let sink = Arc::new(RingSink::with_capacity(1 << 16));
+    let on = Telemetry::new(sink as Arc<dyn dtl_telemetry::TelemetrySink>);
+    g.bench_function("emit_ring", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            on.emit(black_box(i), black_box(kind(i)));
+        })
+    });
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("bench.counter");
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = registry.histogram("bench.hist");
+    g.bench_function("histogram_observe", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            hist.observe(black_box(i & 0xffff));
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_smc,
@@ -152,6 +194,7 @@ criterion_group!(
     bench_hotness,
     bench_allocator,
     bench_cache,
-    bench_tracegen
+    bench_tracegen,
+    bench_telemetry
 );
 criterion_main!(benches);

@@ -2,14 +2,21 @@
 //! and under a deterministic fault load (ECC noise, an error storm on one
 //! victim rank, CXL link CRC corruption, migration interruptions), and
 //! reports the capacity, energy, and latency cost of the faults.
+//!
+//! Pass `--trace-out PATH` for a Chrome/Perfetto trace of the faulted
+//! replay (fault strikes, health transitions, CXL retries, power spans)
+//! and `--metrics-out PATH` for the metrics dump including the
+//! `fault.released.*` counters.
 
-use dtl_bench::{emit, render};
+use dtl_bench::{emit, render, TelemetryCli};
 use dtl_sim::experiments::fault_campaign;
 use dtl_sim::{to_json, FaultRunConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry = TelemetryCli::from_args();
     let cfg = if quick { FaultRunConfig::tiny_storm(1) } else { fault_campaign::paper(1) };
-    let r = fault_campaign::run(&cfg).expect("fault campaign replay");
+    let r = fault_campaign::run_traced(&cfg, telemetry.telemetry()).expect("fault campaign replay");
     emit("fault_campaign", &render::fault_campaign(&r).render(), &to_json(&r));
+    telemetry.finish_at(dtl_dram::Picos::from_secs(u64::from(cfg.run.duration_min) * 60).as_ps());
 }

@@ -10,7 +10,10 @@
 pub mod render;
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dtl_telemetry::{chrome_trace, jsonl, MetricsRegistry, PowerTimeline, RingSink, Telemetry};
 
 /// Prints `text` and writes `json` to `results/<name>.json`.
 ///
@@ -25,4 +28,118 @@ pub fn emit(name: &str, text: &str, json: &str) {
     let path = dir.join(format!("{name}.json"));
     fs::write(&path, json).expect("write results JSON");
     eprintln!("[saved {}]", path.display());
+}
+
+/// Telemetry plumbing shared by the experiment binaries.
+///
+/// Parses `--trace-out PATH` and `--metrics-out PATH` from the command
+/// line. When either flag is present, [`TelemetryCli::telemetry`] carries a
+/// live ring-buffer sink (and a metrics registry); otherwise it is the
+/// disabled no-op handle and the replay pays only dead branches.
+///
+/// [`TelemetryCli::finish`] writes the outputs:
+/// * `--trace-out PATH` — a Chrome `trace_event` JSON (open in Perfetto or
+///   `chrome://tracing`; one track per rank showing power-state residency
+///   spans) plus the raw event stream as JSONL next to it (`PATH` with a
+///   `.jsonl` extension);
+/// * `--metrics-out PATH` — the plain-text metrics dump.
+#[derive(Debug)]
+pub struct TelemetryCli {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    sink: Option<Arc<RingSink>>,
+    registry: Arc<MetricsRegistry>,
+    telemetry: Telemetry,
+}
+
+impl TelemetryCli {
+    /// Ring capacity: a fig10/fig12-class run emits well under a million
+    /// events; overflow is reported, not silently truncated mid-run.
+    const RING_CAPACITY: usize = 1 << 20;
+
+    /// Parses the process arguments.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().collect())
+    }
+
+    fn parse(args: Vec<String>) -> Self {
+        let value_of = |flag: &str| -> Option<PathBuf> {
+            args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(PathBuf::from)
+        };
+        let trace_out = value_of("--trace-out");
+        let metrics_out = value_of("--metrics-out");
+        let registry = Arc::new(MetricsRegistry::new());
+        let (sink, telemetry) = if trace_out.is_some() || metrics_out.is_some() {
+            let sink = Arc::new(RingSink::with_capacity(Self::RING_CAPACITY));
+            let telemetry = Telemetry::new(sink.clone() as Arc<dyn dtl_telemetry::TelemetrySink>)
+                .with_metrics(registry.clone());
+            (Some(sink), telemetry)
+        } else {
+            (None, Telemetry::disabled())
+        };
+        TelemetryCli { trace_out, metrics_out, sink, registry, telemetry }
+    }
+
+    /// The handle to pass into `*_traced` runners (disabled when no
+    /// telemetry flag was given).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The metrics registry behind [`TelemetryCli::telemetry`].
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Whether any telemetry output was requested.
+    pub fn enabled(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Drains the sink and writes the requested outputs, closing the
+    /// power-state timeline at the last event. Prefer
+    /// [`TelemetryCli::finish_at`] when the run's true end time is known —
+    /// it also credits residency accrued after the final transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output path cannot be written — like [`emit`], the
+    /// binaries have nothing useful to do without their output.
+    pub fn finish(&self) {
+        self.finish_inner(None);
+    }
+
+    /// Like [`TelemetryCli::finish`], but closes every rank's open span at
+    /// `end_ps` (the replay horizon) instead of the last recorded event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output path cannot be written.
+    pub fn finish_at(&self, end_ps: u64) {
+        self.finish_inner(Some(end_ps));
+    }
+
+    fn finish_inner(&self, horizon_ps: Option<u64>) {
+        if let (Some(path), Some(sink)) = (&self.trace_out, &self.sink) {
+            let events = sink.drain();
+            if sink.dropped() > 0 {
+                eprintln!(
+                    "[trace: ring buffer dropped {} events; the trace is truncated]",
+                    sink.dropped()
+                );
+            }
+            let last = events.iter().map(|e| e.at_ps).max().unwrap_or(0);
+            let end_ps = horizon_ps.unwrap_or(last).max(last);
+            let timeline = PowerTimeline::from_events(&events, end_ps);
+            fs::write(path, chrome_trace(&timeline, &events)).expect("write Chrome trace");
+            eprintln!("[trace saved {} — open in Perfetto or chrome://tracing]", path.display());
+            let raw = path.with_extension("jsonl");
+            fs::write(&raw, jsonl(&events)).expect("write event JSONL");
+            eprintln!("[events saved {}]", raw.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            fs::write(path, self.registry.render_text()).expect("write metrics dump");
+            eprintln!("[metrics saved {}]", path.display());
+        }
+    }
 }

@@ -17,6 +17,7 @@ use dtl_dram::{
     AccessKind, AddressMapping, DramConfig, EnergyAccount, Picos, PowerEvent, PowerEventCause,
     PowerParams, PowerReport, PowerState, Priority, RankEnergy, RankId,
 };
+use dtl_telemetry::{EventKind, Telemetry};
 
 use crate::addr::{SegmentGeometry, SegmentLocation};
 use crate::error::DtlError;
@@ -91,6 +92,22 @@ pub trait MemoryBackend: fmt::Debug {
     /// Estimated raw DRAM access latency (used by the translation miss-path
     /// cost model).
     fn est_access_latency(&self) -> Picos;
+
+    /// Installs a telemetry handle. Backends that own the power-state
+    /// machinery emit `RankPowerTransition` events when power events are
+    /// drained; the default ignores the handle.
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        let _ = telemetry;
+    }
+
+    /// Cumulative power-state residency of one rank, integrated up to the
+    /// backend's current time *without* mutating accounting state. Indexed
+    /// by [`dtl_telemetry::PowerStateId::index`] order (Standby, APD, PPD,
+    /// SelfRefresh, MPSM). Backends without residency tracking return zeros.
+    fn rank_residency(&self, channel: u32, rank: u32) -> [Picos; 5] {
+        let _ = (channel, rank);
+        [Picos::ZERO; 5]
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -114,6 +131,7 @@ pub struct AnalyticBackend {
     accounts: Vec<Vec<EnergyAccount>>,
     events: Vec<PowerEvent>,
     now: Picos,
+    telemetry: Telemetry,
 }
 
 impl AnalyticBackend {
@@ -134,6 +152,7 @@ impl AnalyticBackend {
             accounts,
             events: Vec::new(),
             now: Picos::ZERO,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -308,11 +327,34 @@ impl MemoryBackend for AnalyticBackend {
     }
 
     fn drain_power_events(&mut self) -> Vec<PowerEvent> {
-        std::mem::take(&mut self.events)
+        let events = std::mem::take(&mut self.events);
+        if self.telemetry.enabled() {
+            for ev in &events {
+                self.telemetry.emit(
+                    ev.at.as_ps(),
+                    EventKind::RankPowerTransition {
+                        channel: ev.channel,
+                        rank: ev.rank,
+                        from: ev.from.telemetry_id(),
+                        to: ev.to.telemetry_id(),
+                        auto_exit: ev.cause == PowerEventCause::AutoExit,
+                    },
+                );
+            }
+        }
+        events
     }
 
     fn est_access_latency(&self) -> Picos {
         self.service_latency
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn rank_residency(&self, channel: u32, rank: u32) -> [Picos; 5] {
+        self.accounts[channel as usize][rank as usize].residency_to(self.now)
     }
 
     fn charge_migration(&mut self, src: SegmentLocation, dst: SegmentLocation, lines: u64) {
@@ -457,6 +499,14 @@ impl MemoryBackend for CycleBackend {
     fn charge_migration(&mut self, _src: SegmentLocation, _dst: SegmentLocation, _lines: u64) {
         // The cycle backend enqueued real migration requests in bulk_copy;
         // their energy is accounted by the DRAM simulator itself.
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.dram.set_telemetry(telemetry);
+    }
+
+    fn rank_residency(&self, channel: u32, rank: u32) -> [Picos; 5] {
+        self.dram.rank_residency(RankId { channel, rank })
     }
 }
 

@@ -12,8 +12,10 @@
 //! * atomic background migration (§4.2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dtl_dram::{AccessKind, Picos, PowerEventCause, PowerReport, PowerState, Priority};
+use dtl_telemetry::{EventKind, FaultKindId, HealthStateId, Histogram, MetricsRegistry, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{AuId, Dsn, HostId, HostPhysAddr, Hsn, SegmentGeometry, VmHandle};
@@ -153,6 +155,11 @@ pub struct RankSnapshot {
     pub allocated_segments: u64,
     /// Free segments.
     pub free_segments: u64,
+    /// Cumulative power-state residency up to the snapshot time, in
+    /// [`PowerState::ALL`] order (Standby, APD, PPD, SelfRefresh, MPSM) —
+    /// enough to recompute the Table 2 power breakdown from snapshots
+    /// alone.
+    pub residency: [Picos; 5],
 }
 
 /// Operational snapshot of one host.
@@ -217,8 +224,13 @@ pub struct DtlDevice<B: MemoryBackend> {
     powerdown_enabled: bool,
     hosts: HashMap<HostId, HostState>,
     job_origin: HashMap<u64, JobOrigin>,
-    hotness_pending: HashMap<u32, u64>,
+    /// Per channel: (jobs still pending, jobs originally planned).
+    hotness_pending: HashMap<u32, (u64, u64)>,
     stats: DeviceStats,
+    telemetry: Telemetry,
+    /// Resolved once at [`DtlDevice::set_telemetry`] time, never on the
+    /// access path.
+    translation_hist: Option<Arc<Histogram>>,
 }
 
 impl DtlDevice<crate::backend::AnalyticBackend> {
@@ -265,10 +277,26 @@ impl<B: MemoryBackend> DtlDevice<B> {
             job_origin: HashMap::new(),
             hotness_pending: HashMap::new(),
             stats: DeviceStats::default(),
+            telemetry: Telemetry::disabled(),
+            translation_hist: None,
             config,
             geo,
             backend,
         }
+    }
+
+    /// Installs a telemetry handle on the device and every engine it owns
+    /// (backend, migration, hotness, health). If the handle carries a
+    /// metrics registry, the translation-latency histogram is resolved here
+    /// so the access path only pays an `Option` check.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.backend.set_telemetry(telemetry.clone());
+        self.migrate.set_telemetry(telemetry.clone());
+        self.hotness.set_telemetry(telemetry.clone());
+        self.health.set_telemetry(telemetry.clone());
+        self.translation_hist =
+            telemetry.metrics().map(|m| m.histogram("dtl.translation.latency_ps"));
+        self.telemetry = telemetry;
     }
 
     /// The DTL configuration.
@@ -417,6 +445,13 @@ impl<B: MemoryBackend> DtlDevice<B> {
         state.next_vm += 1;
         state.vms.insert(vm, aus.clone());
         self.stats.vms_allocated += 1;
+        self.telemetry.emit(
+            now.as_ps(),
+            EventKind::VmAlloc {
+                vm: (u64::from(host.0) << 32) | u64::from(vm),
+                segments: n_aus * self.config.segments_per_au(),
+            },
+        );
         Ok(VmAllocation { handle: VmHandle { host, vm }, aus, bytes: n_aus * self.config.au_bytes })
     }
 
@@ -522,6 +557,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
     pub fn dealloc_vm(&mut self, handle: VmHandle, now: Picos) -> Result<(), DtlError> {
         let state = self.hosts.get_mut(&handle.host).ok_or(DtlError::UnknownVm(handle))?;
         let aus = state.vms.remove(&handle.vm).ok_or(DtlError::UnknownVm(handle))?;
+        let released = aus.len() as u64 * self.config.segments_per_au();
         for au in aus {
             let dsns = self.tables.remove_au(handle.host, au)?;
             for (off, dsn) in dsns.iter().enumerate() {
@@ -536,6 +572,13 @@ impl<B: MemoryBackend> DtlDevice<B> {
             state.free_aus.push(au);
         }
         self.stats.vms_deallocated += 1;
+        self.telemetry.emit(
+            now.as_ps(),
+            EventKind::VmDealloc {
+                vm: (u64::from(handle.host.0) << 32) | u64::from(handle.vm),
+                segments: released,
+            },
+        );
         if self.powerdown_enabled {
             self.try_power_down(now)?;
         }
@@ -560,6 +603,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 }
                 let ranks = self.powerdown.on_migration_complete(id);
                 self.power_down_ranks(&ranks, now)?;
+                self.note_retired_ranks(&ranks, now);
             }
             Some(JobOrigin::Hotness { channel }) => {
                 // A cancelled hotness *copy* holds a destination
@@ -629,6 +673,24 @@ impl<B: MemoryBackend> DtlDevice<B> {
     /// * [`DtlError::Internal`] when the rank is already retired/retiring
     ///   or is the channel's last active rank.
     pub fn retire_rank(&mut self, channel: u32, rank: u32, now: Picos) -> Result<(), DtlError> {
+        let before = self.rank_health(channel, rank);
+        self.retire_rank_inner(channel, rank, now)?;
+        let after = self.rank_health(channel, rank);
+        if after != before {
+            self.telemetry.emit(
+                now.as_ps(),
+                EventKind::HealthTransition {
+                    channel,
+                    rank,
+                    from: before.telemetry_id(),
+                    to: after.telemetry_id(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn retire_rank_inner(&mut self, channel: u32, rank: u32, now: Picos) -> Result<(), DtlError> {
         match self.powerdown.rank_state(channel, rank) {
             RankPdState::Retired => {
                 return Err(DtlError::Internal {
@@ -709,6 +771,29 @@ impl<B: MemoryBackend> DtlDevice<B> {
         Ok(())
     }
 
+    /// Emits `HealthTransition` events for ranks whose drain just finalized
+    /// into retirement. Power-down finalizations of healthy ranks are power
+    /// events, not health events, so they are skipped.
+    fn note_retired_ranks(&mut self, ranks: &[(u32, u32)], now: Picos) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        for &(c, r) in ranks {
+            if self.powerdown.rank_state(c, r) == RankPdState::Retired {
+                let from = self.health.health(c, r, RankPdState::Draining).telemetry_id();
+                self.telemetry.emit(
+                    now.as_ps(),
+                    EventKind::HealthTransition {
+                        channel: c,
+                        rank: r,
+                        from,
+                        to: HealthStateId::Retired,
+                    },
+                );
+            }
+        }
+    }
+
     /// Picks a drain destination in `channel` excluding `exclude_rank`:
     /// the most utilized active rank with free space.
     fn pick_drain_destination(
@@ -774,6 +859,14 @@ impl<B: MemoryBackend> DtlDevice<B> {
         now: Picos,
     ) -> Result<RankHealth, DtlError> {
         self.check_rank(channel, rank)?;
+        self.telemetry.emit(
+            now.as_ps(),
+            EventKind::FaultInjected {
+                kind: FaultKindId::CorrectableEcc,
+                channel: Some(channel),
+                rank: Some(rank),
+            },
+        );
         let tripped = self.health.record_correctable(channel, rank, now);
         self.auto_retire_if_due(channel, rank, tripped, now)?;
         Ok(self.rank_health(channel, rank))
@@ -795,6 +888,14 @@ impl<B: MemoryBackend> DtlDevice<B> {
         now: Picos,
     ) -> Result<UncorrectableReport, DtlError> {
         self.check_rank(channel, rank)?;
+        self.telemetry.emit(
+            now.as_ps(),
+            EventKind::FaultInjected {
+                kind: FaultKindId::UncorrectableEcc,
+                channel: Some(channel),
+                rank: Some(rank),
+            },
+        );
         let segments_at_risk = self
             .tables
             .iter_mapped()
@@ -854,6 +955,14 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 reason: format!("channel {channel} outside the device geometry"),
             });
         }
+        self.telemetry.emit(
+            now.as_ps(),
+            EventKind::FaultInjected {
+                kind: FaultKindId::MigrationInterrupt,
+                channel: Some(channel),
+                rank: None,
+            },
+        );
         let outcome = self.migrate.interrupt_channel(channel, now);
         if outcome != MigrationInterrupt::Idle {
             self.stats.migration_interrupts += 1;
@@ -888,6 +997,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                     self.alloc.free_segments(&[dst])?;
                     let ranks = self.powerdown.on_migration_complete(job.id);
                     self.power_down_ranks(&ranks, now)?;
+                    self.note_retired_ranks(&ranks, now);
                 }
             }
             Some(JobOrigin::Hotness { channel }) => {
@@ -939,6 +1049,9 @@ impl<B: MemoryBackend> DtlDevice<B> {
         )?;
         let (dsn, smc_outcome, translation_latency, offset) =
             (translation.dsn, translation.smc, translation.latency, translation.offset);
+        if let Some(hist) = &self.translation_hist {
+            hist.observe(translation_latency.as_ps());
+        }
         // Atomic-migration write protocol (§4.2).
         let mut routed_dsn = dsn;
         if kind.is_write() {
@@ -1032,8 +1145,12 @@ impl<B: MemoryBackend> DtlDevice<B> {
                         PowerState::SelfRefresh,
                         now,
                     )?;
+                    self.telemetry.emit(
+                        now.as_ps(),
+                        EventKind::SelfRefreshSwap { channel: plan.channel, victim, swaps: 0 },
+                    );
                 } else {
-                    self.hotness_pending.insert(plan.channel, count);
+                    self.hotness_pending.insert(plan.channel, (count, count));
                 }
             }
         }
@@ -1060,6 +1177,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 }
                 let ranks = self.powerdown.on_migration_complete(id);
                 self.power_down_ranks(&ranks, now)?;
+                self.note_retired_ranks(&ranks, now);
             }
             Some(JobOrigin::Hotness { channel }) => {
                 // Hotness jobs are swaps (two live segments) or one-way
@@ -1091,14 +1209,18 @@ impl<B: MemoryBackend> DtlDevice<B> {
     }
 
     fn finish_hotness_job(&mut self, channel: u32, now: Picos) -> Result<(), DtlError> {
-        let remaining = self.hotness_pending.get_mut(&channel).ok_or(DtlError::Internal {
+        let pending = self.hotness_pending.get_mut(&channel).ok_or(DtlError::Internal {
             reason: format!("hotness job finished with no pending plan on ch{channel}"),
         })?;
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.hotness_pending.remove(&channel);
+        pending.0 -= 1;
+        if pending.0 == 0 {
+            let (_, total) = self.hotness_pending.remove(&channel).expect("present above");
             let victim = self.hotness.on_plan_migrated(channel, now);
             self.backend.set_rank_state(channel, victim, PowerState::SelfRefresh, now)?;
+            self.telemetry.emit(
+                now.as_ps(),
+                EventKind::SelfRefreshSwap { channel, victim, swaps: total as u32 },
+            );
         }
         Ok(())
     }
@@ -1141,6 +1263,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                     uncorrectable_errors: errors.uncorrectable,
                     allocated_segments: self.alloc.allocated_in_rank(c, r),
                     free_segments: self.alloc.free_in_rank(c, r),
+                    residency: self.backend.rank_residency(c, r),
                 });
             }
         }
@@ -1192,6 +1315,51 @@ impl<B: MemoryBackend> DtlDevice<B> {
             }
         }
         Ok(())
+    }
+
+    /// Dumps every engine's aggregate statistics into `registry` as
+    /// monotonic counters (`device.*`, `smc.*`, `migrate.*`, `powerdown.*`,
+    /// `hotness.*`, `health.*`). Counters are *set* to the current totals,
+    /// so repeated exports are idempotent rather than additive.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        let s = self.stats;
+        registry.counter("device.accesses").set(s.accesses);
+        registry.counter("device.writes").set(s.writes);
+        registry.counter("device.rerouted_writes").set(s.rerouted_writes);
+        registry.counter("device.aborting_writes").set(s.aborting_writes);
+        registry.counter("device.vms_allocated").set(s.vms_allocated);
+        registry.counter("device.vms_deallocated").set(s.vms_deallocated);
+        registry.counter("device.capacity_wakes").set(s.capacity_wakes);
+        registry.counter("device.migration_interrupts").set(s.migration_interrupts);
+        registry.counter("device.auto_retirements").set(s.auto_retirements);
+        let smc = self.smc_stats();
+        registry.counter("smc.l1_hits").set(smc.l1_hits);
+        registry.counter("smc.l1_misses").set(smc.l1_misses);
+        registry.counter("smc.l2_hits").set(smc.l2_hits);
+        registry.counter("smc.l2_misses").set(smc.l2_misses);
+        let m = self.migration_stats();
+        registry.counter("migrate.completed").set(m.completed);
+        registry.counter("migrate.bytes_moved").set(m.bytes_moved);
+        registry.counter("migrate.aborts").set(m.aborts);
+        registry.counter("migrate.requeues").set(m.requeues);
+        registry.counter("migrate.interrupts").set(m.interrupts);
+        registry.counter("migrate.rollbacks").set(m.rollbacks);
+        let pd = self.powerdown_stats();
+        registry.counter("powerdown.groups_powered_down").set(pd.groups_powered_down);
+        registry.counter("powerdown.groups_woken").set(pd.groups_woken);
+        registry.counter("powerdown.segments_drained").set(pd.segments_drained);
+        registry.counter("powerdown.ranks_retired").set(pd.ranks_retired);
+        let h = self.hotness_stats();
+        registry.counter("hotness.swaps_planned").set(h.swaps_planned);
+        registry.counter("hotness.restores").set(h.restores);
+        registry.counter("hotness.tsp_timeouts").set(h.tsp_timeouts);
+        registry.counter("hotness.plans_frozen").set(h.plans_frozen);
+        registry.counter("hotness.sr_entries").set(h.sr_entries);
+        registry.counter("hotness.sr_exits").set(h.sr_exits);
+        let he = self.health.stats();
+        registry.counter("health.correctable_errors").set(he.correctable_errors);
+        registry.counter("health.uncorrectable_errors").set(he.uncorrectable_errors);
+        registry.counter("health.retire_trips").set(he.retire_trips);
     }
 }
 

@@ -17,6 +17,7 @@
 //! cannot disagree.
 
 use dtl_dram::Picos;
+use dtl_telemetry::{EventKind, HealthStateId, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::SegmentGeometry;
@@ -35,6 +36,18 @@ pub enum RankHealth {
     Draining,
     /// Permanently retired: powered down, never allocated again.
     Retired,
+}
+
+impl RankHealth {
+    /// The telemetry mirror of this health state.
+    pub fn telemetry_id(self) -> HealthStateId {
+        match self {
+            RankHealth::Healthy => HealthStateId::Healthy,
+            RankHealth::Degraded => HealthStateId::Degraded,
+            RankHealth::Draining => HealthStateId::Draining,
+            RankHealth::Retired => HealthStateId::Retired,
+        }
+    }
 }
 
 /// Leaky-bucket parameters of the health tracker.
@@ -109,6 +122,7 @@ pub struct HealthTracker {
     params: HealthParams,
     cells: Vec<RankCell>,
     stats: HealthStats,
+    telemetry: Telemetry,
 }
 
 impl HealthTracker {
@@ -120,7 +134,15 @@ impl HealthTracker {
             params,
             cells: vec![RankCell::default(); n],
             stats: HealthStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; the first degraded-latch flip of a rank
+    /// emits a `HealthTransition` event (later lifecycle steps are emitted
+    /// by the device, which owns the drain/retire machinery).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The parameters in effect.
@@ -144,7 +166,7 @@ impl HealthTracker {
         let w = self.params.correctable_weight;
         let i = self.idx(channel, rank);
         self.cells[i].correctable += 1;
-        self.record(i, w, now)
+        self.record(channel, rank, w, now)
     }
 
     /// Records an uncorrectable error. Returns `true` when this error
@@ -154,17 +176,27 @@ impl HealthTracker {
         let w = self.params.uncorrectable_weight;
         let i = self.idx(channel, rank);
         self.cells[i].uncorrectable += 1;
-        self.record(i, w, now)
+        self.record(channel, rank, w, now)
     }
 
-    fn record(&mut self, i: usize, weight: f64, now: Picos) -> bool {
+    fn record(&mut self, channel: u32, rank: u32, weight: f64, now: Picos) -> bool {
+        let i = self.idx(channel, rank);
         let cell = &mut self.cells[i];
         // Leak since the last error, then add this one.
         let dt = now.saturating_sub(cell.last_update).as_secs_f64();
         cell.bucket = (cell.bucket - dt * self.params.leak_per_sec).max(0.0) + weight;
         cell.last_update = now;
-        if cell.bucket >= self.params.degraded_threshold {
+        if cell.bucket >= self.params.degraded_threshold && !cell.degraded {
             cell.degraded = true;
+            self.telemetry.emit(
+                now.as_ps(),
+                EventKind::HealthTransition {
+                    channel,
+                    rank,
+                    from: HealthStateId::Healthy,
+                    to: HealthStateId::Degraded,
+                },
+            );
         }
         if cell.bucket >= self.params.retire_threshold && !cell.tripped {
             cell.tripped = true;

@@ -15,6 +15,7 @@
 //!    it, which restarts sampling.
 
 use dtl_dram::Picos;
+use dtl_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{SegmentGeometry, SegmentLocation};
@@ -159,6 +160,7 @@ pub struct HotnessEngine {
     params: HotnessParams,
     channels: Vec<ChannelState>,
     stats: HotnessStats,
+    telemetry: Telemetry,
 }
 
 impl HotnessEngine {
@@ -171,7 +173,14 @@ impl HotnessEngine {
                 .map(|_| ChannelState::new(geo.ranks_per_channel, geo.segs_per_rank))
                 .collect(),
             stats: HotnessStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; every TSP search emits a `TspAdvance`
+    /// event recording whether it found a cold entry or timed out.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Statistics so far.
@@ -212,6 +221,7 @@ impl HotnessEngine {
         // The hypothetical victim was touched: reset the idle timer.
         ch.last_victim_touch = now;
         ch.table[loc.rank as usize][loc.within as usize].access = true;
+        let ctx = (&self.telemetry, loc.channel, now);
         if loc.rank != victim {
             // Fig. 8(c): a segment planned INTO the victim turned hot.
             // Restore both sides, then re-pair the victim slot with a new
@@ -223,16 +233,17 @@ impl HotnessEngine {
             ch.table[loc.rank as usize][loc.within as usize].planned = (loc.rank, loc.within);
             ch.table[vr as usize][vw as usize].planned = (vr, vw);
             self.stats.restores += 1;
-            Self::tsp_swap(ch, &self.geo, &params, victim, vw, &mut self.stats);
+            Self::tsp_swap(ch, &self.geo, &params, victim, vw, &mut self.stats, ctx);
         } else {
             // Fig. 8(b): a segment physically in the victim rank is hot.
             // Only meaningful if it is still planned to stay (identity).
-            Self::tsp_swap(ch, &self.geo, &params, victim, loc.within, &mut self.stats);
+            Self::tsp_swap(ch, &self.geo, &params, victim, loc.within, &mut self.stats, ctx);
         }
     }
 
     /// CLOCK search: find a cold entry in the target ranks and swap its
-    /// planned location with victim slot `vw`.
+    /// planned location with victim slot `vw`. `ctx` carries the telemetry
+    /// handle, the channel index and the current time for event emission.
     fn tsp_swap(
         ch: &mut ChannelState,
         geo: &SegmentGeometry,
@@ -240,7 +251,9 @@ impl HotnessEngine {
         victim: u32,
         vw: u64,
         stats: &mut HotnessStats,
+        ctx: (&Telemetry, u32, Picos),
     ) {
+        let (telemetry, channel, now) = ctx;
         let ranks = geo.ranks_per_channel;
         let mut steps = 0u32;
         // Ensure the round-robin pointer is a valid target.
@@ -250,6 +263,8 @@ impl HotnessEngine {
         loop {
             if steps >= params.tsp_max_steps {
                 stats.tsp_timeouts += 1;
+                telemetry
+                    .emit(now.as_ps(), EventKind::TspAdvance { channel, victim, timeout: true });
                 // Timeout: move to the next target rank (round robin).
                 ch.target = (ch.target + 1) % ranks;
                 if ch.target == victim {
@@ -277,6 +292,7 @@ impl HotnessEngine {
             ch.table[victim as usize][vw as usize].planned = e.planned;
             ch.table[t][pos as usize].planned = (victim, vw);
             stats.swaps_planned += 1;
+            telemetry.emit(now.as_ps(), EventKind::TspAdvance { channel, victim, timeout: false });
             ch.target = (ch.target + 1) % ranks;
             if ch.target == victim {
                 ch.target = (ch.target + 1) % ranks;

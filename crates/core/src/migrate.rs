@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use dtl_dram::Picos;
+use dtl_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{Dsn, SegmentGeometry, SegmentLocation};
@@ -179,6 +180,7 @@ pub struct MigrationEngine {
     pending_charges: Vec<(SegmentLocation, SegmentLocation, u64)>,
     next_id: u64,
     stats: MigrationStats,
+    telemetry: Telemetry,
 }
 
 impl MigrationEngine {
@@ -194,7 +196,14 @@ impl MigrationEngine {
             pending_charges: Vec::new(),
             next_id: 0,
             stats: MigrationStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; every completed job emits a
+    /// `SegmentMigrated` event stamped with its data-movement finish time.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Statistics so far.
@@ -285,6 +294,16 @@ impl MigrationEngine {
                                 backend.charge_migration(dl, sl, half);
                             }
                         }
+                        self.telemetry.emit(
+                            active.complete_at.as_ps(),
+                            EventKind::SegmentMigrated {
+                                channel: ch as u32,
+                                src: x.0,
+                                dst: y.0,
+                                swap: matches!(active.job.kind, MigrationKind::Swap { .. }),
+                                bytes: active.bytes,
+                            },
+                        );
                         done.push(CompletedMigration {
                             job: active.job,
                             finished: active.complete_at,

@@ -15,6 +15,7 @@
 
 use std::collections::VecDeque;
 
+use dtl_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use dtl_dram::Picos;
@@ -118,12 +119,24 @@ pub struct RetryEngine {
     stats: LinkRetryStats,
     /// Corruption counts waiting to be consumed, one per upcoming request.
     pending: VecDeque<u32>,
+    telemetry: Telemetry,
 }
 
 impl RetryEngine {
     /// Builds an engine with the given policy.
     pub fn new(policy: RetryPolicy) -> Self {
-        RetryEngine { policy, stats: LinkRetryStats::default(), pending: VecDeque::new() }
+        RetryEngine {
+            policy,
+            stats: LinkRetryStats::default(),
+            pending: VecDeque::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Installs a telemetry handle; every consumed corruption burst emits a
+    /// `CxlRetry` event (via [`RetryEngine::on_submit_at`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The policy in effect.
@@ -158,6 +171,14 @@ impl RetryEngine {
     /// Passes one request through the link, consuming a queued corruption
     /// burst if present, and returns the latency it cost.
     pub fn on_submit(&mut self) -> LinkDelivery {
+        self.on_submit_at(Picos::ZERO)
+    }
+
+    /// Like [`RetryEngine::on_submit`], with the submission time attached:
+    /// a consumed corruption burst additionally emits one `CxlRetry`
+    /// telemetry event stamped `now`, carrying exactly the quantities added
+    /// to [`LinkRetryStats`] (the invariant the `prop_link` test pins).
+    pub fn on_submit_at(&mut self, now: Picos) -> LinkDelivery {
         let Some(burst) = self.pending.pop_front() else {
             return LinkDelivery { delay: Picos::ZERO, clean: true };
         };
@@ -174,6 +195,10 @@ impl RetryEngine {
         self.stats.retries += u64::from(replays);
         self.stats.retry_time += delay;
         self.stats.retry_energy_pj += f64::from(replays) * self.policy.retry_energy_pj;
+        self.telemetry.emit(
+            now.as_ps(),
+            EventKind::CxlRetry { burst, replays, gave_up: !clean, delay_ps: delay.as_ps() },
+        );
         LinkDelivery { delay, clean }
     }
 }

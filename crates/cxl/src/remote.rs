@@ -120,6 +120,13 @@ impl RemoteMemory {
         self.retry.set_policy(policy);
     }
 
+    /// Installs a telemetry handle on both the link retry engine (CxlRetry
+    /// events) and the wrapped DRAM device (RankPowerTransition events).
+    pub fn set_telemetry(&mut self, telemetry: dtl_telemetry::Telemetry) {
+        self.retry.set_telemetry(telemetry.clone());
+        self.dram.set_telemetry(telemetry);
+    }
+
     /// Queues a CRC corruption burst against the next submitted request
     /// (fault injection). The request is still delivered; it just pays the
     /// replay latency and energy.
@@ -142,7 +149,7 @@ impl RemoteMemory {
         priority: Priority,
         host_time: Picos,
     ) -> Result<u64, DramError> {
-        let delivery = self.retry.on_submit();
+        let delivery = self.retry.on_submit_at(host_time);
         let arrive = host_time + self.link.request_latency + delivery.delay;
         let id = self.dram.submit(addr, kind, priority, arrive)?;
         if delivery.delay > Picos::ZERO {

@@ -1,0 +1,81 @@
+//! Property tests: under arbitrary seeded CRC fault storms, the aggregate
+//! [`LinkRetryStats`] kept by the retry engine must equal the sum of the
+//! per-event `CxlRetry` telemetry records — the telemetry stream is a
+//! lossless decomposition of the stats, not a parallel approximation.
+
+use std::sync::Arc;
+
+use dtl_cxl::{RetryEngine, RetryPolicy};
+use dtl_dram::Picos;
+use dtl_telemetry::{EventKind, RingSink, Telemetry};
+use proptest::prelude::*;
+
+/// Replay delay for one consumed burst under `policy`, mirroring the
+/// engine's doubling backoff capped at `max_retries` replays.
+fn expected_delay(policy: &RetryPolicy, burst: u32) -> Picos {
+    let replays = burst.min(policy.max_retries);
+    let mut delay = Picos::ZERO;
+    for k in 0..replays {
+        delay += policy.base_backoff * (1u64 << k.min(16));
+    }
+    delay
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stats equal the telemetry event sum under any fault storm.
+    #[test]
+    fn stats_match_summed_telemetry_events(
+        bursts in proptest::collection::vec(0u32..12, 0..64),
+        clean_submits in 0usize..16,
+        max_retries in 1u32..8,
+    ) {
+        let policy = RetryPolicy {
+            max_retries,
+            base_backoff: Picos::from_ns(100),
+            retry_energy_pj: 15.0,
+        };
+        let sink = Arc::new(RingSink::with_capacity(256));
+        let mut engine = RetryEngine::new(policy);
+        engine.set_telemetry(Telemetry::new(sink.clone()));
+
+        for &b in &bursts {
+            engine.inject_crc_burst(b);
+        }
+        let submits = bursts.len() + clean_submits;
+        for i in 0..submits {
+            engine.on_submit_at(Picos::from_ns(i as u64 * 500));
+        }
+
+        // Sum the per-event records.
+        let events = sink.drain();
+        prop_assert_eq!(sink.dropped(), 0);
+        let (mut crc, mut retries, mut giveups) = (0u64, 0u64, 0u64);
+        let mut retry_time = Picos::ZERO;
+        let mut energy_pj = 0.0f64;
+        for ev in &events {
+            let EventKind::CxlRetry { burst, replays, gave_up, delay_ps } = ev.kind else {
+                prop_assert!(false, "unexpected event kind: {:?}", ev.kind);
+                unreachable!();
+            };
+            crc += u64::from(burst);
+            retries += u64::from(replays);
+            giveups += u64::from(gave_up);
+            retry_time += Picos::from_ps(delay_ps);
+            energy_pj += f64::from(replays) * policy.retry_energy_pj;
+            prop_assert_eq!(Picos::from_ps(delay_ps), expected_delay(&policy, burst));
+        }
+
+        // One event per consumed (non-zero) burst; clean submits are silent.
+        let consumed = bursts.iter().filter(|&&b| b > 0).count();
+        prop_assert_eq!(events.len(), consumed);
+
+        let stats = engine.stats();
+        prop_assert_eq!(stats.crc_errors, crc);
+        prop_assert_eq!(stats.retries, retries);
+        prop_assert_eq!(stats.giveups, giveups);
+        prop_assert_eq!(stats.retry_time, retry_time);
+        prop_assert!((stats.retry_energy_pj - energy_pj).abs() < 1e-6);
+    }
+}

@@ -67,6 +67,19 @@ impl PowerState {
             PowerState::Mpsm => 4,
         }
     }
+
+    /// The `dtl-telemetry` mirror id of this state (same [`PowerState::ALL`]
+    /// index order, so residency arrays line up across the two crates).
+    #[inline]
+    pub fn telemetry_id(self) -> dtl_telemetry::PowerStateId {
+        match self {
+            PowerState::Standby => dtl_telemetry::PowerStateId::Standby,
+            PowerState::ActivePowerDown => dtl_telemetry::PowerStateId::ActivePowerDown,
+            PowerState::PrechargePowerDown => dtl_telemetry::PowerStateId::PrechargePowerDown,
+            PowerState::SelfRefresh => dtl_telemetry::PowerStateId::SelfRefresh,
+            PowerState::Mpsm => dtl_telemetry::PowerStateId::Mpsm,
+        }
+    }
 }
 
 /// Parameters of the energy model.
@@ -320,6 +333,27 @@ impl EnergyAccount {
         Picos::from_ps(self.residency_ps[state.index()])
     }
 
+    /// Time the current state was entered (the last integration point).
+    #[inline]
+    pub fn state_since(&self) -> Picos {
+        self.state_since
+    }
+
+    /// Residency per state as if integrated to `now`, *without* mutating the
+    /// account, indexed in [`PowerState::ALL`] order. This is the single
+    /// source snapshots and reports derive per-rank residency from.
+    pub fn residency_to(&self, now: Picos) -> [Picos; 5] {
+        let mut out = [Picos::ZERO; 5];
+        for (o, ps) in out.iter_mut().zip(self.residency_ps) {
+            *o = Picos::from_ps(ps);
+        }
+        if now > self.state_since {
+            let i = self.state.index();
+            out[i] += now.saturating_sub(self.state_since);
+        }
+        out
+    }
+
     /// The energy account integrated so far (call [`EnergyAccount::advance_to`]
     /// first to include time up to "now").
     pub fn energy(&self) -> RankEnergy {
@@ -379,6 +413,33 @@ mod tests {
         assert!((e.write_mj - 16.0 * 1e-3).abs() < 1e-9);
         assert!(e.total_mj() > 0.0);
         assert_eq!(e.total_mj(), e.background_mj + e.active_mj());
+    }
+
+    #[test]
+    fn residency_to_matches_advance_without_mutating() {
+        let p = PowerParams::ddr4_128gb_dimm();
+        let mut acc = EnergyAccount::new(p);
+        acc.transition(Picos::from_us(3), PowerState::SelfRefresh);
+        // Non-mutating projection to t=5us...
+        let projected = acc.residency_to(Picos::from_us(5));
+        assert_eq!(projected[0], Picos::from_us(3));
+        assert_eq!(projected[3], Picos::from_us(2));
+        // ...must equal what integration reports, and must not have advanced
+        // the account itself.
+        assert_eq!(acc.residency(PowerState::SelfRefresh), Picos::ZERO);
+        acc.advance_to(Picos::from_us(5));
+        assert_eq!(acc.residency(PowerState::SelfRefresh), Picos::from_us(2));
+        // Projection earlier than the integration point adds nothing.
+        let stale = acc.residency_to(Picos::from_us(4));
+        assert_eq!(stale[3], Picos::from_us(2));
+    }
+
+    #[test]
+    fn telemetry_ids_share_index_order() {
+        for (i, s) in PowerState::ALL.iter().enumerate() {
+            assert_eq!(s.telemetry_id().index(), i);
+            assert_eq!(s.telemetry_id() as usize, i);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The whole DRAM device: all channels behind one mapper, with routing,
 //! power reporting, and rank power-state control.
 
+use dtl_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::PhysAddr;
@@ -69,6 +70,7 @@ pub struct DramSystem {
     channels: Vec<Channel>,
     next_id: u64,
     now: Picos,
+    telemetry: Telemetry,
 }
 
 impl DramSystem {
@@ -92,7 +94,21 @@ impl DramSystem {
                 )
             })
             .collect();
-        Ok(DramSystem { config, mapper, channels, next_id: 0, now: Picos::ZERO })
+        Ok(DramSystem {
+            config,
+            mapper,
+            channels,
+            next_id: 0,
+            now: Picos::ZERO,
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Installs a telemetry handle. Rank power transitions are emitted when
+    /// the power-event queue is drained (so the cycle backend and standalone
+    /// use agree on a single emission point), preserving event timestamps.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The device configuration.
@@ -182,6 +198,20 @@ impl DramSystem {
         for ch in &mut self.channels {
             v.append(&mut ch.drain_events());
         }
+        if self.telemetry.enabled() {
+            for ev in &v {
+                self.telemetry.emit(
+                    ev.at.as_ps(),
+                    EventKind::RankPowerTransition {
+                        channel: ev.channel,
+                        rank: ev.rank,
+                        from: ev.from.telemetry_id(),
+                        to: ev.to.telemetry_id(),
+                        auto_exit: ev.cause == PowerEventCause::AutoExit,
+                    },
+                );
+            }
+        }
         v
     }
 
@@ -224,6 +254,16 @@ impl DramSystem {
     /// Activity counters of a rank.
     pub fn rank_counters(&self, id: RankId) -> RankCounters {
         *self.channels[id.channel as usize].rank(id.rank).counters()
+    }
+
+    /// Cumulative per-state residency of one rank projected to the current
+    /// simulation time, in [`PowerState::ALL`] order, without mutating the
+    /// energy account. Derived from the same [`EnergyAccount`] the power
+    /// report integrates, so the two can never disagree.
+    ///
+    /// [`EnergyAccount`]: crate::EnergyAccount
+    pub fn rank_residency(&self, id: RankId) -> [Picos; 5] {
+        self.channels[id.channel as usize].rank(id.rank).energy().residency_to(self.now)
     }
 
     /// All rank ids in `(channel, rank)` order.
@@ -384,6 +424,52 @@ mod tests {
             for rank_res in ch {
                 let total: Picos = rank_res.iter().copied().sum();
                 assert_eq!(total, horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_timeline_matches_power_report_residency() {
+        use dtl_telemetry::{PowerTimeline, RingSink};
+        use std::sync::Arc;
+
+        let mut s = sys();
+        let ring = Arc::new(RingSink::with_capacity(1024));
+        s.set_telemetry(Telemetry::new(ring.clone()));
+        let horizon = Picos::from_ms(1);
+        s.set_rank_state(
+            RankId { channel: 0, rank: 0 },
+            PowerState::SelfRefresh,
+            Picos::from_us(100),
+        )
+        .unwrap();
+        s.set_rank_state(RankId { channel: 1, rank: 2 }, PowerState::Mpsm, Picos::from_us(300))
+            .unwrap();
+        s.advance_to(horizon);
+        let raw = s.drain_power_events();
+        assert_eq!(raw.len(), 2);
+        let ids: Vec<RankId> = s.rank_ids().collect();
+        let rep = s.power_report(horizon);
+
+        let events = ring.drain();
+        assert_eq!(events.len(), 2, "telemetry mirrors each drained power event");
+        let mut tl = PowerTimeline::new();
+        for ev in &events {
+            tl.push_event(ev);
+        }
+        for id in &ids {
+            tl.ensure_rank(id.channel, id.rank);
+        }
+        tl.finish(horizon.as_ps());
+
+        for id in ids {
+            let (c, r) = (id.channel, id.rank);
+            let reported = rep.residency[c as usize][r as usize];
+            let from_events = tl.residency_ps(c, r);
+            let direct = s.rank_residency(id);
+            for i in 0..5 {
+                assert_eq!(from_events[i], reported[i].as_ps(), "rank {c}/{r} state {i}");
+                assert_eq!(direct[i], reported[i], "rank {c}/{r} state {i}");
             }
         }
     }

@@ -39,7 +39,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::sync::Arc;
+
 use dtl_dram::Picos;
+use dtl_telemetry::{Counter, FaultKindId, MetricsRegistry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -78,6 +81,16 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// The telemetry mirror of this fault kind.
+    pub fn telemetry_id(&self) -> FaultKindId {
+        match self {
+            FaultKind::CorrectableEcc { .. } => FaultKindId::CorrectableEcc,
+            FaultKind::UncorrectableEcc { .. } => FaultKindId::UncorrectableEcc,
+            FaultKind::LinkCrc { .. } => FaultKindId::LinkCrc,
+            FaultKind::MigrationInterrupt { .. } => FaultKindId::MigrationInterrupt,
+        }
+    }
+
     /// Stable tie-break key for events at the same instant.
     fn sort_key(&self) -> (u8, u32, u32) {
         match *self {
@@ -261,7 +274,7 @@ impl FaultPlan {
 
     /// A consuming cursor over the plan.
     pub fn injector(&self) -> FaultInjector {
-        FaultInjector { events: self.events.clone(), next: 0 }
+        FaultInjector { events: self.events.clone(), next: 0, released: None }
     }
 }
 
@@ -270,15 +283,36 @@ impl FaultPlan {
 pub struct FaultInjector {
     events: Vec<FaultEvent>,
     next: usize,
+    /// Pre-resolved `fault.released.<kind>` counters, indexed by the
+    /// `sort_key` discriminant; `None` until metrics are attached.
+    released: Option<[Arc<Counter>; 4]>,
 }
 
 impl FaultInjector {
+    /// Attaches a metrics registry: every released event bumps its
+    /// `fault.released.<kind>` counter. Handles are resolved here once so
+    /// [`FaultInjector::pop_due`] never touches the registry lock.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.released = Some([
+            registry.counter(&format!("fault.released.{}", FaultKindId::CorrectableEcc.label())),
+            registry.counter(&format!("fault.released.{}", FaultKindId::UncorrectableEcc.label())),
+            registry.counter(&format!("fault.released.{}", FaultKindId::LinkCrc.label())),
+            registry
+                .counter(&format!("fault.released.{}", FaultKindId::MigrationInterrupt.label())),
+        ]);
+    }
+
     /// Returns (and consumes) every event scheduled at or before `now`.
     /// `now` must be monotonic across calls.
     pub fn pop_due(&mut self, now: Picos) -> Vec<FaultEvent> {
         let start = self.next;
         while self.next < self.events.len() && self.events[self.next].at <= now {
             self.next += 1;
+        }
+        if let Some(counters) = &self.released {
+            for ev in &self.events[start..self.next] {
+                counters[ev.kind.sort_key().0 as usize].inc();
+            }
         }
         self.events[start..self.next].to_vec()
     }
@@ -306,6 +340,34 @@ mod tests {
     #[test]
     fn quiet_plan_is_empty() {
         assert!(base(1).generate().is_empty());
+    }
+
+    #[test]
+    fn released_counters_track_pop_due() {
+        let cfg = FaultPlanConfig {
+            correctable_per_rank_per_sec: 2.0,
+            link_crc_per_sec: 1.0,
+            migration_interrupts: 5,
+            ..base(11)
+        };
+        let plan = cfg.generate();
+        let registry = MetricsRegistry::new();
+        let mut inj = plan.injector();
+        inj.set_metrics(&registry);
+        // Drain in two steps to cover partial releases.
+        inj.pop_due(cfg.duration / 2);
+        inj.pop_due(cfg.duration);
+        assert_eq!(inj.remaining(), 0);
+        for kind in [
+            FaultKindId::CorrectableEcc,
+            FaultKindId::UncorrectableEcc,
+            FaultKindId::LinkCrc,
+            FaultKindId::MigrationInterrupt,
+        ] {
+            let counted = registry.counter(&format!("fault.released.{}", kind.label())).get();
+            let planned = plan.count_where(|k| k.telemetry_id() == kind) as u64;
+            assert_eq!(counted, planned, "{}", kind.label());
+        }
     }
 
     #[test]

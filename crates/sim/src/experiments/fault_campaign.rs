@@ -40,9 +40,24 @@ pub struct FaultCampaignResult {
 /// Propagates device errors from either replay; an invariant violation
 /// after any injected fault fails the faulted run.
 pub fn run(cfg: &FaultRunConfig) -> Result<FaultCampaignResult, DtlError> {
+    run_traced(cfg, &dtl_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but streams telemetry from the **faulted replay** (the
+/// quiet baseline stays untraced so its events do not interleave into the
+/// same timeline).
+///
+/// # Errors
+///
+/// Propagates device errors from either replay; an invariant violation
+/// after any injected fault fails the faulted run.
+pub fn run_traced(
+    cfg: &FaultRunConfig,
+    telemetry: &dtl_telemetry::Telemetry,
+) -> Result<FaultCampaignResult, DtlError> {
     let quiet = FaultRunConfig::fault_free(cfg.faults.seed, cfg.run);
     let baseline = run_faulted(&quiet)?;
-    let faulted = run_faulted(cfg)?;
+    let faulted = crate::run_faulted_traced(cfg, telemetry)?;
     let device_bytes = cfg.run.node.mem_bytes;
     Ok(FaultCampaignResult {
         baseline,

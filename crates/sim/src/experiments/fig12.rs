@@ -71,8 +71,26 @@ pub fn run(
     cfg_base: &PowerDownRunConfig,
     exec_overhead_inputs: (f64, f64),
 ) -> Result<Fig12Result, DtlError> {
+    run_traced(cfg_base, exec_overhead_inputs, &dtl_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run`], but streams telemetry from the **DTL replay** (the
+/// baseline stays untraced so its events do not interleave into the same
+/// timeline).
+///
+/// # Errors
+///
+/// Propagates device errors from either replay.
+pub fn run_traced(
+    cfg_base: &PowerDownRunConfig,
+    exec_overhead_inputs: (f64, f64),
+    telemetry: &dtl_telemetry::Telemetry,
+) -> Result<Fig12Result, DtlError> {
     let baseline = run_schedule(&PowerDownRunConfig { powerdown: false, ..*cfg_base })?;
-    let dtl = run_schedule(&PowerDownRunConfig { powerdown: true, ..*cfg_base })?;
+    let dtl = crate::run_schedule_traced(
+        &PowerDownRunConfig { powerdown: true, ..*cfg_base },
+        telemetry,
+    )?;
     let energy_saving = 1.0 - dtl.total_energy_mj / baseline.total_energy_mj;
     let background_saving = 1.0 - dtl.background_mj / baseline.background_mj;
     let power_saving = 1.0 - dtl.mean_power_mw() / baseline.mean_power_mw();

@@ -20,11 +20,12 @@ use dtl_core::{
 use dtl_cxl::{LinkRetryStats, RetryEngine, RetryPolicy};
 use dtl_dram::{Picos, PowerParams};
 use dtl_fault::{FaultKind, FaultPlanConfig, StormConfig};
+use dtl_telemetry::Telemetry;
 use dtl_trace::{VmEventKind, VmId, VmSchedule};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-use crate::PowerDownRunConfig;
+use crate::{assert_residency_consistency, PowerDownRunConfig};
 
 /// Configuration of one faulted schedule replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,6 +113,22 @@ pub struct FaultRunResult {
 /// Propagates device errors; an invariant violation after an injected
 /// fault surfaces here as [`DtlError::Internal`].
 pub fn run_faulted(cfg: &FaultRunConfig) -> Result<FaultRunResult, DtlError> {
+    run_faulted_traced(cfg, &Telemetry::disabled())
+}
+
+/// Like [`run_faulted`], but with a live telemetry handle: fault strikes,
+/// health transitions, CXL retries, and power transitions stream into its
+/// sink; an attached metrics registry additionally receives the
+/// `fault.released.*` counters and every engine's statistics.
+///
+/// # Errors
+///
+/// Propagates device errors; an invariant violation after an injected
+/// fault surfaces here as [`DtlError::Internal`].
+pub fn run_faulted_traced(
+    cfg: &FaultRunConfig,
+    telemetry: &Telemetry,
+) -> Result<FaultRunResult, DtlError> {
     let rcfg = &cfg.run;
     let dtl_cfg = DtlConfig::paper();
     let geo = SegmentGeometry {
@@ -121,6 +138,7 @@ pub fn run_faulted(cfg: &FaultRunConfig) -> Result<FaultRunResult, DtlError> {
     };
     let backend = AnalyticBackend::new(geo, dtl_cfg.segment_bytes, PowerParams::ddr4_128gb_dimm());
     let mut dev = DtlDevice::new(dtl_cfg, backend);
+    dev.set_telemetry(telemetry.clone());
     dev.set_hotness_enabled(false);
     dev.set_powerdown_enabled(rcfg.powerdown);
     for h in 0..rcfg.hosts.max(1) {
@@ -128,7 +146,11 @@ pub fn run_faulted(cfg: &FaultRunConfig) -> Result<FaultRunResult, DtlError> {
     }
 
     let mut injector = cfg.faults.generate().injector();
+    if let Some(m) = telemetry.metrics() {
+        injector.set_metrics(m);
+    }
     let mut link = RetryEngine::new(RetryPolicy::default());
+    link.set_telemetry(telemetry.clone());
     let mut faults_injected = 0u64;
     let mut segments_at_risk = 0u64;
     let mut foreground_lines = 0u64;
@@ -188,6 +210,10 @@ pub fn run_faulted(cfg: &FaultRunConfig) -> Result<FaultRunResult, DtlError> {
     let final_t = Picos::from_secs(u64::from(rcfg.duration_min) * 60);
     let report = dev.power_report(final_t);
     dev.check_invariants()?;
+    assert_residency_consistency(&dev, &report);
+    if let Some(m) = telemetry.metrics() {
+        dev.export_metrics(m);
+    }
 
     let ranks_retired = dev.powerdown_stats().ranks_retired;
     let rank_bytes = geo.segs_per_rank * dtl_cfg.segment_bytes;
@@ -238,7 +264,7 @@ fn apply_fault(
             // eats the burst immediately and the replay cost lands in the
             // link's retry accounting.
             link.inject_crc_burst(burst);
-            link.on_submit();
+            link.on_submit_at(now);
         }
         FaultKind::MigrationInterrupt { channel } => {
             dev.inject_migration_interrupt(channel, now)?;

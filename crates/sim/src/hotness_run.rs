@@ -12,8 +12,11 @@
 
 use dtl_core::{AnalyticBackend, DtlConfig, DtlDevice, DtlError, HostId, SegmentGeometry};
 use dtl_dram::{AccessKind, Picos, PowerParams};
+use dtl_telemetry::Telemetry;
 use dtl_trace::{Mixer, WorkloadKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+
+use crate::assert_residency_consistency;
 
 /// Configuration of one hotness replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -117,7 +120,22 @@ pub struct HotnessRunResult {
 ///
 /// Propagates device errors (which indicate harness or device bugs).
 pub fn run_hotness(cfg: &HotnessRunConfig) -> Result<HotnessRunResult, DtlError> {
-    run_hotness_with_threshold_factor(cfg, 1.0)
+    run_hotness_instrumented(cfg, 1.0, &Telemetry::disabled())
+}
+
+/// Like [`run_hotness`], but with a live telemetry handle: the replay
+/// streams `SegmentMigrated` / `TspAdvance` / `SelfRefreshSwap` /
+/// `RankPowerTransition` events into its sink and, if a metrics registry is
+/// attached, exports every engine's statistics there at the end.
+///
+/// # Errors
+///
+/// Propagates device errors (which indicate harness or device bugs).
+pub fn run_hotness_traced(
+    cfg: &HotnessRunConfig,
+    telemetry: &Telemetry,
+) -> Result<HotnessRunResult, DtlError> {
+    run_hotness_instrumented(cfg, 1.0, telemetry)
 }
 
 /// Like [`run_hotness`], but scales the profiling idle threshold by
@@ -130,6 +148,14 @@ pub fn run_hotness(cfg: &HotnessRunConfig) -> Result<HotnessRunResult, DtlError>
 pub fn run_hotness_with_threshold_factor(
     cfg: &HotnessRunConfig,
     factor: f64,
+) -> Result<HotnessRunResult, DtlError> {
+    run_hotness_instrumented(cfg, factor, &Telemetry::disabled())
+}
+
+fn run_hotness_instrumented(
+    cfg: &HotnessRunConfig,
+    factor: f64,
+    telemetry: &Telemetry,
 ) -> Result<HotnessRunResult, DtlError> {
     let mut dtl_cfg = DtlConfig::paper();
     dtl_cfg.au_bytes = (2 << 30) / cfg.scale;
@@ -146,6 +172,7 @@ pub fn run_hotness_with_threshold_factor(
     // Migration must keep its real-time ratio to the (scaled) thresholds.
     backend.migration_bw_bytes_per_sec *= cfg.scale as f64;
     let mut dev = DtlDevice::new(dtl_cfg, backend);
+    dev.set_telemetry(telemetry.clone());
     dev.set_powerdown_enabled(false);
     dev.set_hotness_enabled(cfg.hotness);
     dev.register_host(HostId(0))?;
@@ -225,6 +252,10 @@ pub fn run_hotness_with_threshold_factor(
     dev.tick(now)?;
     dev.check_invariants()?;
     let report = dev.power_report(now);
+    assert_residency_consistency(&dev, &report);
+    if let Some(m) = telemetry.metrics() {
+        dev.export_metrics(m);
+    }
     // Self-refresh residency over all ranks.
     let mut sr_ps: u128 = 0;
     for ch in &report.residency {

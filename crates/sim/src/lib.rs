@@ -14,11 +14,35 @@ mod perf;
 mod powerdown_run;
 mod report;
 
-pub use fault_run::{run_faulted, FaultRunConfig, FaultRunResult};
+pub use fault_run::{run_faulted, run_faulted_traced, FaultRunConfig, FaultRunResult};
 pub use hotness_run::{
-    hotness_savings, run_hotness, run_hotness_with_threshold_factor, run_reentry, HotnessRunConfig,
-    HotnessRunResult, ReentryResult,
+    hotness_savings, run_hotness, run_hotness_traced, run_hotness_with_threshold_factor,
+    run_reentry, HotnessRunConfig, HotnessRunResult, ReentryResult,
 };
 pub use perf::PerfModel;
-pub use powerdown_run::{run_schedule, IntervalSample, PowerDownRunConfig, PowerDownRunResult};
-pub use report::{f1, f2, f3, pct, to_json, Table};
+pub use powerdown_run::{
+    run_schedule, run_schedule_traced, IntervalSample, PowerDownRunConfig, PowerDownRunResult,
+};
+pub use report::{f1, f2, f3, metrics_section, pct, to_json, Table};
+
+/// Debug-build cross-check that the two residency sources agree: the
+/// backend's [`PowerReport`](dtl_dram::PowerReport) and the per-rank
+/// projection behind [`DeviceSnapshot`](dtl_core::DeviceSnapshot) /
+/// telemetry must be the *same* numbers, because both are integrated by
+/// the backend's `EnergyAccount`s. Compiled out of release runs.
+pub fn assert_residency_consistency<B: dtl_core::MemoryBackend>(
+    dev: &dtl_core::DtlDevice<B>,
+    report: &dtl_dram::PowerReport,
+) {
+    if cfg!(debug_assertions) {
+        for (c, ch) in report.residency.iter().enumerate() {
+            for (r, rank_res) in ch.iter().enumerate() {
+                let projected = dev.backend().rank_residency(c as u32, r as u32);
+                assert_eq!(
+                    *rank_res, projected,
+                    "residency mismatch on ch{c}/rk{r}: report vs backend projection"
+                );
+            }
+        }
+    }
+}

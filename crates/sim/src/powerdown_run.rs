@@ -11,9 +11,12 @@ use dtl_core::{
     VmHandle,
 };
 use dtl_dram::{Picos, PowerParams};
+use dtl_telemetry::Telemetry;
 use dtl_trace::{NodeConfig, VmEventKind, VmId, VmSchedule};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+use crate::assert_residency_consistency;
 
 /// Configuration of one schedule replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -134,6 +137,22 @@ impl PowerDownRunResult {
 /// Propagates device errors (these indicate bugs — the harness never
 /// over-commits the device).
 pub fn run_schedule(cfg: &PowerDownRunConfig) -> Result<PowerDownRunResult, DtlError> {
+    run_schedule_traced(cfg, &Telemetry::disabled())
+}
+
+/// Like [`run_schedule`], but with a live telemetry handle: the replay
+/// streams `VmAlloc` / `VmDealloc` / `SegmentMigrated` /
+/// `RankPowerTransition` events into its sink and, if a metrics registry
+/// is attached, exports every engine's statistics there at the end.
+///
+/// # Errors
+///
+/// Propagates device errors (these indicate bugs — the harness never
+/// over-commits the device).
+pub fn run_schedule_traced(
+    cfg: &PowerDownRunConfig,
+    telemetry: &Telemetry,
+) -> Result<PowerDownRunResult, DtlError> {
     let dtl_cfg = DtlConfig::paper();
     let geo = SegmentGeometry {
         channels: cfg.channels,
@@ -142,6 +161,7 @@ pub fn run_schedule(cfg: &PowerDownRunConfig) -> Result<PowerDownRunResult, DtlE
     };
     let backend = AnalyticBackend::new(geo, dtl_cfg.segment_bytes, PowerParams::ddr4_128gb_dimm());
     let mut dev = DtlDevice::new(dtl_cfg, backend);
+    dev.set_telemetry(telemetry.clone());
     dev.set_hotness_enabled(false);
     dev.set_powerdown_enabled(cfg.powerdown);
     for h in 0..cfg.hosts.max(1) {
@@ -225,6 +245,10 @@ pub fn run_schedule(cfg: &PowerDownRunConfig) -> Result<PowerDownRunResult, DtlE
     let final_t = Picos::from_secs(u64::from(cfg.duration_min) * 60);
     let report = dev.power_report(final_t);
     dev.check_invariants()?;
+    assert_residency_consistency(&dev, &report);
+    if let Some(m) = telemetry.metrics() {
+        dev.export_metrics(m);
+    }
     Ok(PowerDownRunResult {
         intervals,
         total_energy_mj: report.total.total_mj(),

@@ -107,6 +107,13 @@ pub fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("experiment results serialize cleanly")
 }
 
+/// Renders a metrics registry as a titled report section (the plain-text
+/// dump the experiment binaries append when `--metrics-out` is given, and
+/// what lands at the end of a traced run's console report).
+pub fn metrics_section(title: &str, registry: &dtl_telemetry::MetricsRegistry) -> String {
+    format!("== {} ==\n{}", title, registry.render_text())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,252 @@
+//! Typed telemetry events and the telemetry-local id enums.
+//!
+//! `dtl-telemetry` sits *below* every other crate in the workspace, so it
+//! cannot name `dtl_dram::PowerState` or `dtl_core::RankHealth`. Instead it
+//! defines small mirror enums ([`PowerStateId`], [`HealthStateId`],
+//! [`FaultKindId`]) whose variant order matches the originals; the emitting
+//! crates convert at the instrumentation site.
+
+use serde::{Deserialize, Serialize};
+
+/// Mirror of `dtl_dram::PowerState`, in the same variant order (and therefore
+/// the same residency-array index order as `PowerState::ALL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PowerStateId {
+    /// Fully operational (CKE high).
+    Standby,
+    /// Shallow power-down with a bank row open.
+    ActivePowerDown,
+    /// Shallow power-down with all banks precharged.
+    PrechargePowerDown,
+    /// Clock stopped, DRAM refreshes itself; data retained.
+    SelfRefresh,
+    /// Maximum power saving mode; data lost.
+    Mpsm,
+}
+
+impl PowerStateId {
+    /// All states, in residency-array index order.
+    pub const ALL: [PowerStateId; 5] = [
+        PowerStateId::Standby,
+        PowerStateId::ActivePowerDown,
+        PowerStateId::PrechargePowerDown,
+        PowerStateId::SelfRefresh,
+        PowerStateId::Mpsm,
+    ];
+
+    /// Index into a residency array (matches `PowerState::ALL` order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short human-readable label (used for trace track span names).
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerStateId::Standby => "standby",
+            PowerStateId::ActivePowerDown => "active-powerdown",
+            PowerStateId::PrechargePowerDown => "precharge-powerdown",
+            PowerStateId::SelfRefresh => "self-refresh",
+            PowerStateId::Mpsm => "mpsm",
+        }
+    }
+}
+
+/// Mirror of `dtl_core::RankHealth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HealthStateId {
+    /// Error rate within the noise floor.
+    Healthy,
+    /// Correctable-error budget exceeded; under observation.
+    Degraded,
+    /// Health tripped; segments are being drained off the rank.
+    Draining,
+    /// Rank permanently removed from service.
+    Retired,
+}
+
+impl HealthStateId {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthStateId::Healthy => "healthy",
+            HealthStateId::Degraded => "degraded",
+            HealthStateId::Draining => "draining",
+            HealthStateId::Retired => "retired",
+        }
+    }
+}
+
+/// Mirror of `dtl_fault::FaultKind`, payload-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKindId {
+    /// Correctable (ECC-fixed) DRAM error.
+    CorrectableEcc,
+    /// Uncorrectable (multi-bit) DRAM error.
+    UncorrectableEcc,
+    /// CRC corruption on the CXL link.
+    LinkCrc,
+    /// In-flight migration cut off mid-transfer.
+    MigrationInterrupt,
+}
+
+impl FaultKindId {
+    /// Short human-readable label (also used as a metrics-name suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKindId::CorrectableEcc => "correctable_ecc",
+            FaultKindId::UncorrectableEcc => "uncorrectable_ecc",
+            FaultKindId::LinkCrc => "link_crc",
+            FaultKindId::MigrationInterrupt => "migration_interrupt",
+        }
+    }
+}
+
+/// What happened. Every variant is `Copy` so events move through the ring
+/// buffer without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// One segment migration (copy or swap) completed.
+    SegmentMigrated {
+        /// Channel the migration engine slot belongs to.
+        channel: u32,
+        /// Source device segment number (for swaps: side A).
+        src: u64,
+        /// Destination device segment number (for swaps: side B).
+        dst: u64,
+        /// `true` for an atomic swap, `false` for a drain copy.
+        swap: bool,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// A rank changed power state (single source of truth: the backend's
+    /// drained `PowerEvent` stream, so cycle and analytic backends agree).
+    RankPowerTransition {
+        /// Channel of the rank.
+        channel: u32,
+        /// Rank within the channel.
+        rank: u32,
+        /// State left.
+        from: PowerStateId,
+        /// State entered.
+        to: PowerStateId,
+        /// `true` when the exit was forced by an access (auto wake).
+        auto_exit: bool,
+    },
+    /// The hotness engine's two-pointer swap planner advanced.
+    TspAdvance {
+        /// Channel being planned.
+        channel: u32,
+        /// Victim rank the plan empties.
+        victim: u32,
+        /// `true` when the advance was forced by the TSP timeout (Fig 8(c)),
+        /// `false` when a victim touch triggered it (Fig 8(b)).
+        timeout: bool,
+    },
+    /// A hotness plan finished migrating and parked its victim rank in
+    /// self-refresh.
+    SelfRefreshSwap {
+        /// Channel of the parked rank.
+        channel: u32,
+        /// Rank entering self-refresh.
+        victim: u32,
+        /// Number of segment swaps the plan executed.
+        swaps: u32,
+    },
+    /// The CXL link-layer retry engine replayed a corrupted transfer.
+    CxlRetry {
+        /// Consecutive corrupted attempts observed on this transaction.
+        burst: u32,
+        /// Replays actually issued (capped by the retry policy).
+        replays: u32,
+        /// `true` when the policy gave up before a clean transfer.
+        gave_up: bool,
+        /// Total backoff delay charged, picoseconds.
+        delay_ps: u64,
+    },
+    /// A fault from the injection plan (or a direct injection hook) struck.
+    FaultInjected {
+        /// Kind of fault.
+        kind: FaultKindId,
+        /// Channel, when the fault targets a rank.
+        channel: Option<u32>,
+        /// Rank, when the fault targets a rank.
+        rank: Option<u32>,
+    },
+    /// A rank's health state machine moved.
+    HealthTransition {
+        /// Channel of the rank.
+        channel: u32,
+        /// Rank within the channel.
+        rank: u32,
+        /// State left.
+        from: HealthStateId,
+        /// State entered.
+        to: HealthStateId,
+    },
+    /// A VM was allocated segments on the device.
+    VmAlloc {
+        /// VM identifier.
+        vm: u64,
+        /// Segments granted.
+        segments: u64,
+    },
+    /// A VM released its segments.
+    VmDealloc {
+        /// VM identifier.
+        vm: u64,
+        /// Segments released.
+        segments: u64,
+    },
+}
+
+/// One timestamped telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time, picoseconds (the workspace `Picos` unit).
+    pub at_ps: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_state_ids_index_in_declaration_order() {
+        for (i, s) in PowerStateId::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = [
+            Event {
+                at_ps: 17,
+                kind: EventKind::RankPowerTransition {
+                    channel: 1,
+                    rank: 3,
+                    from: PowerStateId::Standby,
+                    to: PowerStateId::SelfRefresh,
+                    auto_exit: false,
+                },
+            },
+            Event {
+                at_ps: 44,
+                kind: EventKind::FaultInjected {
+                    kind: FaultKindId::LinkCrc,
+                    channel: None,
+                    rank: None,
+                },
+            },
+            Event { at_ps: 99, kind: EventKind::VmAlloc { vm: 7, segments: 512 } },
+        ];
+        for ev in events {
+            let text = serde_json::to_string(&ev).unwrap();
+            let back: Event = serde_json::from_str(&text).unwrap();
+            assert_eq!(ev, back, "round trip failed for {text}");
+        }
+    }
+}

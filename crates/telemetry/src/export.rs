@@ -1,0 +1,336 @@
+//! Exporters: JSONL event logs and Chrome `trace_event` / Perfetto JSON.
+//!
+//! The Chrome trace uses the JSON object format (`{"traceEvents": [...]}`)
+//! with one *process* per DRAM channel and one *thread* (track) per rank.
+//! Power-state residency appears as complete `ph: "X"` duration spans whose
+//! `args` carry the exact picosecond start/duration (the `ts`/`dur` fields
+//! are microseconds, as the format requires). Discrete happenings —
+//! migrations, TSP advances, faults, health moves — appear as `ph: "i"`
+//! instant events; device-wide happenings (VM allocation, CXL retries) live
+//! in a synthetic "device" process.
+
+use serde::Value;
+
+use crate::event::{Event, EventKind};
+use crate::timeline::PowerTimeline;
+
+/// Synthetic pid for device-scoped (non-rank) instant events.
+pub const DEVICE_PID: u64 = 1_000_000;
+
+/// Synthetic tid grouping per-channel instant events that are not tied to a
+/// single rank track.
+pub const EVENTS_TID: u64 = 9_999;
+
+/// Renders events as JSON Lines: one JSON object per event, one per line.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("event serialization is infallible"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL export back into events (used by tests and tooling).
+///
+/// # Errors
+///
+/// Returns the underlying parse error for the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, serde_json::Error> {
+    text.lines().filter(|l| !l.trim().is_empty()).map(serde_json::from_str).collect()
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_v(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+fn uint(u: u64) -> Value {
+    Value::Uint(u as u128)
+}
+
+/// Microseconds for the `ts`/`dur` fields (Chrome's native trace unit).
+fn ps_to_us(ps: u64) -> Value {
+    Value::Float(ps as f64 / 1e6)
+}
+
+fn metadata(name: &str, pid: u64, tid: u64, value: &str) -> Value {
+    map(vec![
+        ("name", str_v(name)),
+        ("ph", str_v("M")),
+        ("pid", uint(pid)),
+        ("tid", uint(tid)),
+        ("args", map(vec![("name", str_v(value))])),
+    ])
+}
+
+fn instant(
+    name: String,
+    at_ps: u64,
+    pid: u64,
+    tid: u64,
+    scope: &str,
+    args: Vec<(&str, Value)>,
+) -> Value {
+    map(vec![
+        ("name", str_v(name)),
+        ("ph", str_v("i")),
+        ("s", str_v(scope)),
+        ("ts", ps_to_us(at_ps)),
+        ("pid", uint(pid)),
+        ("tid", uint(tid)),
+        ("args", map(args)),
+    ])
+}
+
+/// Builds the full Chrome `trace_event` JSON for a run: rank power-state
+/// span tracks from `timeline` plus instant markers for the discrete events
+/// in `events`. The result loads in Perfetto and `chrome://tracing`.
+pub fn chrome_trace(timeline: &PowerTimeline, events: &[Event]) -> String {
+    let mut trace_events: Vec<Value> = Vec::new();
+
+    // Track naming metadata: one process per channel, one thread per rank.
+    let rank_ids = timeline.rank_ids();
+    let mut channels: Vec<u32> = rank_ids.iter().map(|&(c, _)| c).collect();
+    channels.dedup();
+    for &channel in &channels {
+        trace_events.push(metadata(
+            "process_name",
+            channel as u64,
+            0,
+            &format!("channel {channel}"),
+        ));
+    }
+    for &(channel, rank) in &rank_ids {
+        trace_events.push(metadata(
+            "thread_name",
+            channel as u64,
+            rank as u64,
+            &format!("rank {rank}"),
+        ));
+    }
+
+    // Power-state residency spans, one complete event per span.
+    for &(channel, rank) in &rank_ids {
+        for span in timeline.spans(channel, rank) {
+            trace_events.push(map(vec![
+                ("name", str_v(span.state.label())),
+                ("cat", str_v("power")),
+                ("ph", str_v("X")),
+                ("ts", ps_to_us(span.start_ps)),
+                ("dur", ps_to_us(span.duration_ps())),
+                ("pid", uint(channel as u64)),
+                ("tid", uint(rank as u64)),
+                (
+                    "args",
+                    map(vec![
+                        ("start_ps", uint(span.start_ps)),
+                        ("dur_ps", uint(span.duration_ps())),
+                        ("state", str_v(span.state.label())),
+                    ]),
+                ),
+            ]));
+        }
+    }
+
+    // Instant markers. Channel-scoped kinds ride in their channel's process
+    // (on the rank track when one rank is implicated, otherwise on a shared
+    // per-channel "events" track); device-scoped kinds go to DEVICE_PID.
+    let mut channel_event_tracks: Vec<u32> = Vec::new();
+    let mut device_track = false;
+    for ev in events {
+        let item = match ev.kind {
+            EventKind::RankPowerTransition { .. } => None, // covered by spans
+            EventKind::SegmentMigrated { channel, src, dst, swap, bytes } => Some((
+                (channel as u64, EVENTS_TID),
+                instant(
+                    (if swap { "segment swap" } else { "segment copy" }).to_string(),
+                    ev.at_ps,
+                    channel as u64,
+                    EVENTS_TID,
+                    "t",
+                    vec![("src", uint(src)), ("dst", uint(dst)), ("bytes", uint(bytes))],
+                ),
+            )),
+            EventKind::TspAdvance { channel, victim, timeout } => Some((
+                (channel as u64, EVENTS_TID),
+                instant(
+                    "tsp advance".to_string(),
+                    ev.at_ps,
+                    channel as u64,
+                    EVENTS_TID,
+                    "t",
+                    vec![("victim", uint(victim as u64)), ("timeout", Value::Bool(timeout))],
+                ),
+            )),
+            EventKind::SelfRefreshSwap { channel, victim, swaps } => Some((
+                (channel as u64, victim as u64),
+                instant(
+                    "self-refresh park".to_string(),
+                    ev.at_ps,
+                    channel as u64,
+                    victim as u64,
+                    "t",
+                    vec![("swaps", uint(swaps as u64))],
+                ),
+            )),
+            EventKind::FaultInjected { kind, channel, rank } => {
+                let (pid, tid) = match (channel, rank) {
+                    (Some(c), Some(r)) => (c as u64, r as u64),
+                    (Some(c), None) => (c as u64, EVENTS_TID),
+                    _ => (DEVICE_PID, 0),
+                };
+                Some((
+                    (pid, tid),
+                    instant(format!("fault: {}", kind.label()), ev.at_ps, pid, tid, "t", vec![]),
+                ))
+            }
+            EventKind::HealthTransition { channel, rank, from, to } => Some((
+                (channel as u64, rank as u64),
+                instant(
+                    format!("health: {} -> {}", from.label(), to.label()),
+                    ev.at_ps,
+                    channel as u64,
+                    rank as u64,
+                    "t",
+                    vec![],
+                ),
+            )),
+            EventKind::CxlRetry { burst, replays, gave_up, delay_ps } => Some((
+                (DEVICE_PID, 0),
+                instant(
+                    "cxl retry".to_string(),
+                    ev.at_ps,
+                    DEVICE_PID,
+                    0,
+                    "t",
+                    vec![
+                        ("burst", uint(burst as u64)),
+                        ("replays", uint(replays as u64)),
+                        ("gave_up", Value::Bool(gave_up)),
+                        ("delay_ps", uint(delay_ps)),
+                    ],
+                ),
+            )),
+            EventKind::VmAlloc { vm, segments } => Some((
+                (DEVICE_PID, 0),
+                instant(
+                    "vm alloc".to_string(),
+                    ev.at_ps,
+                    DEVICE_PID,
+                    0,
+                    "t",
+                    vec![("vm", uint(vm)), ("segments", uint(segments))],
+                ),
+            )),
+            EventKind::VmDealloc { vm, segments } => Some((
+                (DEVICE_PID, 0),
+                instant(
+                    "vm dealloc".to_string(),
+                    ev.at_ps,
+                    DEVICE_PID,
+                    0,
+                    "t",
+                    vec![("vm", uint(vm)), ("segments", uint(segments))],
+                ),
+            )),
+        };
+        if let Some(((pid, tid), value)) = item {
+            if pid == DEVICE_PID {
+                device_track = true;
+            } else if tid == EVENTS_TID && !channel_event_tracks.contains(&(pid as u32)) {
+                channel_event_tracks.push(pid as u32);
+            }
+            trace_events.push(value);
+        }
+    }
+    for channel in channel_event_tracks {
+        trace_events.push(metadata("thread_name", channel as u64, EVENTS_TID, "events"));
+    }
+    if device_track {
+        trace_events.push(metadata("process_name", DEVICE_PID, 0, "device"));
+        trace_events.push(metadata("thread_name", DEVICE_PID, 0, "events"));
+    }
+
+    let root =
+        map(vec![("traceEvents", Value::Seq(trace_events)), ("displayTimeUnit", str_v("ns"))]);
+    serde_json::to_string(&root).expect("value serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PowerStateId;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                at_ps: 100,
+                kind: EventKind::RankPowerTransition {
+                    channel: 0,
+                    rank: 1,
+                    from: PowerStateId::Standby,
+                    to: PowerStateId::SelfRefresh,
+                    auto_exit: false,
+                },
+            },
+            Event {
+                at_ps: 250,
+                kind: EventKind::SegmentMigrated {
+                    channel: 0,
+                    src: 3,
+                    dst: 9,
+                    swap: true,
+                    bytes: 4096,
+                },
+            },
+            Event { at_ps: 300, kind: EventKind::VmAlloc { vm: 5, segments: 16 } },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample_events();
+        let text = jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_span_and_instant_events() {
+        let events = sample_events();
+        let timeline = PowerTimeline::from_events(events.iter(), 1_000);
+        let text = chrome_trace(&timeline, &events);
+        let root: Value = serde_json::from_str(&text).unwrap();
+        let seq =
+            serde::field(root.as_map().unwrap(), "traceEvents").unwrap().as_seq().unwrap().to_vec();
+        let phase = |v: &Value| {
+            v.as_map()
+                .and_then(|m| serde::field(m, "ph").ok())
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert!(seq.iter().any(|v| phase(v) == "X"), "must contain duration spans");
+        assert!(seq.iter().any(|v| phase(v) == "i"), "must contain instants");
+        assert!(seq.iter().any(|v| phase(v) == "M"), "must contain track metadata");
+        // Exact ps durations: the rank 0/1 spans must sum to the horizon.
+        let mut sum = 0u64;
+        for v in &seq {
+            let m = v.as_map().unwrap();
+            if phase(v) == "X" {
+                let args = serde::field(m, "args").unwrap().as_map().unwrap();
+                let dur: u64 = match serde::field(args, "dur_ps").unwrap() {
+                    Value::Uint(u) => *u as u64,
+                    other => panic!("dur_ps not an integer: {other:?}"),
+                };
+                sum += dur;
+            }
+        }
+        assert_eq!(sum, 1_000);
+    }
+}

@@ -1,0 +1,55 @@
+//! # dtl-telemetry — unified event tracing, metrics, and timeline export
+//!
+//! The observability substrate for the DTL reproduction. Every other crate
+//! in the workspace depends on this one (never the reverse), holds a cheap
+//! cloneable [`Telemetry`] handle, and emits typed [`Event`]s on its hot
+//! paths. The contract:
+//!
+//! * **Disabled is free.** [`Telemetry::disabled`] costs one never-taken
+//!   branch per call site — guarded by the `overhead_guard` release test,
+//!   which asserts the no-op sink adds under 1 % to a fixed access loop.
+//! * **Tracing never blocks.** The default recording sink is [`RingSink`],
+//!   a Vyukov bounded MPMC ring that drops (and counts) events when full.
+//! * **Residency is exact.** [`PowerTimeline`] rebuilds per-rank power-state
+//!   spans from `RankPowerTransition` events such that summed span durations
+//!   equal the backends' integrated residency counters bit-for-bit.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dtl_telemetry::{chrome_trace, EventKind, PowerStateId, PowerTimeline, RingSink, Telemetry};
+//!
+//! let ring = Arc::new(RingSink::with_capacity(1024));
+//! let telemetry = Telemetry::new(ring.clone());
+//! telemetry.emit(
+//!     1_000,
+//!     EventKind::RankPowerTransition {
+//!         channel: 0,
+//!         rank: 0,
+//!         from: PowerStateId::Standby,
+//!         to: PowerStateId::SelfRefresh,
+//!         auto_exit: false,
+//!     },
+//! );
+//! let events = ring.drain();
+//! let timeline = PowerTimeline::from_events(events.iter(), 5_000);
+//! assert_eq!(timeline.residency_ps(0, 0)[PowerStateId::SelfRefresh.index()], 4_000);
+//! let json = chrome_trace(&timeline, &events);
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod export;
+mod metrics;
+mod ring;
+mod sink;
+mod timeline;
+
+pub use event::{Event, EventKind, FaultKindId, HealthStateId, PowerStateId};
+pub use export::{chrome_trace, jsonl, parse_jsonl, DEVICE_PID, EVENTS_TID};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use ring::RingSink;
+pub use sink::{NoopSink, Telemetry, TelemetrySink};
+pub use timeline::{PowerTimeline, Span};

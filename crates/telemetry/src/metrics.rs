@@ -1,0 +1,321 @@
+//! A registry of named counters, gauges, and log-scaled histograms.
+//!
+//! Hot paths resolve their handles (`Arc<Counter>` etc.) once, when a
+//! telemetry handle is installed, and afterwards touch only the atomic —
+//! the registry lock is never on a per-access path. Names are dotted
+//! lower-case paths, e.g. `dtl.migrate.bytes_moved`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (used when mirroring an externally accumulated
+    /// stats struct into the registry at export time).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (e.g. latencies in
+/// picoseconds). Bucket 0 holds exact zeros; bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i)`. Quantiles report the inclusive upper bound of the
+/// containing bucket, so they overestimate by at most 2×.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples (wraps on overflow — fine for ps-scale latencies).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The bucket upper bound below which at least `q` (0..=1) of samples
+    /// fall, or 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named metrics, get-or-create by name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every metric as one plaintext line, sorted by name:
+    ///
+    /// ```text
+    /// dtl.device.segments_migrated counter 42
+    /// dtl.link.util gauge -3
+    /// dtl.translation.latency_ps histogram count=9 sum=1100 mean=122.2 p50=127 p99=255
+    /// ```
+    pub fn render_text(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name} counter {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name} gauge {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name} histogram count={} sum={} mean={:.1} p50={} p99={}\n",
+                        h.count(),
+                        h.sum(),
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("a.count").get(), 5, "same name, same counter");
+        let g = reg.gauge("a.gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::default();
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 100, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_000_106);
+        // p50 of {0,1,2,3,100,1M}: 3rd sample sits in bucket [2,4).
+        assert_eq!(h.quantile(0.5), 3);
+        assert!(h.quantile(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn render_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.histogram("m.hist").observe(8);
+        let text = reg.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a.first counter 2"));
+        assert!(lines[1].starts_with("m.hist histogram count=1"));
+        assert!(lines[2].starts_with("z.last counter 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

@@ -1,0 +1,237 @@
+//! A bounded multi-producer multi-consumer ring buffer sink.
+//!
+//! The design is the classic Vyukov bounded MPMC queue: each slot carries a
+//! sequence number; producers and consumers claim positions with a CAS and
+//! publish with a release store, so `record` never takes a lock and never
+//! blocks. When the ring is full new events are *dropped* (and counted) —
+//! tracing must not distort the simulation it observes.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::Event;
+use crate::sink::TelemetrySink;
+
+struct Slot {
+    /// Slot generation: `pos` when empty and claimable by the producer of
+    /// `pos`; `pos + 1` when full and claimable by the consumer of `pos`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<Event>>,
+}
+
+/// Lock-free bounded event buffer implementing [`TelemetrySink`].
+pub struct RingSink {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// Safety: slots are only written by the producer that won the enqueue CAS
+// and only read by the consumer that won the dequeue CAS; the seq
+// acquire/release pair orders the value access between them.
+unsafe impl Send for RingSink {}
+unsafe impl Sync for RingSink {}
+
+impl RingSink {
+    /// A ring holding at least `capacity` events (rounded up to the next
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingSink {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let head = self.dequeue_pos.load(Ordering::Relaxed);
+        let tail = self.enqueue_pos.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring is currently empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tries to enqueue; returns `false` (and counts a drop) when full.
+    pub fn push(&self, event: Event) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS grants exclusive write
+                        // access to this slot until the release store below.
+                        unsafe { (*slot.value.get()).write(event) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest event, if any.
+    pub fn pop(&self) -> Option<Event> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS grants exclusive read
+                        // access; the value was initialized by the producer
+                        // that published seq = pos + 1. Event is Copy, so a
+                        // plain read is a move-out.
+                        let event = unsafe { std::ptr::read((*slot.value.get()).as_ptr()) };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
+                        return Some(event);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains everything currently buffered, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+impl TelemetrySink for RingSink {
+    #[inline]
+    fn record(&self, event: Event) {
+        let _ = self.push(event);
+    }
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingSink")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::Arc;
+
+    fn ev(at: u64) -> Event {
+        Event { at_ps: at, kind: EventKind::VmAlloc { vm: at, segments: 1 } }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity_rounding() {
+        let ring = RingSink::with_capacity(3);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.push(ev(i)));
+        }
+        assert!(!ring.push(ev(99)), "5th push into a 4-slot ring must drop");
+        assert_eq!(ring.dropped(), 1);
+        let drained = ring.drain();
+        assert_eq!(drained.iter().map(|e| e.at_ps).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_many_generations() {
+        let ring = RingSink::with_capacity(8);
+        for round in 0..100u64 {
+            for i in 0..5 {
+                assert!(ring.push(ev(round * 10 + i)));
+            }
+            let got = ring.drain();
+            assert_eq!(got.len(), 5);
+            assert_eq!(got[0].at_ps, round * 10);
+            assert_eq!(got[4].at_ps, round * 10 + 4);
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_until_full() {
+        let ring = Arc::new(RingSink::with_capacity(4096));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..512u64 {
+                    assert!(r.push(ev(t * 1_000_000 + i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = ring.drain();
+        assert_eq!(got.len(), 4 * 512);
+        got.sort_by_key(|e| e.at_ps);
+        for t in 0..4u64 {
+            for i in 0..512u64 {
+                assert_eq!(got[(t * 512 + i) as usize].at_ps, t * 1_000_000 + i);
+            }
+        }
+    }
+}

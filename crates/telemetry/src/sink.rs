@@ -1,0 +1,134 @@
+//! The sink trait, the no-op sink, and the cheap cloneable [`Telemetry`]
+//! handle that instrumented code holds.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MetricsRegistry;
+
+/// Receives telemetry events. Implementations must tolerate concurrent
+/// `record` calls (`&self`, `Send + Sync`): the cycle backend and future
+/// sharded runners emit from multiple contexts.
+pub trait TelemetrySink: fmt::Debug + Send + Sync {
+    /// Accepts one event. May drop it (e.g. a full ring buffer); sinks that
+    /// drop should count what they dropped.
+    fn record(&self, event: Event);
+
+    /// Whether this sink wants events at all. [`Telemetry`] snapshots this
+    /// once at construction so the per-event fast path is a single branch on
+    /// a plain `bool`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that discards everything. [`Telemetry::disabled`] wraps it; the
+/// emit path short-circuits on the cached `enabled() == false` before any
+/// dynamic dispatch, so disabled telemetry costs one never-taken branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    #[inline]
+    fn record(&self, _event: Event) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The handle instrumented code stores: a shared sink plus a cached on/off
+/// bit and an optional metrics registry. Cloning is two `Arc` bumps, so
+/// every engine (device, backend, migration, hotness, health, retry) keeps
+/// its own copy.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    sink: Arc<dyn TelemetrySink>,
+    on: bool,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl Telemetry {
+    /// Telemetry that records to `sink`.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
+        let on = sink.enabled();
+        Telemetry { sink, on, metrics: None }
+    }
+
+    /// Telemetry that discards everything at one-branch cost.
+    pub fn disabled() -> Self {
+        Telemetry { sink: Arc::new(NoopSink), on: false, metrics: None }
+    }
+
+    /// Attaches a metrics registry; instrumented modules resolve their
+    /// counter/histogram handles from it when the telemetry handle is
+    /// installed (never on the per-access path).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.on
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Records `kind` at simulation time `at_ps`. The disabled path is a
+    /// single predictable branch — cheap enough for per-access call sites.
+    #[inline]
+    pub fn emit(&self, at_ps: u64, kind: EventKind) {
+        if self.on {
+            self.sink.record(Event { at_ps, kind });
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct VecSink(Mutex<Vec<Event>>);
+
+    impl TelemetrySink for VecSink {
+        fn record(&self, event: Event) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.emit(5, EventKind::VmAlloc { vm: 1, segments: 2 });
+    }
+
+    #[test]
+    fn enabled_telemetry_reaches_the_sink() {
+        let sink = Arc::new(VecSink::default());
+        let t = Telemetry::new(sink.clone());
+        assert!(t.enabled());
+        t.emit(5, EventKind::VmAlloc { vm: 1, segments: 2 });
+        t.emit(9, EventKind::VmDealloc { vm: 1, segments: 2 });
+        let got = sink.0.lock().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].at_ps, 5);
+        assert_eq!(got[1].at_ps, 9);
+    }
+}

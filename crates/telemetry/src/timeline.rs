@@ -1,0 +1,198 @@
+//! Reconstructs per-rank power-state residency timelines from the
+//! [`RankPowerTransition`](crate::EventKind::RankPowerTransition) event
+//! stream.
+//!
+//! The reconstruction is exact by construction: every rank starts in
+//! `Standby` at t = 0 (the backends' initial state), each transition event
+//! closes the current span at the event timestamp, and [`PowerTimeline::finish`]
+//! closes the open span at the report horizon. Summing span durations per
+//! state therefore reproduces the backend's integrated residency counters
+//! bit-for-bit — the invariant the `telemetry_trace` integration test pins.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind, PowerStateId};
+
+/// One contiguous stay in a power state: `[start_ps, end_ps)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// The state occupied.
+    pub state: PowerStateId,
+    /// Span start, picoseconds.
+    pub start_ps: u64,
+    /// Span end (exclusive), picoseconds.
+    pub end_ps: u64,
+}
+
+impl Span {
+    /// Span duration, picoseconds.
+    pub fn duration_ps(&self) -> u64 {
+        self.end_ps - self.start_ps
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RankTrack {
+    spans: Vec<Span>,
+    state: PowerStateId,
+    since: u64,
+}
+
+impl Default for RankTrack {
+    fn default() -> Self {
+        RankTrack { spans: Vec::new(), state: PowerStateId::Standby, since: 0 }
+    }
+}
+
+/// Per-rank power-state span timelines, keyed by `(channel, rank)`.
+#[derive(Debug, Clone, Default)]
+pub struct PowerTimeline {
+    ranks: BTreeMap<(u32, u32), RankTrack>,
+}
+
+impl PowerTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: feed every event and close at `end_ps`.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>, end_ps: u64) -> Self {
+        let mut t = PowerTimeline::new();
+        for ev in events {
+            t.push_event(ev);
+        }
+        t.finish(end_ps);
+        t
+    }
+
+    /// Registers a rank even if it never transitions, so it still gets a
+    /// (single-span, all-`Standby`) track.
+    pub fn ensure_rank(&mut self, channel: u32, rank: u32) {
+        self.ranks.entry((channel, rank)).or_default();
+    }
+
+    /// Feeds one event; everything except `RankPowerTransition` is ignored.
+    pub fn push_event(&mut self, event: &Event) {
+        if let EventKind::RankPowerTransition { channel, rank, to, .. } = event.kind {
+            let track = self.ranks.entry((channel, rank)).or_default();
+            if event.at_ps > track.since {
+                track.spans.push(Span {
+                    state: track.state,
+                    start_ps: track.since,
+                    end_ps: event.at_ps,
+                });
+            }
+            track.state = to;
+            track.since = track.since.max(event.at_ps);
+        }
+    }
+
+    /// Closes every open span at `max(end_ps, last transition)`. Call once,
+    /// after the final event, with the same horizon the power report used.
+    pub fn finish(&mut self, end_ps: u64) {
+        for track in self.ranks.values_mut() {
+            let end = end_ps.max(track.since);
+            if end > track.since {
+                track.spans.push(Span { state: track.state, start_ps: track.since, end_ps: end });
+                track.since = end;
+            }
+        }
+    }
+
+    /// All ranks with a track, sorted by `(channel, rank)`.
+    pub fn rank_ids(&self) -> Vec<(u32, u32)> {
+        self.ranks.keys().copied().collect()
+    }
+
+    /// The spans of one rank (empty slice for unknown ranks).
+    pub fn spans(&self, channel: u32, rank: u32) -> &[Span] {
+        self.ranks.get(&(channel, rank)).map(|t| t.spans.as_slice()).unwrap_or(&[])
+    }
+
+    /// Summed span durations per power state for one rank, indexed like
+    /// `PowerStateId::ALL`.
+    pub fn residency_ps(&self, channel: u32, rank: u32) -> [u64; 5] {
+        let mut out = [0u64; 5];
+        for span in self.spans(channel, rank) {
+            out[span.state.index()] += span.duration_ps();
+        }
+        out
+    }
+
+    /// A plaintext per-rank residency summary (milliseconds per state),
+    /// matching the order of `PowerStateId::ALL`.
+    pub fn residency_table(&self) -> String {
+        let mut out = String::from(
+            "rank        standby    act-pd     pre-pd     self-ref   mpsm       (ms)\n",
+        );
+        for (channel, rank) in self.rank_ids() {
+            let res = self.residency_ps(channel, rank);
+            out.push_str(&format!("ch{channel}/rk{rank}  "));
+            for r in res {
+                out.push_str(&format!("{:>10.3} ", r as f64 / 1e9));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(at: u64, rank: u32, from: PowerStateId, to: PowerStateId) -> Event {
+        Event {
+            at_ps: at,
+            kind: EventKind::RankPowerTransition { channel: 0, rank, from, to, auto_exit: false },
+        }
+    }
+
+    #[test]
+    fn spans_partition_the_horizon() {
+        let events = [
+            transition(100, 0, PowerStateId::Standby, PowerStateId::SelfRefresh),
+            transition(400, 0, PowerStateId::SelfRefresh, PowerStateId::Standby),
+            transition(600, 0, PowerStateId::Standby, PowerStateId::Mpsm),
+        ];
+        let t = PowerTimeline::from_events(events.iter(), 1000);
+        let res = t.residency_ps(0, 0);
+        assert_eq!(res[PowerStateId::Standby.index()], 100 + 200);
+        assert_eq!(res[PowerStateId::SelfRefresh.index()], 300);
+        assert_eq!(res[PowerStateId::Mpsm.index()], 400);
+        assert_eq!(res.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn quiet_rank_is_all_standby() {
+        let mut t = PowerTimeline::new();
+        t.ensure_rank(1, 2);
+        t.finish(500);
+        assert_eq!(t.residency_ps(1, 2)[0], 500);
+        assert_eq!(t.spans(1, 2).len(), 1);
+    }
+
+    #[test]
+    fn late_transition_extends_the_horizon() {
+        // A transition completing *after* the report horizon (in-flight exit
+        // latency) must not shrink earlier spans, and contributes zero time
+        // in its new state — matching EnergyAccount::transition semantics.
+        let events = [transition(1200, 0, PowerStateId::Standby, PowerStateId::SelfRefresh)];
+        let t = PowerTimeline::from_events(events.iter(), 1000);
+        let res = t.residency_ps(0, 0);
+        assert_eq!(res[PowerStateId::Standby.index()], 1200);
+        assert_eq!(res[PowerStateId::SelfRefresh.index()], 0);
+    }
+
+    #[test]
+    fn finish_is_idempotent_at_the_same_horizon() {
+        let mut t = PowerTimeline::new();
+        t.ensure_rank(0, 0);
+        t.finish(100);
+        t.finish(100);
+        assert_eq!(t.residency_ps(0, 0)[0], 100);
+    }
+}

@@ -1,0 +1,185 @@
+//! Acceptance integration test for the telemetry subsystem: a schedule-
+//! class replay streamed into a ring sink must produce a **valid** Chrome
+//! trace whose per-rank power-state span durations reproduce the power
+//! report's integrated residency exactly — picosecond for picosecond —
+//! and a JSONL export that round-trips.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dtl_core::{AnalyticBackend, DtlConfig, DtlDevice, HostId, VmAllocation};
+use dtl_dram::{AccessKind, Picos, PowerReport};
+use dtl_telemetry::{
+    chrome_trace, jsonl, parse_jsonl, Event, MetricsRegistry, PowerStateId, PowerTimeline,
+    RingSink, Telemetry, TelemetrySink,
+};
+use serde::Value;
+
+const CHANNELS: u32 = 2;
+const RANKS: u32 = 4;
+
+/// Drives a busy little device — VM churn, foreground traffic, rank
+/// power-down — with telemetry attached, and returns the drained event
+/// stream, the final power report, and the device for stats checks.
+fn traced_run(
+    telemetry: &Telemetry,
+    sink: &Arc<RingSink>,
+) -> (Vec<Event>, PowerReport, DtlDevice<AnalyticBackend>) {
+    let cfg = DtlConfig::tiny();
+    let mut dev = DtlDevice::with_analytic_geometry(cfg, CHANNELS, RANKS, 32);
+    dev.set_telemetry(telemetry.clone());
+    dev.register_host(HostId(0)).unwrap();
+
+    let mut now = Picos::from_us(1);
+    let dt = Picos::from_ns(300);
+    let vm_a = dev.alloc_vm(HostId(0), 2 * cfg.au_bytes, now).unwrap();
+    let vm_b = dev.alloc_vm(HostId(0), 2 * cfg.au_bytes, now).unwrap();
+    let touch = |dev: &mut DtlDevice<AnalyticBackend>, vm: &VmAllocation, i: u64, now: Picos| {
+        let hpa = vm.hpa_base((i % vm.aus.len() as u64) as usize, cfg.au_bytes);
+        let kind = if i.is_multiple_of(3) { AccessKind::Write } else { AccessKind::Read };
+        dev.access(HostId(0), hpa, kind, now).unwrap();
+    };
+    let mut departed = None;
+    for round in 0..20_000u64 {
+        touch(&mut dev, &vm_a, round, now);
+        if departed.is_none() {
+            touch(&mut dev, &vm_b, round, now);
+        }
+        now += dt;
+        if round % 64 == 0 {
+            dev.tick(now).unwrap();
+        }
+        if round == 8_000 {
+            // Half the tenancy leaves; power-down repacks and parks ranks.
+            dev.dealloc_vm(vm_b.handle, now).unwrap();
+            departed = Some(round);
+        }
+    }
+    // Let drains finish and idle timers expire, then flush the backend's
+    // power-event queue (events drain at the *next* tick after they occur).
+    for _ in 0..200 {
+        now += Picos::from_ms(1);
+        dev.tick(now).unwrap();
+    }
+    dev.tick(now).unwrap();
+    dev.check_invariants().unwrap();
+    let report = dev.power_report(now);
+    let events = sink.drain();
+    assert_eq!(sink.dropped(), 0, "ring sink must not overflow in this run");
+    (events, report, dev)
+}
+
+fn state_index(label: &str) -> usize {
+    PowerStateId::ALL
+        .iter()
+        .find(|s| s.label() == label)
+        .unwrap_or_else(|| panic!("unknown power-state label {label:?}"))
+        .index()
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    serde::field(v.as_map().expect("object"), key)
+        .unwrap_or_else(|_| panic!("missing field {key:?}"))
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::Uint(u) => *u as u64,
+        other => panic!("expected unsigned integer, got {other:?}"),
+    }
+}
+
+#[test]
+fn chrome_trace_spans_reproduce_power_report_residency() {
+    let sink = Arc::new(RingSink::with_capacity(1 << 20));
+    let registry = Arc::new(MetricsRegistry::new());
+    let telemetry =
+        Telemetry::new(sink.clone() as Arc<dyn TelemetrySink>).with_metrics(registry.clone());
+    let (events, report, dev) = traced_run(&telemetry, &sink);
+
+    assert!(!events.is_empty(), "the run must emit events");
+    assert!(dev.powerdown_stats().groups_powered_down > 0, "power-down must trigger");
+
+    // Timeline reconstruction matches the backend's integrated residency
+    // counters exactly, for every rank including quiet ones.
+    let end_ps = report.at.as_ps();
+    let mut timeline = PowerTimeline::new();
+    for c in 0..CHANNELS {
+        for r in 0..RANKS {
+            timeline.ensure_rank(c, r);
+        }
+    }
+    for ev in &events {
+        timeline.push_event(ev);
+    }
+    timeline.finish(end_ps);
+    for c in 0..CHANNELS {
+        for r in 0..RANKS {
+            let expect: Vec<u64> =
+                report.residency[c as usize][r as usize].iter().map(|p| p.as_ps()).collect();
+            assert_eq!(
+                timeline.residency_ps(c, r).to_vec(),
+                expect,
+                "residency mismatch on ch{c}/rk{r}"
+            );
+        }
+    }
+    // Something actually left Standby, or the comparison is vacuous.
+    let parked: u64 = (0..CHANNELS)
+        .flat_map(|c| (0..RANKS).map(move |r| (c, r)))
+        .map(|(c, r)| timeline.residency_ps(c, r)[1..].iter().sum::<u64>())
+        .sum();
+    assert!(parked > 0, "at least one rank must spend time outside Standby");
+
+    // The Chrome trace is valid JSON; its per-rank `ph:"X"` span sums carry
+    // the same exact picosecond residency in their args.
+    let trace = chrome_trace(&timeline, &events);
+    let root: Value = serde_json::from_str(&trace).expect("trace must be valid JSON");
+    let seq = field(&root, "traceEvents").as_seq().expect("traceEvents array").to_vec();
+    let mut sums: BTreeMap<(u64, u64), [u64; 5]> = BTreeMap::new();
+    let mut named_tracks: Vec<(u64, u64)> = Vec::new();
+    for item in &seq {
+        let ph = field(item, "ph").as_str().expect("ph string");
+        let pid = as_u64(field(item, "pid"));
+        let tid = as_u64(field(item, "tid"));
+        match ph {
+            "X" => {
+                let args = field(item, "args");
+                let idx = state_index(field(args, "state").as_str().expect("state label"));
+                sums.entry((pid, tid)).or_insert([0; 5])[idx] += as_u64(field(args, "dur_ps"));
+            }
+            "M" if field(item, "name").as_str() == Some("thread_name") => {
+                named_tracks.push((pid, tid));
+            }
+            _ => {}
+        }
+    }
+    for c in 0..CHANNELS {
+        for r in 0..RANKS {
+            assert!(
+                named_tracks.contains(&(u64::from(c), u64::from(r))),
+                "ch{c}/rk{r} must have a named track"
+            );
+            let got = sums.get(&(u64::from(c), u64::from(r))).copied().unwrap_or([0; 5]);
+            let expect: Vec<u64> =
+                report.residency[c as usize][r as usize].iter().map(|p| p.as_ps()).collect();
+            assert_eq!(got.to_vec(), expect, "trace span sums mismatch on ch{c}/rk{r}");
+            assert_eq!(got.iter().sum::<u64>(), end_ps, "spans must partition the horizon");
+        }
+    }
+
+    // The JSONL export round-trips losslessly.
+    let back = parse_jsonl(&jsonl(&events)).expect("JSONL must parse back");
+    assert_eq!(back, events);
+
+    // The metrics registry carries the device statistics after export.
+    dev.export_metrics(&registry);
+    assert_eq!(registry.counter("device.accesses").get(), dev.stats().accesses);
+    assert!(dev.stats().accesses > 0);
+    let text = registry.render_text();
+    assert!(text.contains("device.accesses"), "metrics dump must list device counters");
+    assert!(
+        text.contains("dtl.translation.latency_ps"),
+        "translation latency histogram must be populated"
+    );
+}
