@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== dtl-check differential harness =="
+cargo test -q -p dtl-check
+
+echo "== diff_fuzz smoke (time-boxed) =="
+cargo build --release -q -p dtl-bench --bin diff_fuzz
+timeout 30 ./target/release/diff_fuzz --smoke
+
 echo "== cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -1,8 +1,8 @@
 //! Renderers: experiment result types → aligned text tables.
 
 use dtl_sim::experiments::{
-    fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15, sec6_1, tab04,
-    tab05, tab06,
+    diff_fuzz, fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
+    sec6_1, tab04, tab05, tab06,
 };
 use dtl_sim::{f1, f2, f3, pct, Table};
 
@@ -343,6 +343,35 @@ pub fn fault_campaign(r: &fault_campaign::FaultCampaignResult) -> Table {
             s.migration_rollbacks.to_string(),
             s.link.crc_errors.to_string(),
             s.link.retries.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Differential fuzz: one row per seed, verdicts from the lockstep
+/// cross-check.
+pub fn diff_fuzz(r: &diff_fuzz::DiffFuzzResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Differential fuzz - {} seeds ({} faulted), {} lockstep ops, {} checks, {} violations",
+            r.seeds, r.faulted_seeds, r.total_ops, r.total_checks, r.violations
+        ),
+        &["seed", "faulted", "ops", "accesses", "commands", "checks", "deep", "verdict"],
+    );
+    for s in &r.batch.seeds {
+        let verdict = match &s.counterexample {
+            None => "clean".to_string(),
+            Some(ce) => format!("VIOLATION ({} ops shrunk)", ce.ops.len()),
+        };
+        t.row(&[
+            s.seed.to_string(),
+            s.faulted.to_string(),
+            s.executed.to_string(),
+            s.accesses.to_string(),
+            s.commands.to_string(),
+            s.full_checks.to_string(),
+            s.deep_checks.to_string(),
+            verdict,
         ]);
     }
     t

@@ -1,0 +1,401 @@
+//! The lockstep harness: executes one [`FuzzOp`] stream against a real
+//! [`DtlDevice`] and the [`Oracle`] simultaneously, cross-checking after
+//! every step and deep-checking at configurable intervals.
+
+use dtl_core::{
+    AnalyticBackend, AuId, DtlConfig, DtlDevice, DtlError, HostId, HostPhysAddr, Hsn,
+    SegmentGeometry, VmHandle,
+};
+use dtl_dram::{AccessKind, Picos, PowerParams};
+use serde::{Deserialize, Serialize};
+
+use crate::invariants::{check_access_rank, check_device, CheckStats};
+use crate::ops::{FuzzOp, OpStreamConfig};
+use crate::oracle::{Oracle, Violation};
+
+/// Device + stream parameters for one lockstep run. Fully determines the
+/// run: equal configs replay identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckSetup {
+    /// Stream generator parameters (seed, op mix, fault plan).
+    pub stream: OpStreamConfig,
+    /// Segments per rank of the fuzzed device.
+    pub segs_per_rank: u64,
+    /// Run the full invariant suite every N executed ops (0: only at
+    /// [`FuzzOp::Check`] points and at the end).
+    pub check_interval: usize,
+}
+
+impl CheckSetup {
+    /// The default fuzzing target: `DtlConfig::tiny()` over a 2-channel ×
+    /// 4-rank × 64-segment analytic device, deep-checked every 16 ops.
+    pub fn tiny(seed: u64, ops: usize) -> Self {
+        CheckSetup {
+            stream: OpStreamConfig::tiny(seed, ops),
+            segs_per_rank: 64,
+            check_interval: 16,
+        }
+    }
+
+    /// [`CheckSetup::tiny`] with a deterministic fault plan composed in.
+    pub fn tiny_faulted(seed: u64, ops: usize) -> Self {
+        CheckSetup {
+            stream: OpStreamConfig::tiny_faulted(seed, ops),
+            segs_per_rank: 64,
+            check_interval: 16,
+        }
+    }
+
+    /// Builds the device under test.
+    pub fn build_device(&self) -> DtlDevice<AnalyticBackend> {
+        let cfg = DtlConfig::tiny();
+        let geo = SegmentGeometry {
+            channels: self.stream.channels,
+            ranks_per_channel: self.stream.ranks_per_channel,
+            segs_per_rank: self.segs_per_rank,
+        };
+        let backend = AnalyticBackend::new(geo, cfg.segment_bytes, PowerParams::ddr4_128gb_dimm());
+        let mut dev = DtlDevice::new(cfg, backend);
+        dev.set_command_tap(true);
+        dev
+    }
+}
+
+/// Counters from one completed (or failed) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Ops executed (including skipped no-ops).
+    pub executed: u64,
+    /// Ops skipped because their target set was empty (no live VM yet).
+    pub skipped: u64,
+    /// Accesses issued.
+    pub accesses: u64,
+    /// Device commands replayed into the oracle.
+    pub commands: u64,
+    /// Full invariant-suite runs.
+    pub full_checks: u64,
+    /// Quiesced deep checks.
+    pub deep_checks: u64,
+    /// Mapped segments at the end of the run.
+    pub final_mapped: u64,
+}
+
+/// A cross-check failure at a specific stream position.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// Index of the op that exposed the violation.
+    pub op_index: usize,
+    /// The violation.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op {}: {}", self.op_index, self.violation)
+    }
+}
+
+/// One VM visible to the fuzzer.
+#[derive(Debug)]
+struct LiveVm {
+    handle: VmHandle,
+    aus: Vec<AuId>,
+}
+
+/// Drives device and oracle in lockstep. See the module docs.
+#[derive(Debug)]
+pub struct LockstepHarness {
+    dev: DtlDevice<AnalyticBackend>,
+    oracle: Oracle,
+    setup: CheckSetup,
+    vms: Vec<LiveVm>,
+    now: Picos,
+    write_version: u64,
+    stats: RunStats,
+}
+
+impl LockstepHarness {
+    /// Builds the harness: device (tap enabled), oracle, registered
+    /// hosts.
+    pub fn new(setup: CheckSetup) -> Self {
+        let mut dev = setup.build_device();
+        for h in 0..setup.stream.hosts {
+            dev.register_host(HostId(h)).expect("host registration under max_hosts");
+        }
+        let oracle = Oracle::new(dev.geometry());
+        LockstepHarness {
+            dev,
+            oracle,
+            setup,
+            vms: Vec::new(),
+            now: Picos::ZERO,
+            write_version: 0,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The device under test (diagnostics).
+    pub fn device(&self) -> &DtlDevice<AnalyticBackend> {
+        &self.dev
+    }
+
+    /// The reference model (diagnostics).
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Executes the whole stream; stops at the first violation.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CheckFailure`].
+    pub fn run_ops(&mut self, ops: &[FuzzOp]) -> Result<RunStats, CheckFailure> {
+        for (i, op) in ops.iter().enumerate() {
+            self.step(*op).map_err(|violation| CheckFailure { op_index: i, violation })?;
+            if self.setup.check_interval > 0 && (i + 1) % self.setup.check_interval == 0 {
+                self.full_check(false)
+                    .map_err(|violation| CheckFailure { op_index: i, violation })?;
+            }
+        }
+        self.deep_check().map_err(|violation| CheckFailure { op_index: ops.len(), violation })?;
+        self.stats.final_mapped = self.oracle.mapped_segments();
+        Ok(self.stats)
+    }
+
+    /// Executes one op and replays its committed commands into the
+    /// oracle.
+    fn step(&mut self, op: FuzzOp) -> Result<(), Violation> {
+        self.stats.executed += 1;
+        self.now += self.setup.stream.op_time;
+        let au_bytes = self.dev.config().au_bytes;
+        match op {
+            FuzzOp::Alloc { host, aus } => {
+                let host = HostId(host % self.setup.stream.hosts);
+                let bytes = u64::from(aus.max(1)) * au_bytes;
+                match self.dev.alloc_vm(host, bytes, self.now) {
+                    Ok(vm) => self.vms.push(LiveVm { handle: vm.handle, aus: vm.aus }),
+                    Err(DtlError::OutOfCapacity { .. }) | Err(DtlError::QuotaExceeded { .. }) => {
+                        self.stats.skipped += 1;
+                    }
+                    Err(e) => return Err(device_error(e)),
+                }
+            }
+            FuzzOp::Dealloc { vm } => match self.pick_vm(vm) {
+                Some(idx) => {
+                    let live = self.vms.remove(idx);
+                    self.dev.dealloc_vm(live.handle, self.now).map_err(device_error)?;
+                }
+                None => self.stats.skipped += 1,
+            },
+            FuzzOp::Grow { vm, aus } => match self.pick_vm(vm) {
+                Some(idx) => {
+                    let handle = self.vms[idx].handle;
+                    let bytes = u64::from(aus.max(1)) * au_bytes;
+                    match self.dev.grow_vm(handle, bytes, self.now) {
+                        Ok(new_aus) => self.vms[idx].aus.extend(new_aus),
+                        Err(DtlError::OutOfCapacity { .. })
+                        | Err(DtlError::QuotaExceeded { .. }) => self.stats.skipped += 1,
+                        Err(e) => return Err(device_error(e)),
+                    }
+                }
+                None => self.stats.skipped += 1,
+            },
+            FuzzOp::Shrink { vm, aus } => match self.pick_vm(vm) {
+                Some(idx) => {
+                    let n = u32::from(aus.max(1));
+                    if (n as usize) < self.vms[idx].aus.len() {
+                        let handle = self.vms[idx].handle;
+                        self.dev.shrink_vm(handle, n, self.now).map_err(device_error)?;
+                        let keep = self.vms[idx].aus.len() - n as usize;
+                        self.vms[idx].aus.truncate(keep);
+                    } else {
+                        self.stats.skipped += 1;
+                    }
+                }
+                None => self.stats.skipped += 1,
+            },
+            FuzzOp::Access { vm, addr, write } => match self.pick_vm(vm) {
+                Some(idx) => self.do_access(idx, addr, write)?,
+                None => self.stats.skipped += 1,
+            },
+            FuzzOp::Tick { us } => {
+                self.now += Picos::from_us(u64::from(us));
+                self.dev.tick(self.now).map_err(device_error)?;
+            }
+            FuzzOp::RetireRank { channel, rank } => {
+                let c = u32::from(channel) % self.dev.geometry().channels;
+                let r = u32::from(rank) % self.dev.geometry().ranks_per_channel;
+                match self.dev.retire_rank(c, r, self.now) {
+                    // Refusals (last active rank, no spare capacity, already
+                    // retiring) are legitimate outcomes, not bugs.
+                    Ok(())
+                    | Err(DtlError::OutOfCapacity { .. })
+                    | Err(DtlError::Internal { .. }) => {}
+                    Err(e) => return Err(device_error(e)),
+                }
+            }
+            FuzzOp::Correctable { channel, rank } => {
+                let (c, r) = self.pick_rank(channel, rank);
+                self.dev.inject_correctable_error(c, r, self.now).map_err(device_error)?;
+            }
+            FuzzOp::Uncorrectable { channel, rank } => {
+                let (c, r) = self.pick_rank(channel, rank);
+                self.dev.inject_uncorrectable_error(c, r, self.now).map_err(device_error)?;
+            }
+            FuzzOp::Interrupt { channel } => {
+                let c = u32::from(channel) % self.dev.geometry().channels;
+                self.dev.inject_migration_interrupt(c, self.now).map_err(device_error)?;
+            }
+            FuzzOp::Check => {
+                self.drain_into_oracle()?;
+                return self.deep_check();
+            }
+            FuzzOp::CorruptMapping => {
+                self.dev.corrupt_mapping_for_test();
+            }
+        }
+        self.drain_into_oracle()
+    }
+
+    fn do_access(&mut self, idx: usize, addr: u64, write: bool) -> Result<(), Violation> {
+        let au_bytes = self.dev.config().au_bytes;
+        let segment_bytes = self.dev.config().segment_bytes;
+        let vm = &self.vms[idx];
+        let span = vm.aus.len() as u64 * au_bytes;
+        let addr = (addr % span) & !63;
+        let au = vm.aus[(addr / au_bytes) as usize];
+        let offset = addr % au_bytes;
+        let hpa = HostPhysAddr::new(u64::from(au.0) * au_bytes + offset);
+        let host = vm.handle.host;
+        let hsn = Hsn { host, au, au_offset: (offset / segment_bytes) as u32 };
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let out = self.dev.access(host, hpa, kind, self.now).map_err(device_error)?;
+        self.stats.accesses += 1;
+        // Commands the access flushed (power wakes) must land in the
+        // ledger before the power-safety spot check.
+        self.drain_into_oracle()?;
+        if write {
+            self.write_version += 1;
+            let value = 0x5eed_0000_0000_0000 | self.write_version;
+            self.oracle.note_write(hsn, out.dsn, value, self.write_version);
+        } else {
+            self.oracle.note_read(hsn, out.dsn)?;
+        }
+        check_access_rank(&self.oracle, out.dsn, self.dev.geometry())
+    }
+
+    /// Replays every buffered device command into the oracle.
+    fn drain_into_oracle(&mut self) -> Result<(), Violation> {
+        for cmd in self.dev.drain_commands() {
+            self.stats.commands += 1;
+            self.oracle.apply(&cmd)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the full suite without quiescing.
+    fn full_check(&mut self, quiesced: bool) -> Result<(), Violation> {
+        self.drain_into_oracle()?;
+        let _: CheckStats = check_device(&self.dev, &self.oracle, quiesced)?;
+        self.stats.full_checks += 1;
+        Ok(())
+    }
+
+    /// Quiesces in-flight migrations (bounded), re-syncs racy shadows,
+    /// then runs the suite with the exact conservation laws on.
+    fn deep_check(&mut self) -> Result<(), Violation> {
+        let mut tries = 0;
+        while self.dev.migrations_pending() > 0 && tries < 256 {
+            self.now += Picos::from_us(100);
+            self.dev.tick(self.now).map_err(device_error)?;
+            tries += 1;
+        }
+        self.drain_into_oracle()?;
+        let quiesced = self.dev.migrations_pending() == 0;
+        if quiesced {
+            self.oracle.resync_dirty();
+        }
+        let _: CheckStats = check_device(&self.dev, &self.oracle, quiesced)?;
+        self.stats.full_checks += 1;
+        self.stats.deep_checks += 1;
+        Ok(())
+    }
+
+    fn pick_vm(&self, raw: u8) -> Option<usize> {
+        if self.vms.is_empty() {
+            None
+        } else {
+            Some(usize::from(raw) % self.vms.len())
+        }
+    }
+
+    fn pick_rank(&self, channel: u8, rank: u8) -> (u32, u32) {
+        let geo = self.dev.geometry();
+        (u32::from(channel) % geo.channels, u32::from(rank) % geo.ranks_per_channel)
+    }
+}
+
+/// An unexpected device error is itself a violation: the op streams only
+/// issue requests the device contract says are serviceable.
+fn device_error(e: DtlError) -> Violation {
+    Violation::DeviceInternal { detail: e.to_string() }
+}
+
+/// Convenience: build the harness and run `ops` from scratch.
+///
+/// # Errors
+///
+/// The first [`CheckFailure`].
+pub fn replay(setup: &CheckSetup, ops: &[FuzzOp]) -> Result<RunStats, CheckFailure> {
+    LockstepHarness::new(*setup).run_ops(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::generate;
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let setup = CheckSetup::tiny(11, 400);
+        let ops = generate(&setup.stream);
+        let stats = replay(&setup, &ops).expect("clean stream must verify");
+        assert!(stats.accesses > 0);
+        assert!(stats.commands > 0);
+        assert!(stats.full_checks > 0);
+    }
+
+    #[test]
+    fn faulted_run_has_no_violations() {
+        let setup = CheckSetup::tiny_faulted(12, 400);
+        let ops = generate(&setup.stream);
+        let stats = replay(&setup, &ops).expect("faulted stream must verify");
+        assert!(stats.deep_checks > 0);
+    }
+
+    #[test]
+    fn corrupted_mapping_is_caught() {
+        let setup = CheckSetup {
+            stream: crate::ops::OpStreamConfig { mutate: true, ..CheckSetup::tiny(13, 300).stream },
+            ..CheckSetup::tiny(13, 300)
+        };
+        let ops = generate(&setup.stream);
+        let failure = replay(&setup, &ops).expect_err("the wrench must be caught");
+        assert!(
+            matches!(
+                failure.violation,
+                Violation::ProbeMismatch { .. }
+                    | Violation::ForwardMismatch { .. }
+                    | Violation::DeviceInternal { .. }
+                    | Violation::StreamIncoherent { .. }
+            ),
+            "unexpected violation class: {}",
+            failure.violation
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! The external invariant suite: cross-checks a [`DtlDevice`] against the
+//! [`Oracle`] after any step.
+//!
+//! Everything here is recomputed from the device's *outputs* (reverse
+//! table dump, snapshot, probes) against the oracle's independent flat
+//! model — deliberately not reusing the device's internal
+//! `check_invariants` arithmetic (which still runs as a final
+//! belt-and-braces step, so internal assertion failures also surface as
+//! violations rather than panics).
+
+use dtl_core::{Dsn, DtlDevice, HostPhysAddr, Hsn, MemoryBackend};
+use dtl_dram::{Picos, PowerState};
+
+use crate::oracle::{Oracle, Violation};
+
+/// What a full check covered, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Mapped entries cross-checked.
+    pub entries: u64,
+    /// Forward-walk probes issued.
+    pub probes: u64,
+    /// Ranks audited.
+    pub ranks: u64,
+}
+
+/// Runs the full invariant suite. `quiesced` additionally enforces the
+/// exact conservation laws that only hold with no migrations in flight
+/// (allocated == mapped per rank, shadowed content == mapped set).
+///
+/// # Errors
+///
+/// The first [`Violation`] found.
+pub fn check_device<B: MemoryBackend>(
+    dev: &DtlDevice<B>,
+    oracle: &Oracle,
+    quiesced: bool,
+) -> Result<CheckStats, Violation> {
+    let mut stats = CheckStats::default();
+    let geo = dev.geometry();
+    let cfg = dev.config();
+
+    // 1. Translation bijectivity: the device's reverse table and the
+    //    oracle's flat map must be the same relation, and the device's
+    //    forward walk must agree entry by entry (no two HPAs can share a
+    //    DPA: both sides are keyed maps, so agreement + equal cardinality
+    //    is bijectivity).
+    let entries = dev.mapped_entries();
+    if entries.len() as u64 != oracle.mapped_segments() {
+        return Err(Violation::CountMismatch {
+            device: entries.len() as u64,
+            oracle: oracle.mapped_segments(),
+        });
+    }
+    for (dsn, hsn) in &entries {
+        if oracle.translate(*hsn) != Some(*dsn) {
+            return Err(Violation::ForwardMismatch {
+                hsn: *hsn,
+                device: Some(*dsn),
+                oracle: oracle.translate(*hsn),
+            });
+        }
+        stats.entries += 1;
+    }
+    for (hsn, dsn) in oracle.iter_forward() {
+        let hpa = hpa_of(hsn, cfg.au_bytes, cfg.segment_bytes);
+        let probe = dev.probe_translation(hsn.host, hpa);
+        if probe != Some(dsn) {
+            return Err(Violation::ProbeMismatch { hsn, probe, oracle: dsn });
+        }
+        stats.probes += 1;
+    }
+
+    // 2. Residency conservation, power ledger, and power safety, per
+    //    rank from one snapshot.
+    let snap = dev.snapshot();
+    let mapped_per_rank = oracle.mapped_per_rank();
+    let now = dev.backend().now();
+    let mut allocated_total = 0u64;
+    for rank in &snap.ranks {
+        let idx = (rank.channel * geo.ranks_per_channel + rank.rank) as usize;
+        let mapped = mapped_per_rank[idx];
+        allocated_total += rank.allocated_segments;
+        if rank.allocated_segments + rank.free_segments != geo.segs_per_rank {
+            return Err(Violation::ResidencyMismatch {
+                channel: rank.channel,
+                rank: rank.rank,
+                detail: format!(
+                    "allocated {} + free {} != capacity {}",
+                    rank.allocated_segments, rank.free_segments, geo.segs_per_rank
+                ),
+            });
+        }
+        if mapped > rank.allocated_segments {
+            return Err(Violation::ResidencyMismatch {
+                channel: rank.channel,
+                rank: rank.rank,
+                detail: format!(
+                    "{mapped} live segments exceed {} allocated slots",
+                    rank.allocated_segments
+                ),
+            });
+        }
+        if quiesced && mapped != rank.allocated_segments {
+            return Err(Violation::ResidencyMismatch {
+                channel: rank.channel,
+                rank: rank.rank,
+                detail: format!(
+                    "quiesced, yet {} allocated vs {mapped} live segments",
+                    rank.allocated_segments
+                ),
+            });
+        }
+        let ledger = oracle.power_state(rank.channel, rank.rank);
+        if ledger != rank.power {
+            return Err(Violation::PowerLedgerMismatch {
+                channel: rank.channel,
+                rank: rank.rank,
+                ledger,
+                device: rank.power,
+            });
+        }
+        // The backend future-dates transition completions (done = now +
+        // exit latency), so a rank's residency clock may run ahead of
+        // backend now by at most one in-flight transition latency; it
+        // must never lag.
+        let slack = Picos::from_us(1);
+        let residency_sum = rank.residency.iter().fold(Picos::ZERO, |acc, t| acc + *t);
+        if residency_sum < now || residency_sum > now + slack {
+            return Err(Violation::ResidencyClock {
+                channel: rank.channel,
+                rank: rank.rank,
+                sum: residency_sum,
+                now,
+            });
+        }
+        stats.ranks += 1;
+    }
+    let reserved = dev.pending_copy_reservations();
+    if allocated_total != oracle.mapped_segments() + reserved {
+        return Err(Violation::ReservationImbalance {
+            allocated: allocated_total,
+            mapped: oracle.mapped_segments(),
+            reserved,
+        });
+    }
+
+    // 3. Power safety: no live segment may sit in an MPSM rank (its data
+    //    would be gone). Self-refresh holds data, so cold live segments
+    //    are allowed there.
+    for (dsn, hsn) in &entries {
+        let loc = geo.location(*dsn);
+        if oracle.power_state(loc.channel, loc.rank) == PowerState::Mpsm {
+            return Err(Violation::MappedInMpsm {
+                dsn: *dsn,
+                hsn: *hsn,
+                channel: loc.channel,
+                rank: loc.rank,
+            });
+        }
+    }
+
+    // 4. Quiesced-only content conservation.
+    if quiesced {
+        oracle.check_content_conservation()?;
+    }
+
+    // 5. The device's own internal checker (a broken internal invariant
+    //    is a finding, not a harness crash).
+    dev.check_invariants().map_err(|e| Violation::DeviceInternal { detail: e.to_string() })?;
+
+    Ok(stats)
+}
+
+/// Reconstructs the HPA of a host segment's first byte.
+pub(crate) fn hpa_of(hsn: Hsn, au_bytes: u64, segment_bytes: u64) -> HostPhysAddr {
+    HostPhysAddr::new(u64::from(hsn.au.0) * au_bytes + u64::from(hsn.au_offset) * segment_bytes)
+}
+
+/// Power-safety spot check after one access: the serving rank must have
+/// come out of any sleep state by the time the access retired (the wake
+/// transition must already be in the applied stream).
+pub fn check_access_rank(
+    oracle: &Oracle,
+    dsn: Dsn,
+    geo: dtl_core::SegmentGeometry,
+) -> Result<(), Violation> {
+    let loc = geo.location(dsn);
+    let state = oracle.power_state(loc.channel, loc.rank);
+    if state == PowerState::Mpsm || state == PowerState::SelfRefresh {
+        return Err(Violation::AccessToSleepingRank {
+            dsn,
+            channel: loc.channel,
+            rank: loc.rank,
+            state,
+        });
+    }
+    Ok(())
+}

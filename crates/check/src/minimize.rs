@@ -1,0 +1,148 @@
+//! Failing-case minimization: delta-debugging over op streams.
+//!
+//! Because ops reference VMs by modulo index (see [`crate::ops`]), any
+//! subsequence of a valid stream is itself a valid stream, so ddmin can
+//! delete chunks freely and re-run the harness from scratch on each
+//! candidate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{replay, CheckFailure, CheckSetup};
+use crate::ops::FuzzOp;
+
+/// A minimized, replayable counterexample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// Setup (including the generator seed) that produced the original
+    /// failure.
+    pub setup: CheckSetup,
+    /// Index of the failing op within `ops`.
+    pub op_index: usize,
+    /// Human-readable violation description.
+    pub violation: String,
+    /// The shrunk op stream. Replaying it against a fresh harness built
+    /// from `setup` reproduces the violation.
+    pub ops: Vec<FuzzOp>,
+    /// Stream length before shrinking.
+    pub original_len: usize,
+    /// Harness replays spent shrinking.
+    pub replays: usize,
+}
+
+impl Counterexample {
+    /// Serializes the counterexample for storage / replay.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("counterexample serializes")
+    }
+
+    /// Parses a stored counterexample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the JSON parse error.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Re-runs the shrunk stream and returns the reproduced failure, if
+    /// it still fails (it should).
+    pub fn reproduce(&self) -> Option<CheckFailure> {
+        replay(&self.setup, &self.ops).err()
+    }
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "counterexample: seed {} shrunk {} -> {} ops ({} replays)",
+            self.setup.stream.seed,
+            self.original_len,
+            self.ops.len(),
+            self.replays
+        )?;
+        writeln!(f, "  violation at op {}: {}", self.op_index, self.violation)?;
+        write!(f, "  replay: diff_fuzz --replay '{}'", self.to_json())
+    }
+}
+
+/// Does `ops` still fail (with any violation)?
+fn still_fails(setup: &CheckSetup, ops: &[FuzzOp], replays: &mut usize) -> Option<CheckFailure> {
+    *replays += 1;
+    replay(setup, ops).err()
+}
+
+/// Shrinks a failing stream with ddmin-style chunk removal: repeatedly
+/// try deleting chunks (halving the chunk size down to 1) and keep any
+/// deletion that still fails. Accepts *any* violation in candidates, not
+/// just the original one — a shrunk stream exposing a different bug is
+/// still a bug.
+pub fn minimize(setup: &CheckSetup, ops: &[FuzzOp], failure: &CheckFailure) -> Counterexample {
+    let original_len = ops.len();
+    let mut current: Vec<FuzzOp> = ops.to_vec();
+    let mut best = failure.clone();
+    let mut replays = 0usize;
+
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut shrunk_this_round = false;
+        let mut start = 0;
+        while start < current.len() {
+            if current.len() <= 1 {
+                break;
+            }
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            if let Some(f) = still_fails(setup, &candidate, &mut replays) {
+                current = candidate;
+                best = f;
+                shrunk_this_round = true;
+                // Retry the same window: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !shrunk_this_round {
+            break;
+        }
+        chunk = if chunk > 1 { chunk / 2 } else { 1 };
+    }
+
+    Counterexample {
+        setup: *setup,
+        op_index: best.op_index,
+        violation: best.violation.to_string(),
+        ops: current,
+        original_len,
+        replays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{generate, OpStreamConfig};
+
+    #[test]
+    fn counterexample_json_roundtrip() {
+        let setup = CheckSetup::tiny(5, 10);
+        let ce = Counterexample {
+            setup,
+            op_index: 3,
+            violation: "boom".into(),
+            ops: generate(&OpStreamConfig::tiny(5, 10)),
+            original_len: 10,
+            replays: 7,
+        };
+        let back = Counterexample::from_json(&ce.to_json()).expect("parses");
+        assert_eq!(back.ops, ce.ops);
+        assert_eq!(back.op_index, 3);
+        assert_eq!(back.setup, setup);
+    }
+}

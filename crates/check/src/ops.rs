@@ -1,0 +1,251 @@
+//! The differential fuzzer's op vocabulary and deterministic stream
+//! generator.
+//!
+//! Ops reference VMs by *index into the currently-live set, modulo its
+//! size* rather than by handle, so a shrunk stream (ops deleted anywhere)
+//! still resolves every reference — the property delta-debugging needs to
+//! shrink aggressively without re-validating.
+//!
+//! Access addresses and read/write mix come from a [`dtl_trace::TraceGen`]
+//! workload generator; fault ops are composed from a deterministic
+//! [`dtl_fault::FaultPlanConfig`] plan, interleaved by event time.
+
+use dtl_dram::Picos;
+use dtl_fault::{FaultKind, FaultPlanConfig};
+use dtl_trace::{TraceGen, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One fuzzer op. `vm` fields are indices into the live-VM list modulo
+/// its length at execution time; rank/channel fields are taken modulo the
+/// geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FuzzOp {
+    /// Allocate a VM of `aus` allocation units for `host`.
+    Alloc {
+        /// Host index (modulo configured hosts).
+        host: u16,
+        /// Size in AUs (at least 1).
+        aus: u8,
+    },
+    /// Deallocate a live VM.
+    Dealloc {
+        /// Live-VM index.
+        vm: u8,
+    },
+    /// Grow a live VM.
+    Grow {
+        /// Live-VM index.
+        vm: u8,
+        /// Additional AUs (at least 1).
+        aus: u8,
+    },
+    /// Shrink a live VM by releasing its top AUs.
+    Shrink {
+        /// Live-VM index.
+        vm: u8,
+        /// AUs to release.
+        aus: u8,
+    },
+    /// One 64 B access into a live VM's address space.
+    Access {
+        /// Live-VM index.
+        vm: u8,
+        /// Byte address within the VM's space (modulo its size).
+        addr: u64,
+        /// Write vs read.
+        write: bool,
+    },
+    /// Advance device time.
+    Tick {
+        /// Microseconds to advance.
+        us: u32,
+    },
+    /// Permanently retire a rank (the device may legitimately refuse).
+    RetireRank {
+        /// Channel (modulo geometry).
+        channel: u8,
+        /// Rank (modulo geometry).
+        rank: u8,
+    },
+    /// Inject a correctable ECC error.
+    Correctable {
+        /// Channel (modulo geometry).
+        channel: u8,
+        /// Rank (modulo geometry).
+        rank: u8,
+    },
+    /// Inject an uncorrectable ECC error.
+    Uncorrectable {
+        /// Channel (modulo geometry).
+        channel: u8,
+        /// Rank (modulo geometry).
+        rank: u8,
+    },
+    /// Interrupt the channel's in-flight migration.
+    Interrupt {
+        /// Channel (modulo geometry).
+        channel: u8,
+    },
+    /// Quiesce migrations and run the deep (conservation) checks.
+    Check,
+    /// Mutation hook: deliberately corrupt one forward-mapping entry in
+    /// the device. Only generated when explicitly requested; the checker
+    /// must catch the divergence.
+    CorruptMapping,
+}
+
+/// Deterministic generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpStreamConfig {
+    /// RNG seed; equal seeds produce equal streams.
+    pub seed: u64,
+    /// Ops to generate (fault ops may add a few more).
+    pub ops: usize,
+    /// Hosts to spread allocations over.
+    pub hosts: u16,
+    /// Nominal time per op, for positioning fault-plan events.
+    pub op_time: Picos,
+    /// Compose a deterministic `dtl-fault` plan into the stream.
+    pub with_faults: bool,
+    /// Channels (for fault-plan generation).
+    pub channels: u32,
+    /// Ranks per channel (for fault-plan generation).
+    pub ranks_per_channel: u32,
+    /// Insert a [`FuzzOp::CorruptMapping`] two-thirds through.
+    pub mutate: bool,
+}
+
+impl OpStreamConfig {
+    /// A small default stream: 2×4 geometry, 2 hosts, 50 µs per op.
+    pub fn tiny(seed: u64, ops: usize) -> Self {
+        OpStreamConfig {
+            seed,
+            ops,
+            hosts: 2,
+            op_time: Picos::from_us(50),
+            with_faults: false,
+            channels: 2,
+            ranks_per_channel: 4,
+            mutate: false,
+        }
+    }
+
+    /// Like [`OpStreamConfig::tiny`] with a fault plan composed in.
+    pub fn tiny_faulted(seed: u64, ops: usize) -> Self {
+        OpStreamConfig { with_faults: true, ..Self::tiny(seed, ops) }
+    }
+}
+
+/// Generates the op stream for `cfg`. Deterministic: equal configs yield
+/// equal streams.
+pub fn generate(cfg: &OpStreamConfig) -> Vec<FuzzOp> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xc0de_c0de_c0de_c0de);
+    // One workload generator supplies realistic address locality and
+    // read/write mix for the access ops.
+    let kinds = [
+        WorkloadKind::WebSearch,
+        WorkloadKind::DataCaching,
+        WorkloadKind::GraphAnalytics,
+        WorkloadKind::MediaStreaming,
+    ];
+    let spec = kinds[(cfg.seed % kinds.len() as u64) as usize].spec().scaled(256);
+    let mut trace = TraceGen::new(spec, cfg.seed);
+    let mut ops = Vec::with_capacity(cfg.ops + 16);
+    for _ in 0..cfg.ops {
+        let roll = rng.gen_range(0..100u32);
+        let op = match roll {
+            0..=11 => FuzzOp::Alloc { host: rng.gen_range(0..cfg.hosts), aus: rng.gen_range(1..4) },
+            12..=18 => FuzzOp::Dealloc { vm: rng.gen() },
+            19..=22 => FuzzOp::Grow { vm: rng.gen(), aus: rng.gen_range(1..3) },
+            23..=26 => FuzzOp::Shrink { vm: rng.gen(), aus: rng.gen_range(1..3) },
+            27..=79 => {
+                let rec = trace.next_record();
+                FuzzOp::Access { vm: rng.gen(), addr: rec.addr, write: rec.is_write }
+            }
+            80..=92 => FuzzOp::Tick { us: rng.gen_range(20..400) },
+            93..=94 => FuzzOp::RetireRank { channel: rng.gen(), rank: rng.gen() },
+            95..=97 => FuzzOp::Check,
+            _ => FuzzOp::Interrupt { channel: rng.gen() },
+        };
+        ops.push(op);
+    }
+    if cfg.with_faults {
+        compose_fault_plan(cfg, &mut ops);
+    }
+    if cfg.mutate {
+        let at = ops.len() * 2 / 3;
+        ops.insert(at, FuzzOp::CorruptMapping);
+    }
+    ops
+}
+
+/// Maps a deterministic fault plan's timed events onto stream positions
+/// (`index = at / op_time`) and splices them in.
+fn compose_fault_plan(cfg: &OpStreamConfig, ops: &mut Vec<FuzzOp>) {
+    let duration = cfg.op_time * ops.len() as u64;
+    let plan =
+        FaultPlanConfig::quiet(cfg.seed, duration, cfg.channels, cfg.ranks_per_channel).generate();
+    let mut timed: Vec<(usize, FuzzOp)> = Vec::new();
+    for ev in plan.events() {
+        let idx = ((ev.at.as_ps() / cfg.op_time.as_ps().max(1)) as usize).min(ops.len());
+        let op = match ev.kind {
+            FaultKind::CorrectableEcc { channel, rank } => {
+                FuzzOp::Correctable { channel: channel as u8, rank: rank as u8 }
+            }
+            FaultKind::UncorrectableEcc { channel, rank } => {
+                FuzzOp::Uncorrectable { channel: channel as u8, rank: rank as u8 }
+            }
+            FaultKind::MigrationInterrupt { channel } => {
+                FuzzOp::Interrupt { channel: channel as u8 }
+            }
+            // Link CRC faults live in dtl-cxl, outside the device the
+            // oracle mirrors.
+            FaultKind::LinkCrc { .. } => continue,
+        };
+        timed.push((idx, op));
+    }
+    // Splice back-to-front so earlier indices stay valid.
+    timed.sort_by_key(|(idx, _)| *idx);
+    for (idx, op) in timed.into_iter().rev() {
+        ops.insert(idx, op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&OpStreamConfig::tiny(42, 300));
+        let b = generate(&OpStreamConfig::tiny(42, 300));
+        assert_eq!(a, b);
+        let c = generate(&OpStreamConfig::tiny(43, 300));
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn fault_plan_composes_extra_ops() {
+        let plain = generate(&OpStreamConfig::tiny(7, 400));
+        let faulted = generate(&OpStreamConfig::tiny_faulted(7, 400));
+        assert!(faulted.len() >= plain.len());
+        assert!(
+            faulted.iter().any(|op| matches!(
+                op,
+                FuzzOp::Correctable { .. }
+                    | FuzzOp::Uncorrectable { .. }
+                    | FuzzOp::Interrupt { .. }
+            )),
+            "quiet plan should still inject something over {} ops",
+            faulted.len()
+        );
+    }
+
+    #[test]
+    fn mutate_inserts_the_wrench() {
+        let ops = generate(&OpStreamConfig { mutate: true, ..OpStreamConfig::tiny(1, 90) });
+        assert_eq!(ops.iter().filter(|op| matches!(op, FuzzOp::CorruptMapping)).count(), 1);
+    }
+}

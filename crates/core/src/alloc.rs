@@ -424,6 +424,62 @@ mod tests {
     }
 
     #[test]
+    fn free_list_exhaustion_and_recovery() {
+        let mut a = SegmentAllocator::new(geo());
+        // 128 segments total = 16 AUs of 8; drain the free lists completely.
+        let mut aus = Vec::new();
+        for _ in 0..16 {
+            aus.push(a.allocate_au(8).unwrap());
+        }
+        assert_eq!(a.free_active_total(), 0);
+        a.check_consistency().unwrap();
+        // The 17th must fail without mutating anything, reporting the
+        // requested size and the (zero) free pool.
+        match a.allocate_au(8) {
+            Err(DtlError::OutOfCapacity { requested, free }) => {
+                assert_eq!(requested, 8);
+                assert_eq!(free, 0);
+            }
+            other => panic!("expected OutOfCapacity, got {other:?}"),
+        }
+        a.check_consistency().unwrap();
+        // take_free_in_rank is the other allocation path; it must also
+        // report exhaustion (None) on every rank.
+        for c in 0..2 {
+            for r in 0..4 {
+                assert!(a.take_free_in_rank(c, r).is_none());
+            }
+        }
+        // Freeing one AU restores exactly its capacity and allocation works
+        // again — exhaustion must not corrupt the free lists.
+        a.free_segments(&aus.pop().unwrap()).unwrap();
+        assert_eq!(a.free_active_total(), 8);
+        let again = a.allocate_au(8).unwrap();
+        assert_eq!(again.len(), 8);
+        assert_eq!(a.free_active_total(), 0);
+        a.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn partial_channel_exhaustion_fails_whole_au() {
+        let mut a = SegmentAllocator::new(geo());
+        // Deactivate every rank of channel 1 except one, then fill it:
+        // channel 0 still has plenty, but AU allocation takes an equal share
+        // per channel, so the AU must fail as a unit with nothing mutated.
+        for r in 1..4 {
+            a.set_rank_active(1, r, false);
+        }
+        for _ in 0..4 {
+            a.allocate_au(8).unwrap(); // 4 segs/channel each: ch1 rank full
+        }
+        assert_eq!(a.free_in_channel_active(1), 0);
+        let before_ch0 = a.free_in_channel_active(0);
+        assert!(matches!(a.allocate_au(8), Err(DtlError::OutOfCapacity { .. })));
+        assert_eq!(a.free_in_channel_active(0), before_ch0, "failed alloc must not leak");
+        a.check_consistency().unwrap();
+    }
+
+    #[test]
     fn least_allocated_victim_selection() {
         let mut a = SegmentAllocator::new(geo());
         let _ = a.allocate_au(8).unwrap();

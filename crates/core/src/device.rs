@@ -31,6 +31,7 @@ use crate::migrate::{
 use crate::powerdown::{PowerDownEngine, PowerDownStats, RankPdState};
 use crate::smc::{SmcOutcome, SmcStats};
 use crate::tables::MappingTables;
+use crate::tap::{CommandTap, DeviceCommand};
 use crate::translate::Translator;
 
 /// A successful VM allocation.
@@ -231,6 +232,8 @@ pub struct DtlDevice<B: MemoryBackend> {
     /// Resolved once at [`DtlDevice::set_telemetry`] time, never on the
     /// access path.
     translation_hist: Option<Arc<Histogram>>,
+    /// Command-stream tap for external checkers (off by default).
+    tap: CommandTap,
 }
 
 impl DtlDevice<crate::backend::AnalyticBackend> {
@@ -279,10 +282,57 @@ impl<B: MemoryBackend> DtlDevice<B> {
             stats: DeviceStats::default(),
             telemetry: Telemetry::disabled(),
             translation_hist: None,
+            tap: CommandTap::default(),
             config,
             geo,
             backend,
         }
+    }
+
+    /// Turns the command-stream tap on or off (off by default). While on,
+    /// every committed mapping change and power transition is buffered for
+    /// [`DtlDevice::drain_commands`]; external checkers replay the stream
+    /// into a reference model.
+    pub fn set_command_tap(&mut self, on: bool) {
+        self.tap.set_enabled(on);
+    }
+
+    /// Takes every buffered [`DeviceCommand`] in commit order, flushing
+    /// pending backend power events into the stream first.
+    pub fn drain_commands(&mut self) -> Vec<DeviceCommand> {
+        self.process_events();
+        self.tap.drain()
+    }
+
+    /// Side-effect-free translation probe for external checkers: walks the
+    /// mapping tables directly, bypassing (and not perturbing) the SMC and
+    /// access statistics.
+    pub fn probe_translation(&self, host: HostId, hpa: HostPhysAddr) -> Option<Dsn> {
+        let (hsn, _offset) = self.translator.hsn_of(host, hpa);
+        self.tables.translate(hsn)
+    }
+
+    /// Every mapped (DSN, HSN) pair (unordered) — the checker's view of
+    /// the reverse table.
+    pub fn mapped_entries(&self) -> Vec<(Dsn, Hsn)> {
+        self.tables.iter_mapped().collect()
+    }
+
+    /// Copy migrations queued or in flight. Each holds one allocated but
+    /// still-unmapped destination reservation, so external residency
+    /// accounting must allow `allocated == mapped + pending copies`.
+    pub fn pending_copy_reservations(&self) -> u64 {
+        self.migrate.pending_copies()
+    }
+
+    /// Deliberately corrupts one forward-mapping entry without updating
+    /// the reverse table — a mutation hook for checker self-tests (the
+    /// checker must catch the divergence). Returns the corrupted HSN.
+    #[doc(hidden)]
+    pub fn corrupt_mapping_for_test(&mut self) -> Option<Hsn> {
+        let hsn = self.tables.corrupt_first_forward_slot()?;
+        self.translator.invalidate(hsn);
+        Some(hsn)
     }
 
     /// Installs a telemetry handle on the device and every engine it owns
@@ -426,6 +476,12 @@ impl<B: MemoryBackend> DtlDevice<B> {
                     for au in aus.drain(..) {
                         let freed = self.tables.remove_au(host, au)?;
                         self.alloc.free_segments(&freed)?;
+                        self.tap.record(DeviceCommand::AuRemoved {
+                            host,
+                            au,
+                            dsns: freed,
+                            at: now,
+                        });
                         self.hosts.get_mut(&host).expect("checked above").free_aus.push(au);
                     }
                     return Err(e);
@@ -437,7 +493,11 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 state.next_au += 1;
                 id
             });
+            let tap_dsns = self.tap.enabled().then(|| dsns.clone());
             self.tables.create_au(host, au, dsns)?;
+            if let Some(dsns) = tap_dsns {
+                self.tap.record(DeviceCommand::AuCreated { host, au, dsns, at: now });
+            }
             aus.push(au);
         }
         let state = self.hosts.get_mut(&host).expect("checked above");
@@ -540,6 +600,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 self.translator.invalidate(Hsn { host: handle.host, au, au_offset: off as u32 });
             }
             self.alloc.free_segments(&dsns)?;
+            self.tap.record(DeviceCommand::AuRemoved { host: handle.host, au, dsns, at: now });
             self.hosts.get_mut(&handle.host).expect("still present").free_aus.push(au);
         }
         if self.powerdown_enabled {
@@ -568,6 +629,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 self.translator.invalidate(Hsn { host: handle.host, au, au_offset: off as u32 });
             }
             self.alloc.free_segments(&dsns)?;
+            self.tap.record(DeviceCommand::AuRemoved { host: handle.host, au, dsns, at: now });
             let state = self.hosts.get_mut(&handle.host).expect("still present");
             state.free_aus.push(au);
         }
@@ -618,6 +680,28 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 self.finish_hotness_job(channel, now)?;
             }
             None => {}
+        }
+        Ok(())
+    }
+
+    /// Re-enqueues a cancelled migration job unchanged (refused
+    /// retirements must leave migration state exactly as found). The job
+    /// restarts from scratch under a fresh id; pre-commit copy work is
+    /// idempotent, so nothing is lost.
+    fn restore_job(
+        &mut self,
+        job: &crate::migrate::MigrationJob,
+        now: Picos,
+    ) -> Result<(), DtlError> {
+        let new_id = match job.kind {
+            MigrationKind::Copy { src, dst } => self.migrate.enqueue_copy(src, dst, now)?,
+            MigrationKind::Swap { a, b } => self.migrate.enqueue_swap(a, b, now)?,
+        };
+        if let Some(origin) = self.job_origin.remove(&job.id) {
+            self.job_origin.insert(new_id, origin);
+            if origin == JobOrigin::Drain {
+                self.powerdown.replace_job(job.id, new_id);
+            }
         }
         Ok(())
     }
@@ -713,7 +797,8 @@ impl<B: MemoryBackend> DtlDevice<B> {
         let involved = self.migrate.jobs_involving_rank(channel, rank);
         let ids: Vec<u64> = involved.iter().map(|j| j.id).collect();
         let cancelled = self.migrate.cancel_ids(&ids);
-        for job in cancelled {
+        let mut pending = cancelled.into_iter();
+        while let Some(job) = pending.next() {
             let reaim = match (self.job_origin.get(&job.id), job.kind) {
                 (Some(JobOrigin::Drain), MigrationKind::Copy { src, dst }) => {
                     let src_loc = self.geo.location(src);
@@ -724,16 +809,39 @@ impl<B: MemoryBackend> DtlDevice<B> {
             };
             match reaim {
                 Some((src, dst)) => {
+                    let src_loc = self.geo.location(src);
+                    // Find a destination off the retiring rank, waking
+                    // powered-down groups for capacity exactly like the
+                    // planning loop below.
+                    let new_dst = loop {
+                        if let Some(d) = self.pick_drain_destination(src_loc.channel, rank) {
+                            break Some(d);
+                        }
+                        match self.powerdown.wake_one_group(&mut self.alloc) {
+                            Ok(exits) => {
+                                for (c, r) in exits {
+                                    self.backend.set_rank_state(c, r, PowerState::Standby, now)?;
+                                }
+                                self.stats.capacity_wakes += 1;
+                            }
+                            Err(_) => break None,
+                        }
+                    };
+                    let Some(new_dst) = new_dst else {
+                        // Genuinely no spare capacity: refuse the retirement
+                        // atomically by restoring this and every remaining
+                        // cancelled job before surfacing the refusal.
+                        self.restore_job(&job, now)?;
+                        for j in pending {
+                            self.restore_job(&j, now)?;
+                        }
+                        return Err(DtlError::OutOfCapacity {
+                            requested: self.alloc.allocated_in_rank(channel, rank),
+                            free: 0,
+                        });
+                    };
                     self.job_origin.remove(&job.id);
                     self.alloc.free_segments(&[dst])?;
-                    let src_loc = self.geo.location(src);
-                    let new_dst = self.pick_drain_destination(src_loc.channel, rank).ok_or(
-                        DtlError::Internal {
-                            reason: format!(
-                                "no destination to re-aim drain of {src} during retirement"
-                            ),
-                        },
-                    )?;
                     let new_id = self.migrate.enqueue_copy(src, self.geo.dsn(new_dst), now)?;
                     self.job_origin.insert(new_id, JobOrigin::Drain);
                     self.powerdown.replace_job(job.id, new_id);
@@ -1166,6 +1274,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 match self.tables.reverse(src) {
                     Some(hsn) => {
                         self.tables.remap(hsn, dst)?;
+                        self.tap.record(DeviceCommand::Remap { hsn, from: src, to: dst, at: now });
                         self.translator.invalidate(hsn);
                         self.alloc.complete_move(self.geo.location(src))?;
                     }
@@ -1186,6 +1295,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 match kind {
                     MigrationKind::Swap { a, b } => {
                         let (ha, hb) = self.tables.swap(a, b)?;
+                        self.tap.record(DeviceCommand::MappingSwap { a, b, at: now });
                         for h in [ha, hb].into_iter().flatten() {
                             self.translator.invalidate(h);
                         }
@@ -1193,6 +1303,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
                     }
                     MigrationKind::Copy { src, dst } => {
                         let (ha, hb) = self.tables.swap(src, dst)?;
+                        self.tap.record(DeviceCommand::MappingSwap { a: src, b: dst, at: now });
                         for h in [ha, hb].into_iter().flatten() {
                             self.translator.invalidate(h);
                         }
@@ -1227,6 +1338,14 @@ impl<B: MemoryBackend> DtlDevice<B> {
 
     fn process_events(&mut self) {
         for ev in self.backend.drain_power_events() {
+            self.tap.record(DeviceCommand::PowerTransition {
+                channel: ev.channel,
+                rank: ev.rank,
+                from: ev.from,
+                to: ev.to,
+                cause: ev.cause,
+                at: ev.at,
+            });
             if ev.cause == PowerEventCause::AutoExit && ev.from == PowerState::SelfRefresh {
                 self.hotness.on_sr_exit(ev.channel, ev.rank, ev.at);
             }

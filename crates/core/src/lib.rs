@@ -49,6 +49,7 @@ mod overhead;
 mod powerdown;
 mod smc;
 mod tables;
+mod tap;
 mod translate;
 
 pub use addr::{AuId, Dsn, HostId, HostPhysAddr, Hsn, SegmentGeometry, SegmentLocation, VmHandle};
@@ -70,4 +71,5 @@ pub use overhead::{ControllerCost, OverheadConfig, StructureSizes};
 pub use powerdown::{PowerDownEngine, PowerDownPlan, PowerDownStats, RankPdState};
 pub use smc::{SegmentMappingCache, SmcOutcome, SmcStats};
 pub use tables::MappingTables;
+pub use tap::{CommandTap, DeviceCommand};
 pub use translate::{Translation, TranslationLatency, Translator};

@@ -226,6 +226,14 @@ impl MigrationEngine {
         self.queue.is_empty() && self.in_flight() == 0
     }
 
+    /// Copy jobs queued or in flight — each holds one allocated but
+    /// still-unmapped destination reservation in the segment allocator.
+    pub fn pending_copies(&self) -> u64 {
+        let is_copy = |j: &MigrationJob| matches!(j.kind, MigrationKind::Copy { .. });
+        (self.queue.iter().filter(|j| is_copy(j)).count()
+            + self.in_flight.iter().flatten().filter(|a| is_copy(&a.job)).count()) as u64
+    }
+
     /// Queues a copy job at time `now`.
     ///
     /// # Errors

@@ -550,6 +550,93 @@ mod tests {
     }
 
     #[test]
+    fn repeated_power_down_cycles_the_same_group() {
+        let (mut pd, mut alloc) = setup();
+        // Empty device: the first plan picks the least-allocated rank of
+        // each channel and powers it down with zero copies.
+        let plan1 = pd.plan_power_down(&mut alloc).expect("first group");
+        let first = plan1.group.clone();
+        pd.register_drain_jobs(&plan1, &[]);
+        for &(c, r) in &first {
+            assert_eq!(pd.rank_state(c, r), RankPdState::PoweredDown);
+        }
+        // Planning again must select a *different* group — a powered-down
+        // rank is not active and cannot be re-victimized.
+        let plan2 = pd.plan_power_down(&mut alloc).expect("second group");
+        for (a, b) in plan2.group.iter().zip(&first) {
+            assert_ne!(a, b, "powered-down rank re-selected");
+        }
+        pd.register_drain_jobs(&plan2, &[]);
+        // Third group still leaves >= 1 active rank; the fourth attempt
+        // must refuse (each channel needs two active ranks to plan).
+        let plan3 = pd.plan_power_down(&mut alloc).expect("third group");
+        pd.register_drain_jobs(&plan3, &[]);
+        assert_eq!(pd.active_ranks(0), 1);
+        assert!(pd.plan_power_down(&mut alloc).is_none(), "last active rank protected");
+        assert_eq!(pd.stats().groups_powered_down, 3);
+        // Wake one group and power it straight back down: the same ranks
+        // cycle Active -> PoweredDown repeatedly without residue.
+        let woken = pd.wake_one_group(&mut alloc).expect("a group to wake");
+        assert_eq!(woken.len(), 2);
+        for &(c, r) in &woken {
+            assert_eq!(pd.rank_state(c, r), RankPdState::Active);
+            assert!(alloc.is_rank_active(c, r));
+        }
+        let again = pd.plan_power_down(&mut alloc).expect("re-plan after wake");
+        assert_eq!(again.group, woken, "the woken group is the least-allocated victim again");
+        pd.register_drain_jobs(&again, &[]);
+        for &(c, r) in &woken {
+            assert_eq!(pd.rank_state(c, r), RankPdState::PoweredDown);
+            assert!(!alloc.is_rank_active(c, r));
+        }
+        assert_eq!(pd.stats().groups_powered_down, 4);
+        assert_eq!(pd.stats().groups_woken, 1);
+        alloc.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn draining_group_is_not_revictimized() {
+        let (mut pd, mut alloc) = setup();
+        // Load one rank per channel so the victim has live data to drain.
+        let aus: Vec<Vec<Dsn>> = (0..5).map(|_| alloc.allocate_au(8).unwrap()).collect();
+        for au in &aus[1..4] {
+            alloc.free_segments(au).unwrap();
+        }
+        // The two empty rank groups power down immediately; the third plan
+        // must drain a rank that still holds live segments.
+        for _ in 0..2 {
+            let p = pd.plan_power_down(&mut alloc).expect("empty group");
+            assert!(p.copies.is_empty());
+            pd.register_drain_jobs(&p, &[]);
+        }
+        let plan = pd.plan_power_down(&mut alloc).expect("plan with live data");
+        assert!(!plan.copies.is_empty());
+        let ids: Vec<u64> = (0..plan.copies.len() as u64).collect();
+        pd.register_drain_jobs(&plan, &ids);
+        for &(c, r) in &plan.group {
+            assert_eq!(pd.rank_state(c, r), RankPdState::Draining);
+        }
+        // While the drain is in flight, a new plan must not pick the same
+        // ranks (they are mid-drain) — and completing the jobs finalizes
+        // the group exactly once.
+        if let Some(p2) = pd.plan_power_down(&mut alloc) {
+            for (a, b) in p2.group.iter().zip(&plan.group) {
+                assert_ne!(a, b, "draining rank re-selected");
+            }
+        }
+        let mut downed = Vec::new();
+        for id in ids {
+            downed.extend(pd.on_migration_complete(id));
+        }
+        assert_eq!(downed, plan.group);
+        for &(c, r) in &plan.group {
+            assert_eq!(pd.rank_state(c, r), RankPdState::PoweredDown);
+        }
+        // Re-notifying a finished job is a no-op, not a double finalize.
+        assert!(pd.on_migration_complete(999).is_empty());
+    }
+
+    #[test]
     fn wake_with_nothing_down_errors() {
         let (mut pd, mut alloc) = setup();
         assert!(pd.wake_one_group(&mut alloc).is_err());

@@ -198,6 +198,18 @@ impl MappingTables {
         Ok(())
     }
 
+    /// Deliberately points the lowest-DSN mapped entry's forward slot at a
+    /// different DSN **without updating the reverse table** — the exact
+    /// shape of a missed-invalidation mapping bug. A mutation hook for
+    /// checker self-tests; never called by production code. Returns the
+    /// corrupted HSN, or `None` when nothing is mapped.
+    #[doc(hidden)]
+    pub fn corrupt_first_forward_slot(&mut self) -> Option<Hsn> {
+        let (dsn, hsn) = self.reverse.iter().min_by_key(|(d, _)| d.0).map(|(d, h)| (*d, *h))?;
+        self.point(hsn, Dsn(dsn.0 ^ 1)).ok()?;
+        Some(hsn)
+    }
+
     /// Iterates over all mapped (DSN, HSN) pairs (unordered).
     pub fn iter_mapped(&self) -> impl Iterator<Item = (Dsn, Hsn)> + '_ {
         self.reverse.iter().map(|(d, h)| (*d, *h))

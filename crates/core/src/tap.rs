@@ -1,0 +1,147 @@
+//! Command-stream tap: an optional, ordered log of every mapping and
+//! power-state change the device commits.
+//!
+//! External checkers (the `dtl-check` differential oracle) replay this
+//! stream into a flat reference model and cross-check the device after
+//! every step. The tap is **off by default** and costs one branch per
+//! record point when disabled; the access hot path is not tapped at all —
+//! per-access information already flows out through
+//! [`AccessOutcome`](crate::AccessOutcome).
+
+use dtl_dram::{Picos, PowerEventCause, PowerState};
+
+use crate::addr::{AuId, Dsn, HostId, Hsn};
+
+/// One committed device command, in commit order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceCommand {
+    /// An allocation unit was created: `dsns[k]` backs AU offset `k`.
+    AuCreated {
+        /// Owning host.
+        host: HostId,
+        /// AU id within the host.
+        au: AuId,
+        /// Backing device segments, in AU-offset order.
+        dsns: Vec<Dsn>,
+        /// Commit time.
+        at: Picos,
+    },
+    /// An allocation unit was unmapped (dealloc/shrink/rollback).
+    AuRemoved {
+        /// Owning host.
+        host: HostId,
+        /// AU id within the host.
+        au: AuId,
+        /// The device segments it occupied, in AU-offset order.
+        dsns: Vec<Dsn>,
+        /// Commit time.
+        at: Picos,
+    },
+    /// A drain migration completed: `hsn` moved from `from` to `to`.
+    Remap {
+        /// The host segment that moved.
+        hsn: Hsn,
+        /// Previous backing segment (now free).
+        from: Dsn,
+        /// New backing segment.
+        to: Dsn,
+        /// Commit time.
+        at: Picos,
+    },
+    /// A hotness migration committed a mapping swap of two device
+    /// segments (either side may have been unmapped).
+    MappingSwap {
+        /// First segment.
+        a: Dsn,
+        /// Second segment.
+        b: Dsn,
+        /// Commit time.
+        at: Picos,
+    },
+    /// A rank changed power state (explicit transition or auto-exit).
+    PowerTransition {
+        /// Channel index.
+        channel: u32,
+        /// Rank index within the channel.
+        rank: u32,
+        /// State before.
+        from: PowerState,
+        /// State after.
+        to: PowerState,
+        /// What triggered it.
+        cause: PowerEventCause,
+        /// Completion time of the transition.
+        at: Picos,
+    },
+}
+
+/// The device-owned tap buffer. Disabled taps record nothing.
+#[derive(Debug, Default)]
+pub struct CommandTap {
+    enabled: bool,
+    log: Vec<DeviceCommand>,
+}
+
+impl CommandTap {
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off. Disabling clears the buffer.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.log.clear();
+        }
+    }
+
+    /// Appends a command (no-op while disabled).
+    pub fn record(&mut self, cmd: DeviceCommand) {
+        if self.enabled {
+            self.log.push(cmd);
+        }
+    }
+
+    /// Takes every buffered command, oldest first.
+    pub fn drain(&mut self) -> Vec<DeviceCommand> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Buffered command count.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tap_records_nothing() {
+        let mut tap = CommandTap::default();
+        tap.record(DeviceCommand::MappingSwap { a: Dsn(0), b: Dsn(1), at: Picos::ZERO });
+        assert!(tap.is_empty());
+        tap.set_enabled(true);
+        tap.record(DeviceCommand::MappingSwap { a: Dsn(0), b: Dsn(1), at: Picos::ZERO });
+        assert_eq!(tap.len(), 1);
+        assert_eq!(tap.drain().len(), 1);
+        assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn disabling_clears_the_buffer() {
+        let mut tap = CommandTap::default();
+        tap.set_enabled(true);
+        tap.record(DeviceCommand::MappingSwap { a: Dsn(2), b: Dsn(3), at: Picos::ZERO });
+        tap.set_enabled(false);
+        assert!(tap.is_empty());
+        assert!(!tap.enabled());
+    }
+}

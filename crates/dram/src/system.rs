@@ -266,6 +266,15 @@ impl DramSystem {
         self.channels[id.channel as usize].rank(id.rank).energy().residency_to(self.now)
     }
 
+    /// Every rank's current power state in `(channel, rank)` order — the
+    /// bulk query external checkers snapshot to cross-validate a power
+    /// ledger replayed from [`PowerEvent`]s.
+    ///
+    /// [`PowerEvent`]: crate::PowerEvent
+    pub fn power_states(&self) -> Vec<(RankId, PowerState)> {
+        self.rank_ids().map(|id| (id, self.rank_state(id))).collect()
+    }
+
     /// All rank ids in `(channel, rank)` order.
     pub fn rank_ids(&self) -> impl Iterator<Item = RankId> + '_ {
         let ranks = self.config.geometry.ranks_per_channel;

@@ -20,8 +20,10 @@
 //! | [`cache_pipeline`] | §5.2 methodology | Table 3 hierarchy compresses intensity, widens strides |
 //! | [`sec6_6`] | §6.6 | bigger devices lose less from the DTL mapping |
 //! | [`fault_campaign`] | §7 outlook | fault load → capacity / energy / latency cost |
+//! | [`diff_fuzz`] | soundness | device vs reference model: zero invariant violations |
 
 pub mod cache_pipeline;
+pub mod diff_fuzz;
 pub mod fault_campaign;
 pub mod fig01;
 pub mod fig02;

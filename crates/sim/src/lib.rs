@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod check_run;
 pub mod experiments;
 mod fault_run;
 mod hotness_run;
@@ -14,6 +15,7 @@ mod perf;
 mod powerdown_run;
 mod report;
 
+pub use check_run::{run_checks, CheckRunConfig, CheckRunResult, SeedResult};
 pub use fault_run::{run_faulted, run_faulted_traced, FaultRunConfig, FaultRunResult};
 pub use hotness_run::{
     hotness_savings, run_hotness, run_hotness_traced, run_hotness_with_threshold_factor,

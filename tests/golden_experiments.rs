@@ -1,0 +1,134 @@
+//! Golden-file regression tests: the tiny fig12 (power-down) and fig14
+//! (hotness self-refresh) runs are fully deterministic, so their JSON
+//! outputs are pinned under `results/golden/` and compared field by field
+//! with an explicit numeric tolerance.
+//!
+//! To regenerate after an intentional model change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test -p dtl-bench --test golden_experiments
+//! ```
+//!
+//! and commit the diff under `results/golden/` together with the change
+//! that caused it.
+
+use std::path::{Path, PathBuf};
+
+use dtl_sim::experiments::{fig12, fig14};
+use dtl_sim::{to_json, HotnessRunConfig, PowerDownRunConfig};
+use serde::Value;
+
+/// Relative tolerance for float comparisons. The runs are deterministic;
+/// the slack only absorbs JSON round-trip formatting and libm differences
+/// across platforms, so it is deliberately tight.
+const REL_TOL: f64 = 1e-9;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/golden")
+}
+
+/// Numeric view of a [`Value`], if it is one of the number variants.
+fn as_number(v: &Value) -> Option<f64> {
+    match v {
+        Value::Uint(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Key lookup in a [`Value::Map`] body (entry order is not significant).
+fn get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Compares two JSON trees numerically, returning the path of the first
+/// mismatch.
+fn diff(path: &str, a: &Value, b: &Value) -> Result<(), String> {
+    if let (Some(x), Some(y)) = (as_number(a), as_number(b)) {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        if (x - y).abs() > REL_TOL * scale {
+            return Err(format!("{path}: {x} vs {y} (rel tol {REL_TOL})"));
+        }
+        return Ok(());
+    }
+    match (a, b) {
+        (Value::Seq(xs), Value::Seq(ys)) => {
+            if xs.len() != ys.len() {
+                return Err(format!("{path}: array length {} vs {}", xs.len(), ys.len()));
+            }
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                diff(&format!("{path}[{i}]"), x, y)?;
+            }
+            Ok(())
+        }
+        (Value::Map(xs), Value::Map(ys)) => {
+            let mut keys: Vec<&String> = xs.iter().chain(ys).map(|(k, _)| k).collect();
+            keys.sort();
+            keys.dedup();
+            for k in keys {
+                match (get(xs, k), get(ys, k)) {
+                    (Some(x), Some(y)) => diff(&format!("{path}.{k}"), x, y)?,
+                    (got, _) => {
+                        return Err(format!(
+                            "{path}.{k}: only present in {}",
+                            if got.is_some() { "actual" } else { "golden" }
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        }
+        _ => {
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!("{path}: {a:?} vs {b:?}"))
+            }
+        }
+    }
+}
+
+/// Compares `json` to the golden file, or rewrites it under
+/// `GOLDEN_REGEN=1`.
+fn check_golden(name: &str, json: &str) {
+    let dir = golden_dir();
+    let path = dir.join(format!("{name}.json"));
+    let actual: Value = serde_json::from_str(json).expect("result serializes");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+        std::fs::write(&path, serde_json::to_string_pretty(&actual).expect("pretty"))
+            .expect("write golden");
+        eprintln!("[regenerated {}]", path.display());
+        return;
+    }
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with GOLDEN_REGEN=1 to create it", path.display())
+    });
+    let expected: Value = serde_json::from_str(&stored).expect("golden parses");
+    if let Err(msg) = diff(name, &actual, &expected) {
+        panic!(
+            "{name} diverged from {}:\n  {msg}\nIf the change is intentional, regenerate with \
+             GOLDEN_REGEN=1 and commit the new golden.",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fig12_tiny_matches_golden() {
+    let r = fig12::run(&PowerDownRunConfig::tiny(7, true), (0.014, 0.0018)).expect("fig12 tiny");
+    check_golden("fig12_tiny", &to_json(&r));
+}
+
+#[test]
+fn fig14_tiny_matches_golden() {
+    let base = HotnessRunConfig {
+        accesses: 900_000,
+        n_apps: 3,
+        channels: 2,
+        ..HotnessRunConfig::tiny(5, true)
+    };
+    let r = fig14::run(&base, &[("loose", 4, 0.55), ("tight", 4, 0.95)]).expect("fig14 tiny");
+    check_golden("fig14_tiny", &to_json(&r));
+}
