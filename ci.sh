@@ -16,9 +16,15 @@ cargo test -q
 echo "== dtl-check differential harness =="
 cargo test -q -p dtl-check
 
-echo "== diff_fuzz smoke (time-boxed) =="
-cargo build --release -q -p dtl-bench --bin diff_fuzz
-timeout 30 ./target/release/diff_fuzz --smoke
+echo "== smoke suite on the parallel path (--jobs 2) =="
+cargo build --release -q -p dtl-bench --bin diff_fuzz --bin fault_campaign --bin all
+timeout 30 ./target/release/diff_fuzz --smoke --jobs 2
+timeout 60 ./target/release/fault_campaign --tiny --jobs 2
+
+echo "== experiment registry vs src/bin/ drift =="
+diff <(./target/release/all --list | sed 's/ — .*//' | sort) \
+     <(ls crates/bench/src/bin | sed 's/\.rs$//' | grep -vx all | sort) \
+  || { echo "registry and crates/bench/src/bin drifted apart"; exit 1; }
 
 echo "== cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -1,139 +1,8 @@
-//! Ablation: why not just use CKE power-down? The conventional alternative
-//! to the DTL is the memory controller's own idle power-down (CKE low,
-//! precharge power-down at ~35 % of standby power) — no consolidation, no
-//! indirection.
-//!
-//! This study measures per-rank idle-gap distributions under the paper's
-//! interleaved traffic with the cycle-accurate simulator, then computes
-//! how much background power CKE power-down could reclaim at different
-//! entry timeouts. Because fine-grained interleaving keeps *every* rank
-//! lukewarm, the gaps are far shorter than any safe timeout — the
-//! consolidation that the DTL's indirection enables is what unlocks the
-//! savings.
-
-use dtl_bench::emit;
-use dtl_dram::{
-    AccessKind, AddressMapping, CommandSink, DramConfig, DramSystem, Geometry, IssuedCommand,
-    PhysAddr, Picos, PowerParams, PowerState, Priority,
-};
-use dtl_sim::{pct, to_json, Table};
-use dtl_trace::{Mixer, WorkloadKind};
-use serde::Serialize;
-
-/// Records the issue time of every command, per rank.
-#[derive(Debug, Default)]
-struct GapSink {
-    per_rank: std::collections::HashMap<(u32, u32), Vec<Picos>>,
-}
-
-impl CommandSink for GapSink {
-    fn on_command(&mut self, cmd: IssuedCommand) {
-        self.per_rank.entry((cmd.channel, cmd.rank)).or_default().push(cmd.at);
-    }
-}
-
-#[derive(Serialize)]
-struct Row {
-    utilization_label: String,
-    timeout_ns: u64,
-    pd_residency: f64,
-    cke_background_saving: f64,
-    dtl_background_saving: f64,
-}
-
-fn measure(gbps: f64, requests: u64, timeouts_ns: &[u64]) -> Vec<(u64, f64)> {
-    let geometry = Geometry::cxl_1tb();
-    let cfg = DramConfig { geometry, ..DramConfig::cxl_1tb_ddr4_2933() };
-    let mut sys = DramSystem::new(cfg, AddressMapping::RankInterleaved).unwrap();
-    let specs: Vec<_> = WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(64)).collect();
-    let mut mix = Mixer::new(&specs, 1);
-    let gap_ps = (64.0 / gbps / 1e9 * 1e12) as u64;
-    let mut t = Picos::ZERO;
-    let mut sink = GapSink::default();
-    let space = mix.address_space_bytes().min(geometry.capacity_bytes());
-    for _ in 0..requests {
-        let r = mix.next_record();
-        t += Picos::from_ps(gap_ps);
-        sys.submit(
-            PhysAddr::new(r.addr % space),
-            if r.is_write { AccessKind::Write } else { AccessKind::Read },
-            Priority::Foreground,
-            t,
-        )
-        .unwrap();
-        if sys.pending() > 512 {
-            sys.advance_to_with_sink(t, &mut sink);
-        }
-    }
-    let mut horizon = t + Picos::from_us(10);
-    while sys.pending() > 0 {
-        sys.advance_to_with_sink(horizon, &mut sink);
-        horizon += Picos::from_us(10);
-    }
-    // For each timeout: fraction of rank-time spent in gaps longer than the
-    // timeout (minus the timeout itself, which is spent waiting to enter).
-    let total = t;
-    let ranks = geometry.total_ranks() as u128;
-    timeouts_ns
-        .iter()
-        .map(|&to| {
-            let timeout = Picos::from_ns(to);
-            let mut pd_ps: u128 = 0;
-            for times in sink.per_rank.values() {
-                let mut prev = Picos::ZERO;
-                for &at in times {
-                    let gap = at.saturating_sub(prev);
-                    if gap > timeout {
-                        pd_ps += u128::from((gap - timeout).as_ps());
-                    }
-                    prev = prev.max(at);
-                }
-                let tail = total.saturating_sub(prev);
-                if tail > timeout {
-                    pd_ps += u128::from((tail - timeout).as_ps());
-                }
-            }
-            (to, pd_ps as f64 / (u128::from(total.as_ps()) * ranks) as f64)
-        })
-        .collect()
-}
+//! Thin driver for the registered `ablate_cke_powerdown` experiment (see
+//! [`dtl_sim::experiments::ablate_cke_powerdown`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let requests = if quick { 20_000 } else { 120_000 };
-    let p = PowerParams::ddr4_128gb_dimm();
-    let pd_factor = 1.0 - p.factor(PowerState::PrechargePowerDown); // 0.65 reclaimable
-                                                                    // The DTL's Figure 12 background saving at the same occupancy.
-    let dtl_saving = 0.457;
-    let timeouts = [100u64, 1_000, 10_000];
-    let mut rows = Vec::new();
-    for (label, gbps) in [("30 GB/s", 30.0), ("10 GB/s", 10.0), ("3 GB/s", 3.0)] {
-        for (to, residency) in measure(gbps, requests, &timeouts) {
-            rows.push(Row {
-                utilization_label: label.to_string(),
-                timeout_ns: to,
-                pd_residency: residency,
-                cke_background_saving: residency * pd_factor,
-                dtl_background_saving: dtl_saving,
-            });
-        }
-    }
-    let mut t = Table::new(
-        "Ablation: CKE idle power-down vs DTL consolidation",
-        &["traffic", "timeout", "pd_residency", "cke_bg_saving", "dtl_bg_saving"],
-    );
-    for r in &rows {
-        t.row(&[
-            r.utilization_label.clone(),
-            format!("{}ns", r.timeout_ns),
-            pct(r.pd_residency),
-            pct(r.cke_background_saving),
-            pct(r.dtl_background_saving),
-        ]);
-    }
-    emit("ablate_cke_powerdown", &t.render(), &to_json(&rows));
-    println!(
-        "interleaving keeps every rank lukewarm: CKE power-down cannot touch\n\
-         what DTL consolidation reclaims unless traffic nearly stops"
-    );
+    dtl_bench::drive("ablate_cke_powerdown");
 }

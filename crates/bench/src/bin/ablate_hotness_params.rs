@@ -1,68 +1,8 @@
-//! Ablation: the hotness engine's two tunables — the profiling idle
-//! threshold (paper default 50 ms) and the victim-sampling window
-//! (0.5 ms). A short threshold enters self-refresh eagerly but risks
-//! ping-pong; a long one leaves savings on the table.
-
-use dtl_bench::emit;
-use dtl_sim::{pct, to_json, HotnessRunConfig, Table};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    threshold_ms_unscaled: f64,
-    sr_entries: u64,
-    sr_exits: u64,
-    sr_residency: f64,
-    swaps: u64,
-    stable_power_mw: f64,
-}
+//! Thin driver for the registered `ablate_hotness_params` experiment (see
+//! [`dtl_sim::experiments::ablate_hotness_params`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut base = HotnessRunConfig::paper_scaled(1, 6, 224.0 / 288.0);
-    if quick {
-        base.accesses = 1_500_000;
-        base.scale = 256;
-    }
-    // The harness derives thresholds from the paper values divided by the
-    // scale; emulate other paper-scale thresholds by scaling the replay's
-    // access budget instead (the threshold-to-replay-length ratio is what
-    // matters). We simply run at different effective thresholds by varying
-    // the scale-adjusted threshold through a custom run below.
-    let mut rows = Vec::new();
-    for factor in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
-        let r = run_hotness_with_threshold(&base, factor);
-        rows.push(Row {
-            threshold_ms_unscaled: 50.0 * factor,
-            sr_entries: r.sr_entries,
-            sr_exits: r.sr_exits,
-            sr_residency: r.sr_residency,
-            swaps: r.swaps_executed,
-            stable_power_mw: r.stable_power_mw,
-        });
-    }
-    let mut t = Table::new(
-        "Ablation: profiling threshold (paper default 50 ms)",
-        &["threshold", "sr_entries", "sr_exits", "residency", "swaps", "stable_mw"],
-    );
-    for r in &rows {
-        t.row(&[
-            format!("{:.1}ms", r.threshold_ms_unscaled),
-            r.sr_entries.to_string(),
-            r.sr_exits.to_string(),
-            pct(r.sr_residency),
-            r.swaps.to_string(),
-            format!("{:.0}", r.stable_power_mw),
-        ]);
-    }
-    emit("ablate_hotness_params", &t.render(), &to_json(&rows));
-}
-
-/// Runs the hotness replay with the profiling threshold scaled by `factor`
-/// relative to the paper's 50 ms default, extending the replay so longer
-/// thresholds still see several threshold windows.
-fn run_hotness_with_threshold(base: &HotnessRunConfig, factor: f64) -> dtl_sim::HotnessRunResult {
-    let cfg =
-        HotnessRunConfig { accesses: (base.accesses as f64 * factor.max(1.0)) as u64, ..*base };
-    dtl_sim::run_hotness_with_threshold_factor(&cfg, factor).expect("hotness replay")
+    dtl_bench::drive("ablate_hotness_params");
 }

@@ -1,105 +1,8 @@
-//! Ablation: migration scheduling priority (the paper's §4.2 decision that
-//! the migration queue issues only when the foreground queue is empty).
-//!
-//! Replays a foreground stream against the cycle-accurate DRAM simulator
-//! while a segment migration runs, with the migration traffic classed as
-//! (a) strict-background (the paper's design) and (b) same-priority
-//! foreground traffic. The foreground latency difference is the cost the
-//! paper's design avoids.
-
-use dtl_bench::emit;
-use dtl_dram::{AccessKind, AddressMapping, DramConfig, DramSystem, PhysAddr, Picos, Priority};
-use dtl_sim::{f1, to_json, Table};
-use dtl_trace::{TraceGen, WorkloadKind};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    policy: String,
-    fg_mean_ns: f64,
-    fg_max_ns: f64,
-    migration_bytes: u64,
-}
-
-fn run(policy_background: bool, requests: u64) -> Row {
-    let mut sys = DramSystem::new(DramConfig::tiny(), AddressMapping::dtl_default()).unwrap();
-    let cap = sys.config().geometry.capacity_bytes();
-    let mut gen = TraceGen::new(WorkloadKind::DataServing.spec().scaled(512), 1);
-    // A 256 KiB "segment migration": reads from one region, writes to
-    // another, issued up front.
-    let seg = 256u64 << 10;
-    let mig_priority = if policy_background { Priority::Migration } else { Priority::Foreground };
-    for i in 0..(seg / 64) {
-        sys.submit(
-            PhysAddr::new((cap / 2 + i * 64) % cap),
-            AccessKind::Read,
-            mig_priority,
-            Picos::ZERO,
-        )
-        .unwrap();
-        sys.submit(
-            PhysAddr::new((cap / 2 + seg + i * 64) % cap),
-            AccessKind::Write,
-            mig_priority,
-            Picos::ZERO,
-        )
-        .unwrap();
-    }
-    // Foreground stream at a moderate rate.
-    let mut t = Picos::ZERO;
-    let mut fg_ids = std::collections::HashSet::new();
-    for _ in 0..requests {
-        let r = gen.next_record();
-        t += Picos::from_ns(50);
-        let id = sys
-            .submit(
-                PhysAddr::new(r.addr % (cap / 2)),
-                if r.is_write { AccessKind::Write } else { AccessKind::Read },
-                Priority::Foreground,
-                t,
-            )
-            .unwrap();
-        fg_ids.insert(id);
-        if sys.pending() > 1024 {
-            sys.advance_to(t);
-        }
-    }
-    sys.run_until_idle(Picos::from_us(10));
-    let mut sum = 0.0;
-    let mut max = 0.0f64;
-    let mut n = 0u64;
-    for c in sys.drain_completions() {
-        if fg_ids.contains(&c.id) {
-            let l = c.latency().as_ns_f64();
-            sum += l;
-            max = max.max(l);
-            n += 1;
-        }
-    }
-    Row {
-        policy: if policy_background {
-            "background (paper)".into()
-        } else {
-            "same-priority".into()
-        },
-        fg_mean_ns: sum / n as f64,
-        fg_max_ns: max,
-        migration_bytes: seg * 2,
-    }
-}
+//! Thin driver for the registered `ablate_migration_priority` experiment (see
+//! [`dtl_sim::experiments::ablate_migration_priority`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let requests = if quick { 5_000 } else { 30_000 };
-    let rows = vec![run(true, requests), run(false, requests)];
-    let mut t = Table::new(
-        "Ablation: migration priority during a 256 KiB segment migration",
-        &["policy", "fg_mean_ns", "fg_max_ns"],
-    );
-    for r in &rows {
-        t.row(&[r.policy.clone(), f1(r.fg_mean_ns), f1(r.fg_max_ns)]);
-    }
-    emit("ablate_migration_priority", &t.render(), &to_json(&rows));
-    let delta = rows[1].fg_mean_ns - rows[0].fg_mean_ns;
-    println!("strict-background migration keeps foreground latency {delta:.1} ns lower on average");
+    dtl_bench::drive("ablate_migration_priority");
 }

@@ -1,49 +1,8 @@
-//! Ablation: row-buffer policy under the DTL's rank-MSB mapping. The
-//! Figure 6 layout keeps each 2 MiB segment row-buffer-friendly, which
-//! only pays off under an open-page controller; closed-page (auto
-//! precharge) forfeits those hits.
-
-use dtl_bench::emit;
-use dtl_dram::{AddressMapping, PagePolicy};
-use dtl_sim::experiments::latency_sweep::{measure, SweepConfig};
-use dtl_sim::{f1, pct, to_json, Table};
-use dtl_trace::WorkloadKind;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    policy: String,
-    amat_ns: f64,
-    row_hit_fraction: f64,
-}
+//! Thin driver for the registered `ablate_page_policy` experiment (see
+//! [`dtl_sim::experiments::ablate_page_policy`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let requests = if quick { 8_000 } else { 40_000 };
-    let mut rows = Vec::new();
-    for kind in
-        [WorkloadKind::MediaStreaming, WorkloadKind::DataServing, WorkloadKind::GraphAnalytics]
-    {
-        for policy in [PagePolicy::OpenPage, PagePolicy::ClosedPage] {
-            let mut cfg = SweepConfig::paper(8, AddressMapping::dtl_default(), 0);
-            cfg.requests = requests;
-            cfg.page_policy = policy;
-            let out = measure(&cfg, &kind.spec());
-            rows.push(Row {
-                workload: kind.name().to_string(),
-                policy: format!("{policy:?}"),
-                amat_ns: out.amat.as_ns_f64(),
-                row_hit_fraction: out.row_hit_fraction,
-            });
-        }
-    }
-    let mut t = Table::new(
-        "Ablation: page policy under the DTL mapping",
-        &["workload", "policy", "amat_ns", "row_hits"],
-    );
-    for r in &rows {
-        t.row(&[r.workload.clone(), r.policy.clone(), f1(r.amat_ns), pct(r.row_hit_fraction)]);
-    }
-    emit("ablate_page_policy", &t.render(), &to_json(&rows));
+    dtl_bench::drive("ablate_page_policy");
 }

@@ -1,61 +1,8 @@
-//! Ablation: translation segment size (the paper's §4.1 design decision).
-//!
-//! Sweeps 1 / 2 / 4 MiB and reports the three quantities the paper weighs:
-//! the cold-segment fraction (finer = more cold capacity to harvest), the
-//! mapping-metadata footprint (finer = bigger tables), and the migration
-//! cost per consolidated segment (finer = cheaper individual moves).
-
-use dtl_bench::emit;
-use dtl_sim::experiments::fig10;
-use dtl_sim::{f1, pct, to_json, Table};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    segment_bytes: u64,
-    cold_fraction: f64,
-    sram_kb: f64,
-    dram_kb: f64,
-    migration_ms_per_segment: f64,
-}
+//! Thin driver for the registered `ablate_segment_size` experiment (see
+//! [`dtl_sim::experiments::ablate_segment_size`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let records = if quick { 200_000 } else { 1_000_000 };
-    // Cold fractions at each granularity from the Figure 10 machinery.
-    let fig = fig10::run(11, records, 64);
-    let mut rows = Vec::new();
-    for fr in &fig.rows {
-        let seg = fr.granularity_bytes;
-        // Structure sizes: entry counts scale inversely with segment size.
-        let cfg = dtl_core::OverheadConfig {
-            segment_bytes: seg,
-            ..dtl_core::OverheadConfig::paper_384gb()
-        };
-        let sizes = dtl_core::StructureSizes::compute(&cfg);
-        // Migration time of one segment at the paper's opportunistic
-        // bandwidth (4.6 GB/s, halved for same-channel swap traffic).
-        let migration_ms = seg as f64 / (4.6e9 / 2.0) * 1e3;
-        rows.push(Row {
-            segment_bytes: seg,
-            cold_fraction: fr.cold_fraction,
-            sram_kb: sizes.sram_total() as f64 / 1024.0,
-            dram_kb: sizes.dram_total() as f64 / 1024.0,
-            migration_ms_per_segment: migration_ms,
-        });
-    }
-    let mut t = Table::new(
-        "Ablation: segment size (paper picks 2 MiB, Section 4.1)",
-        &["segment", "cold_fraction", "sram_kb", "dram_kb", "migrate_ms/seg"],
-    );
-    for r in &rows {
-        t.row(&[
-            format!("{}MB", r.segment_bytes >> 20),
-            pct(r.cold_fraction),
-            f1(r.sram_kb),
-            f1(r.dram_kb),
-            format!("{:.2}", r.migration_ms_per_segment),
-        ]);
-    }
-    emit("ablate_segment_size", &t.render(), &to_json(&rows));
+    dtl_bench::drive("ablate_segment_size");
 }

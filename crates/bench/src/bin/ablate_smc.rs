@@ -1,68 +1,8 @@
-//! Ablation: segment mapping cache sizing (the paper picks a 64-entry L1
-//! and a 1024-entry 4-way L2; Table 3/5). Sweeps both levels and reports
-//! measured miss ratios on the mixed trace plus the resulting AMAT adder.
-
-use dtl_bench::emit;
-use dtl_core::{AuId, Dsn, HostId, Hsn, SegmentMappingCache};
-use dtl_cxl::AmatModel;
-use dtl_dram::Picos;
-use dtl_sim::{f1, pct, to_json, Table};
-use dtl_trace::{Mixer, WorkloadKind};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    l1_entries: usize,
-    l2_entries: usize,
-    l1_miss: f64,
-    l2_miss: f64,
-    translation_ns: f64,
-}
+//! Thin driver for the registered `ablate_smc` experiment (see
+//! [`dtl_sim::experiments::ablate_smc`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let accesses = if quick { 100_000 } else { 600_000 };
-    // One mixed post-cache trace reused across all SMC sizings.
-    let specs: Vec<_> = WorkloadKind::TRACED.iter().map(|k| k.spec().scaled(16)).collect();
-    let mut mix = Mixer::new(&specs, 3);
-    let seg = dtl_trace::SEGMENT_BYTES;
-    let trace: Vec<u32> = (0..accesses).map(|_| (mix.next_record().addr / seg) as u32).collect();
-    let mut rows = Vec::new();
-    for l1 in [16usize, 32, 64, 128] {
-        for l2 in [256usize, 1024, 4096] {
-            let mut smc = SegmentMappingCache::new(l1, l2, 4);
-            for s in &trace {
-                let hsn = Hsn { host: HostId(0), au: AuId(s / 1024), au_offset: s % 1024 };
-                let (_, hit) = smc.lookup(hsn);
-                if hit.is_none() {
-                    smc.fill(hsn, Dsn(u64::from(*s)));
-                }
-            }
-            let st = smc.stats();
-            let mut amat = AmatModel::paper(Picos::from_ns(121));
-            amat.l1_miss_ratio = st.l1_miss_ratio();
-            amat.l2_miss_ratio = st.l2_miss_ratio();
-            rows.push(Row {
-                l1_entries: l1,
-                l2_entries: l2,
-                l1_miss: st.l1_miss_ratio(),
-                l2_miss: st.l2_miss_ratio(),
-                translation_ns: amat.translation_overhead().as_ns_f64(),
-            });
-        }
-    }
-    let mut t = Table::new(
-        "Ablation: SMC sizing (paper: 64-entry L1, 1024-entry 4-way L2)",
-        &["l1", "l2", "l1_miss", "l2_miss", "translation_ns"],
-    );
-    for r in &rows {
-        t.row(&[
-            r.l1_entries.to_string(),
-            r.l2_entries.to_string(),
-            pct(r.l1_miss),
-            pct(r.l2_miss),
-            f1(r.translation_ns),
-        ]);
-    }
-    emit("ablate_smc", &t.render(), &to_json(&rows));
+    dtl_bench::drive("ablate_smc");
 }

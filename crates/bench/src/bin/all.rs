@@ -1,45 +1,32 @@
-//! Runs every experiment at (optionally quick) scale — the one-command
-//! reproduction of the paper's evaluation section.
+//! Runs every registered experiment at (optionally `--tiny`/`--quick`)
+//! scale, in process — the one-command reproduction of the paper's
+//! evaluation section. The set of experiments is the
+//! [`dtl_sim::experiments::registry`] itself, so a newly registered
+//! experiment is picked up with no list to maintain here.
+//!
+//! * `--list` — print `name — summary` for every registered experiment
+//!   and exit (CI greps this against `src/bin/` to catch drift).
+//! * Shared flags (`--tiny`, `--seed`, `--jobs`, …) apply to every
+//!   experiment; see the `dtl_bench` crate docs.
 
-use std::process::Command;
+use dtl_bench::ExperimentCli;
+use dtl_sim::experiments::registry;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("bin directory");
-    let bins = [
-        "fig01",
-        "fig02",
-        "fig05",
-        "fig09",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig14",
-        "fig15",
-        "tab04",
-        "tab05",
-        "tab06",
-        "sec6_1",
-        "sec6_6",
-        "sec3_4_reentry",
-        "cache_pipeline",
-        "ablate_segment_size",
-        "ablate_smc",
-        "ablate_hotness_params",
-        "ablate_migration_priority",
-        "ablate_cke_powerdown",
-        "ablate_page_policy",
-        "loaded_latency",
-    ];
-    for b in bins {
-        println!("\n########## {b} ##########");
-        let mut cmd = Command::new(dir.join(b));
-        if quick {
-            cmd.arg("--quick");
+    if std::env::args().any(|a| a == "--list") {
+        for exp in registry() {
+            println!("{} — {}", exp.name(), exp.summary());
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
-        assert!(status.success(), "{b} failed with {status}");
+        return;
     }
-    println!("\nall experiments regenerated; JSON results under results/");
+    let cli = ExperimentCli::from_args();
+    for exp in registry() {
+        println!("\n########## {} ##########", exp.name());
+        if let Err(msg) = dtl_bench::drive_experiment(*exp, &cli) {
+            eprintln!("{msg}");
+            eprintln!("{} failed; aborting the sweep", exp.name());
+            std::process::exit(1);
+        }
+    }
+    println!("\nall {} experiments regenerated; JSON results under results/", registry().len());
 }

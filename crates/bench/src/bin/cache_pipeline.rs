@@ -1,40 +1,8 @@
-//! Validates the §5.2 trace methodology: raw streams through the Table 3
-//! cache hierarchy become low-MAPKI, long-stride post-cache streams.
-
-use dtl_bench::emit;
-use dtl_sim::experiments::cache_pipeline;
-use dtl_sim::{f1, pct, to_json, Table};
-use dtl_trace::WorkloadKind;
+//! Thin driver for the registered `cache_pipeline` experiment (see
+//! [`dtl_sim::experiments::cache_pipeline`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let records = if quick { 200_000 } else { 1_500_000 };
-    let r = cache_pipeline::run(7, records, &WorkloadKind::TRACED);
-    let mut t = Table::new(
-        "Cache pipeline (Section 5.2 methodology)",
-        &[
-            "workload",
-            "raw_apki",
-            "post_mapki",
-            "l1_miss",
-            "l2_miss",
-            "llc_miss",
-            "pre_4m",
-            "post_4m",
-        ],
-    );
-    for row in &r.rows {
-        let (l1, l2, llc) = row.miss_ratios;
-        t.row(&[
-            row.workload.clone(),
-            f1(row.raw_apki),
-            f1(row.post_mapki),
-            pct(l1),
-            pct(l2),
-            pct(llc),
-            pct(row.pre_at_least_4m),
-            pct(row.post_at_least_4m),
-        ]);
-    }
-    emit("cache_pipeline", &t.render(), &to_json(&r));
+    dtl_bench::drive("cache_pipeline");
 }

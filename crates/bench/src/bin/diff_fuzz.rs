@@ -1,55 +1,8 @@
-//! Runs the differential fuzzer: the cycle-level DTL device and the flat
-//! reference model (`dtl-check`) replay seeded random op streams in
-//! lockstep while an external invariant suite cross-checks translation
-//! bijectivity, residency conservation, power safety, and shadowed
-//! segment contents. The acceptance batch drives ≥ 10 000 ops over ≥ 20
-//! seeds (including deterministic fault plans) and must report zero
-//! violations.
-//!
-//! * `--smoke` — the time-boxed CI batch (a few seconds, fixed seeds).
-//! * `--seeds N` / `--ops N` — override the clean-seed count / ops per
-//!   seed of the acceptance batch.
-//! * `--replay JSON` — re-run a shrunk counterexample printed by a
-//!   failing run and exit nonzero if it still fails.
-
-use dtl_bench::{emit, render};
-use dtl_check::Counterexample;
-use dtl_sim::experiments::diff_fuzz;
-use dtl_sim::{to_json, CheckRunConfig};
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-}
+//! Thin driver for the registered `diff_fuzz` experiment (see
+//! [`dtl_sim::experiments::diff_fuzz`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    if let Some(json) = arg_value("--replay") {
-        let ce = Counterexample::from_json(&json).expect("parse counterexample JSON");
-        match ce.reproduce() {
-            Some(failure) => {
-                eprintln!("reproduced: {failure}");
-                std::process::exit(1);
-            }
-            None => {
-                println!("counterexample no longer fails ({} ops)", ce.ops.len());
-                return;
-            }
-        }
-    }
-
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let mut cfg = if smoke { CheckRunConfig::smoke() } else { CheckRunConfig::acceptance() };
-    if let Some(n) = arg_value("--seeds").and_then(|v| v.parse::<u64>().ok()) {
-        cfg.clean_seeds = (0..n).collect();
-    }
-    if let Some(n) = arg_value("--ops").and_then(|v| v.parse::<usize>().ok()) {
-        cfg.ops_per_seed = n;
-    }
-
-    let r = diff_fuzz::run(&cfg);
-    emit("diff_fuzz", &render::diff_fuzz(&r).render(), &to_json(&r));
-    if let Some(ce) = &r.first_counterexample {
-        eprintln!("first counterexample (replay with --replay '<json>'):\n{ce}");
-        std::process::exit(1);
-    }
+    dtl_bench::drive("diff_fuzz");
 }

@@ -1,22 +1,8 @@
-//! Runs the fault campaign: the Figure 12 VM schedule replayed fault-free
-//! and under a deterministic fault load (ECC noise, an error storm on one
-//! victim rank, CXL link CRC corruption, migration interruptions), and
-//! reports the capacity, energy, and latency cost of the faults.
-//!
-//! Pass `--trace-out PATH` for a Chrome/Perfetto trace of the faulted
-//! replay (fault strikes, health transitions, CXL retries, power spans)
-//! and `--metrics-out PATH` for the metrics dump including the
-//! `fault.released.*` counters.
-
-use dtl_bench::{emit, render, TelemetryCli};
-use dtl_sim::experiments::fault_campaign;
-use dtl_sim::{to_json, FaultRunConfig};
+//! Thin driver for the registered `fault_campaign` experiment (see
+//! [`dtl_sim::experiments::fault_campaign`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let telemetry = TelemetryCli::from_args();
-    let cfg = if quick { FaultRunConfig::tiny_storm(1) } else { fault_campaign::paper(1) };
-    let r = fault_campaign::run_traced(&cfg, telemetry.telemetry()).expect("fault campaign replay");
-    emit("fault_campaign", &render::fault_campaign(&r).render(), &to_json(&r));
-    telemetry.finish_at(dtl_dram::Picos::from_secs(u64::from(cfg.run.duration_min) * 60).as_ps());
+    dtl_bench::drive("fault_campaign");
 }

@@ -1,10 +1,8 @@
-//! Regenerates Figure 1: VM memory usage profiling.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::fig01;
-use dtl_sim::to_json;
+//! Thin driver for the registered `fig01` experiment (see
+//! [`dtl_sim::experiments::fig01`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let r = fig01::run(1);
-    emit("fig01", &render::fig01(&r).render(), &to_json(&r));
+    dtl_bench::drive("fig01");
 }

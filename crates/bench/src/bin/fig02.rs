@@ -1,13 +1,8 @@
-//! Regenerates Figure 2: performance with varying numbers of active ranks.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::fig02;
-use dtl_sim::to_json;
-use dtl_trace::WorkloadKind;
+//! Thin driver for the registered `fig02` experiment (see
+//! [`dtl_sim::experiments::fig02`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let requests = if quick { 10_000 } else { 60_000 };
-    let r = fig02::run(requests, &WorkloadKind::ALL);
-    emit("fig02", &render::fig02(&r).render(), &to_json(&r));
+    dtl_bench::drive("fig02");
 }

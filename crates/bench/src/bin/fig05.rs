@@ -1,14 +1,8 @@
-//! Regenerates Figure 5: the cost of disabling rank interleaving, local vs
-//! CXL.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::fig05;
-use dtl_sim::to_json;
-use dtl_trace::WorkloadKind;
+//! Thin driver for the registered `fig05` experiment (see
+//! [`dtl_sim::experiments::fig05`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let requests = if quick { 10_000 } else { 60_000 };
-    let r = fig05::run(requests, &WorkloadKind::TRACED);
-    emit("fig05", &render::fig05(&r).render(), &to_json(&r));
+    dtl_bench::drive("fig05");
 }

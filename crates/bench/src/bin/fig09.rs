@@ -1,12 +1,8 @@
-//! Regenerates Figure 9: post-cache stride distributions.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::fig09;
-use dtl_sim::to_json;
+//! Thin driver for the registered `fig09` experiment (see
+//! [`dtl_sim::experiments::fig09`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let records = if quick { 50_000 } else { 400_000 };
-    let r = fig09::run(1, records, 16);
-    emit("fig09", &render::fig09(&r).render(), &to_json(&r));
+    dtl_bench::drive("fig09");
 }

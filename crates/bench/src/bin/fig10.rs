@@ -1,12 +1,8 @@
-//! Regenerates Figure 10: segment size vs segment access distance.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::fig10;
-use dtl_sim::to_json;
+//! Thin driver for the registered `fig10` experiment (see
+//! [`dtl_sim::experiments::fig10`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (records, scale) = if quick { (200_000, 64) } else { (2_000_000, 64) };
-    let r = fig10::run(11, records, scale);
-    emit("fig10", &render::fig10(&r).render(), &to_json(&r));
+    dtl_bench::drive("fig10");
 }

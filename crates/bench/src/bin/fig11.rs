@@ -1,11 +1,8 @@
-//! Regenerates Figure 11: the DRAM power model.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::fig11;
-use dtl_sim::to_json;
+//! Thin driver for the registered `fig11` experiment (see
+//! [`dtl_sim::experiments::fig11`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let r = fig11::run();
-    let (a, b) = render::fig11(&r);
-    emit("fig11", &format!("{}\n{}", a.render(), b.render()), &to_json(&r));
+    dtl_bench::drive("fig11");
 }

@@ -1,26 +1,8 @@
-//! Regenerates Figures 12 and 13: rank-level power-down over a 6-hour VM
-//! schedule (runtime power, energy savings, breakdown).
-//!
-//! Pass `--trace-out PATH` for a Chrome/Perfetto power-state trace of the
-//! DTL replay and `--metrics-out PATH` for the metrics dump.
-
-use dtl_bench::{emit, render, TelemetryCli};
-use dtl_sim::experiments::fig12;
-use dtl_sim::{to_json, PowerDownRunConfig};
+//! Thin driver for the registered `fig12` experiment (see
+//! [`dtl_sim::experiments::fig12`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let telemetry = TelemetryCli::from_args();
-    let cfg =
-        if quick { PowerDownRunConfig::tiny(1, true) } else { PowerDownRunConfig::paper(1, true) };
-    // Execution-overhead inputs: Figure 5's CXL interleaving cost plus the
-    // Section 6.1 translation inflation.
-    let r =
-        fig12::run_traced(&cfg, (0.014, 0.0018), telemetry.telemetry()).expect("schedule replay");
-    emit(
-        "fig12",
-        &format!("{}\n{}", render::fig12(&r).render(), render::fig13(&r).render()),
-        &to_json(&r),
-    );
-    telemetry.finish_at(dtl_dram::Picos::from_secs(u64::from(cfg.duration_min) * 60).as_ps());
+    dtl_bench::drive("fig12");
 }

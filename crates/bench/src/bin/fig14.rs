@@ -1,30 +1,8 @@
-//! Regenerates Figure 14: additional savings from hotness-aware
-//! self-refresh at the paper's allocation points.
-//!
-//! Pass `--trace-out PATH` / `--metrics-out PATH` for telemetry from one
-//! additional traced treatment replay at the first allocation point (the
-//! sweep itself replays several independent devices whose timelines would
-//! not compose into one trace).
-
-use dtl_bench::{emit, render, TelemetryCli};
-use dtl_sim::experiments::fig14;
-use dtl_sim::{run_hotness_traced, to_json, HotnessRunConfig};
+//! Thin driver for the registered `fig14` experiment (see
+//! [`dtl_sim::experiments::fig14`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let telemetry = TelemetryCli::from_args();
-    let mut base = HotnessRunConfig::paper_scaled(1, 6, 208.0 / 288.0);
-    if quick {
-        base.accesses = 1_000_000;
-        base.scale = 256;
-    }
-    let r = fig14::run(&base, &fig14::PAPER_POINTS).expect("hotness replay");
-    emit("fig14", &render::fig14(&r).render(), &to_json(&r));
-    if telemetry.enabled() {
-        let (_, ranks, frac) = fig14::PAPER_POINTS[0];
-        let cfg = HotnessRunConfig { active_ranks: ranks, allocated_fraction: frac, ..base };
-        let traced =
-            run_hotness_traced(&cfg, telemetry.telemetry()).expect("traced hotness replay");
-        telemetry.finish_at(traced.duration.as_ps());
-    }
+    dtl_bench::drive("fig14");
 }

@@ -1,16 +1,8 @@
-//! Regenerates Figure 15: total savings from both mechanisms stacked.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::{fig14, fig15};
-use dtl_sim::{to_json, HotnessRunConfig};
+//! Thin driver for the registered `fig15` experiment (see
+//! [`dtl_sim::experiments::fig15`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut base = HotnessRunConfig::paper_scaled(1, 6, 208.0 / 288.0);
-    if quick {
-        base.accesses = 1_000_000;
-        base.scale = 256;
-    }
-    let r = fig15::run(&base, 8, &fig14::PAPER_POINTS).expect("hotness replay");
-    emit("fig15", &render::fig15(&r).render(), &to_json(&r));
+    dtl_bench::drive("fig15");
 }

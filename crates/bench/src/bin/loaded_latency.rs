@@ -1,20 +1,8 @@
-//! Validates the loaded-latency model against the cycle-level simulator
-//! (standard memory bandwidth-latency characterization, cf. Intel MLC).
-
-use dtl_bench::emit;
-use dtl_sim::experiments::loaded_latency;
-use dtl_sim::{f1, to_json, Table};
+//! Thin driver for the registered `loaded_latency` experiment (see
+//! [`dtl_sim::experiments::loaded_latency`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let requests = if quick { 4_000 } else { 20_000 };
-    let r = loaded_latency::run(3, requests);
-    let mut t = Table::new(
-        "Loaded latency - cycle simulator vs M/D/1 model (one channel)",
-        &["offered_gbps", "measured_ns", "model_ns"],
-    );
-    for p in &r.points {
-        t.row(&[f1(p.offered / 1e9), f1(p.measured_ns), p.predicted_ns.map_or("-".into(), f1)]);
-    }
-    emit("loaded_latency", &t.render(), &to_json(&r));
+    dtl_bench::drive("loaded_latency");
 }

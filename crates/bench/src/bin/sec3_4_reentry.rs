@@ -1,31 +1,8 @@
-//! Reproduces the §3.4 re-entry claim: after a self-refreshing victim rank
-//! is woken by an access, most of its segments are still cold, so
-//! re-entering self-refresh needs only a little migration.
-
-use dtl_bench::emit;
-use dtl_sim::{run_reentry, to_json, HotnessRunConfig, Table};
+//! Thin driver for the registered `sec3_4_reentry` experiment (see
+//! [`dtl_sim::experiments::sec3_4_reentry`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = HotnessRunConfig::paper_scaled(1, 6, 224.0 / 288.0);
-    if quick {
-        cfg = HotnessRunConfig {
-            allocated_fraction: 0.8,
-            accesses: 2_000_000,
-            ..HotnessRunConfig::tiny(5, true)
-        };
-    }
-    let r = run_reentry(&cfg).expect("re-entry study");
-    let mut t = Table::new("Section 3.4 - self-refresh exit and re-entry", &["metric", "value"]);
-    t.row(&["migrations before first SR entries".into(), r.initial_migrations.to_string()]);
-    t.row(&["probes until a victim woke".into(), r.probes_to_wake.to_string()]);
-    t.row(&["migrations to re-enter".into(), r.reentry_migrations.to_string()]);
-    t.row(&["time to re-enter".into(), r.reentry_time.to_string()]);
-    t.row(&["total SR entries".into(), r.sr_entries.to_string()]);
-    emit("sec3_4_reentry", &t.render(), &to_json(&r));
-    println!(
-        "re-entry needed {} migrations vs {} during warmup — most victim \
-         segments stayed cold, as the paper claims",
-        r.reentry_migrations, r.initial_migrations
-    );
+    dtl_bench::drive("sec3_4_reentry");
 }

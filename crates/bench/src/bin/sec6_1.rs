@@ -1,12 +1,8 @@
-//! Regenerates Section 6.1: AMAT under DTL translation.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::sec6_1;
-use dtl_sim::to_json;
+//! Thin driver for the registered `sec6_1` experiment (see
+//! [`dtl_sim::experiments::sec6_1`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let accesses = if quick { 200_000 } else { 2_000_000 };
-    let r = sec6_1::run(3, accesses, 16).expect("SMC replay");
-    emit("sec6_1", &render::sec6_1(&r).render(), &to_json(&r));
+    dtl_bench::drive("sec6_1");
 }

@@ -1,26 +1,8 @@
-//! Regenerates the §6.6 scaling claim: a larger device (more channels and
-//! ranks) loses even less from disabling rank interleaving.
-
-use dtl_bench::emit;
-use dtl_sim::experiments::sec6_6;
-use dtl_sim::{pct, to_json, Table};
-use dtl_trace::WorkloadKind;
+//! Thin driver for the registered `sec6_6` experiment (see
+//! [`dtl_sim::experiments::sec6_6`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let requests = if quick { 8_000 } else { 40_000 };
-    let r = sec6_6::run(requests, &WorkloadKind::TRACED);
-    let mut t = Table::new(
-        "Section 6.6 - device scaling and the cost of the DTL mapping",
-        &["device", "channels", "ranks/ch", "mean_slowdown"],
-    );
-    for row in &r.rows {
-        t.row(&[
-            row.label.clone(),
-            row.channels.to_string(),
-            row.ranks_per_channel.to_string(),
-            pct(row.mean_slowdown - 1.0),
-        ]);
-    }
-    emit("sec6_6", &t.render(), &to_json(&r));
+    dtl_bench::drive("sec6_6");
 }

@@ -1,10 +1,8 @@
-//! Regenerates Table 4: per-workload MAPKI calibration.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::tab04;
-use dtl_sim::to_json;
+//! Thin driver for the registered `tab04` experiment (see
+//! [`dtl_sim::experiments::tab04`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let r = tab04::run(1, 100_000);
-    emit("tab04", &render::tab04(&r).render(), &to_json(&r));
+    dtl_bench::drive("tab04");
 }

@@ -1,10 +1,8 @@
-//! Regenerates Table 5: DTL structure sizes at 384 GB and 4 TB.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::tab05;
-use dtl_sim::to_json;
+//! Thin driver for the registered `tab05` experiment (see
+//! [`dtl_sim::experiments::tab05`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let r = tab05::run();
-    emit("tab05", &render::tab05(&r).render(), &to_json(&r));
+    dtl_bench::drive("tab05");
 }

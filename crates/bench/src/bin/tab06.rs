@@ -1,10 +1,8 @@
-//! Regenerates Table 6: CXL controller power and area at 7 nm.
-
-use dtl_bench::{emit, render};
-use dtl_sim::experiments::tab06;
-use dtl_sim::to_json;
+//! Thin driver for the registered `tab06` experiment (see
+//! [`dtl_sim::experiments::tab06`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
 
 fn main() {
-    let r = tab06::run();
-    emit("tab06", &render::tab06(&r).render(), &to_json(&r));
+    dtl_bench::drive("tab06");
 }

@@ -1,125 +1,145 @@
-//! # dtl-bench — table/figure renderers and the regeneration binaries
+//! # dtl-bench — the uniform experiment driver and its binaries
 //!
-//! Each `src/bin/figNN.rs` / `tabNN.rs` binary runs the matching
-//! `dtl_sim::experiments` module at paper scale, prints the rows the paper
-//! reports, and drops machine-readable JSON under `results/`.
+//! Every `src/bin/<name>.rs` binary is one line: `dtl_bench::drive("<name>")`.
+//! The driver resolves the experiment in the
+//! [`dtl_sim::experiments::registry`], parses the shared CLI surface, runs
+//! it, prints the rendered tables, and drops machine-readable JSON under
+//! `results/`.
+//!
+//! Shared flags (every binary):
+//!
+//! * `--tiny` (alias `--quick`) — reduced scale instead of paper scale;
+//! * `--seed N` — override the experiment's historical default seed;
+//! * `--jobs N` — worker count for the deterministic [`dtl_sim::exec`]
+//!   engine; output is bit-identical for every value (default: all cores);
+//! * `--out PATH` — JSON destination (default `results/<name>.json`);
+//! * `--trace-out PATH` — Chrome `trace_event` JSON (open in Perfetto or
+//!   `chrome://tracing`; one track per rank showing power-state residency
+//!   spans) plus the raw event stream as JSONL next to it (`PATH` with a
+//!   `.jsonl` extension);
+//! * `--metrics-out PATH` — the plain-text metrics dump.
+//!
+//! Experiment-specific flags (e.g. `diff_fuzz --replay`) pass through via
+//! [`RunContext::args`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod render;
+pub use dtl_sim::render;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use dtl_sim::experiments::{Experiment, RunContext};
 use dtl_telemetry::{chrome_trace, jsonl, MetricsRegistry, PowerTimeline, RingSink, Telemetry};
 
-/// Prints `text` and writes `json` to `results/<name>.json`.
-///
-/// # Panics
-///
-/// Panics if the results directory cannot be created or written — the
-/// binaries have nothing useful to do without their output.
-pub fn emit(name: &str, text: &str, json: &str) {
-    println!("{text}");
-    let dir = Path::new("results");
-    fs::create_dir_all(dir).expect("create results directory");
-    let path = dir.join(format!("{name}.json"));
-    fs::write(&path, json).expect("write results JSON");
-    eprintln!("[saved {}]", path.display());
-}
+/// Ring capacity: a fig10/fig12-class run emits well under a million
+/// events; overflow is reported, not silently truncated mid-run.
+const RING_CAPACITY: usize = 1 << 20;
 
-/// Telemetry plumbing shared by the experiment binaries.
-///
-/// Parses `--trace-out PATH` and `--metrics-out PATH` from the command
-/// line. When either flag is present, [`TelemetryCli::telemetry`] carries a
-/// live ring-buffer sink (and a metrics registry); otherwise it is the
-/// disabled no-op handle and the replay pays only dead branches.
-///
-/// [`TelemetryCli::finish`] writes the outputs:
-/// * `--trace-out PATH` — a Chrome `trace_event` JSON (open in Perfetto or
-///   `chrome://tracing`; one track per rank showing power-state residency
-///   spans) plus the raw event stream as JSONL next to it (`PATH` with a
-///   `.jsonl` extension);
-/// * `--metrics-out PATH` — the plain-text metrics dump.
+/// The CLI surface shared by every experiment binary. Parse once with
+/// [`ExperimentCli::from_args`], hand [`ExperimentCli::context`] to the
+/// experiment, then [`ExperimentCli::finish`] the telemetry outputs.
 #[derive(Debug)]
-pub struct TelemetryCli {
+pub struct ExperimentCli {
+    /// `--tiny` / `--quick`: reduced scale.
+    pub tiny: bool,
+    /// `--seed N` override.
+    pub seed: Option<u64>,
+    /// `--jobs N` worker count (defaults to all cores; output is
+    /// bit-identical for every value).
+    pub jobs: usize,
+    /// `--out PATH` JSON destination override.
+    pub out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     sink: Option<Arc<RingSink>>,
     registry: Arc<MetricsRegistry>,
     telemetry: Telemetry,
+    args: Vec<String>,
 }
 
-impl TelemetryCli {
-    /// Ring capacity: a fig10/fig12-class run emits well under a million
-    /// events; overflow is reported, not silently truncated mid-run.
-    const RING_CAPACITY: usize = 1 << 20;
-
+impl ExperimentCli {
     /// Parses the process arguments.
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().collect())
+        Self::parse(std::env::args().skip(1).collect())
     }
 
     fn parse(args: Vec<String>) -> Self {
-        let value_of = |flag: &str| -> Option<PathBuf> {
-            args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(PathBuf::from)
+        let value_of = |flag: &str| -> Option<&String> {
+            args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
         };
-        let trace_out = value_of("--trace-out");
-        let metrics_out = value_of("--metrics-out");
+        let parsed = |flag: &str| -> Option<u64> {
+            value_of(flag).map(|v| {
+                v.parse().unwrap_or_else(|_| panic!("{flag} expects an integer, got {v:?}"))
+            })
+        };
+        let tiny = args.iter().any(|a| a == "--tiny" || a == "--quick");
+        let seed = parsed("--seed");
+        let jobs =
+            parsed("--jobs").map_or_else(dtl_sim::exec::available_jobs, |n| (n as usize).max(1));
+        let out = value_of("--out").map(PathBuf::from);
+        let trace_out = value_of("--trace-out").map(PathBuf::from);
+        let metrics_out = value_of("--metrics-out").map(PathBuf::from);
         let registry = Arc::new(MetricsRegistry::new());
         let (sink, telemetry) = if trace_out.is_some() || metrics_out.is_some() {
-            let sink = Arc::new(RingSink::with_capacity(Self::RING_CAPACITY));
+            let sink = Arc::new(RingSink::with_capacity(RING_CAPACITY));
             let telemetry = Telemetry::new(sink.clone() as Arc<dyn dtl_telemetry::TelemetrySink>)
                 .with_metrics(registry.clone());
             (Some(sink), telemetry)
         } else {
             (None, Telemetry::disabled())
         };
-        TelemetryCli { trace_out, metrics_out, sink, registry, telemetry }
+        ExperimentCli {
+            tiny,
+            seed,
+            jobs,
+            out,
+            trace_out,
+            metrics_out,
+            sink,
+            registry,
+            telemetry,
+            args,
+        }
     }
 
-    /// The handle to pass into `*_traced` runners (disabled when no
-    /// telemetry flag was given).
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
+    /// The [`RunContext`] this invocation describes.
+    pub fn context(&self) -> RunContext {
+        RunContext {
+            tiny: self.tiny,
+            seed: self.seed,
+            jobs: self.jobs,
+            telemetry: self.telemetry.clone(),
+            args: self.args.clone(),
+        }
     }
 
-    /// The metrics registry behind [`TelemetryCli::telemetry`].
+    /// The metrics registry behind the context's telemetry handle.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
     }
 
     /// Whether any telemetry output was requested.
-    pub fn enabled(&self) -> bool {
+    pub fn telemetry_enabled(&self) -> bool {
         self.trace_out.is_some() || self.metrics_out.is_some()
     }
 
-    /// Drains the sink and writes the requested outputs, closing the
-    /// power-state timeline at the last event. Prefer
-    /// [`TelemetryCli::finish_at`] when the run's true end time is known —
-    /// it also credits residency accrued after the final transition.
+    /// The JSON destination for experiment `name`.
+    fn json_path(&self, name: &str) -> PathBuf {
+        self.out.clone().unwrap_or_else(|| Path::new("results").join(format!("{name}.json")))
+    }
+
+    /// Drains the sink and writes the requested telemetry outputs, closing
+    /// every rank's open power-state span at `horizon_ps` when given (the
+    /// replay horizon) or at the last recorded event otherwise.
     ///
     /// # Panics
     ///
-    /// Panics if an output path cannot be written — like [`emit`], the
-    /// binaries have nothing useful to do without their output.
-    pub fn finish(&self) {
-        self.finish_inner(None);
-    }
-
-    /// Like [`TelemetryCli::finish`], but closes every rank's open span at
-    /// `end_ps` (the replay horizon) instead of the last recorded event.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an output path cannot be written.
-    pub fn finish_at(&self, end_ps: u64) {
-        self.finish_inner(Some(end_ps));
-    }
-
-    fn finish_inner(&self, horizon_ps: Option<u64>) {
+    /// Panics if an output path cannot be written — the binaries have
+    /// nothing useful to do without their output.
+    pub fn finish(&self, horizon_ps: Option<u64>) {
         if let (Some(path), Some(sink)) = (&self.trace_out, &self.sink) {
             let events = sink.drain();
             if sink.dropped() > 0 {
@@ -141,5 +161,97 @@ impl TelemetryCli {
             fs::write(path, self.registry.render_text()).expect("write metrics dump");
             eprintln!("[metrics saved {}]", path.display());
         }
+    }
+}
+
+/// Runs the registered experiment `name` under the process arguments —
+/// the entire body of every experiment binary. Exits nonzero on a device
+/// error or an acceptance failure.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the registry or an output path cannot be
+/// written.
+pub fn drive(name: &str) {
+    let exp = dtl_sim::experiments::find(name)
+        .unwrap_or_else(|| panic!("{name} is not in the experiment registry"));
+    let cli = ExperimentCli::from_args();
+    if let Err(msg) = drive_experiment(exp, &cli) {
+        eprintln!("{msg}");
+        std::process::exit(1);
+    }
+}
+
+/// Runs one registry entry under an already-parsed CLI: build the context,
+/// run, print the tables, write `results/<name>.json`, flush telemetry.
+/// The `Err` carries the message to report before exiting nonzero.
+///
+/// # Errors
+///
+/// Device errors and [`RunOutput::failure`](dtl_sim::experiments::RunOutput)
+/// acceptance failures.
+///
+/// # Panics
+///
+/// Panics if an output path cannot be written.
+pub fn drive_experiment(exp: &dyn Experiment, cli: &ExperimentCli) -> Result<(), String> {
+    let ctx = cli.context();
+    let out = exp.run(&ctx).map_err(|e| format!("{}: {e}", exp.name()))?;
+    if !out.text.is_empty() {
+        println!("{}", out.text);
+    }
+    if let Some(json) = &out.json {
+        let path = cli.json_path(exp.name());
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).expect("create results directory");
+        }
+        fs::write(&path, json).expect("write results JSON");
+        eprintln!("[saved {}]", path.display());
+    }
+    cli.finish(out.horizon_ps);
+    match out.failure {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> ExperimentCli {
+        ExperimentCli::parse(args.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn parses_the_shared_surface() {
+        let c = cli(&["--tiny", "--seed", "9", "--jobs", "3", "--out", "x.json"]);
+        assert!(c.tiny);
+        assert_eq!(c.seed, Some(9));
+        assert_eq!(c.jobs, 3);
+        assert_eq!(c.out.as_deref(), Some(Path::new("x.json")));
+        assert!(!c.telemetry_enabled());
+        assert!(!c.context().telemetry.enabled());
+    }
+
+    #[test]
+    fn quick_is_a_tiny_alias_and_jobs_defaults_to_cores() {
+        let c = cli(&["--quick"]);
+        assert!(c.tiny);
+        assert_eq!(c.jobs, dtl_sim::exec::available_jobs());
+        assert_eq!(c.json_path("fig02"), Path::new("results").join("fig02.json"));
+    }
+
+    #[test]
+    fn telemetry_flags_enable_the_ring_sink() {
+        let c = cli(&["--trace-out", "/tmp/t.json"]);
+        assert!(c.telemetry_enabled());
+        assert!(c.context().telemetry.enabled());
+        assert!(c.context().telemetry.metrics().is_some());
+    }
+
+    #[test]
+    fn jobs_zero_is_clamped_to_one() {
+        assert_eq!(cli(&["--jobs", "0"]).jobs, 1);
     }
 }

@@ -89,21 +89,32 @@ impl CheckRunResult {
     }
 }
 
-/// Runs the whole batch. Deterministic: equal configs yield equal results.
+/// Runs the whole batch sequentially. Deterministic: equal configs yield
+/// equal results. Equivalent to [`run_checks_jobs`] at `jobs = 1`.
 pub fn run_checks(cfg: &CheckRunConfig) -> CheckRunResult {
-    let mut seeds = Vec::with_capacity(cfg.clean_seeds.len() + cfg.faulted_seeds.len());
-    let runs = cfg
+    run_checks_jobs(cfg, 1)
+}
+
+/// Runs the whole batch with seeds sharded across up to `jobs` workers.
+///
+/// Each seed is an independent work unit — its own device, oracle, and
+/// preassigned RNG stream — so the result (including every per-seed row
+/// and the aggregation order) is **bit-identical** for every `jobs` value;
+/// only wall-clock time changes.
+pub fn run_checks_jobs(cfg: &CheckRunConfig, jobs: usize) -> CheckRunResult {
+    let runs: Vec<(u64, bool)> = cfg
         .clean_seeds
         .iter()
         .map(|&s| (s, false))
-        .chain(cfg.faulted_seeds.iter().map(|&s| (s, true)));
-    for (seed, faulted) in runs {
+        .chain(cfg.faulted_seeds.iter().map(|&s| (s, true)))
+        .collect();
+    let seeds = crate::exec::run_units(jobs, runs, |_, (seed, faulted)| {
         let setup = if faulted {
             CheckSetup::tiny_faulted(seed, cfg.ops_per_seed)
         } else {
             CheckSetup::tiny(seed, cfg.ops_per_seed)
         };
-        let row = match fuzz(&setup) {
+        match fuzz(&setup) {
             FuzzOutcome::Clean(stats) => SeedResult {
                 seed,
                 faulted,
@@ -124,9 +135,8 @@ pub fn run_checks(cfg: &CheckRunConfig) -> CheckRunResult {
                 deep_checks: 0,
                 counterexample: Some(*ce),
             },
-        };
-        seeds.push(row);
-    }
+        }
+    });
     let total_ops = seeds.iter().map(|s| s.executed).sum();
     let total_accesses = seeds.iter().map(|s| s.accesses).sum();
     let total_checks = seeds.iter().map(|s| s.full_checks).sum();

@@ -1,0 +1,77 @@
+//! **Ablation** — translation segment size (the paper's §4.1 design
+//! decision).
+//!
+//! Sweeps 1 / 2 / 4 MiB and reports the three quantities the paper weighs:
+//! the cold-segment fraction (finer = more cold capacity to harvest), the
+//! mapping-metadata footprint (finer = bigger tables), and the migration
+//! cost per consolidated segment (finer = cheaper individual moves).
+
+use serde::{Deserialize, Serialize};
+
+use super::fig10;
+
+/// One segment-size point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentSizeRow {
+    /// Segment size, bytes.
+    pub segment_bytes: u64,
+    /// Cold-capacity fraction at this granularity (Figure 10 machinery).
+    pub cold_fraction: f64,
+    /// On-controller SRAM footprint, KiB.
+    pub sram_kb: f64,
+    /// In-DRAM table footprint, KiB.
+    pub dram_kb: f64,
+    /// Migration time per consolidated segment, ms.
+    pub migration_ms_per_segment: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentSizeResult {
+    /// One row per granularity, finest first.
+    pub rows: Vec<SegmentSizeRow>,
+}
+
+/// Runs the study. A single Figure 10 replay feeds every granularity (the
+/// cold fractions come from one shared trace walk), so the experiment is a
+/// single work unit; the downstream table arithmetic is deterministic.
+pub fn run(seed: u64, records: usize) -> SegmentSizeResult {
+    let fig = fig10::run(seed, records, 64);
+    let mut rows = Vec::new();
+    for fr in &fig.rows {
+        let seg = fr.granularity_bytes;
+        // Structure sizes: entry counts scale inversely with segment size.
+        let cfg = dtl_core::OverheadConfig {
+            segment_bytes: seg,
+            ..dtl_core::OverheadConfig::paper_384gb()
+        };
+        let sizes = dtl_core::StructureSizes::compute(&cfg);
+        // Migration time of one segment at the paper's opportunistic
+        // bandwidth (4.6 GB/s, halved for same-channel swap traffic).
+        let migration_ms = seg as f64 / (4.6e9 / 2.0) * 1e3;
+        rows.push(SegmentSizeRow {
+            segment_bytes: seg,
+            cold_fraction: fr.cold_fraction,
+            sram_kb: sizes.sram_total() as f64 / 1024.0,
+            dram_kb: sizes.dram_total() as f64 / 1024.0,
+            migration_ms_per_segment: migration_ms,
+        });
+    }
+    SegmentSizeResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_segments_trade_tables_for_cold_capacity() {
+        let r = run(11, 120_000);
+        assert_eq!(r.rows.len(), 3);
+        for w in r.rows.windows(2) {
+            assert!(w[0].segment_bytes < w[1].segment_bytes, "finest first");
+            assert!(w[0].sram_kb >= w[1].sram_kb, "finer granularity needs bigger tables: {w:?}");
+            assert!(w[0].migration_ms_per_segment < w[1].migration_ms_per_segment);
+        }
+    }
+}

@@ -47,11 +47,22 @@ pub struct CachePipelineResult {
 /// core-side intensity (~300 accesses per kilo-instruction — roughly one
 /// load/store per three instructions).
 pub fn run(seed: u64, records: usize, workloads: &[WorkloadKind]) -> CachePipelineResult {
+    run_jobs(seed, records, workloads, 1)
+}
+
+/// Like [`run`], with one worker unit per workload — every workload owns
+/// its own generator, RNG, recency buffer, and hierarchy, so the sharding
+/// is exact.
+pub fn run_jobs(
+    seed: u64,
+    records: usize,
+    workloads: &[WorkloadKind],
+    jobs: usize,
+) -> CachePipelineResult {
     const RAW_APKI: f64 = 300.0;
     const REUSE_PROB: f64 = 0.88;
     const RECENCY_LINES: usize = 16 * 1024; // spans L2, inside the LLC
-    let mut rows = Vec::new();
-    for kind in workloads {
+    let rows = crate::exec::run_units(jobs, workloads.to_vec(), |_, kind| {
         let spec = kind.spec().scaled(64);
         let mut gen = TraceGen::new(spec, seed);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xcafe);
@@ -83,15 +94,15 @@ pub fn run(seed: u64, records: usize, workloads: &[WorkloadKind]) -> CachePipeli
         }
         let instr_total = records as f64 * 1000.0 / RAW_APKI;
         let (l1, l2, llc) = hierarchy.miss_ratios();
-        rows.push(PipelineRow {
+        PipelineRow {
             workload: kind.name().to_string(),
             raw_apki: RAW_APKI,
             post_mapki: post_count as f64 * 1000.0 / instr_total,
             miss_ratios: (l1, l2, llc),
             pre_at_least_4m: pre.fraction_at_least_4m(),
             post_at_least_4m: post.fraction_at_least_4m(),
-        });
-    }
+        }
+    });
     CachePipelineResult { rows }
 }
 

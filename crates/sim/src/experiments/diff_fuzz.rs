@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::check_run::{run_checks, CheckRunConfig, CheckRunResult};
+use crate::check_run::{run_checks_jobs, CheckRunConfig, CheckRunResult};
 
 /// Summary row of one differential-fuzz batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,9 +35,16 @@ pub struct DiffFuzzResult {
     pub batch: CheckRunResult,
 }
 
-/// Runs one differential-fuzz batch and summarizes it.
+/// Runs one differential-fuzz batch and summarizes it. Equivalent to
+/// [`run_jobs`] at `jobs = 1`.
 pub fn run(cfg: &CheckRunConfig) -> DiffFuzzResult {
-    let batch = run_checks(cfg);
+    run_jobs(cfg, 1)
+}
+
+/// Like [`run`], with the batch's seeds sharded across up to `jobs`
+/// workers (each seed is an independent lockstep replay).
+pub fn run_jobs(cfg: &CheckRunConfig, jobs: usize) -> DiffFuzzResult {
+    let batch = run_checks_jobs(cfg, jobs);
     DiffFuzzResult {
         seeds: batch.seeds.len() as u64,
         faulted_seeds: batch.seeds.iter().filter(|s| s.faulted).count() as u64,

@@ -55,9 +55,34 @@ pub fn run_traced(
     cfg: &FaultRunConfig,
     telemetry: &dtl_telemetry::Telemetry,
 ) -> Result<FaultCampaignResult, DtlError> {
-    let quiet = FaultRunConfig::fault_free(cfg.faults.seed, cfg.run);
-    let baseline = run_faulted(&quiet)?;
-    let faulted = crate::run_faulted_traced(cfg, telemetry)?;
+    run_jobs_traced(cfg, telemetry, 1)
+}
+
+/// Like [`run_traced`], with the quiet baseline and the faulted replay as
+/// two parallel work units. The baseline unit keeps its telemetry disabled
+/// (as in the sequential path) and the faulted unit records into a
+/// per-unit buffer merged back in unit order, so the emitted trace is
+/// bit-identical for any `jobs`.
+///
+/// # Errors
+///
+/// Propagates device errors from either replay; an invariant violation
+/// after any injected fault fails the faulted run.
+pub fn run_jobs_traced(
+    cfg: &FaultRunConfig,
+    telemetry: &dtl_telemetry::Telemetry,
+    jobs: usize,
+) -> Result<FaultCampaignResult, DtlError> {
+    let mut outcomes =
+        crate::exec::run_units_traced(jobs, telemetry, vec![false, true], |_, inject, t| {
+            if inject {
+                crate::run_faulted_traced(cfg, t)
+            } else {
+                run_faulted(&FaultRunConfig::fault_free(cfg.faults.seed, cfg.run))
+            }
+        });
+    let faulted = outcomes.pop().expect("two units")?;
+    let baseline = outcomes.pop().expect("two units")?;
     let device_bytes = cfg.run.node.mem_bytes;
     Ok(FaultCampaignResult {
         baseline,

@@ -37,12 +37,18 @@ pub struct Fig02Result {
 }
 
 /// Runs the experiment. `requests` bounds per-configuration replay length.
+/// Equivalent to [`run_jobs`] at `jobs = 1`.
 pub fn run(requests: u64, workloads: &[WorkloadKind]) -> Fig02Result {
+    run_jobs(requests, workloads, 1)
+}
+
+/// Runs the experiment with one worker unit per workload (each unit owns
+/// its three rank-count replays). The geometric-mean fold happens after the
+/// join, in workload order, so the result is bit-identical for any `jobs`.
+pub fn run_jobs(requests: u64, workloads: &[WorkloadKind], jobs: usize) -> Fig02Result {
     let rank_counts = [8u32, 4, 2];
     let perf = PerfModel::cloudsuite();
-    let mut rows = Vec::new();
-    let mut product = 1.0f64;
-    for kind in workloads {
+    let rows = crate::exec::run_units(jobs, workloads.to_vec(), |_, kind| {
         let spec = kind.spec();
         let mut amat_ns = Vec::new();
         for ranks in rank_counts {
@@ -56,13 +62,16 @@ pub fn run(requests: u64, workloads: &[WorkloadKind]) -> Fig02Result {
             .iter()
             .map(|a| perf.slowdown(spec.mapki, dtl_dram::Picos::from_ns_f64(*a), base))
             .collect();
-        product *= slowdown[slowdown.len() - 1];
-        rows.push(Fig02Row {
+        Fig02Row {
             workload: kind.name().to_string(),
             ranks: rank_counts.to_vec(),
             amat_ns,
             slowdown,
-        });
+        }
+    });
+    let mut product = 1.0f64;
+    for row in &rows {
+        product *= row.slowdown[row.slowdown.len() - 1];
     }
     let mean = product.powf(1.0 / rows.len() as f64);
     Fig02Result { rows, mean_slowdown_at_min_ranks: mean }

@@ -43,32 +43,53 @@ pub struct Fig05Result {
     pub series: Vec<Fig05Series>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Equivalent to [`run_jobs`] at `jobs = 1`.
 pub fn run(requests: u64, workloads: &[WorkloadKind]) -> Fig05Result {
+    run_jobs(requests, workloads, 1)
+}
+
+/// Runs the experiment with one worker unit per (link latency, workload)
+/// cell — each cell replays its own pair of simulators. The per-series
+/// geometric-mean fold happens after the join, in workload order, so the
+/// result is bit-identical for any `jobs`.
+pub fn run_jobs(requests: u64, workloads: &[WorkloadKind], jobs: usize) -> Fig05Result {
     let perf = PerfModel::cloudsuite();
-    let mut series = Vec::new();
-    for (label, link_ns) in [("local", 0u64), ("cxl", 89)] {
-        let mut rows = Vec::new();
-        let mut product = 1.0f64;
+    let links = [("local", 0u64), ("cxl", 89)];
+    let mut cells = Vec::new();
+    for (_, link_ns) in links {
         for kind in workloads {
-            let spec = kind.spec();
-            let mut cfg_i = SweepConfig::paper(8, AddressMapping::RankInterleaved, link_ns);
-            cfg_i.requests = requests;
-            let inter = measure(&cfg_i, &spec);
-            let mut cfg_d = SweepConfig::paper(8, AddressMapping::dtl_default(), link_ns);
-            cfg_d.requests = requests;
-            let dtl = measure(&cfg_d, &spec);
-            let slowdown = perf.slowdown(spec.mapki, dtl.amat, inter.amat);
-            product *= slowdown;
-            rows.push(Fig05Row {
-                workload: kind.name().to_string(),
-                interleaved_amat_ns: inter.amat.as_ns_f64(),
-                dtl_amat_ns: dtl.amat.as_ns_f64(),
-                slowdown,
-            });
+            cells.push((link_ns, *kind));
+        }
+    }
+    let flat = crate::exec::run_units(jobs, cells, |_, (link_ns, kind)| {
+        let spec = kind.spec();
+        let mut cfg_i = SweepConfig::paper(8, AddressMapping::RankInterleaved, link_ns);
+        cfg_i.requests = requests;
+        let inter = measure(&cfg_i, &spec);
+        let mut cfg_d = SweepConfig::paper(8, AddressMapping::dtl_default(), link_ns);
+        cfg_d.requests = requests;
+        let dtl = measure(&cfg_d, &spec);
+        Fig05Row {
+            workload: kind.name().to_string(),
+            interleaved_amat_ns: inter.amat.as_ns_f64(),
+            dtl_amat_ns: dtl.amat.as_ns_f64(),
+            slowdown: perf.slowdown(spec.mapki, dtl.amat, inter.amat),
+        }
+    });
+    let mut series = Vec::new();
+    for (s, (label, link_ns)) in links.iter().enumerate() {
+        let rows: Vec<Fig05Row> = flat[s * workloads.len()..(s + 1) * workloads.len()].to_vec();
+        let mut product = 1.0f64;
+        for row in &rows {
+            product *= row.slowdown;
         }
         let mean_slowdown = product.powf(1.0 / rows.len() as f64);
-        series.push(Fig05Series { label: label.to_string(), link_ns, rows, mean_slowdown });
+        series.push(Fig05Series {
+            label: (*label).to_string(),
+            link_ns: *link_ns,
+            rows,
+            mean_slowdown,
+        });
     }
     Fig05Result { series }
 }

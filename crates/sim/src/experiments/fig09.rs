@@ -31,27 +31,47 @@ fn histogram_row(label: String, h: &StrideHistogram) -> Fig09Row {
     Fig09Row { label, fractions, at_least_4m: h.fraction_at_least_4m() }
 }
 
+/// The traces the experiment observes: each workload solo, then mixes.
+#[derive(Debug, Clone, Copy)]
+enum TraceUnit {
+    Solo(WorkloadKind),
+    Mix(usize),
+}
+
 /// Runs the experiment: each workload solo, then 4- and 8-app mixes.
+/// Equivalent to [`run_jobs`] at `jobs = 1`.
 pub fn run(seed: u64, records_per_trace: usize, scale: u64) -> Fig09Result {
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::TRACED {
+    run_jobs(seed, records_per_trace, scale, 1)
+}
+
+/// Runs the experiment with one worker unit per trace (solo workloads and
+/// mixes alike own their own generator and histogram).
+pub fn run_jobs(seed: u64, records_per_trace: usize, scale: u64, jobs: usize) -> Fig09Result {
+    let mut units: Vec<TraceUnit> =
+        WorkloadKind::TRACED.iter().map(|k| TraceUnit::Solo(*k)).collect();
+    units.push(TraceUnit::Mix(4));
+    units.push(TraceUnit::Mix(8));
+    let rows = crate::exec::run_units(jobs, units, |_, unit| {
         let mut h = StrideHistogram::new();
-        let mut gen = TraceGen::new(kind.spec().scaled(scale), seed);
-        for _ in 0..records_per_trace {
-            h.observe(gen.next_record().addr);
+        match unit {
+            TraceUnit::Solo(kind) => {
+                let mut gen = TraceGen::new(kind.spec().scaled(scale), seed);
+                for _ in 0..records_per_trace {
+                    h.observe(gen.next_record().addr);
+                }
+                histogram_row(kind.name().to_string(), &h)
+            }
+            TraceUnit::Mix(n) => {
+                let specs: Vec<_> =
+                    WorkloadKind::TRACED.iter().take(n).map(|k| k.spec().scaled(scale)).collect();
+                let mut mix = Mixer::new(&specs, seed);
+                for _ in 0..records_per_trace {
+                    h.observe(mix.next_record().addr);
+                }
+                histogram_row(format!("mix-{n}"), &h)
+            }
         }
-        rows.push(histogram_row(kind.name().to_string(), &h));
-    }
-    for n in [4usize, 8] {
-        let specs: Vec<_> =
-            WorkloadKind::TRACED.iter().take(n).map(|k| k.spec().scaled(scale)).collect();
-        let mut mix = Mixer::new(&specs, seed);
-        let mut h = StrideHistogram::new();
-        for _ in 0..records_per_trace {
-            h.observe(mix.next_record().addr);
-        }
-        rows.push(histogram_row(format!("mix-{n}"), &h));
-    }
+    });
     Fig09Result {
         rows,
         bucket_labels: StrideBucket::ALL.iter().map(|b| b.label().to_string()).collect(),

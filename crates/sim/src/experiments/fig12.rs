@@ -86,11 +86,34 @@ pub fn run_traced(
     exec_overhead_inputs: (f64, f64),
     telemetry: &dtl_telemetry::Telemetry,
 ) -> Result<Fig12Result, DtlError> {
-    let baseline = run_schedule(&PowerDownRunConfig { powerdown: false, ..*cfg_base })?;
-    let dtl = crate::run_schedule_traced(
-        &PowerDownRunConfig { powerdown: true, ..*cfg_base },
-        telemetry,
-    )?;
+    run_jobs_traced(cfg_base, exec_overhead_inputs, telemetry, 1)
+}
+
+/// Like [`run_traced`], with the baseline and DTL replays as two parallel
+/// work units. The baseline unit keeps its telemetry disabled (as in the
+/// sequential path) and the DTL unit records into a per-unit buffer that
+/// merges back in unit order, so the emitted trace is bit-identical for
+/// any `jobs`.
+///
+/// # Errors
+///
+/// Propagates device errors from either replay.
+pub fn run_jobs_traced(
+    cfg_base: &PowerDownRunConfig,
+    exec_overhead_inputs: (f64, f64),
+    telemetry: &dtl_telemetry::Telemetry,
+    jobs: usize,
+) -> Result<Fig12Result, DtlError> {
+    let mut outcomes =
+        crate::exec::run_units_traced(jobs, telemetry, vec![false, true], |_, powerdown, t| {
+            if powerdown {
+                crate::run_schedule_traced(&PowerDownRunConfig { powerdown: true, ..*cfg_base }, t)
+            } else {
+                run_schedule(&PowerDownRunConfig { powerdown: false, ..*cfg_base })
+            }
+        });
+    let dtl = outcomes.pop().expect("two units")?;
+    let baseline = outcomes.pop().expect("two units")?;
     let energy_saving = 1.0 - dtl.total_energy_mj / baseline.total_energy_mj;
     let background_saving = 1.0 - dtl.background_mj / baseline.background_mj;
     let power_saving = 1.0 - dtl.mean_power_mw() / baseline.mean_power_mw();

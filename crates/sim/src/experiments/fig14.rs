@@ -53,11 +53,28 @@ pub const PAPER_POINTS: [(&str, u32, f64); 4] = [
 ///
 /// Propagates device errors.
 pub fn run(base: &HotnessRunConfig, points: &[(&str, u32, f64)]) -> Result<Fig14Result, DtlError> {
-    let mut rows = Vec::new();
-    for (label, ranks, frac) in points {
-        let cfg = HotnessRunConfig { active_ranks: *ranks, allocated_fraction: *frac, ..*base };
+    run_jobs(base, points, 1)
+}
+
+/// Like [`run`], with one worker unit per allocation point — each point
+/// replays an independent pair of devices.
+///
+/// # Errors
+///
+/// Propagates device errors (first failing point wins).
+pub fn run_jobs(
+    base: &HotnessRunConfig,
+    points: &[(&str, u32, f64)],
+    jobs: usize,
+) -> Result<Fig14Result, DtlError> {
+    let outcomes = crate::exec::run_units(jobs, points.to_vec(), |_, (label, ranks, frac)| {
+        let cfg = HotnessRunConfig { active_ranks: ranks, allocated_fraction: frac, ..*base };
         let (_, on, saving) = hotness_savings(&cfg)?;
-        rows.push(row(label, &cfg, &on, saving));
+        Ok::<_, DtlError>(row(label, &cfg, &on, saving))
+    });
+    let mut rows = Vec::new();
+    for outcome in outcomes {
+        rows.push(outcome?);
     }
     Ok(Fig14Result { rows, scale: base.scale })
 }

@@ -49,14 +49,33 @@ pub fn run(
     physical_ranks: u32,
     points: &[(&str, u32, f64)],
 ) -> Result<Fig15Result, DtlError> {
+    run_jobs(base, physical_ranks, points, 1)
+}
+
+/// Like [`run`], with one worker unit per configuration point.
+///
+/// # Errors
+///
+/// Propagates device errors from the hotness replays (first failing point
+/// wins).
+pub fn run_jobs(
+    base: &HotnessRunConfig,
+    physical_ranks: u32,
+    points: &[(&str, u32, f64)],
+    jobs: usize,
+) -> Result<Fig15Result, DtlError> {
     let p = PowerParams::ddr4_128gb_dimm();
     let mpsm = p.factor(PowerState::Mpsm);
-    let mut rows = Vec::new();
-    for (label, active, frac) in points {
-        let cfg = HotnessRunConfig { active_ranks: *active, allocated_fraction: *frac, ..*base };
+    let outcomes = crate::exec::run_units(jobs, points.to_vec(), |_, (label, active, frac)| {
+        let cfg = HotnessRunConfig { active_ranks: active, allocated_fraction: frac, ..*base };
         let (_, _, hotness_additional) = hotness_savings(&cfg)?;
+        Ok::<_, DtlError>((label, active, hotness_additional))
+    });
+    let mut rows = Vec::new();
+    for outcome in outcomes {
+        let (label, active, hotness_additional) = outcome?;
         let total_ranks = f64::from(physical_ranks);
-        let act = f64::from(*active);
+        let act = f64::from(active);
         // Baseline energy ∝ 8 ranks standby; with power-down the idle
         // ranks cost only the MPSM factor.
         let powerdown_energy = (act + (total_ranks - act) * mpsm) / total_ranks;
@@ -66,7 +85,7 @@ pub fn run(
         let total_energy = powerdown_energy - active_share * hotness_additional;
         rows.push(Fig15Row {
             label: label.to_string(),
-            active_ranks: *active,
+            active_ranks: active,
             powerdown_saving,
             hotness_additional,
             total_saving: 1.0 - total_energy,

@@ -34,11 +34,18 @@ pub struct LoadedLatencyResult {
 
 /// Sweeps offered load on a single channel with random (row-miss-heavy)
 /// traffic and compares the measured mean latency against the model.
+/// Equivalent to [`run_jobs`] at `jobs = 1`.
 pub fn run(seed: u64, requests_per_point: u64) -> LoadedLatencyResult {
+    run_jobs(seed, requests_per_point, 1)
+}
+
+/// Like [`run`], with one worker unit per utilization point — every point
+/// builds its own simulator and reseeds its own RNG from `seed`, exactly
+/// as the sequential sweep does.
+pub fn run_jobs(seed: u64, requests_per_point: u64, jobs: usize) -> LoadedLatencyResult {
     let geometry = Geometry { channels: 1, ranks_per_channel: 4, ..Geometry::cxl_1tb() };
     let model = LoadedLatencyModel::ddr4_2933_channel(Picos::ZERO);
-    let mut points = Vec::new();
-    for pct in [5u32, 15, 30, 45, 60, 75] {
+    let points = crate::exec::run_units(jobs, vec![5u32, 15, 30, 45, 60, 75], |_, pct| {
         let offered = model.sustainable_bandwidth() * f64::from(pct) / 100.0;
         let mut sys = DramSystem::new(
             DramConfig { geometry, ..DramConfig::cxl_1tb_ddr4_2933() },
@@ -60,12 +67,12 @@ pub fn run(seed: u64, requests_per_point: u64) -> LoadedLatencyResult {
             }
         }
         sys.run_until_idle(Picos::from_us(10));
-        points.push(LoadPoint {
+        LoadPoint {
             offered,
             measured_ns: sys.foreground_stats().mean().as_ns_f64(),
             predicted_ns: model.latency_at(offered).map(|l| l.as_ns_f64()),
-        });
-    }
+        }
+    });
     LoadedLatencyResult { points, model }
 }
 

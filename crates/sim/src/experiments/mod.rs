@@ -19,9 +19,26 @@
 //! | [`sec6_1`] | §6.1 | AMAT 214.2 ns (+4.2 ns), +0.18 % runtime |
 //! | [`cache_pipeline`] | §5.2 methodology | Table 3 hierarchy compresses intensity, widens strides |
 //! | [`sec6_6`] | §6.6 | bigger devices lose less from the DTL mapping |
+//! | [`sec3_4_reentry`] | §3.4 | self-refresh re-entry needs little migration |
 //! | [`fault_campaign`] | §7 outlook | fault load → capacity / energy / latency cost |
 //! | [`diff_fuzz`] | soundness | device vs reference model: zero invariant violations |
+//! | [`ablate_cke_powerdown`] | ablation | CKE power-down cannot match consolidation |
+//! | [`ablate_hotness_params`] | ablation | profiling-threshold sensitivity |
+//! | [`ablate_migration_priority`] | ablation | background migration protects latency |
+//! | [`ablate_page_policy`] | ablation | open-page keeps the Figure 6 row hits |
+//! | [`ablate_segment_size`] | ablation | 2 MiB balances tables vs cold capacity |
+//! | [`ablate_smc`] | ablation | SMC sizing vs translation overhead |
+//!
+//! Every experiment is also registered behind the [`Experiment`] trait —
+//! [`registry()`] returns the full set and [`find()`] resolves one by
+//! name, which is what the `dtl-bench` driver and `all` binary consume.
 
+pub mod ablate_cke_powerdown;
+pub mod ablate_hotness_params;
+pub mod ablate_migration_priority;
+pub mod ablate_page_policy;
+pub mod ablate_segment_size;
+pub mod ablate_smc;
 pub mod cache_pipeline;
 pub mod diff_fuzz;
 pub mod fault_campaign;
@@ -36,8 +53,103 @@ pub mod fig14;
 pub mod fig15;
 pub mod latency_sweep;
 pub mod loaded_latency;
+mod registry;
+pub mod sec3_4_reentry;
 pub mod sec6_1;
 pub mod sec6_6;
 pub mod tab04;
 pub mod tab05;
 pub mod tab06;
+
+pub use registry::{find, registry};
+
+use dtl_core::DtlError;
+use dtl_telemetry::Telemetry;
+
+/// Everything an [`Experiment`] needs to run: scale selection, seed and
+/// worker-count overrides, the telemetry handle, and the raw argument list
+/// for experiment-specific flags (`diff_fuzz --seeds`, …).
+#[derive(Debug)]
+pub struct RunContext {
+    /// Run at reduced (`--tiny` / `--quick`) scale instead of paper scale.
+    pub tiny: bool,
+    /// `--seed` override; [`RunContext::seed_or`] applies the experiment's
+    /// historical default when absent.
+    pub seed: Option<u64>,
+    /// Worker count for the [`crate::exec`] engine (`--jobs`).
+    pub jobs: usize,
+    /// Telemetry handle (disabled unless the driver requested tracing).
+    pub telemetry: Telemetry,
+    /// The raw argument list, for experiment-specific flags.
+    pub args: Vec<String>,
+}
+
+impl RunContext {
+    /// A sequential, untraced context — what library callers and tests
+    /// use.
+    pub fn plain(tiny: bool) -> Self {
+        RunContext { tiny, seed: None, jobs: 1, telemetry: Telemetry::disabled(), args: Vec::new() }
+    }
+
+    /// The seed to use: the `--seed` override or the experiment's default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Whether a bare flag (e.g. `--smoke`) is present in the raw args.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value following a `--flag VALUE` pair in the raw args.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+}
+
+/// What an [`Experiment`] hands back to the driver.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Rendered text (tables plus any trailing headline lines).
+    pub text: String,
+    /// Machine-readable JSON for `results/<name>.json`; `None` when the
+    /// run produced no result artifact (e.g. a `--replay` check).
+    pub json: Option<String>,
+    /// Replay horizon for closing open telemetry spans, picoseconds.
+    pub horizon_ps: Option<u64>,
+    /// Set when the run completed but the experiment failed its acceptance
+    /// condition (the driver reports it and exits nonzero).
+    pub failure: Option<String>,
+}
+
+impl RunOutput {
+    /// The common case: text plus JSON, no horizon, no failure.
+    pub fn new(text: String, json: String) -> Self {
+        RunOutput { text, json: Some(json), horizon_ps: None, failure: None }
+    }
+}
+
+/// A named, uniformly-drivable experiment: the unit the registry hands to
+/// the `dtl-bench` driver and the `all` binary. Implementations wrap the
+/// typed `run`/`run_jobs` functions of their module; the trait only fixes
+/// configuration defaults (paper vs tiny scale, historical seeds) and
+/// rendering.
+pub trait Experiment: Sync {
+    /// Stable name: binary name, registry key, and `results/<name>.json`.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `all --list` output and docs.
+    fn summary(&self) -> &'static str;
+
+    /// Runs the experiment under `ctx` and renders its output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; acceptance failures are reported through
+    /// [`RunOutput::failure`] instead.
+    fn run(&self, ctx: &RunContext) -> Result<RunOutput, DtlError>;
+}

@@ -41,34 +41,54 @@ pub struct Sec66Result {
     pub rows: Vec<Sec66Row>,
 }
 
-/// Runs the scaling comparison under both load models.
+/// The three device/load geometries the comparison sweeps.
+const GEOMETRIES: [(&str, u32, u32, u32); 3] = [
+    ("4ch x 8rk (1TB-class)", 4u32, 8u32, 28u32),
+    ("8ch x 16rk, fixed demand", 8, 16, 28),
+    ("8ch x 16rk, scaled demand", 8, 16, 56),
+];
+
+/// Runs the scaling comparison under both load models. Equivalent to
+/// [`run_jobs`] at `jobs = 1`.
 pub fn run(requests: u64, workloads: &[WorkloadKind]) -> Sec66Result {
+    run_jobs(requests, workloads, 1)
+}
+
+/// Runs the comparison with one worker unit per (geometry, workload) cell;
+/// the per-geometry geometric-mean fold happens after the join, in
+/// workload order, so the result is bit-identical for any `jobs`.
+pub fn run_jobs(requests: u64, workloads: &[WorkloadKind], jobs: usize) -> Sec66Result {
     let perf = PerfModel::cloudsuite();
-    let mut rows = Vec::new();
-    for (label, channels, ranks, cores) in [
-        ("4ch x 8rk (1TB-class)", 4u32, 8u32, 28u32),
-        ("8ch x 16rk, fixed demand", 8, 16, 28),
-        ("8ch x 16rk, scaled demand", 8, 16, 56),
-    ] {
-        let mut product = 1.0f64;
+    let mut cells = Vec::new();
+    for (g, (_, channels, ranks, cores)) in GEOMETRIES.iter().enumerate() {
         for kind in workloads {
-            let spec = kind.spec();
-            let mut cfg_i = SweepConfig::paper(ranks, AddressMapping::RankInterleaved, 89);
-            cfg_i.channels = channels;
-            cfg_i.cores = cores;
-            cfg_i.requests = requests;
-            let inter = measure(&cfg_i, &spec);
-            let mut cfg_d = SweepConfig::paper(ranks, AddressMapping::dtl_default(), 89);
-            cfg_d.channels = channels;
-            cfg_d.cores = cores;
-            cfg_d.requests = requests;
-            let dtl = measure(&cfg_d, &spec);
-            product *= perf.slowdown(spec.mapki, dtl.amat, inter.amat);
+            cells.push((g, *channels, *ranks, *cores, *kind));
+        }
+    }
+    let slowdowns = crate::exec::run_units(jobs, cells, |_, (_, channels, ranks, cores, kind)| {
+        let spec = kind.spec();
+        let mut cfg_i = SweepConfig::paper(ranks, AddressMapping::RankInterleaved, 89);
+        cfg_i.channels = channels;
+        cfg_i.cores = cores;
+        cfg_i.requests = requests;
+        let inter = measure(&cfg_i, &spec);
+        let mut cfg_d = SweepConfig::paper(ranks, AddressMapping::dtl_default(), 89);
+        cfg_d.channels = channels;
+        cfg_d.cores = cores;
+        cfg_d.requests = requests;
+        let dtl = measure(&cfg_d, &spec);
+        perf.slowdown(spec.mapki, dtl.amat, inter.amat)
+    });
+    let mut rows = Vec::new();
+    for (g, (label, channels, ranks, _)) in GEOMETRIES.iter().enumerate() {
+        let mut product = 1.0f64;
+        for s in &slowdowns[g * workloads.len()..(g + 1) * workloads.len()] {
+            product *= s;
         }
         rows.push(Sec66Row {
-            label: label.to_string(),
-            channels,
-            ranks_per_channel: ranks,
+            label: (*label).to_string(),
+            channels: *channels,
+            ranks_per_channel: *ranks,
             mean_slowdown: product.powf(1.0 / workloads.len() as f64),
         });
     }

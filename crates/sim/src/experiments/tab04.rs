@@ -27,24 +27,31 @@ pub struct Tab04Result {
     pub max_relative_error: f64,
 }
 
-/// Runs the calibration measurement.
+/// Runs the calibration measurement. Equivalent to [`run_jobs`] at
+/// `jobs = 1`.
 pub fn run(seed: u64, records: usize) -> Tab04Result {
-    let mut rows = Vec::new();
-    let mut worst = 0.0f64;
-    for kind in WorkloadKind::ALL {
+    run_jobs(seed, records, 1)
+}
+
+/// Runs the calibration with one worker unit per workload (each generator
+/// is independent); the worst-error fold happens after the join.
+pub fn run_jobs(seed: u64, records: usize, jobs: usize) -> Tab04Result {
+    let rows = crate::exec::run_units(jobs, WorkloadKind::ALL.to_vec(), |_, kind| {
         let spec = kind.spec().scaled(64);
         let mut gen = TraceGen::new(spec, seed);
         let recs = gen.take_records(records);
         let instr = recs.last().expect("records requested").icount;
         let measured = records as f64 * 1000.0 / instr as f64;
-        let err = (measured - spec.mapki).abs() / spec.mapki;
-        worst = worst.max(err);
-        rows.push(Tab04Row {
+        Tab04Row {
             workload: kind.name().to_string(),
             paper_mapki: spec.mapki,
             measured_mapki: measured,
-            relative_error: err,
-        });
+            relative_error: (measured - spec.mapki).abs() / spec.mapki,
+        }
+    });
+    let mut worst = 0.0f64;
+    for row in &rows {
+        worst = worst.max(row.relative_error);
     }
     Tab04Result { rows, max_relative_error: worst }
 }

@@ -8,14 +8,16 @@
 #![warn(missing_debug_implementations)]
 
 mod check_run;
+pub mod exec;
 pub mod experiments;
 mod fault_run;
 mod hotness_run;
 mod perf;
 mod powerdown_run;
+pub mod render;
 mod report;
 
-pub use check_run::{run_checks, CheckRunConfig, CheckRunResult, SeedResult};
+pub use check_run::{run_checks, run_checks_jobs, CheckRunConfig, CheckRunResult, SeedResult};
 pub use fault_run::{run_faulted, run_faulted_traced, FaultRunConfig, FaultRunResult};
 pub use hotness_run::{
     hotness_savings, run_hotness, run_hotness_traced, run_hotness_with_threshold_factor,

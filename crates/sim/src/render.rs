@@ -1,10 +1,13 @@
 //! Renderers: experiment result types → aligned text tables.
 
-use dtl_sim::experiments::{
-    diff_fuzz, fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
-    sec6_1, tab04, tab05, tab06,
+use crate::experiments::{
+    ablate_cke_powerdown as cke, ablate_hotness_params as hotness_params,
+    ablate_migration_priority as migration_priority, ablate_page_policy as page_policy,
+    ablate_segment_size as segment_size, ablate_smc as smc, cache_pipeline as pipeline, diff_fuzz,
+    fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
+    loaded_latency as loaded, sec6_1, sec6_6, tab04, tab05, tab06,
 };
-use dtl_sim::{f1, f2, f3, pct, Table};
+use crate::{f1, f2, f3, pct, ReentryResult, Table};
 
 /// Figure 1: committed-memory series summary.
 pub fn fig01(r: &fig01::Fig01Result) -> Table {
@@ -377,6 +380,179 @@ pub fn diff_fuzz(r: &diff_fuzz::DiffFuzzResult) -> Table {
     t
 }
 
+/// §6.6: device scaling and the mapping cost.
+pub fn sec6_6(r: &sec6_6::Sec66Result) -> Table {
+    let mut t = Table::new(
+        "Section 6.6 - device scaling and the cost of the DTL mapping",
+        &["device", "channels", "ranks/ch", "mean_slowdown"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.label.clone(),
+            row.channels.to_string(),
+            row.ranks_per_channel.to_string(),
+            pct(row.mean_slowdown - 1.0),
+        ]);
+    }
+    t
+}
+
+/// §3.4: self-refresh exit and re-entry.
+pub fn sec3_4_reentry(r: &ReentryResult) -> Table {
+    let mut t = Table::new("Section 3.4 - self-refresh exit and re-entry", &["metric", "value"]);
+    t.row(&["migrations before first SR entries".into(), r.initial_migrations.to_string()]);
+    t.row(&["probes until a victim woke".into(), r.probes_to_wake.to_string()]);
+    t.row(&["migrations to re-enter".into(), r.reentry_migrations.to_string()]);
+    t.row(&["time to re-enter".into(), r.reentry_time.to_string()]);
+    t.row(&["total SR entries".into(), r.sr_entries.to_string()]);
+    t
+}
+
+/// Cache pipeline (§5.2 methodology validation).
+pub fn cache_pipeline(r: &pipeline::CachePipelineResult) -> Table {
+    let mut t = Table::new(
+        "Cache pipeline (Section 5.2 methodology)",
+        &[
+            "workload",
+            "raw_apki",
+            "post_mapki",
+            "l1_miss",
+            "l2_miss",
+            "llc_miss",
+            "pre_4m",
+            "post_4m",
+        ],
+    );
+    for row in &r.rows {
+        let (l1, l2, llc) = row.miss_ratios;
+        t.row(&[
+            row.workload.clone(),
+            f1(row.raw_apki),
+            f1(row.post_mapki),
+            pct(l1),
+            pct(l2),
+            pct(llc),
+            pct(row.pre_at_least_4m),
+            pct(row.post_at_least_4m),
+        ]);
+    }
+    t
+}
+
+/// Loaded latency: cycle simulator vs the M/D/1 model.
+pub fn loaded_latency(r: &loaded::LoadedLatencyResult) -> Table {
+    let mut t = Table::new(
+        "Loaded latency - cycle simulator vs M/D/1 model (one channel)",
+        &["offered_gbps", "measured_ns", "model_ns"],
+    );
+    for p in &r.points {
+        t.row(&[f1(p.offered / 1e9), f1(p.measured_ns), p.predicted_ns.map_or("-".into(), f1)]);
+    }
+    t
+}
+
+/// Ablation: CKE idle power-down vs DTL consolidation.
+pub fn ablate_cke_powerdown(r: &cke::CkeResult) -> Table {
+    let mut t = Table::new(
+        "Ablation: CKE idle power-down vs DTL consolidation",
+        &["traffic", "timeout", "pd_residency", "cke_bg_saving", "dtl_bg_saving"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.utilization_label.clone(),
+            format!("{}ns", row.timeout_ns),
+            pct(row.pd_residency),
+            pct(row.cke_background_saving),
+            pct(row.dtl_background_saving),
+        ]);
+    }
+    t
+}
+
+/// Ablation: profiling-threshold sensitivity.
+pub fn ablate_hotness_params(r: &hotness_params::ThresholdResult) -> Table {
+    let mut t = Table::new(
+        "Ablation: profiling threshold (paper default 50 ms)",
+        &["threshold", "sr_entries", "sr_exits", "residency", "swaps", "stable_mw"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            format!("{:.1}ms", row.threshold_ms_unscaled),
+            row.sr_entries.to_string(),
+            row.sr_exits.to_string(),
+            pct(row.sr_residency),
+            row.swaps.to_string(),
+            format!("{:.0}", row.stable_power_mw),
+        ]);
+    }
+    t
+}
+
+/// Ablation: migration priority.
+pub fn ablate_migration_priority(r: &migration_priority::PriorityResult) -> Table {
+    let mut t = Table::new(
+        "Ablation: migration priority during a 256 KiB segment migration",
+        &["policy", "fg_mean_ns", "fg_max_ns"],
+    );
+    for row in &r.rows {
+        t.row(&[row.policy.clone(), f1(row.fg_mean_ns), f1(row.fg_max_ns)]);
+    }
+    t
+}
+
+/// Ablation: page policy under the DTL mapping.
+pub fn ablate_page_policy(r: &page_policy::PagePolicyResult) -> Table {
+    let mut t = Table::new(
+        "Ablation: page policy under the DTL mapping",
+        &["workload", "policy", "amat_ns", "row_hits"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.workload.clone(),
+            row.policy.clone(),
+            f1(row.amat_ns),
+            pct(row.row_hit_fraction),
+        ]);
+    }
+    t
+}
+
+/// Ablation: translation segment size.
+pub fn ablate_segment_size(r: &segment_size::SegmentSizeResult) -> Table {
+    let mut t = Table::new(
+        "Ablation: segment size (paper picks 2 MiB, Section 4.1)",
+        &["segment", "cold_fraction", "sram_kb", "dram_kb", "migrate_ms/seg"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            format!("{}MB", row.segment_bytes >> 20),
+            pct(row.cold_fraction),
+            f1(row.sram_kb),
+            f1(row.dram_kb),
+            format!("{:.2}", row.migration_ms_per_segment),
+        ]);
+    }
+    t
+}
+
+/// Ablation: segment mapping cache sizing.
+pub fn ablate_smc(r: &smc::SmcResult) -> Table {
+    let mut t = Table::new(
+        "Ablation: SMC sizing (paper: 64-entry L1, 1024-entry 4-way L2)",
+        &["l1", "l2", "l1_miss", "l2_miss", "translation_ns"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.l1_entries.to_string(),
+            row.l2_entries.to_string(),
+            pct(row.l1_miss),
+            pct(row.l2_miss),
+            f1(row.translation_ns),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,8 +593,8 @@ mod tests {
 #[cfg(test)]
 mod more_render_tests {
     use super::*;
-    use dtl_sim::experiments::{fig02 as f02, fig09 as f09, fig10 as f10, sec6_1 as s61};
-    use dtl_sim::{HotnessRunConfig, PowerDownRunConfig};
+    use crate::experiments::{fig02 as f02, fig09 as f09, fig10 as f10, sec6_1 as s61};
+    use crate::{HotnessRunConfig, PowerDownRunConfig};
     use dtl_trace::WorkloadKind;
 
     #[test]
@@ -442,9 +618,8 @@ mod more_render_tests {
 
     #[test]
     fn fig12_and_fig13_render_from_one_run() {
-        let r =
-            dtl_sim::experiments::fig12::run(&PowerDownRunConfig::tiny(3, true), (0.014, 0.0018))
-                .unwrap();
+        let r = crate::experiments::fig12::run(&PowerDownRunConfig::tiny(3, true), (0.014, 0.0018))
+            .unwrap();
         let t12 = fig12(&r);
         assert_eq!(t12.len(), r.baseline.len());
         let t13 = fig13(&r);
@@ -460,9 +635,9 @@ mod more_render_tests {
             channels: 2,
             ..HotnessRunConfig::tiny(5, true)
         };
-        let r14 = dtl_sim::experiments::fig14::run(&base, &[("x", 4, 0.6)]).unwrap();
+        let r14 = crate::experiments::fig14::run(&base, &[("x", 4, 0.6)]).unwrap();
         assert_eq!(fig14(&r14).len(), 1);
-        let r15 = dtl_sim::experiments::fig15::run(&base, 8, &[("x", 4, 0.6)]).unwrap();
+        let r15 = crate::experiments::fig15::run(&base, 8, &[("x", 4, 0.6)]).unwrap();
         assert_eq!(fig15(&r15).len(), 1);
         let r61 = s61::run(1, 30_000, 64).unwrap();
         let t = sec6_1(&r61);

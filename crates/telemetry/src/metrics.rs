@@ -36,6 +36,12 @@ impl Counter {
     pub fn set(&self, v: u64) {
         self.0.store(v, Ordering::Relaxed);
     }
+
+    /// Folds `other` into this counter (sums the totals). Used when merging
+    /// per-worker registries after a sharded run.
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.get());
+    }
 }
 
 /// A signed instantaneous value.
@@ -58,6 +64,13 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other` into this gauge by summation. Worker gauges track
+    /// per-shard levels (e.g. live VM counts of disjoint unit replays), so
+    /// the merged gauge is the sum of the shard levels.
+    pub fn merge_from(&self, other: &Gauge) {
+        self.add(other.get());
     }
 }
 
@@ -129,6 +142,17 @@ impl Histogram {
         } else {
             self.sum() as f64 / n as f64
         }
+    }
+
+    /// Folds `other` into this histogram bucket-by-bucket. The result is
+    /// identical to having observed both sample streams into one histogram,
+    /// in any interleaving — log₂ bucketing is order-free.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// The bucket upper bound below which at least `q` (0..=1) of samples
@@ -214,6 +238,33 @@ impl MetricsRegistry {
         {
             Metric::Histogram(h) => h.clone(),
             _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Folds every metric of `other` into this registry: counters and
+    /// histograms sum, gauges sum shard levels. Metrics missing here are
+    /// created. The merge is **deterministic and order-free**: merging any
+    /// permutation of disjointly-accumulated worker registries yields the
+    /// same final state, because every fold is a commutative sum and names
+    /// are matched exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is registered here with a different metric kind
+    /// than in `other` — the same schema bug [`MetricsRegistry::counter`]
+    /// and friends reject.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        if std::ptr::eq(self, other) {
+            return; // self-merge would deadlock on the inner lock
+        }
+        let theirs: Vec<(String, Metric)> =
+            other.inner.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        for (name, metric) in theirs {
+            match metric {
+                Metric::Counter(c) => self.counter(&name).merge_from(&c),
+                Metric::Gauge(g) => self.gauge(&name).merge_from(&g),
+                Metric::Histogram(h) => self.histogram(&name).merge_from(&h),
+            }
         }
     }
 

@@ -1,8 +1,8 @@
-//! The sink trait, the no-op sink, and the cheap cloneable [`Telemetry`]
-//! handle that instrumented code holds.
+//! The sink trait, the no-op and unbounded-buffer sinks, and the cheap
+//! cloneable [`Telemetry`] handle that instrumented code holds.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, EventKind};
 use crate::metrics::MetricsRegistry;
@@ -37,6 +37,65 @@ impl TelemetrySink for NoopSink {
     fn enabled(&self) -> bool {
         false
     }
+}
+
+/// An unbounded in-memory sink: every event is kept, in record order.
+///
+/// This is the per-worker sink of sharded runs (`dtl-sim`'s exec engine):
+/// each work unit records into its own `BufferSink`, and at join the
+/// per-unit streams are concatenated in **unit-index order** with
+/// [`merge_event_streams`] — reproducing exactly the stream a sequential
+/// run would have produced, independent of worker scheduling. Unlike
+/// [`RingSink`](crate::RingSink) it never drops, so a parallel run cannot
+/// lose different events than a sequential one.
+#[derive(Debug, Default)]
+pub struct BufferSink(Mutex<Vec<Event>>);
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every buffered event, oldest first, leaving the buffer empty.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetrySink for BufferSink {
+    fn record(&self, event: Event) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+/// Merges per-unit event streams into one, concatenating in stream order.
+///
+/// The contract that makes parallel runs bit-identical to sequential ones:
+/// stream `i` holds everything unit `i` recorded, so concatenating in unit
+/// index order reproduces the exact event sequence of a `--jobs 1` run —
+/// each unit replays its own simulated clock, so sorting across units by
+/// timestamp would interleave unrelated time axes, while per-unit order is
+/// already chronological.
+pub fn merge_event_streams<I>(streams: I) -> Vec<Event>
+where
+    I: IntoIterator<Item = Vec<Event>>,
+{
+    let mut out = Vec::new();
+    for mut s in streams {
+        out.append(&mut s);
+    }
+    out
 }
 
 /// The handle instrumented code stores: a shared sink plus a cached on/off
@@ -80,6 +139,12 @@ impl Telemetry {
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref()
+    }
+
+    /// The underlying sink. Sharded runners use this to replay merged
+    /// per-worker streams into the parent sink at join.
+    pub fn sink(&self) -> &Arc<dyn TelemetrySink> {
+        &self.sink
     }
 
     /// Records `kind` at simulation time `at_ps`. The disabled path is a

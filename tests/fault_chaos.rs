@@ -119,8 +119,14 @@ fn chaos_round(seed: u64) -> Result<(), DtlError> {
 
 #[test]
 fn a_hundred_fault_plans_never_break_invariants() {
-    for seed in 0..120u64 {
-        chaos_round(seed).unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
+    // Each seed is an independent round, so the exec engine can shard the
+    // campaign across cores; results come back in seed order regardless.
+    let seeds: Vec<u64> = (0..120).collect();
+    let jobs = dtl_sim::exec::available_jobs();
+    for (seed, outcome) in
+        dtl_sim::exec::run_units(jobs, seeds, |_, seed| (seed, chaos_round(seed)))
+    {
+        outcome.unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
     }
 }
 

@@ -1,0 +1,89 @@
+//! The exec engine's contract, end to end: for every experiment that
+//! shards work across workers, `--jobs N` output is **bit-identical** to
+//! the sequential run — same JSON bytes, same telemetry event stream.
+//! Determinism is what lets CI and the goldens ignore the worker count
+//! entirely.
+//!
+//! Also pins the registry to `src/bin/`: every experiment binary must be a
+//! registry entry and vice versa, so the `all` sweep can never silently
+//! drop an experiment again.
+
+use std::sync::Arc;
+
+use dtl_sim::experiments::{diff_fuzz, fault_campaign, fig12, fig14, registry};
+use dtl_sim::{to_json, CheckRunConfig, FaultRunConfig, HotnessRunConfig, PowerDownRunConfig};
+use dtl_telemetry::{BufferSink, Telemetry};
+
+/// A telemetry handle recording into a fresh unbounded buffer.
+fn traced() -> (Telemetry, Arc<BufferSink>) {
+    let sink = Arc::new(BufferSink::new());
+    let telemetry = Telemetry::new(sink.clone() as Arc<dyn dtl_telemetry::TelemetrySink>);
+    (telemetry, sink)
+}
+
+#[test]
+fn fig12_jobs4_is_bit_identical_to_jobs1_including_the_trace() {
+    let cfg = PowerDownRunConfig::tiny(7, true);
+    let (t1, s1) = traced();
+    let (t4, s4) = traced();
+    let r1 = fig12::run_jobs_traced(&cfg, (0.014, 0.0018), &t1, 1).unwrap();
+    let r4 = fig12::run_jobs_traced(&cfg, (0.014, 0.0018), &t4, 4).unwrap();
+    assert_eq!(to_json(&r1), to_json(&r4), "fig12 JSON must not depend on --jobs");
+    let (e1, e4) = (s1.take(), s4.take());
+    assert!(!e1.is_empty(), "the treatment replay must emit events");
+    assert_eq!(e1, e4, "fig12 telemetry must not depend on --jobs");
+}
+
+#[test]
+fn fig14_jobs4_is_bit_identical_to_jobs1() {
+    // The golden config: a scaled-down sweep over two allocation points.
+    let base = HotnessRunConfig {
+        accesses: 900_000,
+        n_apps: 3,
+        channels: 2,
+        ..HotnessRunConfig::tiny(5, true)
+    };
+    let points = [("loose", 4u32, 0.55f64), ("tight", 4, 0.95)];
+    let r1 = fig14::run_jobs(&base, &points, 1).unwrap();
+    let r4 = fig14::run_jobs(&base, &points, 4).unwrap();
+    assert_eq!(to_json(&r1), to_json(&r4), "fig14 JSON must not depend on --jobs");
+}
+
+#[test]
+fn fault_campaign_jobs4_is_bit_identical_to_jobs1_including_the_trace() {
+    let cfg = FaultRunConfig::tiny_storm(3);
+    let (t1, s1) = traced();
+    let (t4, s4) = traced();
+    let r1 = fault_campaign::run_jobs_traced(&cfg, &t1, 1).unwrap();
+    let r4 = fault_campaign::run_jobs_traced(&cfg, &t4, 4).unwrap();
+    assert_eq!(to_json(&r1), to_json(&r4), "fault_campaign JSON must not depend on --jobs");
+    assert_eq!(s1.take(), s4.take(), "fault_campaign telemetry must not depend on --jobs");
+}
+
+#[test]
+fn diff_fuzz_jobs4_is_bit_identical_to_jobs1() {
+    let cfg = CheckRunConfig::smoke();
+    let r1 = diff_fuzz::run_jobs(&cfg, 1);
+    let r4 = diff_fuzz::run_jobs(&cfg, 4);
+    assert_eq!(to_json(&r1), to_json(&r4), "diff_fuzz JSON must not depend on --jobs");
+}
+
+#[test]
+fn jobs_beyond_unit_count_still_match() {
+    let cfg = CheckRunConfig::smoke();
+    assert_eq!(to_json(&diff_fuzz::run_jobs(&cfg, 1)), to_json(&diff_fuzz::run_jobs(&cfg, 64)));
+}
+
+#[test]
+fn every_binary_is_registered_and_vice_versa() {
+    let bin_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut bins: Vec<String> = std::fs::read_dir(&bin_dir)
+        .expect("list src/bin")
+        .map(|e| e.unwrap().path().file_stem().unwrap().to_string_lossy().into_owned())
+        .filter(|n| n != "all")
+        .collect();
+    bins.sort();
+    let mut names: Vec<String> = registry().iter().map(|e| e.name().to_string()).collect();
+    names.sort();
+    assert_eq!(bins, names, "src/bin/ and the experiment registry drifted apart");
+}
