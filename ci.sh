@@ -16,10 +16,14 @@ cargo test -q
 echo "== dtl-check differential harness =="
 cargo test -q -p dtl-check
 
+echo "== dtl-pool orchestration suite =="
+cargo test -q -p dtl-pool
+
 echo "== smoke suite on the parallel path (--jobs 2) =="
-cargo build --release -q -p dtl-bench --bin diff_fuzz --bin fault_campaign --bin all
+cargo build --release -q -p dtl-bench --bin diff_fuzz --bin fault_campaign --bin pool_scale --bin all
 timeout 30 ./target/release/diff_fuzz --smoke --jobs 2
 timeout 60 ./target/release/fault_campaign --tiny --jobs 2
+timeout 30 ./target/release/pool_scale --tiny --jobs 2
 
 echo "== experiment registry vs src/bin/ drift =="
 diff <(./target/release/all --list | sed 's/ — .*//' | sort) \

@@ -1,0 +1,9 @@
+//! Thin driver for the registered `pool_failover` experiment (see
+//! [`dtl_sim::experiments::pool_failover`]). Accepts `--campaigns N` on
+//! top of the shared CLI surface (`--tiny`, `--seed`, `--jobs`, `--out`,
+//! `--trace-out`, `--metrics-out`) documented in the `dtl_bench` crate
+//! docs.
+
+fn main() {
+    dtl_bench::drive("pool_failover");
+}

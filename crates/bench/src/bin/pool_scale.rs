@@ -1,0 +1,8 @@
+//! Thin driver for the registered `pool_scale` experiment (see
+//! [`dtl_sim::experiments::pool_scale`]). The shared CLI surface (`--tiny`,
+//! `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`) is
+//! documented in the `dtl_bench` crate docs.
+
+fn main() {
+    dtl_bench::drive("pool_scale");
+}

@@ -379,6 +379,24 @@ impl<B: MemoryBackend> DtlDevice<B> {
         self.powerdown_enabled = on;
     }
 
+    /// Plans rank-group power-downs right now, without waiting for a
+    /// deallocation to trigger them. The engine normally runs on the
+    /// dealloc path (the only event that can empty a rank group), which
+    /// means a device that has never served an allocation keeps every
+    /// rank in standby; an external orchestrator that idles whole
+    /// devices calls this to park their rank groups immediately. No-op
+    /// while power-down is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend state-transition failures.
+    pub fn request_power_down(&mut self, now: Picos) -> Result<(), DtlError> {
+        if self.powerdown_enabled {
+            self.try_power_down(now)?;
+        }
+        Ok(())
+    }
+
     /// Device statistics.
     pub fn stats(&self) -> DeviceStats {
         self.stats

@@ -96,6 +96,19 @@ pub struct LinkRetryStats {
     pub retry_energy_pj: f64,
 }
 
+impl LinkRetryStats {
+    /// Folds `other` into `self` field-by-field. Pool-level reporting sums
+    /// the per-device link engines with this instead of re-implementing the
+    /// field list at every call site.
+    pub fn merge_from(&mut self, other: &LinkRetryStats) {
+        self.crc_errors += other.crc_errors;
+        self.retries += other.retries;
+        self.giveups += other.giveups;
+        self.retry_time += other.retry_time;
+        self.retry_energy_pj += other.retry_energy_pj;
+    }
+}
+
 /// Outcome of pushing one request through the retry layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkDelivery {

@@ -39,6 +39,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod pool;
+
+pub use pool::{
+    PoolFaultEvent, PoolFaultInjector, PoolFaultKind, PoolFaultPlan, PoolFaultPlanConfig,
+};
+
 use std::sync::Arc;
 
 use dtl_dram::Picos;

@@ -1,0 +1,279 @@
+//! Pool-level fault plans: per-device fault schedules plus whole-device
+//! loss, for exercising `dtl-pool` failover.
+//!
+//! A [`PoolFaultPlanConfig`] stamps one [`FaultPlanConfig`]-shaped schedule
+//! per member device (each device gets its own derived seed, so plans do not
+//! correlate across devices) and overlays `device_retirements` whole-device
+//! losses at deterministic times. The plan knows nothing about the pool: the
+//! harness maps [`PoolFaultKind::Device`] onto the member device's injection
+//! hooks and [`PoolFaultKind::RetireDevice`] onto the pool's
+//! `retire_device` API.
+
+use dtl_dram::Picos;
+use serde::{Deserialize, Serialize};
+
+use crate::{FaultEvent, FaultKind, FaultPlanConfig};
+
+/// One kind of pool-scoped fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolFaultKind {
+    /// A device-local fault on one member device.
+    Device {
+        /// Index of the member device in the pool.
+        device: u16,
+        /// The device-local fault.
+        kind: FaultKind,
+    },
+    /// A whole device is lost: the operator (or the pool's health policy)
+    /// retires it and every VM shard on it must be evacuated.
+    RetireDevice {
+        /// Index of the member device in the pool.
+        device: u16,
+    },
+}
+
+impl PoolFaultKind {
+    /// Stable tie-break key for events at the same instant: retirements
+    /// sort after device-local faults on the same device, so a fault and a
+    /// retirement scheduled at the same tick strike the live device first.
+    fn sort_key(&self) -> (u16, u8, (u8, u32, u32)) {
+        match *self {
+            PoolFaultKind::Device { device, kind } => (device, 0, kind.sort_key()),
+            PoolFaultKind::RetireDevice { device } => (device, 1, (0, 0, 0)),
+        }
+    }
+}
+
+/// One scheduled pool-scoped fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolFaultEvent {
+    /// When the fault strikes.
+    pub at: Picos,
+    /// What happens.
+    pub kind: PoolFaultKind,
+}
+
+/// Parameters of a deterministic pool-level fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolFaultPlanConfig {
+    /// Seed: same seed (and parameters), same plan.
+    pub seed: u64,
+    /// Member devices in the pool.
+    pub devices: u16,
+    /// Template for each device's local schedule. Its `seed` is replaced by
+    /// a per-device derivation of [`PoolFaultPlanConfig::seed`]; its
+    /// geometry and rates apply to every device.
+    pub per_device: FaultPlanConfig,
+    /// Whole-device losses, spread evenly over the middle half of the
+    /// horizon on distinct devices (capped at `devices`).
+    pub device_retirements: u16,
+}
+
+impl PoolFaultPlanConfig {
+    /// A pool plan with every fault source switched off.
+    pub fn quiet(seed: u64, devices: u16, per_device: FaultPlanConfig) -> Self {
+        PoolFaultPlanConfig { seed, devices, per_device, device_retirements: 0 }
+    }
+
+    /// The per-device seed: a SplitMix64 scramble of the pool seed and the
+    /// device index, so per-device plans are independent but reproducible.
+    fn device_seed(&self, device: u16) -> u64 {
+        let mut z =
+            self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(device) + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Generates the plan: per-device schedules plus retirements, merged
+    /// into a single time-sorted list. Deterministic in `self`.
+    pub fn generate(&self) -> PoolFaultPlan {
+        let mut events: Vec<PoolFaultEvent> = Vec::new();
+        for device in 0..self.devices {
+            let cfg = FaultPlanConfig { seed: self.device_seed(device), ..self.per_device };
+            for FaultEvent { at, kind } in cfg.generate().events() {
+                events.push(PoolFaultEvent {
+                    at: *at,
+                    kind: PoolFaultKind::Device { device, kind: *kind },
+                });
+            }
+        }
+        // Retirements: distinct victims in a deterministic shuffle-free
+        // order (stride through the device list from a seed-derived start),
+        // struck at evenly spaced times across the middle half of the
+        // horizon so evacuation always has runway on both sides.
+        let retirements = self.device_retirements.min(self.devices);
+        if retirements > 0 && self.devices > 0 {
+            let start_dev = (self.device_seed(u16::MAX) % u64::from(self.devices)) as u16;
+            let lo = self.per_device.duration / 4;
+            let hi = self.per_device.duration - lo;
+            let span = hi - lo;
+            for k in 0..retirements {
+                let device = (start_dev + k) % self.devices;
+                let at = lo + span * u64::from(k) / u64::from(retirements);
+                events.push(PoolFaultEvent { at, kind: PoolFaultKind::RetireDevice { device } });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.kind.sort_key()));
+        PoolFaultPlan { events }
+    }
+}
+
+/// A generated, time-sorted pool-level fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolFaultPlan {
+    events: Vec<PoolFaultEvent>,
+}
+
+impl PoolFaultPlan {
+    /// The scheduled events in timestamp order.
+    pub fn events(&self) -> &[PoolFaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events matching a kind-predicate (convenience for assertions).
+    pub fn count_where(&self, mut pred: impl FnMut(&PoolFaultKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// A consuming cursor over the plan.
+    pub fn injector(&self) -> PoolFaultInjector {
+        PoolFaultInjector { events: self.events.clone(), next: 0 }
+    }
+}
+
+/// Releases a [`PoolFaultPlan`]'s events as simulated time advances.
+#[derive(Debug, Clone)]
+pub struct PoolFaultInjector {
+    events: Vec<PoolFaultEvent>,
+    next: usize,
+}
+
+impl PoolFaultInjector {
+    /// Returns (and consumes) every event scheduled at or before `now`.
+    /// `now` must be monotonic across calls.
+    pub fn pop_due(&mut self, now: Picos) -> Vec<PoolFaultEvent> {
+        let start = self.next;
+        while self.next < self.events.len() && self.events[self.next].at <= now {
+            self.next += 1;
+        }
+        self.events[start..self.next].to_vec()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_next_at(&self) -> Option<Picos> {
+        self.events.get(self.next).map(|e| e.at)
+    }
+
+    /// Events not yet released.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn per_device(seed: u64) -> FaultPlanConfig {
+        FaultPlanConfig {
+            correctable_per_rank_per_sec: 1.0,
+            link_crc_per_sec: 0.5,
+            link_crc_max_burst: 3,
+            migration_interrupts: 2,
+            ..FaultPlanConfig::quiet(seed, Picos::from_secs(40), 2, 4)
+        }
+    }
+
+    #[test]
+    fn same_seed_same_pool_plan() {
+        let cfg = PoolFaultPlanConfig {
+            device_retirements: 2,
+            ..PoolFaultPlanConfig::quiet(7, 4, per_device(0))
+        };
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = PoolFaultPlanConfig { seed: 8, ..cfg };
+        assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn devices_get_independent_schedules() {
+        let cfg = PoolFaultPlanConfig::quiet(3, 2, per_device(0));
+        let plan = cfg.generate();
+        let dev = |d: u16| {
+            plan.events()
+                .iter()
+                .filter_map(|e| match e.kind {
+                    PoolFaultKind::Device { device, kind } if device == d => Some((e.at, kind)),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let (a, b) = (dev(0), dev(1));
+        assert!(!a.is_empty() && !b.is_empty());
+        assert_ne!(a, b, "per-device seeds must decorrelate the schedules");
+    }
+
+    #[test]
+    fn retirements_hit_distinct_devices_mid_horizon() {
+        let cfg = PoolFaultPlanConfig {
+            device_retirements: 3,
+            ..PoolFaultPlanConfig::quiet(
+                11,
+                4,
+                FaultPlanConfig::quiet(0, Picos::from_secs(40), 2, 4),
+            )
+        };
+        let plan = cfg.generate();
+        let mut victims: Vec<u16> = plan
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                PoolFaultKind::RetireDevice { device } => {
+                    assert!(e.at >= cfg.per_device.duration / 4);
+                    assert!(e.at < cfg.per_device.duration);
+                    Some(device)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(victims.len(), 3);
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 3, "distinct victims");
+    }
+
+    #[test]
+    fn injector_releases_in_time_order() {
+        let cfg = PoolFaultPlanConfig {
+            device_retirements: 1,
+            ..PoolFaultPlanConfig::quiet(5, 3, per_device(0))
+        };
+        let plan = cfg.generate();
+        for w in plan.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        let mut inj = plan.injector();
+        let mut seen = 0;
+        let mut t = Picos::ZERO;
+        while t < cfg.per_device.duration {
+            t += Picos::from_secs(1);
+            for ev in inj.pop_due(t) {
+                assert!(ev.at <= t);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, plan.len());
+        assert_eq!(inj.remaining(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Deterministic placement planning for VM admission and evacuation.
+//!
+//! Planning is pure: the pool hands in a list of [`Candidate`]s (eligible
+//! devices with their free/allocated allocation-unit counts) and gets back
+//! the list of [`Slice`]s to carve, or `None` when the request cannot fit.
+//! Placement never splits below one allocation unit — and an AU is itself a
+//! whole number of segments by `DtlConfig` construction, so a VM is never
+//! split below segment granularity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceId;
+
+/// How VM admission distributes allocation units across member devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Concentrate load on the already-busiest devices so the remainder
+    /// drain empty and the pool coordinator can park them — the
+    /// cross-device analogue of the paper's rank-group consolidation.
+    PackForPower,
+    /// Stripe allocation units across the emptiest devices so VM bandwidth
+    /// aggregates over many links and controllers.
+    SpreadForBandwidth,
+}
+
+impl PlacementPolicy {
+    /// Short machine-friendly label (CLI values, JSON rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::PackForPower => "pack",
+            PlacementPolicy::SpreadForBandwidth => "spread",
+        }
+    }
+
+    /// Parses a [`PlacementPolicy::label`] back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pack" => Some(PlacementPolicy::PackForPower),
+            "spread" => Some(PlacementPolicy::SpreadForBandwidth),
+            _ => None,
+        }
+    }
+}
+
+/// A device eligible to receive part of a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The device.
+    pub device: DeviceId,
+    /// Allocation units it can still accept.
+    pub free_aus: u32,
+    /// Allocation units already resident (utilization key for packing).
+    pub allocated_aus: u32,
+}
+
+/// One placement decision: `aus` allocation units on `device`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slice {
+    /// Target device.
+    pub device: DeviceId,
+    /// Allocation units to carve there (always >= 1).
+    pub aus: u32,
+}
+
+/// Plans where `aus` allocation units go under `policy`.
+///
+/// Deterministic in its inputs: ties break on the lower device id, so the
+/// same candidate list always yields the same plan. Returns `None` when the
+/// candidates' combined free capacity cannot hold the request (the caller
+/// decides whether to wake parked devices and retry).
+pub fn plan(policy: PlacementPolicy, candidates: &[Candidate], aus: u32) -> Option<Vec<Slice>> {
+    if aus == 0 {
+        return Some(Vec::new());
+    }
+    let total_free: u64 = candidates.iter().map(|c| u64::from(c.free_aus)).sum();
+    if total_free < u64::from(aus) {
+        return None;
+    }
+    match policy {
+        PlacementPolicy::PackForPower => plan_pack(candidates, aus),
+        PlacementPolicy::SpreadForBandwidth => plan_spread(candidates, aus),
+    }
+}
+
+/// Pack: whole request on the busiest device that fits it; if none fits,
+/// greedily fill busiest-first.
+fn plan_pack(candidates: &[Candidate], aus: u32) -> Option<Vec<Slice>> {
+    let mut by_busy: Vec<&Candidate> = candidates.iter().filter(|c| c.free_aus > 0).collect();
+    // Busiest first; the id tie-break keeps the plan independent of the
+    // caller's candidate order.
+    by_busy.sort_by_key(|c| (core::cmp::Reverse(c.allocated_aus), c.device));
+    if let Some(c) = by_busy.iter().find(|c| c.free_aus >= aus) {
+        return Some(vec![Slice { device: c.device, aus }]);
+    }
+    let mut out = Vec::new();
+    let mut remaining = aus;
+    for c in by_busy {
+        let take = c.free_aus.min(remaining);
+        if take > 0 {
+            out.push(Slice { device: c.device, aus: take });
+            remaining -= take;
+        }
+        if remaining == 0 {
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Spread: hand out one allocation unit at a time to whichever candidate
+/// has the most free capacity left, so the request stripes as evenly as the
+/// free space allows.
+fn plan_spread(candidates: &[Candidate], aus: u32) -> Option<Vec<Slice>> {
+    let mut free: Vec<(DeviceId, u32, u32)> = candidates
+        .iter()
+        .filter(|c| c.free_aus > 0)
+        .map(|c| (c.device, c.free_aus, 0u32))
+        .collect();
+    free.sort_by_key(|&(id, _, _)| id);
+    let mut remaining = aus;
+    while remaining > 0 {
+        // Most free capacity wins; ties keep the earliest (lowest-id) slot.
+        let mut best: Option<usize> = None;
+        for (i, &(_, f, _)) in free.iter().enumerate() {
+            if f > 0 && best.is_none_or(|b| f > free[b].1) {
+                best = Some(i);
+            }
+        }
+        let i = best?;
+        free[i].1 -= 1;
+        free[i].2 += 1;
+        remaining -= 1;
+    }
+    Some(
+        free.into_iter()
+            .filter(|&(_, _, taken)| taken > 0)
+            .map(|(device, _, taken)| Slice { device, aus: taken })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cand(id: u16, free: u32, allocated: u32) -> Candidate {
+        Candidate { device: DeviceId(id), free_aus: free, allocated_aus: allocated }
+    }
+
+    #[test]
+    fn pack_prefers_the_busiest_fitting_device() {
+        let cs = [cand(0, 8, 0), cand(1, 3, 5), cand(2, 8, 2)];
+        let plan = plan(PlacementPolicy::PackForPower, &cs, 3).unwrap();
+        assert_eq!(plan, vec![Slice { device: DeviceId(1), aus: 3 }]);
+    }
+
+    #[test]
+    fn pack_spills_busiest_first_when_nothing_fits_whole() {
+        let cs = [cand(0, 2, 6), cand(1, 3, 1), cand(2, 2, 6)];
+        let plan = plan(PlacementPolicy::PackForPower, &cs, 6).unwrap();
+        assert_eq!(
+            plan,
+            vec![
+                Slice { device: DeviceId(0), aus: 2 },
+                Slice { device: DeviceId(2), aus: 2 },
+                Slice { device: DeviceId(1), aus: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn spread_stripes_across_the_emptiest_devices() {
+        let cs = [cand(0, 4, 4), cand(1, 8, 0), cand(2, 6, 2)];
+        let plan = plan(PlacementPolicy::SpreadForBandwidth, &cs, 6).unwrap();
+        // Most-free-first, one AU at a time: dev1 absorbs until it ties
+        // dev2, then they alternate.
+        let total: u32 = plan.iter().map(|s| s.aus).sum();
+        assert_eq!(total, 6);
+        let on = |id: u16| plan.iter().find(|s| s.device == DeviceId(id)).map_or(0, |s| s.aus);
+        assert_eq!((on(0), on(1), on(2)), (0, 4, 2));
+    }
+
+    #[test]
+    fn over_capacity_requests_are_rejected_not_truncated() {
+        let cs = [cand(0, 2, 0), cand(1, 2, 0)];
+        for policy in [PlacementPolicy::PackForPower, PlacementPolicy::SpreadForBandwidth] {
+            assert!(plan(policy, &cs, 5).is_none(), "{}", policy.label());
+            assert!(plan(policy, &cs, 4).is_some(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for policy in [PlacementPolicy::PackForPower, PlacementPolicy::SpreadForBandwidth] {
+            assert_eq!(PlacementPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(PlacementPolicy::parse("bogus"), None);
+    }
+
+    proptest! {
+        /// Every policy respects per-device capacity, covers the request
+        /// exactly, and never emits a slice below one allocation unit (the
+        /// granularity floor: an AU is a whole number of segments).
+        #[test]
+        fn plans_respect_capacity_and_granularity(
+            frees in proptest::collection::vec((0u32..20, 0u32..20), 1..8),
+            aus in 0u32..64,
+            pack in any::<bool>(),
+        ) {
+            let candidates: Vec<Candidate> = frees
+                .iter()
+                .enumerate()
+                .map(|(i, &(free, allocated))| cand(i as u16, free, allocated))
+                .collect();
+            let policy =
+                if pack { PlacementPolicy::PackForPower } else { PlacementPolicy::SpreadForBandwidth };
+            let total_free: u64 = candidates.iter().map(|c| u64::from(c.free_aus)).sum();
+            match plan(policy, &candidates, aus) {
+                None => prop_assert!(u64::from(aus) > total_free, "fitting request rejected"),
+                Some(slices) => {
+                    let placed: u64 = slices.iter().map(|s| u64::from(s.aus)).sum();
+                    prop_assert_eq!(placed, u64::from(aus), "request covered exactly");
+                    for s in &slices {
+                        prop_assert!(s.aus >= 1, "no sub-AU slices");
+                        let c = candidates.iter().find(|c| c.device == s.device).unwrap();
+                        prop_assert!(s.aus <= c.free_aus, "{} over capacity", s.device);
+                    }
+                    let mut ids: Vec<DeviceId> = slices.iter().map(|s| s.device).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    prop_assert_eq!(ids.len(), slices.len(), "one slice per device");
+                }
+            }
+        }
+
+        /// Planning is deterministic in the candidate *set*: shuffling the
+        /// input order never changes the plan.
+        #[test]
+        fn plans_are_input_order_independent(
+            frees in proptest::collection::vec((1u32..12, 0u32..12), 2..6),
+            aus in 1u32..24,
+            pack in any::<bool>(),
+        ) {
+            let candidates: Vec<Candidate> = frees
+                .iter()
+                .enumerate()
+                .map(|(i, &(free, allocated))| cand(i as u16, free, allocated))
+                .collect();
+            let mut reversed = candidates.clone();
+            reversed.reverse();
+            let policy =
+                if pack { PlacementPolicy::PackForPower } else { PlacementPolicy::SpreadForBandwidth };
+            prop_assert_eq!(plan(policy, &candidates, aus), plan(policy, &reversed, aus));
+        }
+    }
+}

@@ -21,6 +21,8 @@
 //! | [`sec6_6`] | §6.6 | bigger devices lose less from the DTL mapping |
 //! | [`sec3_4_reentry`] | §3.4 | self-refresh re-entry needs little migration |
 //! | [`fault_campaign`] | §7 outlook | fault load → capacity / energy / latency cost |
+//! | [`pool_scale`] | §7 outlook | pack+coordination beats spread/no-coordination |
+//! | [`pool_failover`] | §7 outlook | device retirements evacuate with zero lost AUs |
 //! | [`diff_fuzz`] | soundness | device vs reference model: zero invariant violations |
 //! | [`ablate_cke_powerdown`] | ablation | CKE power-down cannot match consolidation |
 //! | [`ablate_hotness_params`] | ablation | profiling-threshold sensitivity |
@@ -53,6 +55,8 @@ pub mod fig14;
 pub mod fig15;
 pub mod latency_sweep;
 pub mod loaded_latency;
+pub mod pool_failover;
+pub mod pool_scale;
 mod registry;
 pub mod sec3_4_reentry;
 pub mod sec6_1;

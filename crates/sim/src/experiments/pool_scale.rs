@@ -1,0 +1,129 @@
+//! **Pool scale** (rack-scale extension, paper §7 outlook) — replay the
+//! same synthesized VM schedule against a four-device memory pool under
+//! every combination of placement policy (pack-for-power vs
+//! spread-for-bandwidth) and pool-wide power coordination (on/off), and
+//! report what cross-device consolidation buys: the headline is
+//! pack+coordinator against the spread/no-coordinator baseline, the pool
+//! analogue of DTL-vs-interleaved at device scale.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{run_pool, run_pool_traced, PoolRunConfig, PoolRunResult};
+use dtl_core::DtlError;
+use dtl_pool::PlacementPolicy;
+
+/// The four (policy, coordinator) variants, replayed in this order. The
+/// first is the headline configuration and the only one traced.
+pub const VARIANTS: [(PlacementPolicy, bool); 4] = [
+    (PlacementPolicy::PackForPower, true),
+    (PlacementPolicy::PackForPower, false),
+    (PlacementPolicy::SpreadForBandwidth, true),
+    (PlacementPolicy::SpreadForBandwidth, false),
+];
+
+/// One replayed variant of the pool schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolScaleVariant {
+    /// Placement policy of this variant.
+    pub policy: PlacementPolicy,
+    /// Whether the pool-wide power coordinator ran.
+    pub coordinator: bool,
+    /// The replay outcome.
+    pub result: PoolRunResult,
+}
+
+/// Combined result of the four variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolScaleResult {
+    /// One entry per [`VARIANTS`] element, in that order.
+    pub variants: Vec<PoolScaleVariant>,
+    /// Energy saving of pack+coordinator over spread/no-coordinator.
+    pub savings_fraction: f64,
+}
+
+impl PoolScaleResult {
+    /// The headline pack+coordinator replay.
+    pub fn headline(&self) -> &PoolRunResult {
+        &self.variants[0].result
+    }
+
+    /// The spread/no-coordinator baseline replay.
+    pub fn baseline(&self) -> &PoolRunResult {
+        &self.variants[3].result
+    }
+}
+
+/// Runs all four variants sequentially.
+///
+/// # Errors
+///
+/// Propagates pool/device errors from any replay.
+pub fn run(cfg: &PoolRunConfig) -> Result<PoolScaleResult, DtlError> {
+    run_jobs_traced(cfg, &dtl_telemetry::Telemetry::disabled(), 1)
+}
+
+/// Like [`run`], with the four variants as parallel work units. Only the
+/// headline pack+coordinator unit records telemetry (the variants are
+/// independent pools whose timelines would not compose into one trace);
+/// per-unit buffers merge back in unit order, so the emitted trace and the
+/// result are bit-identical for any `jobs`.
+///
+/// # Errors
+///
+/// Propagates pool/device errors from any replay.
+pub fn run_jobs_traced(
+    cfg: &PoolRunConfig,
+    telemetry: &dtl_telemetry::Telemetry,
+    jobs: usize,
+) -> Result<PoolScaleResult, DtlError> {
+    let outcomes = crate::exec::run_units_traced(
+        jobs,
+        telemetry,
+        VARIANTS.to_vec(),
+        |i, (policy, coord), t| {
+            let mut variant = *cfg;
+            variant.policy = policy;
+            variant.coordinator = coord;
+            let result = if i == 0 { run_pool_traced(&variant, t) } else { run_pool(&variant) }?;
+            Ok::<_, DtlError>(PoolScaleVariant { policy, coordinator: coord, result })
+        },
+    );
+    let mut variants = Vec::with_capacity(VARIANTS.len());
+    for outcome in outcomes {
+        variants.push(outcome?);
+    }
+    let headline = variants[0].result.total_energy_mj;
+    let baseline = variants[3].result.total_energy_mj;
+    let savings_fraction = if baseline > 0.0 { 1.0 - headline / baseline } else { 0.0 };
+    Ok(PoolScaleResult { variants, savings_fraction })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_with_coordinator_beats_spread_without() {
+        let r = run(&PoolRunConfig::tiny(7)).unwrap();
+        assert_eq!(r.variants.len(), 4);
+        assert!(
+            r.savings_fraction > 0.0,
+            "pool coordination must save energy: {}",
+            r.savings_fraction
+        );
+        // Every variant places the same schedule.
+        let placed = r.variants[0].result.vms_allocated;
+        assert!(r.variants.iter().all(|v| v.result.vms_allocated == placed));
+        // Only coordinator variants park devices.
+        assert!(r.variants[0].result.stats.devices_parked > 0);
+        assert_eq!(r.variants[1].result.stats.devices_parked, 0);
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_result() {
+        let cfg = PoolRunConfig::tiny(11);
+        let a = run_jobs_traced(&cfg, &dtl_telemetry::Telemetry::disabled(), 1).unwrap();
+        let b = run_jobs_traced(&cfg, &dtl_telemetry::Telemetry::disabled(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -11,11 +11,13 @@
 use super::{
     ablate_cke_powerdown, ablate_hotness_params, ablate_migration_priority, ablate_page_policy,
     ablate_segment_size, ablate_smc, cache_pipeline, diff_fuzz, fault_campaign, fig01, fig02,
-    fig05, fig09, fig10, fig11, fig12, fig14, fig15, loaded_latency, sec3_4_reentry, sec6_1,
-    sec6_6, tab04, tab05, tab06, Experiment, RunContext, RunOutput,
+    fig05, fig09, fig10, fig11, fig12, fig14, fig15, loaded_latency, pool_failover, pool_scale,
+    sec3_4_reentry, sec6_1, sec6_6, tab04, tab05, tab06, Experiment, RunContext, RunOutput,
 };
 use crate::render;
-use crate::{to_json, CheckRunConfig, FaultRunConfig, HotnessRunConfig, PowerDownRunConfig};
+use crate::{
+    to_json, CheckRunConfig, FaultRunConfig, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig,
+};
 use dtl_core::DtlError;
 use dtl_dram::Picos;
 use dtl_trace::WorkloadKind;
@@ -282,6 +284,49 @@ experiment!(
 );
 
 experiment!(
+    PoolScale,
+    "pool_scale",
+    "Pool scale: placement policy x power coordination across a device pool",
+    |ctx| {
+        // Default seed matches the pinned tiny golden (pool_scale_tiny.json).
+        let seed = ctx.seed_or(7);
+        let cfg = if ctx.tiny { PoolRunConfig::tiny(seed) } else { PoolRunConfig::paper(seed) };
+        let r = pool_scale::run_jobs_traced(&cfg, &ctx.telemetry, ctx.jobs)?;
+        let text = format!(
+            "{}\npack+coordination saves {} pool energy over spread/no-coordination",
+            render::pool_scale(&r).render(),
+            crate::pct(r.savings_fraction)
+        );
+        let mut out = RunOutput::new(text, to_json(&r));
+        out.horizon_ps = Some(Picos::from_secs(u64::from(cfg.duration_min) * 60).as_ps());
+        Ok(out)
+    }
+);
+
+experiment!(
+    PoolFailover,
+    "pool_failover",
+    "Pool failover: seeded device-retirement campaigns, zero-loss criterion",
+    |ctx| {
+        let seed = ctx.seed_or(1);
+        let cfg = if ctx.tiny { PoolRunConfig::tiny(seed) } else { PoolRunConfig::paper(seed) };
+        let campaigns = ctx
+            .value("--campaigns")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(if ctx.tiny { 6 } else { 24 });
+        let r = pool_failover::run_jobs(&cfg, campaigns, ctx.jobs)?;
+        let mut out = RunOutput::new(render::pool_failover(&r).render(), to_json(&r));
+        if r.total_lost_aus > 0 {
+            out.failure = Some(format!(
+                "{} allocation units lost across {} campaigns — failover must be lossless",
+                r.total_lost_aus, campaigns
+            ));
+        }
+        Ok(out)
+    }
+);
+
+experiment!(
     DiffFuzz,
     "diff_fuzz",
     "Differential fuzz: device vs reference model in lockstep",
@@ -326,7 +371,7 @@ fn replay_counterexample(json: &str) -> RunOutput {
 
 /// Every registered experiment, in the order `all` runs them.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 25] = [
+    static REGISTRY: [&dyn Experiment; 27] = [
         &Fig01,
         &Fig02,
         &Fig05,
@@ -351,6 +396,8 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &AblatePagePolicy,
         &LoadedLatency,
         &FaultCampaign,
+        &PoolScale,
+        &PoolFailover,
         &DiffFuzz,
     ];
     &REGISTRY
@@ -368,7 +415,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 25);
+        assert_eq!(names.len(), 27);
         names.sort_unstable();
         let before = names.len();
         names.dedup();

@@ -13,6 +13,7 @@ pub mod experiments;
 mod fault_run;
 mod hotness_run;
 mod perf;
+mod pool_run;
 mod powerdown_run;
 pub mod render;
 mod report;
@@ -24,6 +25,10 @@ pub use hotness_run::{
     run_reentry, HotnessRunConfig, HotnessRunResult, ReentryResult,
 };
 pub use perf::PerfModel;
+pub use pool_run::{
+    run_pool, run_pool_faulted, run_pool_faulted_traced, run_pool_traced, PoolFaultRunConfig,
+    PoolFaultRunResult, PoolIntervalSample, PoolRunConfig, PoolRunResult,
+};
 pub use powerdown_run::{
     run_schedule, run_schedule_traced, IntervalSample, PowerDownRunConfig, PowerDownRunResult,
 };

@@ -1,0 +1,629 @@
+//! The rack-scale pool experiment harness: replay a synthesized VM
+//! schedule against a [`MemoryPool`] of DTL devices and integrate DRAM
+//! power per 5-minute interval — the cross-device extension of the
+//! Figure 12 replay — plus a faulted variant that overlays a
+//! [`PoolFaultPlan`](dtl_fault::PoolFaultPlan) with whole-device losses.
+//!
+//! As in the single-device harnesses, foreground traffic is accounted in
+//! bulk per epoch; a deterministic trickle of pool-level accesses
+//! additionally exercises the per-device CXL links so their round-trip and
+//! retry accounting shows up in the results.
+
+use dtl_core::{DtlConfig, DtlError, HealthStats, HostId, MemoryBackend};
+use dtl_cxl::LinkRetryStats;
+use dtl_dram::{AccessKind, Picos, PowerState};
+use dtl_fault::{FaultKind, FaultPlanConfig, PoolFaultKind, PoolFaultPlanConfig};
+use dtl_pool::{
+    AnalyticMemoryPool, DeviceId, MemoryPool, PlacementPolicy, PoolConfig, PoolStats, PoolVmId,
+};
+use dtl_telemetry::Telemetry;
+use dtl_trace::{NodeConfig, VmEventKind, VmId, VmSchedule};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Configuration of one pool schedule replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolRunConfig {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Schedule length in minutes.
+    pub duration_min: u32,
+    /// The whole-pool node the VM schedule is synthesized for; its memory
+    /// is split evenly across the member devices.
+    pub node: NodeConfig,
+    /// Member devices.
+    pub devices: u16,
+    /// Channels per device.
+    pub channels: u32,
+    /// Ranks per channel per device.
+    pub ranks_per_channel: u32,
+    /// Placement policy for VM admission.
+    pub policy: PlacementPolicy,
+    /// Whether the pool-wide power coordinator is enabled.
+    pub coordinator: bool,
+    /// Compute hosts sharing the pool (VMs are assigned round-robin).
+    pub hosts: u16,
+    /// Foreground bandwidth per vCPU, bytes/s (drives active power).
+    pub per_vcpu_bw: f64,
+    /// Fraction of foreground traffic that is reads.
+    pub read_fraction: f64,
+}
+
+impl PoolRunConfig {
+    /// Paper-scale pool: four Figure 12 nodes (4x8 ranks, 384 GiB each)
+    /// behind one orchestrator.
+    pub fn paper(seed: u64) -> Self {
+        PoolRunConfig {
+            seed,
+            duration_min: 360,
+            node: NodeConfig { vcpus: 4 * 48, mem_bytes: 4 * (384 << 30) },
+            devices: 4,
+            channels: 4,
+            ranks_per_channel: 8,
+            policy: PlacementPolicy::PackForPower,
+            coordinator: true,
+            hosts: 4,
+            per_vcpu_bw: 650.0e6,
+            read_fraction: 0.67,
+        }
+    }
+
+    /// A fast, scaled-down pool for tests: four 40 GiB devices (2x4 ranks)
+    /// serving a 160 GB schedule.
+    pub fn tiny(seed: u64) -> Self {
+        PoolRunConfig {
+            seed,
+            duration_min: 60,
+            node: NodeConfig { vcpus: 16, mem_bytes: 160 << 30 },
+            devices: 4,
+            channels: 2,
+            ranks_per_channel: 4,
+            policy: PlacementPolicy::PackForPower,
+            coordinator: true,
+            hosts: 2,
+            per_vcpu_bw: 250.0e6,
+            read_fraction: 0.67,
+        }
+    }
+
+    /// The derived [`PoolConfig`]: paper DTL parameters (2 MiB segments,
+    /// 2 GiB allocation units) over the node's capacity split across the
+    /// member devices.
+    pub fn pool_config(&self) -> PoolConfig {
+        let dtl = DtlConfig::paper();
+        let mut cfg = PoolConfig::paper(self.devices);
+        cfg.channels = self.channels;
+        cfg.ranks_per_channel = self.ranks_per_channel;
+        cfg.segs_per_rank = self.node.mem_bytes
+            / u64::from(self.devices)
+            / (u64::from(self.channels) * u64::from(self.ranks_per_channel))
+            / dtl.segment_bytes;
+        cfg.policy = self.policy;
+        cfg.coordinator.enabled = self.coordinator;
+        cfg
+    }
+}
+
+/// One 5-minute interval sample of a pool replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolIntervalSample {
+    /// Interval start, minutes.
+    pub t_min: u32,
+    /// Devices in the coordinator's `Active` state at interval end.
+    pub active_devices: u32,
+    /// Devices parked by the coordinator at interval end.
+    pub parked_devices: u32,
+    /// Mean DRAM power over the interval across the whole pool, milliwatts.
+    pub power_mw: f64,
+    /// Committed VM memory at interval start, bytes.
+    pub committed_bytes: u64,
+    /// Shard evacuations in flight at interval end.
+    pub evacuations_in_flight: u64,
+}
+
+/// Result of one pool schedule replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolRunResult {
+    /// Per-interval samples.
+    pub intervals: Vec<PoolIntervalSample>,
+    /// Total DRAM energy across the pool, millijoules.
+    pub total_energy_mj: f64,
+    /// Background share of the total.
+    pub background_mj: f64,
+    /// Active (event) share.
+    pub active_mj: f64,
+    /// VMs placed.
+    pub vms_allocated: u64,
+    /// VM admissions rejected for capacity.
+    pub vms_rejected: u64,
+    /// Mapped segments pool-wide at the end of the run.
+    pub mapped_segments: u64,
+    /// Aggregate pool statistics (evacuations, parks, wakes, failovers).
+    pub stats: PoolStats,
+    /// Error-health counters summed over every device.
+    pub errors: HealthStats,
+    /// Link retry totals summed over every device's CXL attachment.
+    pub link: LinkRetryStats,
+}
+
+impl PoolRunResult {
+    /// Mean power over the run in milliwatts.
+    pub fn mean_power_mw(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        self.intervals.iter().map(|i| i.power_mw).sum::<f64>() / self.intervals.len() as f64
+    }
+
+    /// Mean coordinator-active device count over the run.
+    pub fn mean_active_devices(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        self.intervals.iter().map(|i| f64::from(i.active_devices)).sum::<f64>()
+            / self.intervals.len() as f64
+    }
+}
+
+/// Replays a VM schedule against a memory pool.
+///
+/// # Errors
+///
+/// Propagates device and pool errors (these indicate bugs — the harness
+/// never over-commits the pool).
+pub fn run_pool(cfg: &PoolRunConfig) -> Result<PoolRunResult, DtlError> {
+    run_pool_traced(cfg, &Telemetry::disabled())
+}
+
+/// Like [`run_pool`], but with a live telemetry handle: every member
+/// device streams its events through a channel-offset shim (device *i*
+/// maps to channels `i * channels ..`), so the merged trace renders one
+/// Perfetto track group per device.
+///
+/// # Errors
+///
+/// Propagates device and pool errors (these indicate bugs — the harness
+/// never over-commits the pool).
+pub fn run_pool_traced(
+    cfg: &PoolRunConfig,
+    telemetry: &Telemetry,
+) -> Result<PoolRunResult, DtlError> {
+    let mut driver = PoolDriver::new(cfg, telemetry)?;
+    while driver.t_min < cfg.duration_min {
+        driver.epoch()?;
+    }
+    driver.finish(telemetry)
+}
+
+/// The shared epoch-stepping machinery of the quiet and faulted replays.
+struct PoolDriver<'a> {
+    cfg: &'a PoolRunConfig,
+    pool: AnalyticMemoryPool,
+    schedule_events: std::vec::IntoIter<dtl_trace::VmEvent>,
+    pending: Option<dtl_trace::VmEvent>,
+    handles: HashMap<VmId, (PoolVmId, u32, u64)>,
+    committed: u64,
+    vcpus_active: u32,
+    vms_rejected: u64,
+    intervals: Vec<PoolIntervalSample>,
+    prev_energy: f64,
+    t_min: u32,
+    epoch: Picos,
+    tick_step: Picos,
+    /// Hook called at every tick, before the pool's own tick: the faulted
+    /// replay injects due faults here.
+    on_tick: Option<TickHook<'a>>,
+}
+
+/// Boxed per-tick callback used by the faulted replay to inject due faults.
+type TickHook<'a> = Box<dyn FnMut(&mut AnalyticMemoryPool, Picos) -> Result<(), DtlError> + 'a>;
+
+impl<'a> PoolDriver<'a> {
+    fn new(cfg: &'a PoolRunConfig, telemetry: &Telemetry) -> Result<Self, DtlError> {
+        let mut pool = MemoryPool::analytic(cfg.pool_config())?;
+        pool.set_telemetry(telemetry.clone());
+        for i in 0..cfg.devices {
+            let dev = pool.device_mut(DeviceId(i)).expect("configured device");
+            dev.set_hotness_enabled(false);
+            dev.set_powerdown_enabled(true);
+        }
+        for h in 0..cfg.hosts.max(1) {
+            pool.register_host(HostId(h))?;
+        }
+        let schedule = VmSchedule::synthesize(cfg.seed, cfg.node, cfg.duration_min);
+        Ok(PoolDriver {
+            cfg,
+            pool,
+            schedule_events: schedule.events().to_vec().into_iter(),
+            pending: None,
+            handles: HashMap::new(),
+            committed: 0,
+            vcpus_active: 0,
+            vms_rejected: 0,
+            intervals: Vec::new(),
+            prev_energy: 0.0,
+            t_min: 0,
+            epoch: Picos::from_secs(300),
+            tick_step: Picos::from_secs(10),
+            on_tick: None,
+        })
+    }
+
+    fn next_event(&mut self) -> Option<dtl_trace::VmEvent> {
+        if self.pending.is_none() {
+            self.pending = self.schedule_events.next();
+        }
+        match &self.pending {
+            Some(ev) if ev.at_min <= self.t_min => self.pending.take(),
+            _ => None,
+        }
+    }
+
+    /// Runs one 5-minute epoch: schedule events, bulk foreground traffic,
+    /// a deterministic access trickle, and the tick loop.
+    fn epoch(&mut self) -> Result<(), DtlError> {
+        let t_start = Picos::from_secs(u64::from(self.t_min) * 60);
+        while let Some(ev) = self.next_event() {
+            match ev.kind {
+                VmEventKind::Alloc(vm) => {
+                    // VMs land round-robin on the pool's compute hosts. AU
+                    // rounding can overshoot a schedule at the capacity
+                    // edge; such VMs go elsewhere in the cluster.
+                    let host = HostId((vm.id.0 % u32::from(self.cfg.hosts.max(1))) as u16);
+                    match self.pool.alloc_vm(host, vm.mem_bytes, t_start) {
+                        Ok(id) => {
+                            self.committed += vm.mem_bytes;
+                            self.vcpus_active += vm.vcpus;
+                            self.handles.insert(vm.id, (id, vm.vcpus, vm.mem_bytes));
+                        }
+                        Err(dtl_pool::PoolError::NoCapacity { .. }) => self.vms_rejected += 1,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                VmEventKind::Dealloc(id) => {
+                    if let Some((vm, vcpus, bytes)) = self.handles.remove(&id) {
+                        self.pool.dealloc_vm(vm, t_start).map_err(DtlError::from)?;
+                        self.committed -= bytes;
+                        self.vcpus_active -= vcpus;
+                    }
+                }
+            }
+        }
+        self.record_epoch_traffic();
+        self.access_trickle(t_start)?;
+        let mut t = t_start;
+        let t_end = t_start + self.epoch;
+        while t < t_end {
+            t += self.tick_step;
+            if let Some(hook) = &mut self.on_tick {
+                hook(&mut self.pool, t)?;
+            }
+            self.pool.tick(t).map_err(DtlError::from)?;
+        }
+        let energy = self.pool.pool_energy(t_end).total_mj();
+        let power_mw = (energy - self.prev_energy) / self.epoch.as_secs_f64();
+        self.prev_energy = energy;
+        let snap = self.pool.snapshot();
+        let active =
+            snap.devices.iter().filter(|d| d.coord == dtl_pool::CoordState::Active).count();
+        let parked =
+            snap.devices.iter().filter(|d| d.coord == dtl_pool::CoordState::Parked).count();
+        self.intervals.push(PoolIntervalSample {
+            t_min: self.t_min,
+            active_devices: active as u32,
+            parked_devices: parked as u32,
+            power_mw,
+            committed_bytes: self.committed,
+            evacuations_in_flight: snap.evacuations_pending as u64,
+        });
+        self.t_min += 5;
+        Ok(())
+    }
+
+    /// Bulk foreground energy for this epoch, split across every standby
+    /// rank of the pool (the traffic concentrates wherever data lives).
+    fn record_epoch_traffic(&mut self) {
+        let bytes = f64::from(self.vcpus_active) * self.cfg.per_vcpu_bw * self.epoch.as_secs_f64();
+        let lines = (bytes / 64.0) as u64;
+        let reads = (lines as f64 * self.cfg.read_fraction) as u64;
+        let writes = lines - reads;
+        let mut active: Vec<(u16, u32, u32)> = Vec::new();
+        for i in 0..self.cfg.devices {
+            let dev = self.pool.device(DeviceId(i)).expect("configured device");
+            for c in 0..self.cfg.channels {
+                for r in 0..self.cfg.ranks_per_channel {
+                    if dev.backend().rank_state(c, r) == PowerState::Standby {
+                        active.push((i, c, r));
+                    }
+                }
+            }
+        }
+        if active.is_empty() {
+            return;
+        }
+        let per = active.len() as u64;
+        for (i, c, r) in active {
+            self.pool
+                .device_mut(DeviceId(i))
+                .expect("configured device")
+                .backend_mut()
+                .record_foreground_bulk(c, r, reads / per, writes / per);
+        }
+    }
+
+    /// One translated read per live VM per epoch, at a rotating AU offset:
+    /// keeps the per-device CXL links and the SMC path exercised without
+    /// simulating per-line traffic.
+    fn access_trickle(&mut self, t_start: Picos) -> Result<(), DtlError> {
+        let au = self.pool.config().dtl.au_bytes;
+        let round = u64::from(self.t_min) / 5;
+        let vms: Vec<PoolVmId> = self.pool.vm_ids();
+        for vm in vms {
+            let bytes = self.pool.vm_bytes(vm).expect("listed VM is live");
+            let aus = (bytes / au).max(1);
+            let offset = (round % aus) * au;
+            self.pool.access(vm, offset, AccessKind::Read, t_start).map_err(DtlError::from)?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, telemetry: &Telemetry) -> Result<PoolRunResult, DtlError> {
+        let final_t = Picos::from_secs(u64::from(self.cfg.duration_min) * 60);
+        let energy = self.pool.pool_energy(final_t);
+        self.pool.check_invariants().map_err(DtlError::from)?;
+        if let Some(m) = telemetry.metrics() {
+            self.pool.export_metrics(m);
+        }
+        let snap = self.pool.snapshot();
+        Ok(PoolRunResult {
+            intervals: self.intervals,
+            total_energy_mj: energy.total_mj(),
+            background_mj: energy.background_mj,
+            active_mj: energy.active_mj(),
+            vms_allocated: snap.stats.admitted_vms,
+            vms_rejected: self.vms_rejected,
+            mapped_segments: snap.mapped_segments,
+            stats: snap.stats,
+            errors: snap.errors,
+            link: snap.link,
+        })
+    }
+}
+
+/// Configuration of one faulted pool replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolFaultRunConfig {
+    /// The underlying pool replay.
+    pub run: PoolRunConfig,
+    /// The pool-level fault schedule. Its geometry must match `run`.
+    pub faults: PoolFaultPlanConfig,
+}
+
+impl PoolFaultRunConfig {
+    /// A fault-free pool replay (quiet plan).
+    pub fn fault_free(seed: u64, run: PoolRunConfig) -> Self {
+        let duration = Picos::from_secs(u64::from(run.duration_min) * 60);
+        let per_device =
+            FaultPlanConfig::quiet(seed, duration, run.channels, run.ranks_per_channel);
+        PoolFaultRunConfig {
+            run,
+            faults: PoolFaultPlanConfig::quiet(seed, run.devices, per_device),
+        }
+    }
+
+    /// A device-retirement campaign: background ECC noise and link CRC
+    /// corruption on every device, plus `retirements` whole-device losses
+    /// spread over the middle of the horizon.
+    pub fn retirement_campaign(seed: u64, run: PoolRunConfig, retirements: u16) -> Self {
+        let mut cfg = PoolFaultRunConfig::fault_free(seed, run);
+        cfg.faults.per_device.correctable_per_rank_per_sec = 0.001;
+        cfg.faults.per_device.link_crc_per_sec = 0.02;
+        cfg.faults.per_device.link_crc_max_burst = 4;
+        cfg.faults.device_retirements = retirements;
+        cfg
+    }
+}
+
+/// Result of one faulted pool replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolFaultRunResult {
+    /// Total DRAM energy across the pool, millijoules.
+    pub total_energy_mj: f64,
+    /// VMs placed.
+    pub vms_allocated: u64,
+    /// Faults injected over the run (device-local and retirements).
+    pub faults_injected: u64,
+    /// Whole devices retired by the plan.
+    pub devices_retired: u64,
+    /// Health-driven failovers tripped by rank-health thresholds.
+    pub failovers: u64,
+    /// Shard evacuations completed.
+    pub evacuations_completed: u64,
+    /// Segments moved by completed evacuations.
+    pub segments_evacuated: u64,
+    /// Allocation units found unreachable by the sweeps after each
+    /// retirement and at the end of the run — the zero-loss criterion.
+    pub lost_aus: u64,
+    /// Pool-wide error counters at the end of the run.
+    pub errors: HealthStats,
+    /// Link retry totals summed over every device.
+    pub link: LinkRetryStats,
+    /// Aggregate pool statistics.
+    pub stats: PoolStats,
+}
+
+/// Replays a VM schedule against a pool while a deterministic pool-level
+/// fault plan fires device faults and whole-device retirements into the
+/// run. After every fault the pool's `check_invariants` is asserted, and
+/// after every retirement (plus at the end) a full reachability sweep
+/// counts lost allocation units.
+///
+/// # Errors
+///
+/// Propagates device and pool errors; an invariant violation after any
+/// injected fault surfaces here.
+pub fn run_pool_faulted(cfg: &PoolFaultRunConfig) -> Result<PoolFaultRunResult, DtlError> {
+    run_pool_faulted_traced(cfg, &Telemetry::disabled())
+}
+
+/// Like [`run_pool_faulted`], with a live telemetry handle (per-device
+/// channel-offset tracks, as in [`run_pool_traced`]).
+///
+/// # Errors
+///
+/// Propagates device and pool errors; an invariant violation after any
+/// injected fault surfaces here.
+pub fn run_pool_faulted_traced(
+    cfg: &PoolFaultRunConfig,
+    telemetry: &Telemetry,
+) -> Result<PoolFaultRunResult, DtlError> {
+    let mut injector = cfg.faults.generate().injector();
+    let faults_injected = Rc::new(Cell::new(0u64));
+    let lost_aus = Rc::new(Cell::new(0u64));
+    let mut driver = PoolDriver::new(&cfg.run, telemetry)?;
+    let (faults_ctr, lost_ctr) = (faults_injected.clone(), lost_aus.clone());
+    driver.on_tick = Some(Box::new(move |pool, t| {
+        for fault in injector.pop_due(t) {
+            apply_pool_fault(pool, fault.kind, t, &lost_ctr)?;
+            faults_ctr.set(faults_ctr.get() + 1);
+            pool.check_invariants().map_err(DtlError::from)?;
+        }
+        Ok(())
+    }));
+    while driver.t_min < cfg.run.duration_min {
+        driver.epoch()?;
+    }
+    let final_t = Picos::from_secs(u64::from(cfg.run.duration_min) * 60);
+    lost_aus.set(lost_aus.get() + count_unreachable(&mut driver.pool, final_t));
+    let run = driver.finish(telemetry)?;
+    Ok(PoolFaultRunResult {
+        total_energy_mj: run.total_energy_mj,
+        vms_allocated: run.vms_allocated,
+        faults_injected: faults_injected.get(),
+        devices_retired: run.stats.devices_retired,
+        failovers: run.stats.failovers,
+        evacuations_completed: run.stats.evacuations_completed,
+        segments_evacuated: run.stats.segments_evacuated,
+        lost_aus: lost_aus.get(),
+        errors: run.errors,
+        link: run.link,
+        stats: run.stats,
+    })
+}
+
+fn apply_pool_fault(
+    pool: &mut AnalyticMemoryPool,
+    kind: PoolFaultKind,
+    now: Picos,
+    lost_aus: &Rc<Cell<u64>>,
+) -> Result<(), DtlError> {
+    match kind {
+        PoolFaultKind::Device { device, kind } => {
+            let id = DeviceId(device);
+            match kind {
+                FaultKind::CorrectableEcc { channel, rank } => {
+                    pool.device_mut(id)
+                        .ok_or(DtlError::Internal { reason: format!("no device {device}") })?
+                        .inject_correctable_error(channel, rank, now)?;
+                }
+                FaultKind::UncorrectableEcc { channel, rank } => {
+                    pool.device_mut(id)
+                        .ok_or(DtlError::Internal { reason: format!("no device {device}") })?
+                        .inject_uncorrectable_error(channel, rank, now)?;
+                }
+                FaultKind::LinkCrc { burst } => {
+                    pool.inject_crc_burst(id, burst).map_err(DtlError::from)?;
+                }
+                FaultKind::MigrationInterrupt { channel } => {
+                    pool.device_mut(id)
+                        .ok_or(DtlError::Internal { reason: format!("no device {device}") })?
+                        .inject_migration_interrupt(channel, now)?;
+                }
+            }
+        }
+        PoolFaultKind::RetireDevice { device } => {
+            pool.retire_device(DeviceId(device), now).map_err(DtlError::from)?;
+            // Every shard must stay reachable through the retirement —
+            // sweep immediately, while evacuations are still in flight.
+            lost_aus.set(lost_aus.get() + count_unreachable(pool, now));
+        }
+    }
+    Ok(())
+}
+
+/// Counts allocation units no access can reach — the lost-segment oracle.
+fn count_unreachable(pool: &mut AnalyticMemoryPool, now: Picos) -> u64 {
+    let au = pool.config().dtl.au_bytes;
+    let mut lost = 0u64;
+    for vm in pool.vm_ids() {
+        let bytes = pool.vm_bytes(vm).expect("listed VM is live");
+        for i in 0..(bytes / au) {
+            if pool.access(vm, i * au, AccessKind::Read, now).is_err() {
+                lost += 1;
+            }
+        }
+    }
+    lost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_replay_places_and_consolidates() {
+        let r = run_pool(&PoolRunConfig::tiny(7)).unwrap();
+        assert!(r.vms_allocated > 0, "schedule places VMs");
+        assert_eq!(r.intervals.len(), 12, "one sample per 5 minutes");
+        assert!(r.total_energy_mj > 0.0);
+        assert!(
+            r.intervals.iter().any(|i| i.parked_devices > 0),
+            "the coordinator parks at least one device at tiny load"
+        );
+        assert!(r.link.crc_errors == 0, "quiet run has no CRC faults");
+    }
+
+    #[test]
+    fn coordinator_saves_pool_energy() {
+        let mut on = PoolRunConfig::tiny(7);
+        on.coordinator = true;
+        let mut off = on;
+        off.coordinator = false;
+        let r_on = run_pool(&on).unwrap();
+        let r_off = run_pool(&off).unwrap();
+        assert_eq!(r_on.vms_allocated, r_off.vms_allocated, "same schedule");
+        assert!(
+            r_on.total_energy_mj < r_off.total_energy_mj,
+            "parking drained devices must save energy: {} vs {}",
+            r_on.total_energy_mj,
+            r_off.total_energy_mj
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_pool(&PoolRunConfig::tiny(11)).unwrap();
+        let b = run_pool(&PoolRunConfig::tiny(11)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retirement_campaign_loses_nothing() {
+        let cfg = PoolFaultRunConfig::retirement_campaign(7, PoolRunConfig::tiny(7), 2);
+        let r = run_pool_faulted(&cfg).unwrap();
+        assert_eq!(r.devices_retired, 2, "both scheduled retirements fired");
+        assert_eq!(r.lost_aus, 0, "no allocation unit may ever be lost");
+        assert!(r.evacuations_completed > 0, "retirement forces evacuations");
+        assert!(r.faults_injected > 0);
+    }
+
+    #[test]
+    fn faulted_replay_is_deterministic() {
+        let cfg = PoolFaultRunConfig::retirement_campaign(13, PoolRunConfig::tiny(13), 1);
+        let a = run_pool_faulted(&cfg).unwrap();
+        let b = run_pool_faulted(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -5,7 +5,7 @@ use crate::experiments::{
     ablate_migration_priority as migration_priority, ablate_page_policy as page_policy,
     ablate_segment_size as segment_size, ablate_smc as smc, cache_pipeline as pipeline, diff_fuzz,
     fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
-    loaded_latency as loaded, sec6_1, sec6_6, tab04, tab05, tab06,
+    loaded_latency as loaded, pool_failover, pool_scale, sec6_1, sec6_6, tab04, tab05, tab06,
 };
 use crate::{f1, f2, f3, pct, ReentryResult, Table};
 
@@ -346,6 +346,87 @@ pub fn fault_campaign(r: &fault_campaign::FaultCampaignResult) -> Table {
             s.migration_rollbacks.to_string(),
             s.link.crc_errors.to_string(),
             s.link.retries.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Pool scale: one row per (policy, coordinator) variant.
+pub fn pool_scale(r: &pool_scale::PoolScaleResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Pool scale - pack+coordination saves {} over spread/no-coordination",
+            pct(r.savings_fraction)
+        ),
+        &[
+            "policy",
+            "coordinator",
+            "energy_mj",
+            "mean_power_w",
+            "mean_active_devices",
+            "vms",
+            "rejected",
+            "drains",
+            "parks",
+            "evacuations",
+            "segments_moved",
+        ],
+    );
+    for v in &r.variants {
+        let policy = match v.policy {
+            dtl_pool::PlacementPolicy::PackForPower => "pack",
+            dtl_pool::PlacementPolicy::SpreadForBandwidth => "spread",
+        };
+        t.row(&[
+            policy.to_string(),
+            if v.coordinator { "on" } else { "off" }.to_string(),
+            f1(v.result.total_energy_mj),
+            f2(v.result.mean_power_mw() / 1000.0),
+            f2(v.result.mean_active_devices()),
+            v.result.vms_allocated.to_string(),
+            v.result.vms_rejected.to_string(),
+            v.result.stats.drains_started.to_string(),
+            v.result.stats.devices_parked.to_string(),
+            v.result.stats.evacuations_completed.to_string(),
+            v.result.stats.segments_evacuated.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Pool failover: one row per retirement campaign plus the batch verdict.
+pub fn pool_failover(r: &pool_failover::PoolFailoverResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Pool failover - {} campaigns, {} devices retired, {} AUs lost ({})",
+            r.campaigns.len(),
+            r.total_devices_retired,
+            r.total_lost_aus,
+            if r.total_lost_aus == 0 { "lossless" } else { "LOSS" },
+        ),
+        &[
+            "seed",
+            "retirements",
+            "failovers",
+            "faults",
+            "evacuations",
+            "segments_moved",
+            "lost_aus",
+            "vms",
+            "energy_mj",
+        ],
+    );
+    for c in &r.campaigns {
+        t.row(&[
+            c.seed.to_string(),
+            c.retirements.to_string(),
+            c.result.failovers.to_string(),
+            c.result.faults_injected.to_string(),
+            c.result.evacuations_completed.to_string(),
+            c.result.segments_evacuated.to_string(),
+            c.result.lost_aus.to_string(),
+            c.result.vms_allocated.to_string(),
+            f1(c.result.total_energy_mj),
         ]);
     }
     t

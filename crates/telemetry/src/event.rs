@@ -200,6 +200,49 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The same event with every channel field shifted by `offset`.
+    ///
+    /// A pool orchestrator that owns several devices gives device *i* the
+    /// channel range `[i * channels, (i + 1) * channels)` in the shared
+    /// trace; since the Chrome exporter keys one Perfetto process per
+    /// channel, the offset is what turns one event stream into one group of
+    /// tracks per device. Device-scoped kinds (VM lifecycle, CXL retries)
+    /// carry no channel and pass through unchanged.
+    #[must_use]
+    pub fn with_channel_offset(self, offset: u32) -> EventKind {
+        match self {
+            EventKind::SegmentMigrated { channel, src, dst, swap, bytes } => {
+                EventKind::SegmentMigrated { channel: channel + offset, src, dst, swap, bytes }
+            }
+            EventKind::RankPowerTransition { channel, rank, from, to, auto_exit } => {
+                EventKind::RankPowerTransition {
+                    channel: channel + offset,
+                    rank,
+                    from,
+                    to,
+                    auto_exit,
+                }
+            }
+            EventKind::TspAdvance { channel, victim, timeout } => {
+                EventKind::TspAdvance { channel: channel + offset, victim, timeout }
+            }
+            EventKind::SelfRefreshSwap { channel, victim, swaps } => {
+                EventKind::SelfRefreshSwap { channel: channel + offset, victim, swaps }
+            }
+            EventKind::FaultInjected { kind, channel, rank } => {
+                EventKind::FaultInjected { kind, channel: channel.map(|c| c + offset), rank }
+            }
+            EventKind::HealthTransition { channel, rank, from, to } => {
+                EventKind::HealthTransition { channel: channel + offset, rank, from, to }
+            }
+            other @ (EventKind::CxlRetry { .. }
+            | EventKind::VmAlloc { .. }
+            | EventKind::VmDealloc { .. }) => other,
+        }
+    }
+}
+
 /// One timestamped telemetry event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Event {

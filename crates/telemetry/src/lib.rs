@@ -51,5 +51,7 @@ pub use event::{Event, EventKind, FaultKindId, HealthStateId, PowerStateId};
 pub use export::{chrome_trace, jsonl, parse_jsonl, DEVICE_PID, EVENTS_TID};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use ring::RingSink;
-pub use sink::{merge_event_streams, BufferSink, NoopSink, Telemetry, TelemetrySink};
+pub use sink::{
+    merge_event_streams, BufferSink, ChannelOffsetSink, NoopSink, Telemetry, TelemetrySink,
+};
 pub use timeline::{PowerTimeline, Span};

@@ -79,6 +79,44 @@ impl TelemetrySink for BufferSink {
     }
 }
 
+/// A pass-through sink that shifts every channel field by a fixed offset
+/// before forwarding (see [`EventKind::with_channel_offset`]).
+///
+/// A pool orchestrator wraps one of these around its shared sink per member
+/// device, with `offset = device_index * channels_per_device`; the Chrome
+/// exporter then renders one process-track group per device with no changes
+/// to either the devices or the exporter.
+#[derive(Debug)]
+pub struct ChannelOffsetSink {
+    inner: Arc<dyn TelemetrySink>,
+    offset: u32,
+}
+
+impl ChannelOffsetSink {
+    /// Wraps `inner`, shifting channels by `offset`.
+    pub fn new(inner: Arc<dyn TelemetrySink>, offset: u32) -> Self {
+        ChannelOffsetSink { inner, offset }
+    }
+
+    /// The channel offset applied to forwarded events.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+}
+
+impl TelemetrySink for ChannelOffsetSink {
+    fn record(&self, event: Event) {
+        self.inner.record(Event {
+            at_ps: event.at_ps,
+            kind: event.kind.with_channel_offset(self.offset),
+        });
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+}
+
 /// Merges per-unit event streams into one, concatenating in stream order.
 ///
 /// The contract that makes parallel runs bit-identical to sequential ones:

@@ -1,97 +1,100 @@
-//! A pooled CXL memory device shared by three compute hosts: per-host
-//! quotas, ballooning, and the management-plane snapshot a pool operator
-//! would watch.
+//! A rack-scale memory pool shared by three compute hosts: pack-for-power
+//! placement, per-host quotas, a whole-device retirement with lossless
+//! failover, and the pool-wide snapshot an operator would watch — all on
+//! top of `dtl-pool` instead of hand-rolling the orchestration per caller.
 //!
 //! ```sh
 //! cargo run --release --example multi_host_pool
 //! ```
 
-use dtl_core::{DtlConfig, DtlDevice, DtlError, HostId, HotnessRole};
-use dtl_dram::Picos;
+use dtl_core::HostId;
+use dtl_dram::{AccessKind, Picos, PowerState};
+use dtl_pool::{AnalyticMemoryPool, MemoryPool, PoolConfig, PoolError};
 
-fn print_pool(dev: &DtlDevice<dtl_core::AnalyticBackend>, label: &str) {
-    let snap = dev.snapshot();
+fn print_pool(pool: &AnalyticMemoryPool, label: &str) {
+    let snap = pool.snapshot();
     println!("\n== {label} ==");
-    for h in &snap.hosts {
-        println!("  {}: {} VMs, {} AUs mapped", h.host, h.vms, h.aus);
-    }
-    for r in &snap.ranks {
-        let role = match r.hotness {
-            HotnessRole::SelfRefreshing => " [self-refresh]",
-            HotnessRole::Victim => " [hotness victim]",
-            HotnessRole::None => "",
-        };
-        let errors = if r.correctable_errors + r.uncorrectable_errors > 0 {
-            format!(" ({}c/{}u errors)", r.correctable_errors, r.uncorrectable_errors)
-        } else {
-            String::new()
-        };
+    for d in &snap.devices {
         println!(
-            "  ch{}/rk{}: {:?}/{:?}/{:?} {}live/{}free{}{}",
-            r.channel,
-            r.rank,
-            r.power,
-            r.lifecycle,
-            r.health,
-            r.allocated_segments,
-            r.free_segments,
-            role,
-            errors
+            "  {}: {}/{} — {} AUs allocated, {} free, {} link retries",
+            d.id,
+            d.health.label(),
+            d.coord.label(),
+            d.allocated_aus,
+            d.free_aus,
+            d.link.retries
         );
     }
+    let mpsm = snap.rank_residency[PowerState::Mpsm as usize];
     println!(
-        "  mapped segments: {}; migrations pending: {}; errors: {}c/{}u",
+        "  {} VMs, {} mapped segments, {} evacuations in flight, MPSM residency {:.1} ms",
+        snap.vms,
         snap.mapped_segments,
-        snap.migrations_pending,
-        snap.errors.correctable_errors,
-        snap.errors.uncorrectable_errors
+        snap.evacuations_pending,
+        mpsm.as_secs_f64() * 1e3
     );
 }
 
-fn main() -> Result<(), DtlError> {
-    let cfg = DtlConfig::tiny();
-    let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+fn main() -> Result<(), PoolError> {
+    let cfg = PoolConfig::tiny(3);
+    let au = cfg.dtl.au_bytes;
+    let mut pool = MemoryPool::analytic(cfg)?;
     for h in 0..3 {
-        dev.register_host(HostId(h))?;
+        pool.register_host(HostId(h))?;
     }
-    // Host 2 is a noisy neighbor: cap it at 2 AUs.
-    dev.set_host_quota(HostId(2), Some(2))?;
+    // Host 2 is a noisy neighbor: cap it at 2 AUs pool-wide.
+    pool.set_host_quota(HostId(2), Some(2))?;
 
     let mut now = Picos::from_us(1);
-    let a = dev.alloc_vm(HostId(0), 2 * cfg.au_bytes, now)?;
-    let b = dev.alloc_vm(HostId(1), cfg.au_bytes, now)?;
-    let c = dev.alloc_vm(HostId(2), 2 * cfg.au_bytes, now)?;
-    print_pool(&dev, "three tenants up");
+    let a = pool.alloc_vm(HostId(0), 3 * au, now)?;
+    let b = pool.alloc_vm(HostId(1), 2 * au, now)?;
+    let c = pool.alloc_vm(HostId(2), 2 * au, now)?;
+    print_pool(&pool, "three tenants up (packed for power)");
 
-    // The capped host wants more and is refused; host 1 balloons instead.
-    match dev.alloc_vm(HostId(2), cfg.au_bytes, now) {
+    // The capped host wants more and is refused at admission.
+    match pool.alloc_vm(HostId(2), au, now) {
         Err(e) => println!("\nhost2 denied: {e}"),
         Ok(_) => unreachable!("quota must gate this"),
     }
-    dev.grow_vm(b.handle, cfg.au_bytes, now)?;
-    print_pool(&dev, "after host1 ballooned up");
 
-    // A rank reports sparse correctable errors — the operator sees the
-    // counters climb while the leaky bucket keeps the rank Healthy.
-    dev.inject_correctable_error(1, 0, now)?;
-    dev.inject_correctable_error(1, 0, now + Picos::from_us(1))?;
-    print_pool(&dev, "after two correctable errors on ch1/rk0 (still Healthy)");
+    // Every tenant's memory is reachable; the CXL link charges its
+    // round-trip on each access.
+    let hit = pool.access(a, 0, AccessKind::Read, now)?;
+    println!("VM {a} offset 0 served by {} (+{} ps link)", hit.device, hit.link_delay.as_ps());
 
-    // Two tenants leave; the pool consolidates and powers ranks down.
-    dev.dealloc_vm(a.handle, now)?;
-    dev.dealloc_vm(c.handle, now)?;
-    for _ in 0..100 {
+    // The device carrying the packed load is lost to maintenance: the
+    // pool retires it and evacuates every shard to the survivors.
+    let victim = hit.device;
+    pool.retire_device(victim, now)?;
+    for _ in 0..200 {
         now += Picos::from_ms(1);
-        dev.tick(now)?;
+        pool.tick(now)?;
+        if pool.evacuations_pending() == 0 {
+            break;
+        }
     }
-    print_pool(&dev, "after departures (rank groups in MPSM)");
+    print_pool(&pool, "after retiring the loaded device (shards evacuated)");
+    pool.assert_all_reachable(now)?;
+    println!("\nevery allocation unit of every VM is still reachable");
 
-    let report = dev.power_report(now);
+    // Two tenants leave; the coordinator re-packs the pool and parks what
+    // it drains, and each device's own engine powers rank groups down.
+    pool.dealloc_vm(b, now)?;
+    pool.dealloc_vm(c, now)?;
+    for _ in 0..200 {
+        now += Picos::from_ms(1);
+        pool.tick(now)?;
+    }
+    print_pool(&pool, "after departures (idle devices parked)");
+
+    let energy = pool.pool_energy(now);
     println!(
-        "\nbackground energy so far: {:.1} mJ (all-standby would be {:.1} mJ)",
-        report.total.background_mj,
-        1250.0 * 8.0 * now.as_secs_f64()
+        "\npool DRAM energy so far: {:.1} mJ ({:.1} mJ background); stats: {} evacuations, {} parks",
+        energy.total_mj(),
+        energy.background_mj,
+        pool.stats().evacuations_completed,
+        pool.stats().devices_parked
     );
-    dev.check_invariants()?;
+    pool.check_invariants()?;
     Ok(())
 }

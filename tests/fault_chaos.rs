@@ -7,7 +7,8 @@
 use dtl_core::{AnalyticBackend, DtlConfig, DtlDevice, DtlError, HostId, RankHealth};
 use dtl_cxl::{RetryEngine, RetryPolicy};
 use dtl_dram::{AccessKind, Picos};
-use dtl_fault::{FaultKind, FaultPlanConfig, StormConfig};
+use dtl_fault::{FaultKind, FaultPlanConfig, PoolFaultKind, PoolFaultPlanConfig, StormConfig};
+use dtl_pool::{DeviceHealth, DeviceId, MemoryPool, PoolConfig, PoolError};
 
 fn device() -> (DtlDevice<AnalyticBackend>, DtlConfig) {
     let cfg = DtlConfig::tiny();
@@ -125,6 +126,138 @@ fn a_hundred_fault_plans_never_break_invariants() {
     let jobs = dtl_sim::exec::available_jobs();
     for (seed, outcome) in
         dtl_sim::exec::run_units(jobs, seeds, |_, seed| (seed, chaos_round(seed)))
+    {
+        outcome.unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
+    }
+}
+
+/// One pool chaos round: a four-device pool serving three hosts while a
+/// seeded pool-level fault plan fires device faults, link CRC bursts, and
+/// whole-device retirements into the run. Invariants must hold after
+/// every fault, failover must lose nothing, and after the dust settles
+/// the pool must complete a full admission round trip.
+fn pool_chaos_round(seed: u64) -> Result<(), PoolError> {
+    let mut cfg = PoolConfig::tiny(4);
+    cfg.coordinator.enabled = seed.is_multiple_of(2);
+    let au = cfg.dtl.au_bytes;
+    let mut pool = MemoryPool::analytic(cfg)?;
+    for h in 0..3 {
+        pool.register_host(HostId(h))?;
+    }
+
+    let duration = Picos::from_ms(50);
+    let retirements = 1 + (seed % 2) as u16;
+    let mut plan_cfg =
+        PoolFaultPlanConfig::quiet(seed, 4, FaultPlanConfig::quiet(seed, duration, 2, 4));
+    plan_cfg.per_device.correctable_per_rank_per_sec = 100.0;
+    plan_cfg.per_device.link_crc_per_sec = 80.0;
+    plan_cfg.per_device.link_crc_max_burst = 4;
+    plan_cfg.per_device.migration_interrupts = 10;
+    plan_cfg.device_retirements = retirements;
+    let mut injector = plan_cfg.generate().injector();
+
+    // Six AUs across three hosts: the survivors can absorb up to two
+    // whole-device losses.
+    let vms: Vec<_> = (0..3u16)
+        .map(|h| pool.alloc_vm(HostId(h), 2 * au, Picos::ZERO))
+        .collect::<Result<_, _>>()?;
+    let mut t = Picos::from_us(1);
+    for vm in &vms {
+        pool.access(*vm, 0, AccessKind::Write, t)?;
+        pool.access(*vm, au, AccessKind::Write, t)?;
+        t += Picos::from_ns(100);
+    }
+
+    let step = Picos::from_us(500);
+    let mut probe = 0u64;
+    let mut retired_loaded_device = false;
+    while t < duration {
+        t += step;
+        for ev in injector.pop_due(t) {
+            match ev.kind {
+                PoolFaultKind::Device { device, kind } => {
+                    let id = DeviceId(device);
+                    match kind {
+                        FaultKind::CorrectableEcc { channel, rank } => {
+                            pool.device_mut(id)
+                                .expect("planned device exists")
+                                .inject_correctable_error(channel, rank, t)
+                                .map_err(|e| PoolError::Device { device: id, source: e })?;
+                        }
+                        FaultKind::UncorrectableEcc { channel, rank } => {
+                            pool.device_mut(id)
+                                .expect("planned device exists")
+                                .inject_uncorrectable_error(channel, rank, t)
+                                .map_err(|e| PoolError::Device { device: id, source: e })?;
+                        }
+                        FaultKind::LinkCrc { burst } => pool.inject_crc_burst(id, burst)?,
+                        FaultKind::MigrationInterrupt { channel } => {
+                            pool.device_mut(id)
+                                .expect("planned device exists")
+                                .inject_migration_interrupt(channel, t)
+                                .map_err(|e| PoolError::Device { device: id, source: e })?;
+                        }
+                    }
+                }
+                PoolFaultKind::RetireDevice { device } => {
+                    retired_loaded_device |= vms.iter().any(|vm| {
+                        pool.vm_devices(*vm).is_some_and(|d| d.contains(&DeviceId(device)))
+                    });
+                    pool.retire_device(DeviceId(device), t)?;
+                    // Failover must be lossless *while* evacuations are
+                    // still in flight, not only after they settle.
+                    pool.assert_all_reachable(t)?;
+                }
+            }
+            pool.check_invariants()?;
+        }
+        pool.tick(t)?;
+        // Keep foreground traffic flowing through the chaos.
+        let vm = vms[(probe % 3) as usize];
+        pool.access(vm, (probe % 2) * au, AccessKind::Read, t)?;
+        probe += 1;
+    }
+    // Settle outstanding evacuations, then verify the round trip.
+    for _ in 0..300 {
+        t += Picos::from_ms(1);
+        pool.tick(t)?;
+        if pool.evacuations_pending() == 0 {
+            break;
+        }
+    }
+    pool.check_invariants()?;
+    pool.assert_all_reachable(t)?;
+    let retired = (0..4u16)
+        .filter(|d| pool.device_health(DeviceId(*d)) == Some(DeviceHealth::Retired))
+        .count();
+    assert_eq!(retired, usize::from(retirements), "every planned retirement fired");
+    assert_eq!(pool.stats().devices_retired, u64::from(retirements));
+    if retired_loaded_device {
+        assert!(pool.stats().evacuations_completed > 0, "retiring a loaded device evacuates");
+    }
+    for vm in &vms {
+        for d in pool.vm_devices(*vm).expect("VM is live") {
+            assert_eq!(
+                pool.device_health(d),
+                Some(DeviceHealth::Healthy),
+                "no shard may remain on a retired device"
+            );
+        }
+    }
+    // The shrunken pool still completes an admission round trip.
+    let extra = pool.alloc_vm(HostId(0), au, t)?;
+    pool.access(extra, 0, AccessKind::Read, t)?;
+    pool.dealloc_vm(extra, t)?;
+    pool.check_invariants()?;
+    Ok(())
+}
+
+#[test]
+fn retirement_failover_round_trips_survive_chaos() {
+    let seeds: Vec<u64> = (0..40).collect();
+    let jobs = dtl_sim::exec::available_jobs();
+    for (seed, outcome) in
+        dtl_sim::exec::run_units(jobs, seeds, |_, seed| (seed, pool_chaos_round(seed)))
     {
         outcome.unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
     }

@@ -14,8 +14,8 @@
 
 use std::path::{Path, PathBuf};
 
-use dtl_sim::experiments::{fig12, fig14};
-use dtl_sim::{to_json, HotnessRunConfig, PowerDownRunConfig};
+use dtl_sim::experiments::{fig12, fig14, pool_scale};
+use dtl_sim::{to_json, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig};
 use serde::Value;
 
 /// Relative tolerance for float comparisons. The runs are deterministic;
@@ -119,6 +119,12 @@ fn check_golden(name: &str, json: &str) {
 fn fig12_tiny_matches_golden() {
     let r = fig12::run(&PowerDownRunConfig::tiny(7, true), (0.014, 0.0018)).expect("fig12 tiny");
     check_golden("fig12_tiny", &to_json(&r));
+}
+
+#[test]
+fn pool_scale_tiny_matches_golden() {
+    let r = pool_scale::run(&PoolRunConfig::tiny(7)).expect("pool_scale tiny");
+    check_golden("pool_scale_tiny", &to_json(&r));
 }
 
 #[test]

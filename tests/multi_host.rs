@@ -1,117 +1,151 @@
-//! Multi-host pooled-memory integration: several compute nodes share one
-//! DTL device. Address spaces are isolated by construction (the HSN keys
-//! on host id — the paper's security argument), capacity is shared, and
-//! power management acts on the pool as a whole.
+//! Multi-host pooled-memory integration on top of `dtl-pool`: several
+//! compute nodes share a rack-scale pool of DTL devices. Address spaces
+//! are isolated per VM, capacity and quotas are enforced pool-wide, and
+//! whole-device failover is transparent to every host.
 
-use dtl_core::{DtlConfig, DtlDevice, DtlError, HostId, HostPhysAddr, MemoryBackend};
-use dtl_dram::{AccessKind, Picos, PowerState};
+use dtl_core::HostId;
+use dtl_dram::{AccessKind, Picos};
+use dtl_pool::{
+    AnalyticMemoryPool, CoordState, DeviceHealth, DeviceId, MemoryPool, PoolConfig, PoolError,
+    PoolVmId,
+};
 
-fn device() -> DtlDevice<dtl_core::AnalyticBackend> {
-    let cfg = DtlConfig::tiny();
-    let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+/// A four-device tiny pool (8 AUs per device) with four registered hosts
+/// and the coordinator off, so placement alone decides device states.
+fn pool() -> AnalyticMemoryPool {
+    let mut cfg = PoolConfig::tiny(4);
+    cfg.coordinator.enabled = false;
+    let mut p = MemoryPool::analytic(cfg).unwrap();
     for h in 0..4 {
-        dev.register_host(HostId(h)).unwrap();
+        p.register_host(HostId(h)).unwrap();
     }
-    dev
+    p
+}
+
+/// Ticks until in-flight evacuations settle.
+fn settle(p: &mut AnalyticMemoryPool, mut now: Picos) -> Picos {
+    for _ in 0..200 {
+        now += Picos::from_ms(1);
+        p.tick(now).unwrap();
+        if p.evacuations_pending() == 0 {
+            break;
+        }
+    }
+    now
 }
 
 #[test]
-fn hosts_have_disjoint_address_spaces() {
-    let mut dev = device();
-    let au = dev.config().au_bytes;
-    let a = dev.alloc_vm(HostId(0), au, Picos::ZERO).unwrap();
-    let b = dev.alloc_vm(HostId(1), au, Picos::ZERO).unwrap();
-    // Both hosts see HPA 0 as their own first AU...
-    assert_eq!(a.hpa_base(0, au), b.hpa_base(0, au));
-    // ...but the device maps them to different segments.
-    let da = dev.access(HostId(0), a.hpa_base(0, au), AccessKind::Read, Picos::from_us(1)).unwrap();
-    let db = dev.access(HostId(1), b.hpa_base(0, au), AccessKind::Read, Picos::from_us(2)).unwrap();
-    assert_ne!(da.dsn, db.dsn, "host address spaces must not alias");
-    dev.check_invariants().unwrap();
+fn vms_have_disjoint_backing_across_hosts() {
+    let mut p = pool();
+    let au = p.config().dtl.au_bytes;
+    let a = p.alloc_vm(HostId(0), au, Picos::ZERO).unwrap();
+    let b = p.alloc_vm(HostId(1), au, Picos::ZERO).unwrap();
+    // Both hosts see offset 0 of their own VM...
+    let da = p.access(a, 0, AccessKind::Read, Picos::from_us(1)).unwrap();
+    let db = p.access(b, 0, AccessKind::Read, Picos::from_us(2)).unwrap();
+    // ...but the pool backs them with different device segments.
+    assert_ne!((da.device, da.outcome.dsn), (db.device, db.outcome.dsn));
+    // The CXL link charges every access.
+    assert!(da.link_delay > Picos::ZERO);
+    p.check_invariants().unwrap();
 }
 
 #[test]
-fn host_cannot_reach_another_hosts_memory() {
-    let mut dev = device();
-    let au = dev.config().au_bytes;
-    let _a = dev.alloc_vm(HostId(0), au, Picos::ZERO).unwrap();
-    // Host 1 has no allocation: every address is unmapped *for host 1*,
-    // including the HPA that is valid for host 0.
-    let err = dev.access(HostId(1), HostPhysAddr::new(0), AccessKind::Read, Picos::from_us(1));
-    assert!(matches!(err, Err(DtlError::UnmappedAddress { host, .. }) if host == HostId(1)));
+fn out_of_range_offsets_and_stale_handles_are_rejected() {
+    let mut p = pool();
+    let au = p.config().dtl.au_bytes;
+    let a = p.alloc_vm(HostId(0), au, Picos::ZERO).unwrap();
+    assert!(matches!(
+        p.access(a, au, AccessKind::Read, Picos::from_us(1)),
+        Err(PoolError::OutOfRange { .. })
+    ));
+    p.dealloc_vm(a, Picos::from_us(2)).unwrap();
+    assert!(matches!(
+        p.access(a, 0, AccessKind::Read, Picos::from_us(3)),
+        Err(PoolError::UnknownVm(v)) if v == a
+    ));
+    assert!(matches!(p.alloc_vm(HostId(9), au, Picos::ZERO), Err(PoolError::UnknownHost(_))));
 }
 
 #[test]
 fn pool_capacity_is_shared_and_reclaimed_across_hosts() {
-    let mut dev = device();
-    dev.set_hotness_enabled(false);
-    let au = dev.config().au_bytes;
-    // Device: 256 segments = 8 AUs of 32 segments; split across 4 hosts.
-    let mut vms = Vec::new();
-    for h in 0..4u16 {
-        for _ in 0..2 {
-            vms.push((HostId(h), dev.alloc_vm(HostId(h), au, Picos::ZERO).unwrap()));
-        }
+    let mut p = pool();
+    let au = p.config().dtl.au_bytes;
+    let total = u64::from(p.config().aus_per_device()) * 4;
+    // Fill the whole pool from all four hosts.
+    let mut vms: Vec<PoolVmId> = Vec::new();
+    for i in 0..total {
+        let h = HostId((i % 4) as u16);
+        vms.push(p.alloc_vm(h, au, Picos::ZERO).unwrap());
     }
     assert!(matches!(
-        dev.alloc_vm(HostId(0), au, Picos::ZERO),
-        Err(DtlError::OutOfCapacity { .. })
+        p.alloc_vm(HostId(0), au, Picos::ZERO),
+        Err(PoolError::NoCapacity { free_aus: 0, .. })
     ));
-    // Two hosts leave; their capacity consolidates into powered-down ranks.
+    // Half the tenants leave; another host reuses the reclaimed capacity.
     let mut t = Picos::from_us(1);
-    for (h, vm) in vms.drain(0..4) {
-        dev.dealloc_vm(vm.handle, t).unwrap();
-        let _ = h;
+    for vm in vms.drain(..vms.len() / 2) {
+        p.dealloc_vm(vm, t).unwrap();
         t += Picos::from_us(1);
     }
-    for _ in 0..100 {
-        t += Picos::from_ms(1);
-        dev.tick(t).unwrap();
-    }
-    assert!(dev.powerdown_stats().groups_powered_down > 0);
-    // A third host can use the reclaimed capacity (waking ranks as needed).
-    let c = dev.alloc_vm(HostId(3), 2 * au, t).unwrap();
-    assert_eq!(c.aus.len(), 2);
-    dev.check_invariants().unwrap();
+    let big = p.alloc_vm(HostId(3), 4 * au, t).unwrap();
+    assert_eq!(p.vm_bytes(big), Some(4 * au));
+    p.check_invariants().unwrap();
 }
 
 #[test]
-fn unregistered_host_is_rejected_everywhere() {
-    let mut dev = device();
-    let ghost = HostId(9);
-    assert!(matches!(dev.alloc_vm(ghost, 1, Picos::ZERO), Err(DtlError::UnknownHost(_))));
+fn host_quotas_gate_admission_pool_wide() {
+    let mut p = pool();
+    let au = p.config().dtl.au_bytes;
+    p.set_host_quota(HostId(2), Some(2)).unwrap();
+    let _a = p.alloc_vm(HostId(2), 2 * au, Picos::ZERO).unwrap();
     assert!(matches!(
-        dev.access(ghost, HostPhysAddr::new(0), AccessKind::Read, Picos::ZERO),
-        Err(DtlError::UnknownHost(_))
+        p.alloc_vm(HostId(2), au, Picos::ZERO),
+        Err(PoolError::QuotaExceeded { mapped_aus: 2, quota_aus: 2, .. })
     ));
+    // Other hosts are unaffected by the neighbor's cap.
+    p.alloc_vm(HostId(0), 2 * au, Picos::ZERO).unwrap();
+    p.check_invariants().unwrap();
 }
 
 #[test]
-fn retirement_is_transparent_to_all_hosts() {
-    let mut dev = device();
-    dev.set_hotness_enabled(false);
-    dev.set_powerdown_enabled(false);
-    let au = dev.config().au_bytes;
-    let vms: Vec<_> =
-        (0..3u16).map(|h| (h, dev.alloc_vm(HostId(h), au, Picos::ZERO).unwrap())).collect();
-    // Find a rank holding host 0's data and retire it.
-    let out = dev
-        .access(HostId(0), vms[0].1.hpa_base(0, au), AccessKind::Read, Picos::from_us(1))
-        .unwrap();
-    let loc = dev.geometry().location(out.dsn);
-    dev.retire_rank(loc.channel, loc.rank, Picos::from_us(2)).unwrap();
-    let mut t = Picos::from_us(3);
-    for _ in 0..200 {
-        t += Picos::from_ms(1);
-        dev.tick(t).unwrap();
-        if dev.migrations_pending() == 0 {
-            break;
-        }
+fn device_retirement_is_transparent_to_all_hosts() {
+    let mut p = pool();
+    let au = p.config().dtl.au_bytes;
+    let vms: Vec<PoolVmId> =
+        (0..3u16).map(|h| p.alloc_vm(HostId(h), 2 * au, Picos::ZERO).unwrap()).collect();
+    // Pack-for-power concentrated the tenants; retire the loaded device.
+    let victim = p.access(vms[0], 0, AccessKind::Read, Picos::from_us(1)).unwrap().device;
+    p.retire_device(victim, Picos::from_us(2)).unwrap();
+    let now = settle(&mut p, Picos::from_us(3));
+    assert_eq!(p.device_health(victim), Some(DeviceHealth::Retired));
+    assert_eq!(p.evacuations_pending(), 0);
+    // Every host's memory is still reachable at unchanged offsets, and
+    // none of it on the retired device.
+    p.assert_all_reachable(now).unwrap();
+    for vm in &vms {
+        assert!(!p.vm_devices(*vm).unwrap().contains(&victim));
     }
-    assert_eq!(dev.backend().rank_state(loc.channel, loc.rank), PowerState::Mpsm);
-    // Every host's memory is still reachable at unchanged HPAs.
-    for (h, vm) in &vms {
-        dev.access(HostId(*h), vm.hpa_base(0, au), AccessKind::Read, t).unwrap();
-    }
-    dev.check_invariants().unwrap();
+    assert_eq!(p.stats().segments_evacuated, 6 * p.config().dtl.segments_per_au());
+    p.check_invariants().unwrap();
+}
+
+#[test]
+fn coordinator_parks_idle_devices_and_admission_wakes_them() {
+    let mut cfg = PoolConfig::tiny(2);
+    cfg.coordinator.enabled = true;
+    let mut p = MemoryPool::analytic(cfg).unwrap();
+    p.register_host(HostId(0)).unwrap();
+    let au = p.config().dtl.au_bytes;
+    let per_device = u64::from(p.config().aus_per_device());
+    let _vm = p.alloc_vm(HostId(0), au, Picos::ZERO).unwrap();
+    let now = settle(&mut p, Picos::from_us(1));
+    assert_eq!(p.coord_state(DeviceId(1)), Some(CoordState::Parked));
+    // A request larger than the active device's leftovers wakes the
+    // parked one instead of failing.
+    let big = p.alloc_vm(HostId(0), per_device * au, now).unwrap();
+    assert_eq!(p.coord_state(DeviceId(1)), Some(CoordState::Active));
+    assert!(p.vm_devices(big).unwrap().contains(&DeviceId(1)));
+    assert!(p.stats().devices_woken > 0);
+    p.check_invariants().unwrap();
 }

@@ -10,8 +10,12 @@
 
 use std::sync::Arc;
 
-use dtl_sim::experiments::{diff_fuzz, fault_campaign, fig12, fig14, registry};
-use dtl_sim::{to_json, CheckRunConfig, FaultRunConfig, HotnessRunConfig, PowerDownRunConfig};
+use dtl_sim::experiments::{
+    diff_fuzz, fault_campaign, fig12, fig14, pool_failover, pool_scale, registry,
+};
+use dtl_sim::{
+    to_json, CheckRunConfig, FaultRunConfig, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig,
+};
 use dtl_telemetry::{BufferSink, Telemetry};
 
 /// A telemetry handle recording into a fresh unbounded buffer.
@@ -58,6 +62,27 @@ fn fault_campaign_jobs4_is_bit_identical_to_jobs1_including_the_trace() {
     let r4 = fault_campaign::run_jobs_traced(&cfg, &t4, 4).unwrap();
     assert_eq!(to_json(&r1), to_json(&r4), "fault_campaign JSON must not depend on --jobs");
     assert_eq!(s1.take(), s4.take(), "fault_campaign telemetry must not depend on --jobs");
+}
+
+#[test]
+fn pool_scale_jobs4_is_bit_identical_to_jobs1_including_the_trace() {
+    let cfg = PoolRunConfig::tiny(7);
+    let (t1, s1) = traced();
+    let (t4, s4) = traced();
+    let r1 = pool_scale::run_jobs_traced(&cfg, &t1, 1).unwrap();
+    let r4 = pool_scale::run_jobs_traced(&cfg, &t4, 4).unwrap();
+    assert_eq!(to_json(&r1), to_json(&r4), "pool_scale JSON must not depend on --jobs");
+    let (e1, e4) = (s1.take(), s4.take());
+    assert!(!e1.is_empty(), "the headline pool replay must emit events");
+    assert_eq!(e1, e4, "pool_scale telemetry must not depend on --jobs");
+}
+
+#[test]
+fn pool_failover_jobs4_is_bit_identical_to_jobs1() {
+    let base = PoolRunConfig::tiny(3);
+    let r1 = pool_failover::run_jobs(&base, 3, 1).unwrap();
+    let r4 = pool_failover::run_jobs(&base, 3, 4).unwrap();
+    assert_eq!(to_json(&r1), to_json(&r4), "pool_failover JSON must not depend on --jobs");
 }
 
 #[test]
