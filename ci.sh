@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== dtl-event queue + determinism properties =="
+cargo test -q -p dtl-event
+
 echo "== dtl-check differential harness =="
 cargo test -q -p dtl-check
 
@@ -20,10 +23,12 @@ echo "== dtl-pool orchestration suite =="
 cargo test -q -p dtl-pool
 
 echo "== smoke suite on the parallel path (--jobs 2) =="
-cargo build --release -q -p dtl-bench --bin diff_fuzz --bin fault_campaign --bin pool_scale --bin all
+cargo build --release -q -p dtl-bench --bin diff_fuzz --bin fault_campaign --bin pool_scale \
+    --bin vm_campaign --bin all
 timeout 30 ./target/release/diff_fuzz --smoke --jobs 2
 timeout 60 ./target/release/fault_campaign --tiny --jobs 2
 timeout 30 ./target/release/pool_scale --tiny --jobs 2
+timeout 30 ./target/release/vm_campaign --tiny --jobs 2
 
 echo "== experiment registry vs src/bin/ drift =="
 diff <(./target/release/all --list | sed 's/ — .*//' | sort) \

@@ -1,0 +1,9 @@
+//! Thin driver for the registered `vm_campaign` experiment (see
+//! [`dtl_sim::experiments::vm_campaign`]). Accepts `--hosts N` and
+//! `--minutes N` on top of the shared CLI surface (`--tiny`, `--seed`,
+//! `--jobs`, `--out`, `--trace-out`, `--metrics-out`) documented in the
+//! `dtl_bench` crate docs.
+
+fn main() {
+    dtl_bench::drive("vm_campaign");
+}

@@ -123,8 +123,10 @@ pub fn check_device<B: MemoryBackend>(
         // The backend future-dates transition completions (done = now +
         // exit latency), so a rank's residency clock may run ahead of
         // backend now by at most one in-flight transition latency; it
-        // must never lag.
-        let slack = Picos::from_us(1);
+        // must never lag. Analytic backends integrate residency in closed
+        // form at transition boundaries and report their exact worst-case
+        // latency, so no tick-quantization slack is added on top.
+        let slack = dev.backend().residency_slack();
         let residency_sum = rank.residency.iter().fold(Picos::ZERO, |acc, t| acc + *t);
         if residency_sum < now || residency_sum > now + slack {
             return Err(Violation::ResidencyClock {

@@ -108,6 +108,18 @@ pub trait MemoryBackend: fmt::Debug {
         let _ = (channel, rank);
         [Picos::ZERO; 5]
     }
+
+    /// Upper bound on how far a rank's residency clock (the sum of
+    /// [`MemoryBackend::rank_residency`]) may run **ahead** of the
+    /// backend's current time. Transition completions are future-dated
+    /// (`done = now + latency`), so the residency integral of a rank with
+    /// an in-flight transition extends to `done`; it never lags `now`.
+    /// Backends that integrate residency analytically return their exact
+    /// worst-case transition latency; the default is a conservative 1 µs
+    /// for backends whose transition timing is emergent (cycle-level).
+    fn residency_slack(&self) -> Picos {
+        Picos::from_us(1)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -355,6 +367,15 @@ impl MemoryBackend for AnalyticBackend {
 
     fn rank_residency(&self, channel: u32, rank: u32) -> [Picos; 5] {
         self.accounts[channel as usize][rank as usize].residency_to(self.now)
+    }
+
+    fn residency_slack(&self) -> Picos {
+        // Every future-dated `transition(done, ..)` uses one of: self-refresh
+        // exit, MPSM exit, the 7 ns power-down exit, or the 5 ns entry
+        // latency. The residency clock can run ahead of `now` by at most the
+        // largest of these — exactly, because residency is integrated in
+        // closed form at transition boundaries, never per tick.
+        self.sr_exit.max(self.mpsm_exit).max(Picos::from_ns(7))
     }
 
     fn charge_migration(&mut self, src: SegmentLocation, dst: SegmentLocation, lines: u64) {

@@ -372,6 +372,25 @@ impl HotnessEngine {
         plans
     }
 
+    /// The next phase-machine deadline across all channels, for
+    /// event-driven callers: a Sampling channel acts at the end of its
+    /// window, a Planning channel freezes its plan once the victim has
+    /// been idle for the threshold (an access to the victim pushes the
+    /// deadline out — re-query after foreground accesses). Migrating and
+    /// Idle channels advance only on completion/exit notifications, never
+    /// on time, so they contribute nothing. `None` means no pump is needed
+    /// until an access or notification arrives.
+    pub fn next_deadline(&self) -> Option<Picos> {
+        self.channels
+            .iter()
+            .filter_map(|ch| match ch.phase {
+                HotnessPhase::Sampling => Some(ch.window_start + self.params.window),
+                HotnessPhase::Planning => Some(ch.last_victim_touch + self.params.threshold),
+                HotnessPhase::Migrating | HotnessPhase::Idle => None,
+            })
+            .min()
+    }
+
     /// Notifies that a channel's planned swaps all completed; the engine
     /// resets the migration table and reports the victim rank to put into
     /// self-refresh.
@@ -452,6 +471,35 @@ mod tests {
         enter_planning(&mut eng, 0);
         // rank 0 untouched -> victim 0 (ties break to lowest index).
         assert_eq!(eng.victim(0), Some(0));
+    }
+
+    #[test]
+    fn next_deadline_follows_phase_machine() {
+        let mut eng = HotnessEngine::new(geo(), params());
+        // Sampling from t=0: deadline is the end of the window.
+        assert_eq!(eng.next_deadline(), Some(params().window));
+        let t1 = enter_planning(&mut eng, 0);
+        // Planning: victim idle threshold from the moment planning began.
+        assert_eq!(eng.next_deadline(), Some(t1 + params().threshold));
+        // Touching the victim pushes the deadline out.
+        let touch = t1 + Picos::from_us(40);
+        eng.on_access(loc(0, 0), touch);
+        assert_eq!(eng.next_deadline(), Some(touch + params().threshold));
+        // Pumping at the deadline freezes the plan; Migrating has no
+        // time-based deadline (it advances on completion notifications).
+        let freeze = touch + params().threshold;
+        let plans = eng.pump(freeze, |_, _| true);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(eng.phase(0), HotnessPhase::Migrating);
+        assert_eq!(eng.next_deadline(), None);
+        // Idle after migration likewise waits on the self-refresh exit.
+        eng.on_plan_migrated(0, freeze);
+        assert_eq!(eng.phase(0), HotnessPhase::Idle);
+        assert_eq!(eng.next_deadline(), None);
+        // The SR exit restarts sampling and with it the window deadline.
+        let exit = freeze + Picos::from_us(500);
+        eng.on_sr_exit(0, 0, exit);
+        assert_eq!(eng.next_deadline(), Some(exit + params().window));
     }
 
     #[test]

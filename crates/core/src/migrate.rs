@@ -362,6 +362,33 @@ impl MigrationEngine {
         done
     }
 
+    /// The next time at which [`MigrationEngine::pump`] would make
+    /// progress, for event-driven callers: the earliest in-flight
+    /// completion, or the earliest start time of a queued job whose channel
+    /// is idle (pumping then starts it and yields a real completion time).
+    /// Queued jobs behind an in-flight one are covered by that channel's
+    /// completion event. `None` means the engine is quiescent — no pump is
+    /// needed until new work is enqueued.
+    pub fn next_event_at(&self) -> Option<Picos> {
+        let in_flight = self.in_flight.iter().flatten().map(|a| a.complete_at).min();
+        let queued = self
+            .queue
+            .iter()
+            .filter_map(|job| {
+                let ch = self.geo.location(job.kind.endpoints().0).channel as usize;
+                if self.in_flight[ch].is_some() {
+                    None
+                } else {
+                    Some(job.enqueued_at.max(self.channel_free_at[ch]))
+                }
+            })
+            .min();
+        match (in_flight, queued) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Classifies a foreground **write** to segment `dsn` at line `offset`
     /// (bytes within the segment). Implements the §4.2 conflict protocol.
     /// The energy of partially-copied-then-aborted lines is charged at the
@@ -609,6 +636,31 @@ mod tests {
         let (mut eng, _) = setup();
         // Dsn(0) is channel 0; Dsn(1) is channel 1.
         assert!(eng.enqueue_copy(Dsn(0), Dsn(1), Picos::ZERO).is_err());
+    }
+
+    #[test]
+    fn next_event_at_tracks_in_flight_and_queued() {
+        let (mut eng, mut be) = setup();
+        assert_eq!(eng.next_event_at(), None, "idle engine has no deadline");
+        eng.enqueue_copy(dsn_ch0(0), dsn_ch0(5), Picos::from_us(3)).unwrap();
+        // Not pumped yet: the queued job can start on its idle channel at
+        // its enqueue time.
+        assert_eq!(eng.next_event_at(), Some(Picos::from_us(3)));
+        eng.pump(Picos::from_us(3), &mut be);
+        let at = eng.next_event_at().expect("in-flight completion");
+        assert!(at > Picos::from_us(3), "completion is in the future");
+        // A second job on the same channel is covered by the first's
+        // completion event, not a deadline of its own.
+        eng.enqueue_copy(dsn_ch0(1), dsn_ch0(6), Picos::from_us(4)).unwrap();
+        assert_eq!(eng.next_event_at(), Some(at));
+        // Pump exactly at the reported time: the first job completes and
+        // the second starts.
+        let done = eng.pump(at, &mut be);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finished, at);
+        assert!(eng.next_event_at().expect("second job in flight") > at);
+        eng.pump(Picos::from_ms(50), &mut be);
+        assert_eq!(eng.next_event_at(), None, "drained engine is quiescent");
     }
 
     #[test]

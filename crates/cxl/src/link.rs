@@ -132,6 +132,10 @@ pub struct RetryEngine {
     stats: LinkRetryStats,
     /// Corruption counts waiting to be consumed, one per upcoming request.
     pending: VecDeque<u32>,
+    /// Time-keyed bursts not yet released into `pending`, sorted by
+    /// (release time, insertion order) — the event-driven alternative to
+    /// injecting at poll time. See [`RetryEngine::schedule_crc_burst`].
+    scheduled: VecDeque<(Picos, u32)>,
     telemetry: Telemetry,
 }
 
@@ -142,6 +146,7 @@ impl RetryEngine {
             policy,
             stats: LinkRetryStats::default(),
             pending: VecDeque::new(),
+            scheduled: VecDeque::new(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -179,6 +184,43 @@ impl RetryEngine {
     /// Corruption bursts queued but not yet consumed by a request.
     pub fn pending_bursts(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Schedules a corruption burst for release at time `at`: the burst
+    /// stays dormant until [`RetryEngine::release_due`] moves it into the
+    /// consumable queue. This is the event-driven form of
+    /// [`RetryEngine::inject_crc_burst`] — a driver posts one event at
+    /// [`RetryEngine::next_burst_at`] instead of polling every tick.
+    /// Bursts sharing a release time keep their scheduling order (FIFO).
+    pub fn schedule_crc_burst(&mut self, at: Picos, burst: u32) {
+        if burst == 0 {
+            return;
+        }
+        // Stable insert: after any entry with release time <= at.
+        let idx = self.scheduled.partition_point(|&(t, _)| t <= at);
+        self.scheduled.insert(idx, (at, burst));
+    }
+
+    /// Release time of the earliest scheduled (not yet released) burst —
+    /// the event-driven caller's next wakeup. `None` when nothing is
+    /// scheduled.
+    pub fn next_burst_at(&self) -> Option<Picos> {
+        self.scheduled.front().map(|&(at, _)| at)
+    }
+
+    /// Releases every scheduled burst due by `now` into the consumable
+    /// queue (in release order) and returns how many were released.
+    pub fn release_due(&mut self, now: Picos) -> usize {
+        let mut released = 0;
+        while let Some(&(at, burst)) = self.scheduled.front() {
+            if at > now {
+                break;
+            }
+            self.scheduled.pop_front();
+            self.pending.push_back(burst);
+            released += 1;
+        }
+        released
     }
 
     /// Passes one request through the link, consuming a queued corruption
@@ -289,5 +331,36 @@ mod tests {
         assert_eq!(r.on_submit().delay, Picos::from_ns(300));
         assert_eq!(r.on_submit().delay, Picos::ZERO);
         assert_eq!(r.pending_bursts(), 0);
+    }
+
+    #[test]
+    fn scheduled_bursts_release_at_their_time() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        r.schedule_crc_burst(Picos::from_us(10), 2);
+        r.schedule_crc_burst(Picos::from_us(5), 1);
+        r.schedule_crc_burst(Picos::from_us(5), 0); // ignored
+        assert_eq!(r.next_burst_at(), Some(Picos::from_us(5)));
+        assert_eq!(r.pending_bursts(), 0, "dormant until released");
+        assert_eq!(r.release_due(Picos::from_us(5)), 1);
+        assert_eq!(r.pending_bursts(), 1);
+        assert_eq!(r.next_burst_at(), Some(Picos::from_us(10)));
+        assert_eq!(r.release_due(Picos::from_us(7)), 0, "not due yet");
+        assert_eq!(r.release_due(Picos::from_us(20)), 1);
+        assert_eq!(r.next_burst_at(), None);
+        // Release order is consumption order: burst 1 then burst 2.
+        assert_eq!(r.on_submit().delay, Picos::from_ns(100));
+        assert_eq!(r.on_submit().delay, Picos::from_ns(300));
+    }
+
+    #[test]
+    fn same_time_scheduled_bursts_keep_fifo_order() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        let t = Picos::from_us(1);
+        r.schedule_crc_burst(t, 3);
+        r.schedule_crc_burst(t, 1);
+        assert_eq!(r.release_due(t), 2);
+        // First scheduled (burst 3 → 700 ns) consumed first.
+        assert_eq!(r.on_submit().delay, Picos::from_ns(700));
+        assert_eq!(r.on_submit().delay, Picos::from_ns(100));
     }
 }

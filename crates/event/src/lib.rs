@@ -1,0 +1,496 @@
+//! # dtl-event — deterministic discrete-event simulation spine
+//!
+//! The device and pool engines historically advanced on a fixed tick grid:
+//! every simulated 10 s cost a `tick()` even when nothing was pending, so a
+//! quiescent month — exactly where the paper's self-refresh savings accrue —
+//! cost wall-clock time proportional to the horizon. This crate provides the
+//! event-driven alternative: a picosecond-keyed [`EventQueue`] with stable
+//! FIFO tie-breaking, an [`EventHandler`] trait, and a [`Simulation`] driver
+//! with a `step_until_no_events`-style loop. Power-state residency and
+//! energy are *not* accumulated here per event — the analytic backend in
+//! `dtl-core` already integrates them in closed form at state-transition
+//! boundaries, so skipping idle time is exact, not approximate.
+//!
+//! ## Determinism contract
+//!
+//! * Events are ordered by `(time, sequence)`: among events posted for the
+//!   same picosecond, **post order is pop order** (FIFO). No hash-map or
+//!   pointer order ever influences scheduling.
+//! * [`Simulation::post`] clamps times below `now` up to `now`; time never
+//!   moves backwards. A handler posting "immediately" therefore runs after
+//!   every event already queued for the current instant, in post order.
+//! * Cancellation is by tombstone: [`EventQueue::cancel`] marks the entry
+//!   and [`EventQueue::pop`] skips it, so cancelling never perturbs the
+//!   relative order of surviving events.
+//!
+//! Two identical runs — same seeds, same post sequence — produce identical
+//! event orders and therefore bit-identical results.
+//!
+//! ## Example
+//!
+//! ```
+//! use dtl_event::{Picos, Simulation};
+//!
+//! let mut sim = Simulation::new(Picos::ZERO);
+//! sim.post(Picos::from_us(5), "beta");
+//! sim.post(Picos::from_us(1), "alpha");
+//! let mut seen = Vec::new();
+//! while let Some((at, ev)) = sim.pop_next() {
+//!     seen.push((at, ev));
+//! }
+//! assert_eq!(seen, vec![(Picos::from_us(1), "alpha"), (Picos::from_us(5), "beta")]);
+//! assert_eq!(sim.now(), Picos::from_us(5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+pub use dtl_dram::Picos;
+
+/// Handle to a posted event, usable for [`EventQueue::cancel`] /
+/// [`Simulation::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// One queued event. Ordered for a **max**-heap, so comparisons are
+/// reversed: the smallest `(at, seq)` is the heap maximum.
+struct Entry<E> {
+    at: Picos,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Picosecond-keyed priority queue with stable FIFO tie-breaking and
+/// tombstone cancellation.
+///
+/// The queue itself has no notion of "now" — it is a pure ordering
+/// structure. [`Simulation`] layers the clock on top.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of live (posted, not popped, not cancelled)
+    /// entries. Only membership is queried, never iteration order, so a
+    /// `HashSet` cannot leak nondeterminism into scheduling.
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), live: HashSet::new(), next_seq: 0 }
+    }
+
+    /// Posts `payload` at time `at`; later posts for the same `at` pop
+    /// later (FIFO).
+    pub fn push(&mut self, at: Picos, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        self.live.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending (not yet popped or cancelled); stale ids are a no-op. The
+    /// entry stays in the heap as a tombstone and is discarded when it
+    /// reaches the top.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Pending (non-cancelled) event count.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Time of the earliest live event.
+    pub fn peek_at(&mut self) -> Option<Picos> {
+        while let Some(top) = self.heap.peek() {
+            if self.live.contains(&top.seq) {
+                return Some(top.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops the earliest live event.
+    pub fn pop(&mut self) -> Option<(Picos, EventId, E)> {
+        while let Some(e) = self.heap.pop() {
+            if self.live.remove(&e.seq) {
+                return Some((e.at, EventId(e.seq), e.payload));
+            }
+        }
+        None
+    }
+}
+
+/// Scheduling surface handed to an [`EventHandler`] while an event is being
+/// processed: post and cancel are allowed, popping is not (the driver owns
+/// the pop loop).
+pub struct Sched<'a, E> {
+    now: Picos,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> fmt::Debug for Sched<'_, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sched").field("now", &self.now).field("queue", &self.queue).finish()
+    }
+}
+
+impl<E> Sched<'_, E> {
+    /// Current simulation time (the time of the event being handled).
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Posts an event; times before `now` are clamped to `now` so time
+    /// never runs backwards.
+    pub fn post(&mut self, at: Picos, payload: E) -> EventId {
+        self.queue.push(at.max(self.now), payload)
+    }
+
+    /// Cancels a pending event (see [`EventQueue::cancel`]).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// A reactor for [`Simulation::step_until_no_events`]: called once per
+/// popped event, in deterministic order.
+pub trait EventHandler<E> {
+    /// Error type surfaced out of the driver loop.
+    type Error;
+
+    /// Handles one event at its scheduled time. More events may be posted
+    /// (or cancelled) through `sched`.
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the driver loop and is returned to the caller.
+    fn on_event(
+        &mut self,
+        now: Picos,
+        event: E,
+        sched: &mut Sched<'_, E>,
+    ) -> Result<(), Self::Error>;
+}
+
+/// Discrete-event simulation driver: a clock plus an [`EventQueue`].
+///
+/// Two interchangeable driving styles:
+///
+/// * **Pop loop** — `while let Some((at, ev)) = sim.pop_next() { ... }`,
+///   posting follow-ups via [`Simulation::post`]. Preferred in harnesses
+///   that need `?` error propagation and full borrow freedom.
+/// * **Handler loop** — [`Simulation::step_until_no_events`] with an
+///   [`EventHandler`], mirroring dslab's `Simulation::step_until_no_events`.
+pub struct Simulation<E> {
+    now: Picos,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> fmt::Debug for Simulation<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .field("queue", &self.queue)
+            .finish()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// A simulation starting at `start` with an empty queue.
+    pub fn new(start: Picos) -> Self {
+        Simulation { now: start, queue: EventQueue::new(), processed: 0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Total events popped so far (the throughput denominator for
+    /// events/sec reporting).
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Live events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Time of the next live event, if any.
+    pub fn next_at(&mut self) -> Option<Picos> {
+        self.queue.peek_at()
+    }
+
+    /// Posts an event; times before [`Simulation::now`] are clamped to
+    /// `now`.
+    pub fn post(&mut self, at: Picos, payload: E) -> EventId {
+        self.queue.push(at.max(self.now), payload)
+    }
+
+    /// Cancels a pending event (see [`EventQueue::cancel`]).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Pops the next event and advances the clock to it.
+    pub fn pop_next(&mut self) -> Option<(Picos, E)> {
+        let (at, _, payload) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "event queue produced a time in the past");
+        self.now = at;
+        self.processed += 1;
+        Some((at, payload))
+    }
+
+    /// Processes one event through `handler`. Returns `Ok(false)` when the
+    /// queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the handler's error.
+    pub fn step<H: EventHandler<E>>(&mut self, handler: &mut H) -> Result<bool, H::Error> {
+        let Some((at, _, payload)) = self.queue.pop() else {
+            return Ok(false);
+        };
+        self.now = at;
+        self.processed += 1;
+        let mut sched = Sched { now: at, queue: &mut self.queue };
+        handler.on_event(at, payload, &mut sched)?;
+        Ok(true)
+    }
+
+    /// Runs until the queue drains (dslab's `step_until_no_events`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the handler's error; remaining events stay queued.
+    pub fn step_until_no_events<H: EventHandler<E>>(
+        &mut self,
+        handler: &mut H,
+    ) -> Result<(), H::Error> {
+        while self.step(handler)? {}
+        Ok(())
+    }
+
+    /// Processes every event scheduled at or before `t`, then advances the
+    /// clock to exactly `t` (even if no event lands there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the handler's error.
+    pub fn step_until<H: EventHandler<E>>(
+        &mut self,
+        t: Picos,
+        handler: &mut H,
+    ) -> Result<(), H::Error> {
+        while self.queue.peek_at().is_some_and(|at| at <= t) {
+            self.step(handler)?;
+        }
+        self.now = self.now.max(t);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(n: u64) -> Picos {
+        Picos::from_ps(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ps(30), "c");
+        q.push(ps(10), "a");
+        q.push(ps(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(ps(42), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_only_target() {
+        let mut q = EventQueue::new();
+        let _a = q.push(ps(1), "a");
+        let b = q.push(ps(1), "b");
+        let _c = q.push(ps(1), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel reports stale");
+        assert_eq!(q.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, ["a", "c"]);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_stale() {
+        let mut q = EventQueue::new();
+        let a = q.push(ps(1), "a");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a) || q.is_empty(), "cancelling a popped id must not corrupt len");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(ps(1), "a");
+        q.push(ps(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_at(), Some(ps(2)));
+    }
+
+    #[test]
+    fn simulation_clock_advances_monotonically() {
+        let mut sim = Simulation::new(ps(100));
+        sim.post(ps(50), "past"); // clamped to now
+        sim.post(ps(200), "future");
+        let (at1, p1) = sim.pop_next().unwrap();
+        assert_eq!((at1, p1), (ps(100), "past"));
+        let (at2, p2) = sim.pop_next().unwrap();
+        assert_eq!((at2, p2), (ps(200), "future"));
+        assert_eq!(sim.events_processed(), 2);
+        assert_eq!(sim.now(), ps(200));
+    }
+
+    /// Handler-driven cascade: each event posts its successor until a
+    /// horizon, exercising `Sched::post` re-entrancy.
+    #[test]
+    fn handler_cascade_runs_to_completion() {
+        struct Cascade {
+            fired: Vec<Picos>,
+        }
+        impl EventHandler<u64> for Cascade {
+            type Error = std::convert::Infallible;
+            fn on_event(
+                &mut self,
+                now: Picos,
+                step: u64,
+                sched: &mut Sched<'_, u64>,
+            ) -> Result<(), Self::Error> {
+                self.fired.push(now);
+                if step < 5 {
+                    sched.post(now + ps(10), step + 1);
+                }
+                Ok(())
+            }
+        }
+        let mut sim = Simulation::new(Picos::ZERO);
+        sim.post(ps(10), 1u64);
+        let mut h = Cascade { fired: Vec::new() };
+        sim.step_until_no_events(&mut h).unwrap();
+        assert_eq!(h.fired, (1..=5).map(|i| ps(10 * i)).collect::<Vec<_>>());
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn step_until_stops_at_barrier_and_lands_on_it() {
+        struct Count(u32);
+        impl EventHandler<()> for Count {
+            type Error = std::convert::Infallible;
+            fn on_event(
+                &mut self,
+                _: Picos,
+                (): (),
+                _: &mut Sched<'_, ()>,
+            ) -> Result<(), Self::Error> {
+                self.0 += 1;
+                Ok(())
+            }
+        }
+        let mut sim = Simulation::new(Picos::ZERO);
+        for t in [10u64, 20, 30, 40] {
+            sim.post(ps(t), ());
+        }
+        let mut h = Count(0);
+        sim.step_until(ps(25), &mut h).unwrap();
+        assert_eq!(h.0, 2);
+        assert_eq!(sim.now(), ps(25), "clock lands exactly on the barrier");
+        sim.step_until_no_events(&mut h).unwrap();
+        assert_eq!(h.0, 4);
+    }
+
+    #[test]
+    fn handler_error_aborts_and_preserves_queue() {
+        struct Fail;
+        impl EventHandler<u32> for Fail {
+            type Error = String;
+            fn on_event(
+                &mut self,
+                _: Picos,
+                ev: u32,
+                _: &mut Sched<'_, u32>,
+            ) -> Result<(), Self::Error> {
+                if ev == 2 {
+                    return Err("boom".into());
+                }
+                Ok(())
+            }
+        }
+        let mut sim = Simulation::new(Picos::ZERO);
+        for (t, ev) in [(10u64, 1u32), (20, 2), (30, 3)] {
+            sim.post(ps(t), ev);
+        }
+        let err = sim.step_until_no_events(&mut Fail).unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(sim.pending(), 1, "events after the failure stay queued");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the event queue's determinism contract: any random
+//! interleaving of inserts, cancels, and pops must preserve global time
+//! order and FIFO order among events sharing a timestamp.
+
+use dtl_event::{EventId, EventQueue, Picos};
+use proptest::prelude::*;
+
+/// One scripted operation against the queue. Cancels and pops address the
+/// history by index so the script stays valid for any interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert at `t` picoseconds (small range to force timestamp ties).
+    Insert(u64),
+    /// Cancel the `i % inserted`-th posted id (possibly already popped).
+    Cancel(usize),
+    /// Pop one event.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![(0u64..16).prop_map(Op::Insert), (0usize..64).prop_map(Op::Cancel), Just(Op::Pop),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Replays the script, then drains the queue; every event that was
+    /// neither popped early nor cancelled must come out, in (time, post
+    /// order) order, and nothing else.
+    fn random_ops_preserve_time_and_fifo_order(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        // Ground truth: (time, insert index, id, state).
+        let mut posted: Vec<(u64, EventId)> = Vec::new();
+        let mut cancelled: Vec<bool> = Vec::new();
+        let mut popped = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(t) => {
+                    let idx = posted.len();
+                    let id = q.push(Picos::from_ps(t), idx);
+                    posted.push((t, id));
+                    cancelled.push(false);
+                }
+                Op::Cancel(i) => {
+                    if posted.is_empty() {
+                        continue;
+                    }
+                    let i = i % posted.len();
+                    let was_live = !cancelled[i] && !popped.contains(&i);
+                    prop_assert_eq!(q.cancel(posted[i].1), was_live, "cancel liveness report");
+                    cancelled[i] = true;
+                }
+                Op::Pop => {
+                    if let Some((at, _, idx)) = q.pop() {
+                        prop_assert_eq!(at.as_ps(), posted[idx].0, "popped time matches insert");
+                        popped.push(idx);
+                    }
+                }
+            }
+        }
+        // Drain the rest.
+        while let Some((at, _, idx)) = q.pop() {
+            prop_assert_eq!(at.as_ps(), posted[idx].0);
+            popped.push(idx);
+        }
+        prop_assert!(q.is_empty());
+
+        // Exactly the never-cancelled-before-pop events came out. A cancel
+        // after pop is stale, so an index may be both popped and flagged
+        // cancelled; it still counts as delivered.
+        let mut expect: Vec<usize> = (0..posted.len())
+            .filter(|i| popped.contains(i) || !cancelled[*i])
+            .collect();
+        let mut got = popped.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect, "delivered set = posted minus live-cancelled");
+
+        // Order law over the pop sequence: every pop takes the global
+        // minimum (time, post order) of what is pending, so if an
+        // earlier-posted event b comes out after a later-posted event a,
+        // both were pending when a was popped — legal only when b is
+        // strictly later in time. Same-time inversions are FIFO
+        // violations; earlier-time inversions are time-order violations.
+        for (pi, &a) in popped.iter().enumerate() {
+            for &b in &popped[pi + 1..] {
+                if b < a {
+                    prop_assert!(
+                        posted[b].0 > posted[a].0,
+                        "order violation: insert #{} (t={}) popped after insert #{} (t={})",
+                        b, posted[b].0, a, posted[a].0
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pure insert/pop scripts (no cancels, drain at the end) come out in
+    /// exactly stable-sorted order — the strongest form of the contract.
+    fn drain_equals_stable_sort(times in prop::collection::vec(0u64..8, 1..64)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Picos::from_ps(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expect.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let mut got = Vec::new();
+        while let Some((at, _, idx)) = q.pop() {
+            got.push((at.as_ps(), idx));
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -865,6 +865,22 @@ impl<B: MemoryBackend> MemoryPool<B> {
         self.coordinate(now)
     }
 
+    /// The next time [`MemoryPool::tick`] has timed work to do, for
+    /// event-driven drivers (`dtl-event`): the earliest device activity
+    /// (migrations, hotness deadlines) or the earliest evacuation cutover
+    /// (`ready_at`). `None` means every engine is quiescent; health
+    /// failover and the power coordinator are reactive — they reassess on
+    /// the tick that handles whichever event fires next — so they add no
+    /// deadlines of their own. Re-query after every tick or mutating call.
+    pub fn next_activity_at(&self) -> Option<Picos> {
+        let dev = self.devices.iter().filter_map(|d| d.dev.next_activity_at()).min();
+        let evac = self.evac.iter().map(|j| j.ready_at).min();
+        match (dev, evac) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Per-device power reports at `now`, in device order.
     pub fn power_reports(&mut self, now: Picos) -> Vec<(DeviceId, PowerReport)> {
         self.devices.iter_mut().map(|d| (d.id, d.dev.power_report(now))).collect()
@@ -1153,6 +1169,43 @@ mod tests {
         p.check_invariants().unwrap();
         let snap = p.snapshot();
         assert_eq!(snap.devices[0].allocated_aus, 0, "retired device fully drained");
+    }
+
+    /// Event-driven drivers wake the pool at [`MemoryPool::next_activity_at`]:
+    /// a started evacuation must surface its cutover time, and ticking at
+    /// exactly the reported instants must drain the queue without a grid.
+    #[test]
+    fn next_activity_surfaces_evacuation_cutover() {
+        let mut p = pool(3);
+        // The hotness engine, when enabled, always has a sampling-window
+        // deadline; switch it off so only migrations and evacuations drive
+        // the activity query (as the dtl-sim pool driver configures it).
+        for i in 0..3 {
+            p.device_mut(DeviceId(i)).unwrap().set_hotness_enabled(false);
+        }
+        let b = au(&p);
+        for _ in 0..4 {
+            p.alloc_vm(HostId(0), b, Picos::ZERO).unwrap();
+        }
+        assert_eq!(p.next_activity_at(), None, "quiescent pool has no deadline");
+        p.retire_device(DeviceId(0), secs(1)).unwrap();
+        let first = p.next_activity_at().expect("evacuation in progress");
+        assert!(first > secs(1), "cutover is in the future");
+        // Walk the event chain: tick only at reported activity times.
+        let mut now = secs(1);
+        for _ in 0..64 {
+            match p.next_activity_at() {
+                Some(t) => {
+                    now = t.max(now);
+                    p.tick(now).unwrap();
+                }
+                None => break,
+            }
+        }
+        assert_eq!(p.evacuations_pending(), 0, "event walk drains evacuations");
+        assert_eq!(p.stats().evacuations_completed, p.stats().evacuations_started);
+        p.assert_all_reachable(now).unwrap();
+        p.check_invariants().unwrap();
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Tick-grid compatibility shim over the [`dtl_event`] spine.
+//!
+//! The legacy harnesses advanced their devices with a hand-rolled
+//! `while t < t_end { t += step; tick(t) }` poll loop. They now drive the
+//! same grid through a [`Simulation`]: every tick is a posted event whose
+//! handler re-posts its successor, so the event queue is the single
+//! source of simulated time while the tick *instants* — and hence every
+//! pinned golden — stay bit-identical to the old loop.
+//!
+//! A second, optional *side lane* carries exactly-timed events that do
+//! not live on the grid: the faulted replays post each scheduled fault at
+//! its precise instant instead of quantizing it up to the next 10 s tick.
+//!
+//! The shim is deprecated in place: it exists so the legacy fixed-grid
+//! experiments keep their pinned outputs, not as a pattern for new code.
+//! New experiments (see `vm_campaign_run`) skip the grid entirely and
+//! post only real deadlines from `next_activity_at`-style queries.
+
+use dtl_dram::Picos;
+use dtl_event::{EventHandler, Sched, Simulation};
+
+/// The two event kinds of the compatibility shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GridEv {
+    /// A legacy grid tick: run the harness tick body at this instant.
+    Tick,
+    /// A side-lane release: fire the client's exactly-timed work (fault
+    /// injection) scheduled for this instant.
+    Side,
+}
+
+/// What a harness epoch plugs into the shim.
+pub(crate) trait GridDriven {
+    type Error;
+
+    /// The legacy per-tick body (device/pool `tick`, flag accumulation).
+    fn tick(&mut self, now: Picos) -> Result<(), Self::Error>;
+
+    /// Next side-lane instant, if any (e.g. the fault injector's
+    /// `peek_next_at`). Queried after every [`GridDriven::side_fire`] and
+    /// once when the epoch is seeded.
+    fn side_deadline(&mut self) -> Option<Picos> {
+        None
+    }
+
+    /// Releases all side-lane work due at `now`.
+    fn side_fire(&mut self, now: Picos) -> Result<(), Self::Error> {
+        let _ = now;
+        Ok(())
+    }
+}
+
+struct Shim<'x, C> {
+    client: &'x mut C,
+    step: Picos,
+    end: Picos,
+}
+
+impl<C: GridDriven> EventHandler<GridEv> for Shim<'_, C> {
+    type Error = C::Error;
+
+    fn on_event(
+        &mut self,
+        now: Picos,
+        event: GridEv,
+        sched: &mut Sched<'_, GridEv>,
+    ) -> Result<(), C::Error> {
+        match event {
+            GridEv::Tick => {
+                self.client.tick(now)?;
+                // The legacy loop kept stepping while the *previous*
+                // instant was short of the horizon, so the final tick
+                // lands exactly on (or, for a non-dividing step, past)
+                // `end` — reproduce that cutoff precisely.
+                if now < self.end {
+                    sched.post(now + self.step, GridEv::Tick);
+                }
+            }
+            GridEv::Side => {
+                self.client.side_fire(now)?;
+                if let Some(at) = self.client.side_deadline() {
+                    if at <= self.end {
+                        sched.post(at, GridEv::Side);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Drives one epoch `start..=end` of a legacy harness through the event
+/// spine: grid ticks at `start + step, start + 2·step, …` plus the
+/// client's exactly-timed side lane. `sim` persists across epochs so the
+/// clock stays monotonic; the queue is fully drained on return.
+pub(crate) fn drive_epoch<C: GridDriven>(
+    sim: &mut Simulation<GridEv>,
+    client: &mut C,
+    start: Picos,
+    end: Picos,
+    step: Picos,
+) -> Result<(), C::Error> {
+    if start >= end {
+        return Ok(());
+    }
+    sim.post(start + step, GridEv::Tick);
+    if let Some(at) = client.side_deadline() {
+        if at <= end {
+            sim.post(at, GridEv::Side);
+        }
+    }
+    let mut shim = Shim { client, step, end };
+    sim.step_until_no_events(&mut shim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        ticks: Vec<Picos>,
+        sides: Vec<Picos>,
+        pending: Vec<Picos>,
+    }
+
+    impl GridDriven for Recorder {
+        type Error = std::convert::Infallible;
+
+        fn tick(&mut self, now: Picos) -> Result<(), Self::Error> {
+            self.ticks.push(now);
+            Ok(())
+        }
+
+        fn side_deadline(&mut self) -> Option<Picos> {
+            self.pending.first().copied()
+        }
+
+        fn side_fire(&mut self, now: Picos) -> Result<(), Self::Error> {
+            while self.pending.first().is_some_and(|&p| p <= now) {
+                self.pending.remove(0);
+            }
+            self.sides.push(now);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn grid_matches_legacy_loop() {
+        let mut rec = Recorder { ticks: Vec::new(), sides: Vec::new(), pending: Vec::new() };
+        let mut sim = Simulation::new(Picos::ZERO);
+        let (end, step) = (Picos::from_secs(300), Picos::from_secs(10));
+        drive_epoch(&mut sim, &mut rec, Picos::ZERO, end, step).unwrap();
+        // The legacy loop for this epoch.
+        let mut expect = Vec::new();
+        let mut t = Picos::ZERO;
+        while t < end {
+            t += step;
+            expect.push(t);
+        }
+        assert_eq!(rec.ticks, expect);
+        assert!(rec.sides.is_empty());
+        assert_eq!(sim.now(), end);
+        assert_eq!(sim.pending(), 0, "epoch drains its queue");
+    }
+
+    #[test]
+    fn side_lane_fires_between_ticks_at_exact_instants() {
+        let mut rec = Recorder {
+            ticks: Vec::new(),
+            sides: Vec::new(),
+            pending: vec![Picos::from_secs(13), Picos::from_secs(13), Picos::from_secs(95)],
+        };
+        let mut sim = Simulation::new(Picos::ZERO);
+        drive_epoch(&mut sim, &mut rec, Picos::ZERO, Picos::from_secs(100), Picos::from_secs(10))
+            .unwrap();
+        // Both 13 s entries release in one firing; 95 s gets its own.
+        assert_eq!(rec.sides, vec![Picos::from_secs(13), Picos::from_secs(95)]);
+        assert_eq!(rec.ticks.len(), 10);
+    }
+
+    #[test]
+    fn side_lane_beyond_epoch_waits_for_the_next_seed() {
+        let mut rec =
+            Recorder { ticks: Vec::new(), sides: Vec::new(), pending: vec![Picos::from_secs(150)] };
+        let mut sim = Simulation::new(Picos::ZERO);
+        let step = Picos::from_secs(10);
+        drive_epoch(&mut sim, &mut rec, Picos::ZERO, Picos::from_secs(100), step).unwrap();
+        assert!(rec.sides.is_empty(), "a deadline past the epoch must not fire early");
+        drive_epoch(&mut sim, &mut rec, Picos::from_secs(100), Picos::from_secs(200), step)
+            .unwrap();
+        assert_eq!(rec.sides, vec![Picos::from_secs(150)]);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`fault_campaign`] | §7 outlook | fault load → capacity / energy / latency cost |
 //! | [`pool_scale`] | §7 outlook | pack+coordination beats spread/no-coordination |
 //! | [`pool_failover`] | §7 outlook | device retirements evacuate with zero lost AUs |
+//! | [`vm_campaign`] | §7 outlook | event-driven fleet: 1000 hosts, two weeks, minutes of wall clock |
 //! | [`diff_fuzz`] | soundness | device vs reference model: zero invariant violations |
 //! | [`ablate_cke_powerdown`] | ablation | CKE power-down cannot match consolidation |
 //! | [`ablate_hotness_params`] | ablation | profiling-threshold sensitivity |
@@ -64,6 +65,7 @@ pub mod sec6_6;
 pub mod tab04;
 pub mod tab05;
 pub mod tab06;
+pub mod vm_campaign;
 
 pub use registry::{find, registry};
 

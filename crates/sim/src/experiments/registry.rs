@@ -12,7 +12,8 @@ use super::{
     ablate_cke_powerdown, ablate_hotness_params, ablate_migration_priority, ablate_page_policy,
     ablate_segment_size, ablate_smc, cache_pipeline, diff_fuzz, fault_campaign, fig01, fig02,
     fig05, fig09, fig10, fig11, fig12, fig14, fig15, loaded_latency, pool_failover, pool_scale,
-    sec3_4_reentry, sec6_1, sec6_6, tab04, tab05, tab06, Experiment, RunContext, RunOutput,
+    sec3_4_reentry, sec6_1, sec6_6, tab04, tab05, tab06, vm_campaign, Experiment, RunContext,
+    RunOutput,
 };
 use crate::render;
 use crate::{
@@ -327,6 +328,37 @@ experiment!(
 );
 
 experiment!(
+    VmCampaign,
+    "vm_campaign",
+    "VM campaign: event-driven fleet replay over a multi-week horizon",
+    |ctx| {
+        let seed = ctx.seed_or(1);
+        let mut cfg = if ctx.tiny {
+            vm_campaign::VmCampaignConfig::tiny(seed)
+        } else {
+            vm_campaign::VmCampaignConfig::paper(seed)
+        };
+        if let Some(n) = ctx.value("--hosts").and_then(|v| v.parse::<u32>().ok()) {
+            cfg.hosts = n;
+        }
+        if let Some(n) = ctx.value("--minutes").and_then(|v| v.parse::<u32>().ok()) {
+            cfg.duration_min = n;
+        }
+        let r = vm_campaign::run_jobs(&cfg, ctx.jobs)?;
+        let text = format!(
+            "{}\n{} events across {} hosts; fleet background savings {} vs always-standby",
+            render::vm_campaign(&r).render(),
+            r.events_processed,
+            r.hosts,
+            crate::pct(r.savings_fraction)
+        );
+        let mut out = RunOutput::new(text, to_json(&r));
+        out.horizon_ps = Some(cfg.horizon().as_ps());
+        Ok(out)
+    }
+);
+
+experiment!(
     DiffFuzz,
     "diff_fuzz",
     "Differential fuzz: device vs reference model in lockstep",
@@ -371,7 +403,7 @@ fn replay_counterexample(json: &str) -> RunOutput {
 
 /// Every registered experiment, in the order `all` runs them.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 27] = [
+    static REGISTRY: [&dyn Experiment; 28] = [
         &Fig01,
         &Fig02,
         &Fig05,
@@ -398,6 +430,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &FaultCampaign,
         &PoolScale,
         &PoolFailover,
+        &VmCampaign,
         &DiffFuzz,
     ];
     &REGISTRY
@@ -415,7 +448,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 27);
+        assert_eq!(names.len(), 28);
         names.sort_unstable();
         let before = names.len();
         names.dedup();

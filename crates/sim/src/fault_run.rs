@@ -19,12 +19,14 @@ use dtl_core::{
 };
 use dtl_cxl::{LinkRetryStats, RetryEngine, RetryPolicy};
 use dtl_dram::{Picos, PowerParams};
-use dtl_fault::{FaultKind, FaultPlanConfig, StormConfig};
+use dtl_event::Simulation;
+use dtl_fault::{FaultInjector, FaultKind, FaultPlanConfig, StormConfig};
 use dtl_telemetry::Telemetry;
 use dtl_trace::{VmEventKind, VmId, VmSchedule};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+use crate::event_drive::{self, GridDriven};
 use crate::{assert_residency_consistency, PowerDownRunConfig};
 
 /// Configuration of one faulted schedule replay.
@@ -161,6 +163,10 @@ pub fn run_faulted_traced(
     let mut events = schedule.events().iter().peekable();
     let epoch = Picos::from_secs(300);
     let tick_step = Picos::from_secs(10);
+    // One event-spine clock for the whole replay. Grid ticks ride the
+    // compatibility shim; faults fire on its side lane at their exact
+    // scheduled instants instead of being quantized up to the next tick.
+    let mut sim = Simulation::new(Picos::ZERO);
 
     let mut t_min = 0u32;
     while t_min < rcfg.duration_min {
@@ -194,17 +200,15 @@ pub fn run_faulted_traced(
             }
         }
         foreground_lines += record_epoch_traffic(&mut dev, rcfg, vcpus_active, epoch);
-        let mut t = t_start;
         let t_end = t_start + epoch;
-        while t < t_end {
-            t += tick_step;
-            for fault in injector.pop_due(t) {
-                apply_fault(&mut dev, &mut link, fault.kind, t, &mut segments_at_risk)?;
-                faults_injected += 1;
-                dev.check_invariants()?;
-            }
-            dev.tick(t)?;
-        }
+        let mut client = FaultedEpoch {
+            dev: &mut dev,
+            link: &mut link,
+            injector: &mut injector,
+            segments_at_risk: &mut segments_at_risk,
+            faults_injected: &mut faults_injected,
+        };
+        event_drive::drive_epoch(&mut sim, &mut client, t_start, t_end, tick_step)?;
         t_min += 5;
     }
     let final_t = Picos::from_secs(u64::from(rcfg.duration_min) * 60);
@@ -243,6 +247,38 @@ pub fn run_faulted_traced(
     })
 }
 
+/// One epoch of the faulted replay as the event spine's grid client:
+/// grid ticks advance the device, the side lane releases faults at their
+/// exact scheduled instants.
+struct FaultedEpoch<'x> {
+    dev: &'x mut DtlDevice<AnalyticBackend>,
+    link: &'x mut RetryEngine,
+    injector: &'x mut FaultInjector,
+    segments_at_risk: &'x mut u64,
+    faults_injected: &'x mut u64,
+}
+
+impl GridDriven for FaultedEpoch<'_> {
+    type Error = DtlError;
+
+    fn tick(&mut self, now: Picos) -> Result<(), DtlError> {
+        self.dev.tick(now)
+    }
+
+    fn side_deadline(&mut self) -> Option<Picos> {
+        self.injector.peek_next_at()
+    }
+
+    fn side_fire(&mut self, now: Picos) -> Result<(), DtlError> {
+        for fault in self.injector.pop_due(now) {
+            apply_fault(self.dev, self.link, fault.kind, now, self.segments_at_risk)?;
+            *self.faults_injected += 1;
+            self.dev.check_invariants()?;
+        }
+        Ok(())
+    }
+}
+
 fn apply_fault(
     dev: &mut DtlDevice<AnalyticBackend>,
     link: &mut RetryEngine,
@@ -259,11 +295,14 @@ fn apply_fault(
             *segments_at_risk += report.segments_at_risk;
         }
         FaultKind::LinkCrc { burst } => {
-            // The bulk-traffic model has no per-request stream to thread
-            // the corruption through; the next (modeled) foreground request
-            // eats the burst immediately and the replay cost lands in the
-            // link's retry accounting.
-            link.inject_crc_burst(burst);
+            // The corruption rides the link's own timer queue: scheduled
+            // at its exact fault instant and released immediately (the
+            // bulk-traffic model has no per-request stream to lag it
+            // behind), so the replay cost lands in the link's retry
+            // accounting. A finer traffic model can defer `release_due`
+            // to the next in-flight request without touching this path.
+            link.schedule_crc_burst(now, burst);
+            link.release_due(now);
             link.on_submit_at(now);
         }
         FaultKind::MigrationInterrupt { channel } => {

@@ -8,6 +8,7 @@
 #![warn(missing_debug_implementations)]
 
 mod check_run;
+mod event_drive;
 pub mod exec;
 pub mod experiments;
 mod fault_run;
@@ -17,6 +18,7 @@ mod pool_run;
 mod powerdown_run;
 pub mod render;
 mod report;
+mod vm_campaign_run;
 
 pub use check_run::{run_checks, run_checks_jobs, CheckRunConfig, CheckRunResult, SeedResult};
 pub use fault_run::{run_faulted, run_faulted_traced, FaultRunConfig, FaultRunResult};
@@ -33,6 +35,9 @@ pub use powerdown_run::{
     run_schedule, run_schedule_traced, IntervalSample, PowerDownRunConfig, PowerDownRunResult,
 };
 pub use report::{f1, f2, f3, metrics_section, pct, to_json, Table};
+pub use vm_campaign_run::{
+    run_campaign, run_campaign_jobs, HostOutcome, VmCampaignConfig, VmCampaignResult,
+};
 
 /// Debug-build cross-check that the two residency sources agree: the
 /// backend's [`PowerReport`](dtl_dram::PowerReport) and the per-rank

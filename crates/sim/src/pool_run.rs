@@ -12,6 +12,7 @@
 use dtl_core::{DtlConfig, DtlError, HealthStats, HostId, MemoryBackend};
 use dtl_cxl::LinkRetryStats;
 use dtl_dram::{AccessKind, Picos, PowerState};
+use dtl_event::Simulation;
 use dtl_fault::{FaultKind, FaultPlanConfig, PoolFaultKind, PoolFaultPlanConfig};
 use dtl_pool::{
     AnalyticMemoryPool, DeviceId, MemoryPool, PlacementPolicy, PoolConfig, PoolStats, PoolVmId,
@@ -19,9 +20,11 @@ use dtl_pool::{
 use dtl_telemetry::Telemetry;
 use dtl_trace::{NodeConfig, VmEventKind, VmId, VmSchedule};
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+use crate::event_drive::{self, GridDriven, GridEv};
 
 /// Configuration of one pool schedule replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -212,13 +215,21 @@ struct PoolDriver<'a> {
     t_min: u32,
     epoch: Picos,
     tick_step: Picos,
-    /// Hook called at every tick, before the pool's own tick: the faulted
-    /// replay injects due faults here.
-    on_tick: Option<TickHook<'a>>,
+    /// The event-spine clock shared by every epoch of the replay.
+    sim: Simulation<GridEv>,
+    /// Next scheduled fault instant, if any — the faulted replay plugs the
+    /// injector's `peek_next_at` in here so faults ride the event spine's
+    /// side lane at their exact times instead of the 10 s tick grid.
+    faults_next: Option<DeadlineFn<'a>>,
+    /// Releases every fault due at the given instant.
+    faults_fire: Option<FaultHook<'a>>,
 }
 
-/// Boxed per-tick callback used by the faulted replay to inject due faults.
-type TickHook<'a> = Box<dyn FnMut(&mut AnalyticMemoryPool, Picos) -> Result<(), DtlError> + 'a>;
+/// Boxed callback used by the faulted replay to inject due faults.
+type FaultHook<'a> = Box<dyn FnMut(&mut AnalyticMemoryPool, Picos) -> Result<(), DtlError> + 'a>;
+
+/// Boxed query for the next scheduled fault instant.
+type DeadlineFn<'a> = Box<dyn FnMut() -> Option<Picos> + 'a>;
 
 impl<'a> PoolDriver<'a> {
     fn new(cfg: &'a PoolRunConfig, telemetry: &Telemetry) -> Result<Self, DtlError> {
@@ -247,7 +258,9 @@ impl<'a> PoolDriver<'a> {
             t_min: 0,
             epoch: Picos::from_secs(300),
             tick_step: Picos::from_secs(10),
-            on_tick: None,
+            sim: Simulation::new(Picos::ZERO),
+            faults_next: None,
+            faults_fire: None,
         })
     }
 
@@ -293,15 +306,13 @@ impl<'a> PoolDriver<'a> {
         }
         self.record_epoch_traffic();
         self.access_trickle(t_start)?;
-        let mut t = t_start;
         let t_end = t_start + self.epoch;
-        while t < t_end {
-            t += self.tick_step;
-            if let Some(hook) = &mut self.on_tick {
-                hook(&mut self.pool, t)?;
-            }
-            self.pool.tick(t).map_err(DtlError::from)?;
-        }
+        let mut client = PoolEpoch {
+            pool: &mut self.pool,
+            faults_next: &mut self.faults_next,
+            faults_fire: &mut self.faults_fire,
+        };
+        event_drive::drive_epoch(&mut self.sim, &mut client, t_start, t_end, self.tick_step)?;
         let energy = self.pool.pool_energy(t_end).total_mj();
         let power_mw = (energy - self.prev_energy) / self.epoch.as_secs_f64();
         self.prev_energy = energy;
@@ -369,6 +380,24 @@ impl<'a> PoolDriver<'a> {
         Ok(())
     }
 
+    fn install_fault_lane(
+        &mut self,
+        injector: dtl_fault::PoolFaultInjector,
+        mut fire: impl FnMut(&mut AnalyticMemoryPool, dtl_fault::PoolFaultEvent, Picos) -> Result<(), DtlError>
+            + 'a,
+    ) {
+        let injector = Rc::new(RefCell::new(injector));
+        let peek = injector.clone();
+        self.faults_next = Some(Box::new(move || peek.borrow().peek_next_at()));
+        self.faults_fire = Some(Box::new(move |pool, now| {
+            let due = injector.borrow_mut().pop_due(now);
+            for fault in due {
+                fire(pool, fault, now)?;
+            }
+            Ok(())
+        }));
+    }
+
     fn finish(mut self, telemetry: &Telemetry) -> Result<PoolRunResult, DtlError> {
         let final_t = Picos::from_secs(u64::from(self.cfg.duration_min) * 60);
         let energy = self.pool.pool_energy(final_t);
@@ -389,6 +418,34 @@ impl<'a> PoolDriver<'a> {
             errors: snap.errors,
             link: snap.link,
         })
+    }
+}
+
+/// One epoch of a pool replay as the event spine's grid client: grid
+/// ticks advance the pool, the side lane releases scheduled faults at
+/// their exact instants.
+struct PoolEpoch<'x, 'a> {
+    pool: &'x mut AnalyticMemoryPool,
+    faults_next: &'x mut Option<DeadlineFn<'a>>,
+    faults_fire: &'x mut Option<FaultHook<'a>>,
+}
+
+impl GridDriven for PoolEpoch<'_, '_> {
+    type Error = DtlError;
+
+    fn tick(&mut self, now: Picos) -> Result<(), DtlError> {
+        self.pool.tick(now).map_err(DtlError::from)
+    }
+
+    fn side_deadline(&mut self) -> Option<Picos> {
+        self.faults_next.as_mut().and_then(|next| next())
+    }
+
+    fn side_fire(&mut self, now: Picos) -> Result<(), DtlError> {
+        match self.faults_fire.as_mut() {
+            Some(fire) => fire(self.pool, now),
+            None => Ok(()),
+        }
     }
 }
 
@@ -479,19 +536,16 @@ pub fn run_pool_faulted_traced(
     cfg: &PoolFaultRunConfig,
     telemetry: &Telemetry,
 ) -> Result<PoolFaultRunResult, DtlError> {
-    let mut injector = cfg.faults.generate().injector();
+    let injector = cfg.faults.generate().injector();
     let faults_injected = Rc::new(Cell::new(0u64));
     let lost_aus = Rc::new(Cell::new(0u64));
     let mut driver = PoolDriver::new(&cfg.run, telemetry)?;
     let (faults_ctr, lost_ctr) = (faults_injected.clone(), lost_aus.clone());
-    driver.on_tick = Some(Box::new(move |pool, t| {
-        for fault in injector.pop_due(t) {
-            apply_pool_fault(pool, fault.kind, t, &lost_ctr)?;
-            faults_ctr.set(faults_ctr.get() + 1);
-            pool.check_invariants().map_err(DtlError::from)?;
-        }
-        Ok(())
-    }));
+    driver.install_fault_lane(injector, move |pool, fault, t| {
+        apply_pool_fault(pool, fault.kind, t, &lost_ctr)?;
+        faults_ctr.set(faults_ctr.get() + 1);
+        pool.check_invariants().map_err(DtlError::from)
+    });
     while driver.t_min < cfg.run.duration_min {
         driver.epoch()?;
     }

@@ -11,12 +11,14 @@ use dtl_core::{
     VmHandle,
 };
 use dtl_dram::{Picos, PowerParams};
+use dtl_event::Simulation;
 use dtl_telemetry::Telemetry;
 use dtl_trace::{NodeConfig, VmEventKind, VmId, VmSchedule};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::assert_residency_consistency;
+use crate::event_drive::{self, GridDriven};
 
 /// Configuration of one schedule replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -177,6 +179,9 @@ pub fn run_schedule_traced(
     let mut prev_energy = 0.0f64;
     let epoch = Picos::from_secs(300);
     let tick_step = Picos::from_secs(10);
+    // One event-spine clock for the whole replay; each epoch drains its
+    // posted tick cascade on the legacy grid (see `event_drive`).
+    let mut sim = Simulation::new(Picos::ZERO);
 
     let mut t_min = 0u32;
     while t_min < cfg.duration_min {
@@ -218,13 +223,9 @@ pub fn run_schedule_traced(
         // Let migrations progress through the epoch.
         let mut migrating = false;
         let moved_before = dev.migration_stats().bytes_moved;
-        let mut t = t_start;
         let t_end = t_start + epoch;
-        while t < t_end {
-            t += tick_step;
-            dev.tick(t)?;
-            migrating |= dev.migrations_pending() > 0;
-        }
+        let mut client = DeviceEpoch { dev: &mut dev, migrating: &mut migrating };
+        event_drive::drive_epoch(&mut sim, &mut client, t_start, t_end, tick_step)?;
         let migration_bytes = dev.migration_stats().bytes_moved - moved_before;
         // Power over the epoch: energy delta [mJ] / time [s] = mW.
         let report = dev.power_report(t_end);
@@ -259,6 +260,22 @@ pub fn run_schedule_traced(
         groups_woken: dev.powerdown_stats().groups_woken,
         vms_allocated: dev.stats().vms_allocated,
     })
+}
+
+/// One epoch of the schedule replay as the event spine's grid client.
+struct DeviceEpoch<'x> {
+    dev: &'x mut DtlDevice<AnalyticBackend>,
+    migrating: &'x mut bool,
+}
+
+impl GridDriven for DeviceEpoch<'_> {
+    type Error = DtlError;
+
+    fn tick(&mut self, now: Picos) -> Result<(), DtlError> {
+        self.dev.tick(now)?;
+        *self.migrating |= self.dev.migrations_pending() > 0;
+        Ok(())
+    }
 }
 
 fn record_epoch_traffic(

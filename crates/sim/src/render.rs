@@ -6,6 +6,7 @@ use crate::experiments::{
     ablate_segment_size as segment_size, ablate_smc as smc, cache_pipeline as pipeline, diff_fuzz,
     fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
     loaded_latency as loaded, pool_failover, pool_scale, sec6_1, sec6_6, tab04, tab05, tab06,
+    vm_campaign,
 };
 use crate::{f1, f2, f3, pct, ReentryResult, Table};
 
@@ -427,6 +428,45 @@ pub fn pool_failover(r: &pool_failover::PoolFailoverResult) -> Table {
             c.result.lost_aus.to_string(),
             c.result.vms_allocated.to_string(),
             f1(c.result.total_energy_mj),
+        ]);
+    }
+    t
+}
+
+/// VM campaign: fleet aggregates plus the first sampled hosts.
+pub fn vm_campaign(r: &vm_campaign::VmCampaignResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "VM campaign - {} hosts x {} min, {} VMs, {} events, saves {} vs always-standby",
+            r.hosts,
+            r.duration_min,
+            r.vms_placed,
+            r.events_processed,
+            pct(r.savings_fraction)
+        ),
+        &[
+            "host_seed",
+            "vms",
+            "rejected",
+            "groups_down",
+            "groups_woken",
+            "drains",
+            "events",
+            "energy_j",
+            "background_j",
+        ],
+    );
+    for h in &r.sample {
+        t.row(&[
+            h.seed.to_string(),
+            h.vms_placed.to_string(),
+            h.vms_rejected.to_string(),
+            h.groups_powered_down.to_string(),
+            h.groups_woken.to_string(),
+            h.segments_drained.to_string(),
+            h.events_processed.to_string(),
+            f1(h.energy_mj / 1000.0),
+            f1(h.background_mj / 1000.0),
         ]);
     }
     t

@@ -1,7 +1,7 @@
-//! Golden-file regression tests: the tiny fig12 (power-down) and fig14
-//! (hotness self-refresh) runs are fully deterministic, so their JSON
-//! outputs are pinned under `results/golden/` and compared field by field
-//! with an explicit numeric tolerance.
+//! Golden-file regression tests: the tiny fig12 (power-down), fig14
+//! (hotness self-refresh), pool_scale, and pool_failover runs are fully
+//! deterministic, so their JSON outputs are pinned under `results/golden/`
+//! and compared field by field with an explicit numeric tolerance.
 //!
 //! To regenerate after an intentional model change:
 //!
@@ -14,7 +14,7 @@
 
 use std::path::{Path, PathBuf};
 
-use dtl_sim::experiments::{fig12, fig14, pool_scale};
+use dtl_sim::experiments::{fig12, fig14, pool_failover, pool_scale};
 use dtl_sim::{to_json, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig};
 use serde::Value;
 
@@ -125,6 +125,15 @@ fn fig12_tiny_matches_golden() {
 fn pool_scale_tiny_matches_golden() {
     let r = pool_scale::run(&PoolRunConfig::tiny(7)).expect("pool_scale tiny");
     check_golden("pool_scale_tiny", &to_json(&r));
+}
+
+#[test]
+fn pool_failover_tiny_matches_golden() {
+    // Two retirement campaigns: enough to pin the exact-time fault lane
+    // (device retirements, evacuations, CRC bursts) without making the
+    // golden run the slowest in the suite.
+    let r = pool_failover::run(&PoolRunConfig::tiny(7), 2).expect("pool_failover tiny");
+    check_golden("pool_failover_tiny", &to_json(&r));
 }
 
 #[test]
