@@ -30,6 +30,12 @@ timeout 60 ./target/release/fault_campaign --tiny --jobs 2
 timeout 30 ./target/release/pool_scale --tiny --jobs 2
 timeout 30 ./target/release/vm_campaign --tiny --jobs 2
 
+echo "== windowed time-series output (--timeseries-out) =="
+timeout 30 ./target/release/vm_campaign --tiny --jobs 2 \
+    --timeseries-out /tmp/dtl_ci_series.csv --timeseries-width-s 3600
+head -1 /tmp/dtl_ci_series.csv | grep -q '^window,start_ps,end_ps,standby_ps' \
+  || { echo "time-series CSV header drifted"; exit 1; }
+
 echo "== experiment registry vs src/bin/ drift =="
 diff <(./target/release/all --list | sed 's/ — .*//' | sort) \
      <(ls crates/bench/src/bin | sed 's/\.rs$//' | grep -vx all | sort) \

@@ -17,7 +17,14 @@
 //!   `chrome://tracing`; one track per rank showing power-state residency
 //!   spans) plus the raw event stream as JSONL next to it (`PATH` with a
 //!   `.jsonl` extension);
-//! * `--metrics-out PATH` — the plain-text metrics dump.
+//! * `--metrics-out PATH` — the plain-text metrics dump;
+//! * `--timeseries-out PATH` — the windowed time series folded from the
+//!   event stream (CSV, or JSONL when `PATH` ends in `.jsonl`), for the
+//!   campaign-scale experiments that produce one;
+//! * `--timeseries-width-s N` — time-series window width in sim seconds
+//!   (default 300);
+//! * `--heartbeat` — campaign experiments print a wall-clock-throttled
+//!   progress line per completed work unit to stderr.
 //!
 //! Experiment-specific flags (e.g. `diff_fuzz --replay`) pass through via
 //! [`RunContext::args`].
@@ -54,6 +61,8 @@ pub struct ExperimentCli {
     pub out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    timeseries_out: Option<PathBuf>,
+    series_width: Option<u64>,
     sink: Option<Arc<RingSink>>,
     registry: Arc<MetricsRegistry>,
     telemetry: Telemetry,
@@ -82,6 +91,10 @@ impl ExperimentCli {
         let out = value_of("--out").map(PathBuf::from);
         let trace_out = value_of("--trace-out").map(PathBuf::from);
         let metrics_out = value_of("--metrics-out").map(PathBuf::from);
+        let timeseries_out = value_of("--timeseries-out").map(PathBuf::from);
+        let series_width = timeseries_out
+            .as_ref()
+            .map(|_| parsed("--timeseries-width-s").unwrap_or(300) * 1_000_000_000_000);
         let registry = Arc::new(MetricsRegistry::new());
         let (sink, telemetry) = if trace_out.is_some() || metrics_out.is_some() {
             let sink = Arc::new(RingSink::with_capacity(RING_CAPACITY));
@@ -98,6 +111,8 @@ impl ExperimentCli {
             out,
             trace_out,
             metrics_out,
+            timeseries_out,
+            series_width,
             sink,
             registry,
             telemetry,
@@ -113,6 +128,7 @@ impl ExperimentCli {
             jobs: self.jobs,
             telemetry: self.telemetry.clone(),
             args: self.args.clone(),
+            series_width: self.series_width,
         }
     }
 
@@ -140,14 +156,22 @@ impl ExperimentCli {
     /// Panics if an output path cannot be written — the binaries have
     /// nothing useful to do without their output.
     pub fn finish(&self, horizon_ps: Option<u64>) {
-        if let (Some(path), Some(sink)) = (&self.trace_out, &self.sink) {
-            let events = sink.drain();
-            if sink.dropped() > 0 {
+        if let Some(sink) = &self.sink {
+            // Surfaced in both places a consumer might look: the metrics
+            // dump (as a counter) and stderr (loudly) — a truncated stream
+            // silently passing for a complete one is how bad conclusions
+            // get drawn.
+            let dropped = sink.dropped();
+            self.registry.counter("telemetry.dropped_events").set(dropped);
+            if dropped > 0 {
                 eprintln!(
-                    "[trace: ring buffer dropped {} events; the trace is truncated]",
-                    sink.dropped()
+                    "WARNING: telemetry ring dropped {dropped} events; \
+                     the trace and every stream-derived output are incomplete"
                 );
             }
+        }
+        if let (Some(path), Some(sink)) = (&self.trace_out, &self.sink) {
+            let events = sink.drain();
             let last = events.iter().map(|e| e.at_ps).max().unwrap_or(0);
             let end_ps = horizon_ps.unwrap_or(last).max(last);
             let timeline = PowerTimeline::from_events(&events, end_ps);
@@ -208,6 +232,28 @@ pub fn drive_experiment(exp: &dyn Experiment, cli: &ExperimentCli) -> Result<(),
         fs::write(&path, json).expect("write results JSON");
         eprintln!("[saved {}]", path.display());
     }
+    if let Some(path) = &cli.timeseries_out {
+        match &out.timeseries {
+            Some(series) => {
+                let body = if path.extension().is_some_and(|e| e == "jsonl") {
+                    series.to_jsonl()
+                } else {
+                    series.to_csv()
+                };
+                fs::write(path, body).expect("write time series");
+                eprintln!(
+                    "[time series saved {} — {} windows of {}s]",
+                    path.display(),
+                    series.windows().len(),
+                    series.width_ps() / 1_000_000_000_000
+                );
+            }
+            None => eprintln!(
+                "[--timeseries-out: {} does not produce a windowed series; nothing written]",
+                exp.name()
+            ),
+        }
+    }
     cli.finish(out.horizon_ps);
     match out.failure {
         Some(msg) => Err(msg),
@@ -253,5 +299,58 @@ mod tests {
     #[test]
     fn jobs_zero_is_clamped_to_one() {
         assert_eq!(cli(&["--jobs", "0"]).jobs, 1);
+    }
+
+    #[test]
+    fn finish_publishes_the_dropped_event_counter() {
+        let dir = std::env::temp_dir().join("dtl_bench_dropped_test");
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.txt");
+        let c = cli(&["--metrics-out", metrics.to_str().unwrap()]);
+        c.finish(None);
+        let dump = fs::read_to_string(&metrics).unwrap();
+        assert!(
+            dump.contains("telemetry.dropped_events"),
+            "the drop counter must land in the metrics dump: {dump}"
+        );
+    }
+
+    #[test]
+    fn timeseries_flags_set_the_window_width() {
+        let c = cli(&["--timeseries-out", "/tmp/s.csv"]);
+        assert_eq!(c.series_width, Some(300 * 1_000_000_000_000));
+        assert_eq!(c.context().series_width, c.series_width);
+        // The series does not need the ring sink.
+        assert!(!c.telemetry_enabled());
+        let c = cli(&["--timeseries-out", "/tmp/s.csv", "--timeseries-width-s", "60"]);
+        assert_eq!(c.series_width, Some(60 * 1_000_000_000_000));
+        // Width without a destination stays off.
+        assert_eq!(cli(&["--timeseries-width-s", "60"]).series_width, None);
+    }
+
+    #[test]
+    fn timeseries_run_writes_windowed_csv() {
+        let dir = std::env::temp_dir().join("dtl_bench_series_test");
+        fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("vm_campaign.csv");
+        let json = dir.join("vm_campaign.json");
+        let c = cli(&[
+            "--tiny",
+            "--jobs",
+            "2",
+            "--hosts",
+            "2",
+            "--out",
+            json.to_str().unwrap(),
+            "--timeseries-out",
+            csv.to_str().unwrap(),
+            "--timeseries-width-s",
+            "3600",
+        ]);
+        let exp = dtl_sim::experiments::find("vm_campaign").unwrap();
+        drive_experiment(exp, &c).unwrap();
+        let body = fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with(dtl_telemetry::TIMESERIES_CSV_HEADER));
+        assert!(body.lines().count() > 1, "a day of windows follows the header");
     }
 }

@@ -232,6 +232,18 @@ pub struct DtlDevice<B: MemoryBackend> {
     /// Resolved once at [`DtlDevice::set_telemetry`] time, never on the
     /// access path.
     translation_hist: Option<Arc<Histogram>>,
+    /// VM admission latency (table carving + capacity wakes), always on —
+    /// an allocation is rare enough that a histogram observe is free.
+    slo_admission: Histogram,
+    /// Age of completed migrations (finish minus enqueue): how stale the
+    /// drain/consolidation backlog ran.
+    slo_drain_age: Histogram,
+    /// Latency of the most recent successful [`DtlDevice::alloc_vm`], for
+    /// callers composing device admission into an end-to-end figure.
+    last_admission_latency: Picos,
+    /// MPSM exit penalty charged per capacity wake when modeling admission
+    /// latency (ddr4-2933 txmpsm).
+    wake_exit_latency: Picos,
     /// Command-stream tap for external checkers (off by default).
     tap: CommandTap,
 }
@@ -282,6 +294,13 @@ impl<B: MemoryBackend> DtlDevice<B> {
             stats: DeviceStats::default(),
             telemetry: Telemetry::disabled(),
             translation_hist: None,
+            slo_admission: Histogram::default(),
+            slo_drain_age: Histogram::default(),
+            last_admission_latency: Picos::ZERO,
+            wake_exit_latency: {
+                let t = dtl_dram::TimingParams::ddr4_2933();
+                t.cycles(t.txmpsm)
+            },
             tap: CommandTap::default(),
             config,
             geo,
@@ -417,6 +436,30 @@ impl<B: MemoryBackend> DtlDevice<B> {
         self.migrate.queued() + self.migrate.in_flight()
     }
 
+    /// VM admission latency histogram (table carving + capacity wakes),
+    /// picoseconds. One sample per successful [`DtlDevice::alloc_vm`].
+    pub fn admission_histogram(&self) -> &Histogram {
+        &self.slo_admission
+    }
+
+    /// Migration backlog-age histogram: completion minus enqueue of every
+    /// finished migration, picoseconds.
+    pub fn drain_age_histogram(&self) -> &Histogram {
+        &self.slo_drain_age
+    }
+
+    /// Latency of the most recent successful [`DtlDevice::alloc_vm`]
+    /// (zero before the first), for callers composing device admission
+    /// into an end-to-end figure.
+    pub fn last_admission_latency(&self) -> Picos {
+        self.last_admission_latency
+    }
+
+    /// Deepest the migration backlog (queued + in flight) ever got.
+    pub fn migration_backlog_high_water(&self) -> u64 {
+        self.migrate.backlog_high_water()
+    }
+
     /// Power-down statistics.
     pub fn powerdown_stats(&self) -> PowerDownStats {
         self.powerdown.stats()
@@ -464,6 +507,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
         }
         let n_aus = bytes.div_ceil(self.config.au_bytes).max(1);
         self.check_quota(host, n_aus as u32)?;
+        let wakes_before = self.stats.capacity_wakes;
         let mut aus = Vec::with_capacity(n_aus as usize);
         for _ in 0..n_aus {
             let dsns = loop {
@@ -523,6 +567,13 @@ impl<B: MemoryBackend> DtlDevice<B> {
         state.next_vm += 1;
         state.vms.insert(vm, aus.clone());
         self.stats.vms_allocated += 1;
+        // Admission latency: one controller cycle per segment-table entry
+        // carved, plus the MPSM exit penalty of every rank group the
+        // allocation had to wake for capacity.
+        let wakes = self.stats.capacity_wakes - wakes_before;
+        let carve = self.config.controller_cycle() * (n_aus * self.config.segments_per_au());
+        self.last_admission_latency = carve + self.wake_exit_latency * wakes;
+        self.slo_admission.observe(self.last_admission_latency.as_ps());
         self.telemetry.emit(
             now.as_ps(),
             EventKind::VmAlloc {
@@ -1222,6 +1273,7 @@ impl<B: MemoryBackend> DtlDevice<B> {
         self.process_events();
         let completed = self.migrate.pump(now, &mut self.backend);
         for done in completed {
+            self.slo_drain_age.observe(done.finished.saturating_sub(done.job.enqueued_at).as_ps());
             self.finish_job(done.job.id, done.job.kind, now)?;
         }
         if self.hotness_enabled {
@@ -1606,6 +1658,41 @@ mod tests {
         assert_eq!((e_done, e_bytes, e_groups), (g_done, g_bytes, g_groups));
         assert_eq!(e_map, g_map, "same final mapping either way");
         assert!(e_ticks < g_ticks, "event walk ({e_ticks} ticks) must beat the grid ({g_ticks})");
+    }
+
+    #[test]
+    fn admission_and_drain_histograms_observe_slo_inputs() {
+        let mut dev = device();
+        dev.set_hotness_enabled(false);
+        let vms: Vec<_> = (0..4)
+            .map(|i| dev.alloc_vm(HostId(0), au_bytes(), Picos::from_us(i)).expect("fits"))
+            .collect();
+        // An AU carved with no wakes: latency is exactly the table-carve
+        // cost (one controller cycle per segment entry).
+        let carve = dev.config().controller_cycle() * dev.config().segments_per_au();
+        assert_eq!(dev.last_admission_latency(), carve);
+        assert_eq!(dev.admission_histogram().count(), 4);
+        // Deallocating every other VM leaves straggler segments the
+        // planner must drain (copy): the backlog high-water must see the
+        // queued drain copies.
+        dev.dealloc_vm(vms[1].handle, Picos::from_us(10)).unwrap();
+        dev.dealloc_vm(vms[3].handle, Picos::from_us(10)).unwrap();
+        assert!(dev.migration_backlog_high_water() > 0);
+        // Run the drains out and check their ages were observed.
+        let mut t = Picos::from_us(30);
+        for _ in 0..200 {
+            dev.tick(t).unwrap();
+            t += Picos::from_us(500);
+        }
+        assert!(dev.drain_age_histogram().count() > 0, "completed drains observed");
+        assert!(dev.drain_age_histogram().percentile(100.0) > 0);
+        // Force capacity wakes: admission latency must now include the
+        // MPSM exit penalty on top of the carve cost.
+        let big = 2 * 32 * dev.config().segment_bytes * 2;
+        dev.alloc_vm(HostId(0), big, t).unwrap();
+        assert!(dev.stats().capacity_wakes > 0);
+        assert!(dev.last_admission_latency() > carve * (big / au_bytes()));
+        assert_eq!(dev.admission_histogram().count(), 5);
     }
 
     #[test]

@@ -180,6 +180,9 @@ pub struct MigrationEngine {
     pending_charges: Vec<(SegmentLocation, SegmentLocation, u64)>,
     next_id: u64,
     stats: MigrationStats,
+    /// Deepest the backlog (queued + in flight) ever got. Kept outside
+    /// [`MigrationStats`] so serialized results are unaffected.
+    backlog_high_water: u64,
     telemetry: Telemetry,
 }
 
@@ -196,6 +199,7 @@ impl MigrationEngine {
             pending_charges: Vec::new(),
             next_id: 0,
             stats: MigrationStats::default(),
+            backlog_high_water: 0,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -265,7 +269,15 @@ impl MigrationEngine {
         let id = self.next_id;
         self.next_id += 1;
         self.queue.push_back(MigrationJob { id, kind, retries: 0, enqueued_at: now });
+        let depth = (self.queue.len() + self.in_flight()) as u64;
+        self.backlog_high_water = self.backlog_high_water.max(depth);
         Ok(id)
+    }
+
+    /// Deepest the backlog (queued + in flight) ever got, sampled at every
+    /// enqueue.
+    pub fn backlog_high_water(&self) -> u64 {
+        self.backlog_high_water
     }
 
     /// Starts queued jobs and collects completions, chaining successor jobs

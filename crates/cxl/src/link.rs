@@ -137,6 +137,12 @@ pub struct RetryEngine {
     /// injecting at poll time. See [`RetryEngine::schedule_crc_burst`].
     scheduled: VecDeque<(Picos, u32)>,
     telemetry: Telemetry,
+    /// Clean round-trip latency added to every submission when computing
+    /// the observed-latency histogram (the attachment's link round trip).
+    base_latency: Picos,
+    /// Per-submission observed link latency (base + retry delay), ps. Feeds
+    /// the access-latency section of SLO reports.
+    latency_hist: dtl_telemetry::Histogram,
 }
 
 impl RetryEngine {
@@ -148,7 +154,24 @@ impl RetryEngine {
             pending: VecDeque::new(),
             scheduled: VecDeque::new(),
             telemetry: Telemetry::disabled(),
+            base_latency: Picos::ZERO,
+            latency_hist: dtl_telemetry::Histogram::default(),
         }
+    }
+
+    /// Sets the clean link round trip folded into every observed-latency
+    /// sample (defaults to zero, i.e. the histogram records retry delay
+    /// only). Call once at attachment setup with the link's
+    /// [`LinkModel::round_trip`].
+    pub fn set_base_latency(&mut self, base: Picos) {
+        self.base_latency = base;
+    }
+
+    /// The per-submission observed link latency histogram: one sample of
+    /// `base latency + retry delay` per [`RetryEngine::on_submit_at`] call,
+    /// clean or corrupted.
+    pub fn latency_histogram(&self) -> &dtl_telemetry::Histogram {
+        &self.latency_hist
     }
 
     /// Installs a telemetry handle; every consumed corruption burst emits a
@@ -235,6 +258,7 @@ impl RetryEngine {
     /// to [`LinkRetryStats`] (the invariant the `prop_link` test pins).
     pub fn on_submit_at(&mut self, now: Picos) -> LinkDelivery {
         let Some(burst) = self.pending.pop_front() else {
+            self.latency_hist.observe(self.base_latency.as_ps());
             return LinkDelivery { delay: Picos::ZERO, clean: true };
         };
         self.stats.crc_errors += u64::from(burst);
@@ -254,6 +278,7 @@ impl RetryEngine {
             now.as_ps(),
             EventKind::CxlRetry { burst, replays, gave_up: !clean, delay_ps: delay.as_ps() },
         );
+        self.latency_hist.observe((self.base_latency + delay).as_ps());
         LinkDelivery { delay, clean }
     }
 }
@@ -350,6 +375,19 @@ mod tests {
         // Release order is consumption order: burst 1 then burst 2.
         assert_eq!(r.on_submit().delay, Picos::from_ns(100));
         assert_eq!(r.on_submit().delay, Picos::from_ns(300));
+    }
+
+    #[test]
+    fn latency_histogram_observes_clean_and_retried_submissions() {
+        let mut r = RetryEngine::new(RetryPolicy::default());
+        r.set_base_latency(Picos::from_ns(89));
+        r.on_submit_at(Picos::ZERO); // clean: 89 ns
+        r.inject_crc_burst(1);
+        r.on_submit_at(Picos::from_us(1)); // 89 + 100 ns
+        let h = r.latency_histogram();
+        assert_eq!(h.count(), 2, "both paths observe");
+        assert_eq!(h.sum(), Picos::from_ns(89 + 189).as_ps());
+        assert!(h.percentile(99.0) >= Picos::from_ns(189).as_ps());
     }
 
     #[test]

@@ -56,6 +56,49 @@ pub use dtl_dram::Picos;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+/// Scheduler instrumentation counters, maintained by [`EventQueue`] and
+/// surfaced through [`Simulation::queue_stats`]. Counts are exact and
+/// deterministic (they follow the post/cancel/pop sequence, which the
+/// determinism contract already fixes), so exporting them can never
+/// perturb a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever pushed.
+    pub posted: u64,
+    /// Events cancelled while still pending (tombstoned).
+    pub cancelled: u64,
+    /// Live events popped (tombstone discards are not counted).
+    pub popped: u64,
+    /// Deepest the live queue ever got.
+    pub depth_high_water: u64,
+    /// Most tombstones (cancelled entries still in the heap) ever pending
+    /// at once — the heap-bloat cost of the cancellation strategy.
+    pub tombstones_high_water: u64,
+}
+
+impl QueueStats {
+    /// Fraction of posted events that were cancelled (0 when nothing was
+    /// posted) — how much of the schedule was speculative re-arming.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.posted == 0 {
+            0.0
+        } else {
+            self.cancelled as f64 / self.posted as f64
+        }
+    }
+
+    /// Folds another queue's stats into this one: counts sum, high-water
+    /// marks take the max. Used when aggregating per-host simulations into
+    /// fleet totals; commutative, so shard merge order does not matter.
+    pub fn merge_from(&mut self, other: &QueueStats) {
+        self.posted += other.posted;
+        self.cancelled += other.cancelled;
+        self.popped += other.popped;
+        self.depth_high_water = self.depth_high_water.max(other.depth_high_water);
+        self.tombstones_high_water = self.tombstones_high_water.max(other.tombstones_high_water);
+    }
+}
+
 /// One queued event. Ordered for a **max**-heap, so comparisons are
 /// reversed: the smallest `(at, seq)` is the heap maximum.
 struct Entry<E> {
@@ -93,6 +136,7 @@ pub struct EventQueue<E> {
     /// `HashSet` cannot leak nondeterminism into scheduling.
     live: HashSet<u64>,
     next_seq: u64,
+    stats: QueueStats,
 }
 
 impl<E> fmt::Debug for EventQueue<E> {
@@ -113,7 +157,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), live: HashSet::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            stats: QueueStats::default(),
+        }
     }
 
     /// Posts `payload` at time `at`; later posts for the same `at` pop
@@ -123,6 +172,8 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });
         self.live.insert(seq);
+        self.stats.posted += 1;
+        self.stats.depth_high_water = self.stats.depth_high_water.max(self.live.len() as u64);
         EventId(seq)
     }
 
@@ -131,7 +182,18 @@ impl<E> EventQueue<E> {
     /// entry stays in the heap as a tombstone and is discarded when it
     /// reaches the top.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id.0)
+        let cancelled = self.live.remove(&id.0);
+        if cancelled {
+            self.stats.cancelled += 1;
+            let tombstones = (self.heap.len() - self.live.len()) as u64;
+            self.stats.tombstones_high_water = self.stats.tombstones_high_water.max(tombstones);
+        }
+        cancelled
+    }
+
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Pending (non-cancelled) event count.
@@ -159,6 +221,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Picos, EventId, E)> {
         while let Some(e) = self.heap.pop() {
             if self.live.remove(&e.seq) {
+                self.stats.popped += 1;
                 return Some((e.at, EventId(e.seq), e.payload));
             }
         }
@@ -258,6 +321,12 @@ impl<E> Simulation<E> {
     /// events/sec reporting).
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The queue's instrumentation counters (posts, cancels, pops,
+    /// depth/tombstone high-water marks).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Live events still queued.
@@ -466,6 +535,64 @@ mod tests {
         assert_eq!(sim.now(), ps(25), "clock lands exactly on the barrier");
         sim.step_until_no_events(&mut h).unwrap();
         assert_eq!(h.0, 4);
+    }
+
+    #[test]
+    fn queue_stats_track_posts_cancels_pops_and_high_water() {
+        let mut q = EventQueue::new();
+        let a = q.push(ps(1), "a");
+        let _b = q.push(ps(2), "b");
+        let c = q.push(ps(3), "c");
+        // Depth peaked at 3 live events.
+        assert_eq!(q.stats().depth_high_water, 3);
+        q.cancel(a);
+        q.cancel(c);
+        q.cancel(c); // stale: not double-counted
+        assert_eq!(q.stats().cancelled, 2);
+        assert_eq!(q.stats().tombstones_high_water, 2);
+        assert!(q.pop().is_some(), "b survives");
+        assert!(q.pop().is_none(), "tombstone discards are not pops");
+        let s = q.stats();
+        assert_eq!(s.posted, 3);
+        assert_eq!(s.popped, 1);
+        assert!((s.tombstone_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(QueueStats::default().tombstone_ratio(), 0.0);
+    }
+
+    #[test]
+    fn queue_stats_merge_sums_counts_and_maxes_high_water() {
+        let mut a = QueueStats {
+            posted: 10,
+            cancelled: 2,
+            popped: 8,
+            depth_high_water: 5,
+            tombstones_high_water: 1,
+        };
+        let b = QueueStats {
+            posted: 4,
+            cancelled: 1,
+            popped: 3,
+            depth_high_water: 9,
+            tombstones_high_water: 0,
+        };
+        let mut ba = b;
+        ba.merge_from(&a);
+        a.merge_from(&b);
+        assert_eq!(a, ba, "merge must be commutative");
+        assert_eq!(a.posted, 14);
+        assert_eq!(a.depth_high_water, 9);
+        assert_eq!(a.tombstones_high_water, 1);
+    }
+
+    #[test]
+    fn simulation_surfaces_queue_stats() {
+        let mut sim = Simulation::new(Picos::ZERO);
+        let id = sim.post(ps(10), "x");
+        sim.post(ps(20), "y");
+        sim.cancel(id);
+        assert!(sim.pop_next().is_some());
+        let s = sim.queue_stats();
+        assert_eq!((s.posted, s.cancelled, s.popped), (2, 1, 1));
     }
 
     #[test]

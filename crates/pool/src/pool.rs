@@ -10,7 +10,10 @@ use dtl_core::{
 };
 use dtl_cxl::{LinkRetryStats, RetryEngine};
 use dtl_dram::{AccessKind, Picos, PowerReport, RankEnergy};
-use dtl_telemetry::{ChannelOffsetSink, MetricsRegistry, Telemetry};
+use dtl_telemetry::{
+    BacklogSummary, ChannelOffsetSink, Histogram, LatencySummary, MetricsRegistry, SloReport,
+    Telemetry,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::placement::{self, Candidate};
@@ -81,6 +84,8 @@ pub struct EvacJob {
     pub dst: Vec<(DeviceId, VmAllocation)>,
     /// When the modelled copy finishes and the shard cuts over.
     pub ready_at: Picos,
+    /// When the evacuation was planned (for backlog-age accounting).
+    pub queued_at: Picos,
     /// Bytes being copied.
     pub bytes: u64,
 }
@@ -193,6 +198,16 @@ pub struct MemoryPool<B: MemoryBackend> {
     next_vm: u64,
     evac: VecDeque<EvacJob>,
     stats: PoolStats,
+    /// End-to-end access latency the pool added (translation + link +
+    /// retry), always on — see [`MemoryPool::slo_report`].
+    slo_access: Histogram,
+    /// End-to-end admission latency (per-shard device carving + one link
+    /// round trip per shard).
+    slo_admission: Histogram,
+    /// Age of completed evacuations (cutover minus planning time).
+    slo_evac_age: Histogram,
+    /// Deepest the evacuation queue ever got.
+    evac_high_water: u64,
 }
 
 impl MemoryPool<AnalyticBackend> {
@@ -231,10 +246,14 @@ impl<B: MemoryBackend> MemoryPool<B> {
         let devices = (0..config.devices)
             .map(|i| {
                 let id = DeviceId(i);
+                // The retry engine's latency histogram measures the full
+                // link path: round trip plus any CRC replay backoff.
+                let mut retry = RetryEngine::new(config.retry);
+                retry.set_base_latency(config.link.round_trip());
                 PoolDevice {
                     id,
                     dev: make_device(id, &config),
-                    retry: RetryEngine::new(config.retry),
+                    retry,
                     health: DeviceHealth::Healthy,
                     coord: CoordState::Active,
                     allocated_aus: 0,
@@ -249,6 +268,10 @@ impl<B: MemoryBackend> MemoryPool<B> {
             next_vm: 0,
             evac: VecDeque::new(),
             stats: PoolStats::default(),
+            slo_access: Histogram::default(),
+            slo_admission: Histogram::default(),
+            slo_evac_age: Histogram::default(),
+            evac_high_water: 0,
         })
     }
 
@@ -506,6 +529,15 @@ impl<B: MemoryBackend> MemoryPool<B> {
         }
         match self.place_and_carve(host, n_aus, now, Vec::new()) {
             Ok(carved) => {
+                // Admission latency: each shard's device-level carve (table
+                // walk + capacity wakes) plus one link round trip per shard.
+                let link_rt = self.config.link.round_trip();
+                let mut admission = Picos::ZERO;
+                for (device, _) in &carved {
+                    let d = &self.devices[usize::from(device.0)];
+                    admission += d.dev.last_admission_latency() + link_rt;
+                }
+                self.slo_admission.observe(admission.as_ps());
                 let shards =
                     carved.into_iter().map(|(device, alloc)| Shard { device, alloc }).collect();
                 let id = PoolVmId(self.next_vm);
@@ -613,7 +645,9 @@ impl<B: MemoryBackend> MemoryPool<B> {
             .access(host, hpa, kind, now)
             .map_err(|e| PoolError::Device { device, source: e })?;
         let link = self.config.link.round_trip() + delivery.delay;
-        Ok(PoolAccessOutcome { device, outcome, link_delay: link })
+        let out = PoolAccessOutcome { device, outcome, link_delay: link };
+        self.slo_access.observe(out.added_latency().as_ps());
+        Ok(out)
     }
 
     /// Starts evacuating every shard resident on `src` that is not already
@@ -647,8 +681,10 @@ impl<B: MemoryBackend> MemoryPool<B> {
                 src_handle: handle,
                 dst: carved,
                 ready_at,
+                queued_at: now,
                 bytes,
             });
+            self.evac_high_water = self.evac_high_water.max(self.evac.len() as u64);
             self.stats.evacuations_started += 1;
         }
     }
@@ -679,6 +715,7 @@ impl<B: MemoryBackend> MemoryPool<B> {
                 .dealloc_vm(old.alloc.handle, now)
                 .map_err(|e| PoolError::Device { device: d.id, source: e })?;
             d.allocated_aus -= old.aus();
+            self.slo_evac_age.observe(now.saturating_sub(job.queued_at).as_ps());
             self.stats.evacuations_completed += 1;
             self.stats.segments_evacuated +=
                 u64::from(old.aus()) * self.config.dtl.segments_per_au();
@@ -965,6 +1002,17 @@ impl<B: MemoryBackend> MemoryPool<B> {
         registry.counter("pool.link.crc_errors").set(snap.link.crc_errors);
         registry.counter("pool.link.retries").set(snap.link.retries);
         registry.counter("pool.link.giveups").set(snap.link.giveups);
+    }
+
+    /// The pool's SLO report: end-to-end access latency (translation +
+    /// link + retry), admission latency (per-shard carving + link), and
+    /// evacuation backlog age/depth. Sections with no samples are `None`.
+    pub fn slo_report(&self) -> SloReport {
+        SloReport {
+            access: LatencySummary::from_histogram(&self.slo_access),
+            admission: LatencySummary::from_histogram(&self.slo_admission),
+            evac_backlog: BacklogSummary::from_parts(&self.slo_evac_age, self.evac_high_water),
+        }
     }
 
     /// Checks pool *and* device invariants: every device's internal
@@ -1288,6 +1336,32 @@ mod tests {
             .sum();
         assert_eq!(residency_total, per_device, "residency aggregate matches");
         assert!(residency_total > Picos::ZERO);
+    }
+
+    #[test]
+    fn slo_report_covers_access_admission_and_evacuation() {
+        let mut p = pool(3);
+        let b = au(&p);
+        assert!(p.slo_report().is_empty(), "fresh pool has no samples");
+        let mut vms = Vec::new();
+        for _ in 0..4 {
+            vms.push(p.alloc_vm(HostId(0), b, Picos::ZERO).unwrap());
+        }
+        p.access(vms[0], 17, AccessKind::Read, secs(1)).unwrap();
+        p.retire_device(DeviceId(0), secs(1)).unwrap();
+        let _ = settle(&mut p, secs(1));
+        let slo = p.slo_report();
+        let access = slo.access.expect("accesses observed");
+        assert_eq!(access.count, 1);
+        // The link round trip alone puts a floor under every access.
+        assert!(access.p50_ps >= p.config().link.round_trip().as_ps());
+        let admission = slo.admission.expect("admissions observed");
+        assert_eq!(admission.count, 4);
+        assert!(admission.p50_ps > 0);
+        let evac = slo.evac_backlog.expect("evacuations completed");
+        assert_eq!(evac.completed, p.stats().evacuations_completed);
+        assert!(evac.peak_depth > 0);
+        assert!(evac.max_age_ps > 0, "cutover happens after planning");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{run_faulted, FaultRunConfig, FaultRunResult, PowerDownRunConfig};
+use crate::{
+    run_faulted, FaultRunConfig, FaultRunResult, Heartbeat, PowerDownRunConfig, RunObservations,
+};
 use dtl_core::DtlError;
 
 /// Combined result of the fault-free and faulted replays.
@@ -73,18 +75,39 @@ pub fn run_jobs_traced(
     telemetry: &dtl_telemetry::Telemetry,
     jobs: usize,
 ) -> Result<FaultCampaignResult, DtlError> {
+    run_jobs_observed(cfg, telemetry, jobs, &Heartbeat::disabled()).map(|(result, _)| result)
+}
+
+/// Like [`run_jobs_traced`], additionally returning the **faulted**
+/// replay's out-of-band [`RunObservations`] — its SLO report is the one
+/// that matters (the quiet baseline's latency carries no retry penalty by
+/// construction). The heartbeat ticks once per completed replay.
+///
+/// # Errors
+///
+/// Propagates device errors from either replay; an invariant violation
+/// after any injected fault fails the faulted run.
+pub fn run_jobs_observed(
+    cfg: &FaultRunConfig,
+    telemetry: &dtl_telemetry::Telemetry,
+    jobs: usize,
+    heartbeat: &Heartbeat,
+) -> Result<(FaultCampaignResult, RunObservations), DtlError> {
     let mut outcomes =
         crate::exec::run_units_traced(jobs, telemetry, vec![false, true], |_, inject, t| {
-            if inject {
-                crate::run_faulted_traced(cfg, t)
+            let out = if inject {
+                crate::run_faulted_observed(cfg, t).map(|(r, o)| (r, Some(o)))
             } else {
                 run_faulted(&FaultRunConfig::fault_free(cfg.faults.seed, cfg.run))
-            }
+                    .map(|r| (r, None))
+            };
+            heartbeat.tick(2);
+            out
         });
-    let faulted = outcomes.pop().expect("two units")?;
-    let baseline = outcomes.pop().expect("two units")?;
+    let (faulted, obs) = outcomes.pop().expect("two units")?;
+    let (baseline, _) = outcomes.pop().expect("two units")?;
     let device_bytes = cfg.run.node.mem_bytes;
-    Ok(FaultCampaignResult {
+    let result = FaultCampaignResult {
         baseline,
         faulted,
         capacity_lost_bytes: faulted.capacity_lost_bytes,
@@ -92,7 +115,8 @@ pub fn run_jobs_traced(
         energy_delta_mj: faulted.total_energy_mj - baseline.total_energy_mj,
         energy_delta_fraction: faulted.total_energy_mj / baseline.total_energy_mj - 1.0,
         latency_penalty_ns: faulted.latency_penalty_ns,
-    })
+    };
+    Ok((result, obs.unwrap_or_default()))
 }
 
 /// The paper-scale campaign: the Figure 12 schedule (6 h, 4×8 ranks) under

@@ -69,8 +69,10 @@ pub mod vm_campaign;
 
 pub use registry::{find, registry};
 
+use std::sync::Arc;
+
 use dtl_core::DtlError;
-use dtl_telemetry::Telemetry;
+use dtl_telemetry::{SloReport, TeeSink, Telemetry, TelemetrySink, TimeSeries, TimeSeriesSink};
 
 /// Everything an [`Experiment`] needs to run: scale selection, seed and
 /// worker-count overrides, the telemetry handle, and the raw argument list
@@ -88,13 +90,23 @@ pub struct RunContext {
     pub telemetry: Telemetry,
     /// The raw argument list, for experiment-specific flags.
     pub args: Vec<String>,
+    /// Time-series window width in picoseconds when the driver requested
+    /// `--timeseries-out`; `None` disables windowed aggregation entirely.
+    pub series_width: Option<u64>,
 }
 
 impl RunContext {
     /// A sequential, untraced context — what library callers and tests
     /// use.
     pub fn plain(tiny: bool) -> Self {
-        RunContext { tiny, seed: None, jobs: 1, telemetry: Telemetry::disabled(), args: Vec::new() }
+        RunContext {
+            tiny,
+            seed: None,
+            jobs: 1,
+            telemetry: Telemetry::disabled(),
+            args: Vec::new(),
+            series_width: None,
+        }
     }
 
     /// The seed to use: the `--seed` override or the experiment's default.
@@ -115,6 +127,33 @@ impl RunContext {
             .and_then(|i| self.args.get(i + 1))
             .map(String::as_str)
     }
+
+    /// The telemetry handle an event-streaming experiment should install,
+    /// plus the windowed aggregator behind it when [`Self::series_width`]
+    /// is set.
+    ///
+    /// Without a series request this is just [`Self::telemetry`]. With one,
+    /// the returned handle folds every event into a fresh
+    /// [`TimeSeriesSink`] — teed with the driver's sink when tracing is
+    /// also on, so neither output loses events. The experiment finishes the
+    /// sink at its horizon and hands the series back through
+    /// [`RunOutput::timeseries`].
+    pub fn series_telemetry(&self) -> (Telemetry, Option<Arc<TimeSeriesSink>>) {
+        let Some(width) = self.series_width else {
+            return (self.telemetry.clone(), None);
+        };
+        let series = Arc::new(TimeSeriesSink::new(width));
+        let sink: Arc<dyn TelemetrySink> = if self.telemetry.enabled() {
+            Arc::new(TeeSink::new(self.telemetry.sink().clone(), series.clone()))
+        } else {
+            series.clone()
+        };
+        let mut telemetry = Telemetry::new(sink);
+        if let Some(m) = self.telemetry.metrics() {
+            telemetry = telemetry.with_metrics(m.clone());
+        }
+        (telemetry, Some(series))
+    }
 }
 
 /// What an [`Experiment`] hands back to the driver.
@@ -130,12 +169,26 @@ pub struct RunOutput {
     /// Set when the run completed but the experiment failed its acceptance
     /// condition (the driver reports it and exits nonzero).
     pub failure: Option<String>,
+    /// SLO report rendered beside the energy headline by campaign-scale
+    /// experiments; `None` where the harness has no latency populations.
+    pub slo: Option<SloReport>,
+    /// Windowed time series when the context requested one
+    /// ([`RunContext::series_width`]); the driver writes it to
+    /// `--timeseries-out`.
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl RunOutput {
     /// The common case: text plus JSON, no horizon, no failure.
     pub fn new(text: String, json: String) -> Self {
-        RunOutput { text, json: Some(json), horizon_ps: None, failure: None }
+        RunOutput {
+            text,
+            json: Some(json),
+            horizon_ps: None,
+            failure: None,
+            slo: None,
+            timeseries: None,
+        }
     }
 }
 

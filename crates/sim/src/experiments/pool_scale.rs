@@ -8,7 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{run_pool, run_pool_traced, PoolRunConfig, PoolRunResult};
+use crate::{
+    run_pool, run_pool_observed, Heartbeat, PoolRunConfig, PoolRunResult, RunObservations,
+};
 use dtl_core::DtlError;
 use dtl_pool::PlacementPolicy;
 
@@ -76,6 +78,24 @@ pub fn run_jobs_traced(
     telemetry: &dtl_telemetry::Telemetry,
     jobs: usize,
 ) -> Result<PoolScaleResult, DtlError> {
+    run_jobs_observed(cfg, telemetry, jobs, &Heartbeat::disabled()).map(|(result, _)| result)
+}
+
+/// Like [`run_jobs_traced`], additionally returning the **headline**
+/// variant's out-of-band [`RunObservations`] (SLO report and event-spine
+/// queue counters). The heartbeat ticks once per completed variant —
+/// wall-clock stderr only, provably outside the result path.
+///
+/// # Errors
+///
+/// Propagates pool/device errors from any replay.
+pub fn run_jobs_observed(
+    cfg: &PoolRunConfig,
+    telemetry: &dtl_telemetry::Telemetry,
+    jobs: usize,
+    heartbeat: &Heartbeat,
+) -> Result<(PoolScaleResult, RunObservations), DtlError> {
+    let total_units = VARIANTS.len() as u64;
     let outcomes = crate::exec::run_units_traced(
         jobs,
         telemetry,
@@ -84,18 +104,28 @@ pub fn run_jobs_traced(
             let mut variant = *cfg;
             variant.policy = policy;
             variant.coordinator = coord;
-            let result = if i == 0 { run_pool_traced(&variant, t) } else { run_pool(&variant) }?;
-            Ok::<_, DtlError>(PoolScaleVariant { policy, coordinator: coord, result })
+            let (result, obs) = if i == 0 {
+                run_pool_observed(&variant, t).map(|(r, o)| (r, Some(o)))
+            } else {
+                run_pool(&variant).map(|r| (r, None))
+            }?;
+            heartbeat.tick(total_units);
+            Ok::<_, DtlError>((PoolScaleVariant { policy, coordinator: coord, result }, obs))
         },
     );
     let mut variants = Vec::with_capacity(VARIANTS.len());
+    let mut headline_obs = RunObservations::default();
     for outcome in outcomes {
-        variants.push(outcome?);
+        let (variant, obs) = outcome?;
+        if let Some(obs) = obs {
+            headline_obs = obs;
+        }
+        variants.push(variant);
     }
     let headline = variants[0].result.total_energy_mj;
     let baseline = variants[3].result.total_energy_mj;
     let savings_fraction = if baseline > 0.0 { 1.0 - headline / baseline } else { 0.0 };
-    Ok(PoolScaleResult { variants, savings_fraction })
+    Ok((PoolScaleResult { variants, savings_fraction }, headline_obs))
 }
 
 #[cfg(test)]

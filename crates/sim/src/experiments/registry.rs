@@ -277,9 +277,23 @@ experiment!(
         let seed = ctx.seed_or(1);
         let cfg =
             if ctx.tiny { FaultRunConfig::tiny_storm(seed) } else { fault_campaign::paper(seed) };
-        let r = fault_campaign::run_jobs_traced(&cfg, &ctx.telemetry, ctx.jobs)?;
-        let mut out = RunOutput::new(render::fault_campaign(&r).render(), to_json(&r));
-        out.horizon_ps = Some(Picos::from_secs(u64::from(cfg.run.duration_min) * 60).as_ps());
+        let horizon = Picos::from_secs(u64::from(cfg.run.duration_min) * 60).as_ps();
+        let (telemetry, series) = ctx.series_telemetry();
+        if let Some(series) = &series {
+            // Quiet ranks still accrue residency in the windowed series.
+            for c in 0..cfg.run.channels {
+                for rank in 0..cfg.run.ranks_per_channel {
+                    series.ensure_rank(c, rank);
+                }
+            }
+        }
+        let heartbeat = crate::Heartbeat::new(ctx.flag("--heartbeat"), "fault_campaign");
+        let (r, obs) = fault_campaign::run_jobs_observed(&cfg, &telemetry, ctx.jobs, &heartbeat)?;
+        let text = format!("{}\n{}", render::fault_campaign(&r).render(), render::slo(&obs.slo));
+        let mut out = RunOutput::new(text, to_json(&r));
+        out.horizon_ps = Some(horizon);
+        out.slo = Some(obs.slo);
+        out.timeseries = series.map(|s| s.finish(horizon));
         Ok(out)
     }
 );
@@ -292,14 +306,32 @@ experiment!(
         // Default seed matches the pinned tiny golden (pool_scale_tiny.json).
         let seed = ctx.seed_or(7);
         let cfg = if ctx.tiny { PoolRunConfig::tiny(seed) } else { PoolRunConfig::paper(seed) };
-        let r = pool_scale::run_jobs_traced(&cfg, &ctx.telemetry, ctx.jobs)?;
+        let horizon = Picos::from_secs(u64::from(cfg.duration_min) * 60).as_ps();
+        let (telemetry, series) = ctx.series_telemetry();
+        if let Some(series) = &series {
+            // Member device d streams through the channel-offset shim at
+            // channels `d * channels ..`; pre-register every rank so quiet
+            // ones still accrue residency.
+            for d in 0..u32::from(cfg.devices) {
+                for c in 0..cfg.channels {
+                    for rank in 0..cfg.ranks_per_channel {
+                        series.ensure_rank(d * cfg.channels + c, rank);
+                    }
+                }
+            }
+        }
+        let heartbeat = crate::Heartbeat::new(ctx.flag("--heartbeat"), "pool_scale");
+        let (r, obs) = pool_scale::run_jobs_observed(&cfg, &telemetry, ctx.jobs, &heartbeat)?;
         let text = format!(
-            "{}\npack+coordination saves {} pool energy over spread/no-coordination",
+            "{}\npack+coordination saves {} pool energy over spread/no-coordination\n{}",
             render::pool_scale(&r).render(),
-            crate::pct(r.savings_fraction)
+            crate::pct(r.savings_fraction),
+            render::slo(&obs.slo)
         );
         let mut out = RunOutput::new(text, to_json(&r));
-        out.horizon_ps = Some(Picos::from_secs(u64::from(cfg.duration_min) * 60).as_ps());
+        out.horizon_ps = Some(horizon);
+        out.slo = Some(obs.slo);
+        out.timeseries = series.map(|s| s.finish(horizon));
         Ok(out)
     }
 );
@@ -344,16 +376,26 @@ experiment!(
         if let Some(n) = ctx.value("--minutes").and_then(|v| v.parse::<u32>().ok()) {
             cfg.duration_min = n;
         }
-        let r = vm_campaign::run_jobs(&cfg, ctx.jobs)?;
+        let heartbeat = crate::Heartbeat::new(ctx.flag("--heartbeat"), "vm_campaign");
+        let (r, obs) =
+            vm_campaign::run_jobs_observed(&cfg, ctx.jobs, ctx.series_width, &heartbeat)?;
+        if let Some(m) = ctx.telemetry.metrics() {
+            // Hosts run their own event spines; export the fleet-merged
+            // queue counters here (the per-host runs carry no registry).
+            crate::export_queue_metrics(m, &obs.queue);
+        }
         let text = format!(
-            "{}\n{} events across {} hosts; fleet background savings {} vs always-standby",
+            "{}\n{} events across {} hosts; fleet background savings {} vs always-standby\n{}",
             render::vm_campaign(&r).render(),
             r.events_processed,
             r.hosts,
-            crate::pct(r.savings_fraction)
+            crate::pct(r.savings_fraction),
+            render::slo(&obs.slo)
         );
         let mut out = RunOutput::new(text, to_json(&r));
         out.horizon_ps = Some(cfg.horizon().as_ps());
+        out.slo = Some(obs.slo);
+        out.timeseries = obs.series;
         Ok(out)
     }
 );
@@ -390,7 +432,14 @@ experiment!(
 /// Re-runs a shrunk counterexample printed by a failing `diff_fuzz` run;
 /// fails the driver if it still reproduces.
 fn replay_counterexample(json: &str) -> RunOutput {
-    let mut out = RunOutput { text: String::new(), json: None, horizon_ps: None, failure: None };
+    let mut out = RunOutput {
+        text: String::new(),
+        json: None,
+        horizon_ps: None,
+        failure: None,
+        slo: None,
+        timeseries: None,
+    };
     match dtl_check::Counterexample::from_json(json) {
         Err(e) => out.failure = Some(format!("parse counterexample JSON: {e}")),
         Ok(ce) => match ce.reproduce() {

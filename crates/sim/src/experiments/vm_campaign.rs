@@ -8,8 +8,8 @@
 //! events/sec against an externally measured wall clock.
 
 pub use crate::vm_campaign_run::{
-    run_campaign as run, run_campaign_jobs as run_jobs, HostOutcome, VmCampaignConfig,
-    VmCampaignResult,
+    run_campaign as run, run_campaign_jobs as run_jobs, run_campaign_observed as run_jobs_observed,
+    CampaignObservations, HostOutcome, VmCampaignConfig, VmCampaignResult,
 };
 
 #[cfg(test)]

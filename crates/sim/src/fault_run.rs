@@ -21,13 +21,13 @@ use dtl_cxl::{LinkRetryStats, RetryEngine, RetryPolicy};
 use dtl_dram::{Picos, PowerParams};
 use dtl_event::Simulation;
 use dtl_fault::{FaultInjector, FaultKind, FaultPlanConfig, StormConfig};
-use dtl_telemetry::Telemetry;
+use dtl_telemetry::{BacklogSummary, LatencySummary, SloReport, Telemetry};
 use dtl_trace::{VmEventKind, VmId, VmSchedule};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::event_drive::{self, GridDriven};
-use crate::{assert_residency_consistency, PowerDownRunConfig};
+use crate::{assert_residency_consistency, PowerDownRunConfig, RunObservations};
 
 /// Configuration of one faulted schedule replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -131,6 +131,23 @@ pub fn run_faulted_traced(
     cfg: &FaultRunConfig,
     telemetry: &Telemetry,
 ) -> Result<FaultRunResult, DtlError> {
+    run_faulted_observed(cfg, telemetry).map(|(result, _)| result)
+}
+
+/// Like [`run_faulted_traced`], additionally returning the out-of-band
+/// [`RunObservations`]: link-transaction latency (base round trip plus any
+/// CRC retry penalty), VM admission latency, the migration-drain backlog,
+/// and the event spine's queue counters. The serialized [`FaultRunResult`]
+/// is unchanged, so goldens stay byte-stable.
+///
+/// # Errors
+///
+/// Propagates device errors; an invariant violation after an injected
+/// fault surfaces here as [`DtlError::Internal`].
+pub fn run_faulted_observed(
+    cfg: &FaultRunConfig,
+    telemetry: &Telemetry,
+) -> Result<(FaultRunResult, RunObservations), DtlError> {
     let rcfg = &cfg.run;
     let dtl_cfg = DtlConfig::paper();
     let geo = SegmentGeometry {
@@ -152,6 +169,11 @@ pub fn run_faulted_traced(
         injector.set_metrics(m);
     }
     let mut link = RetryEngine::new(RetryPolicy::default());
+    // Latency observations start from the CXL round trip (Table 1: 89 ns
+    // added by the link); retry backoff stacks on top. Base latency feeds
+    // only the SLO histogram — the energy/retry accounting in
+    // [`LinkRetryStats`] is untouched.
+    link.set_base_latency(dtl_cxl::LinkModel::cxl().round_trip());
     link.set_telemetry(telemetry.clone());
     let mut faults_injected = 0u64;
     let mut segments_at_risk = 0u64;
@@ -215,8 +237,20 @@ pub fn run_faulted_traced(
     let report = dev.power_report(final_t);
     dev.check_invariants()?;
     assert_residency_consistency(&dev, &report);
+    let obs = RunObservations {
+        slo: SloReport {
+            access: LatencySummary::from_histogram(link.latency_histogram()),
+            admission: LatencySummary::from_histogram(dev.admission_histogram()),
+            evac_backlog: BacklogSummary::from_parts(
+                dev.drain_age_histogram(),
+                dev.migration_backlog_high_water(),
+            ),
+        },
+        queue: sim.queue_stats(),
+    };
     if let Some(m) = telemetry.metrics() {
         dev.export_metrics(m);
+        crate::export_queue_metrics(m, &obs.queue);
     }
 
     let ranks_retired = dev.powerdown_stats().ranks_retired;
@@ -228,7 +262,7 @@ pub fn run_faulted_traced(
         link_stats.retry_time.as_ns_f64() / foreground_lines as f64
     };
     let duration_s = final_t.as_secs_f64();
-    Ok(FaultRunResult {
+    let result = FaultRunResult {
         total_energy_mj: report.total.total_mj(),
         background_mj: report.total.background_mj,
         mean_power_mw: report.total.total_mj() / duration_s,
@@ -244,7 +278,8 @@ pub fn run_faulted_traced(
         link: link_stats,
         foreground_lines,
         latency_penalty_ns,
-    })
+    };
+    Ok((result, obs))
 }
 
 /// One epoch of the faulted replay as the event spine's grid client:
@@ -374,5 +409,21 @@ mod tests {
         let a = run_faulted(&FaultRunConfig::tiny_storm(11)).unwrap();
         let b = run_faulted(&FaultRunConfig::tiny_storm(11)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_reports_slo_and_queue_counters() {
+        let cfg = FaultRunConfig::tiny_storm(7);
+        let (r, obs) = run_faulted_observed(&cfg, &Telemetry::disabled()).unwrap();
+        assert_eq!(r, run_faulted(&cfg).unwrap(), "observability must not change the result");
+        let base = dtl_cxl::LinkModel::cxl().round_trip().as_ps();
+        let access = obs.slo.access.expect("CRC bursts drive link transactions");
+        assert!(access.count >= 1);
+        assert!(access.p50_ps >= base, "latency includes the base round trip");
+        let admission = obs.slo.admission.expect("the schedule admits VMs");
+        assert_eq!(admission.count, r.vms_allocated);
+        let backlog = obs.slo.evac_backlog.expect("deallocations queue drain migrations");
+        assert!(backlog.completed > 0 || backlog.peak_depth > 0);
+        assert!(obs.queue.posted > 0, "epoch grid rides the event spine");
     }
 }

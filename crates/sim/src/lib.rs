@@ -12,7 +12,9 @@ mod event_drive;
 pub mod exec;
 pub mod experiments;
 mod fault_run;
+mod heartbeat;
 mod hotness_run;
+mod obs;
 mod perf;
 mod pool_run;
 mod powerdown_run;
@@ -21,22 +23,27 @@ mod report;
 mod vm_campaign_run;
 
 pub use check_run::{run_checks, run_checks_jobs, CheckRunConfig, CheckRunResult, SeedResult};
-pub use fault_run::{run_faulted, run_faulted_traced, FaultRunConfig, FaultRunResult};
+pub use fault_run::{
+    run_faulted, run_faulted_observed, run_faulted_traced, FaultRunConfig, FaultRunResult,
+};
+pub use heartbeat::Heartbeat;
 pub use hotness_run::{
     hotness_savings, run_hotness, run_hotness_traced, run_hotness_with_threshold_factor,
     run_reentry, HotnessRunConfig, HotnessRunResult, ReentryResult,
 };
+pub use obs::{export_queue_metrics, RunObservations};
 pub use perf::PerfModel;
 pub use pool_run::{
-    run_pool, run_pool_faulted, run_pool_faulted_traced, run_pool_traced, PoolFaultRunConfig,
-    PoolFaultRunResult, PoolIntervalSample, PoolRunConfig, PoolRunResult,
+    run_pool, run_pool_faulted, run_pool_faulted_traced, run_pool_observed, run_pool_traced,
+    PoolFaultRunConfig, PoolFaultRunResult, PoolIntervalSample, PoolRunConfig, PoolRunResult,
 };
 pub use powerdown_run::{
     run_schedule, run_schedule_traced, IntervalSample, PowerDownRunConfig, PowerDownRunResult,
 };
 pub use report::{f1, f2, f3, metrics_section, pct, to_json, Table};
 pub use vm_campaign_run::{
-    run_campaign, run_campaign_jobs, HostOutcome, VmCampaignConfig, VmCampaignResult,
+    run_campaign, run_campaign_jobs, run_campaign_observed, CampaignObservations, HostOutcome,
+    VmCampaignConfig, VmCampaignResult,
 };
 
 /// Debug-build cross-check that the two residency sources agree: the

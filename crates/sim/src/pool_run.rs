@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::event_drive::{self, GridDriven, GridEv};
+use crate::RunObservations;
 
 /// Configuration of one pool schedule replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -193,11 +194,29 @@ pub fn run_pool_traced(
     cfg: &PoolRunConfig,
     telemetry: &Telemetry,
 ) -> Result<PoolRunResult, DtlError> {
+    run_pool_observed(cfg, telemetry).map(|(result, _)| result)
+}
+
+/// Like [`run_pool_traced`], additionally returning the out-of-band
+/// [`RunObservations`]: the pool's SLO report (access, admission,
+/// evacuation backlog) and the event spine's queue counters. The
+/// serialized [`PoolRunResult`] is unchanged, so goldens stay byte-stable.
+///
+/// # Errors
+///
+/// Propagates device and pool errors (these indicate bugs — the harness
+/// never over-commits the pool).
+pub fn run_pool_observed(
+    cfg: &PoolRunConfig,
+    telemetry: &Telemetry,
+) -> Result<(PoolRunResult, RunObservations), DtlError> {
     let mut driver = PoolDriver::new(cfg, telemetry)?;
     while driver.t_min < cfg.duration_min {
         driver.epoch()?;
     }
-    driver.finish(telemetry)
+    let obs = driver.observations();
+    let result = driver.finish(telemetry)?;
+    Ok((result, obs))
 }
 
 /// The shared epoch-stepping machinery of the quiet and faulted replays.
@@ -398,12 +417,20 @@ impl<'a> PoolDriver<'a> {
         }));
     }
 
+    /// The out-of-band observability bundle: the pool's SLO populations
+    /// plus the epoch spine's queue counters. Read before [`Self::finish`]
+    /// consumes the driver.
+    fn observations(&self) -> RunObservations {
+        RunObservations { slo: self.pool.slo_report(), queue: self.sim.queue_stats() }
+    }
+
     fn finish(mut self, telemetry: &Telemetry) -> Result<PoolRunResult, DtlError> {
         let final_t = Picos::from_secs(u64::from(self.cfg.duration_min) * 60);
         let energy = self.pool.pool_energy(final_t);
         self.pool.check_invariants().map_err(DtlError::from)?;
         if let Some(m) = telemetry.metrics() {
             self.pool.export_metrics(m);
+            crate::export_queue_metrics(m, &self.sim.queue_stats());
         }
         let snap = self.pool.snapshot();
         Ok(PoolRunResult {
@@ -661,6 +688,20 @@ mod tests {
         let a = run_pool(&PoolRunConfig::tiny(11)).unwrap();
         let b = run_pool(&PoolRunConfig::tiny(11)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_reports_slo_and_queue_counters() {
+        let (r, obs) = run_pool_observed(&PoolRunConfig::tiny(7), &Telemetry::disabled()).unwrap();
+        let plain = run_pool(&PoolRunConfig::tiny(7)).unwrap();
+        assert_eq!(r, plain, "observability must not change the result");
+        let access = obs.slo.access.expect("the access trickle populates latency");
+        assert!(access.count > 0);
+        assert!(access.p50_ps > 0, "access latency includes the link round trip");
+        let admission = obs.slo.admission.expect("admissions populate latency");
+        assert_eq!(admission.count, r.vms_allocated);
+        assert!(obs.queue.posted > 0, "epoch grid rides the event spine");
+        assert!(obs.queue.popped <= obs.queue.posted);
     }
 
     #[test]

@@ -674,6 +674,51 @@ pub fn ablate_smc(r: &smc::SmcResult) -> Table {
     t
 }
 
+/// SLO report rendered beside an experiment's energy headline: latency
+/// percentile rows (access including the CXL retry penalty, and VM
+/// admission) plus an evacuation-backlog summary line. Absent sections
+/// render as `-` cells so the table shape is stable across campaigns.
+pub fn slo(r: &dtl_telemetry::SloReport) -> String {
+    let ns = |ps: u64| f1(ps as f64 / 1000.0);
+    let mut t = Table::new(
+        "SLO report",
+        &["metric", "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "p99.9_ns"],
+    );
+    for (name, summary) in [("access+retry", &r.access), ("admission", &r.admission)] {
+        match summary {
+            Some(l) => t.row(&[
+                name.to_string(),
+                l.count.to_string(),
+                f1(l.mean_ps / 1000.0),
+                ns(l.p50_ps),
+                ns(l.p95_ps),
+                ns(l.p99_ps),
+                ns(l.p999_ps),
+            ]),
+            None => t.row(&[
+                name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        };
+    }
+    let backlog = match &r.evac_backlog {
+        Some(b) => format!(
+            "evacuation backlog: {} drains, peak depth {}, max age {}us, mean age {}us",
+            b.completed,
+            b.peak_depth,
+            f1(b.max_age_ps as f64 / 1e6),
+            f1(b.mean_age_ps / 1e6),
+        ),
+        None => "evacuation backlog: -".to_string(),
+    };
+    format!("{}{}\n", t.render(), backlog)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +746,27 @@ mod tests {
         assert_eq!(t5.len(), 12);
         let t6 = tab06(&tab06::run());
         assert!(t6.render().contains("Microprocessor"));
+    }
+
+    #[test]
+    fn slo_renders_present_and_absent_sections() {
+        let empty = dtl_telemetry::SloReport::default();
+        let s = slo(&empty);
+        assert!(s.contains("== SLO report =="));
+        assert!(s.contains("access+retry"));
+        assert!(s.contains("admission"));
+        assert!(s.contains("evacuation backlog: -"));
+        let h = dtl_telemetry::Histogram::default();
+        h.observe(1_000);
+        h.observe(2_000);
+        let full = dtl_telemetry::SloReport {
+            access: dtl_telemetry::LatencySummary::from_histogram(&h),
+            admission: None,
+            evac_backlog: dtl_telemetry::BacklogSummary::from_parts(&h, 3),
+        };
+        let s = slo(&full);
+        assert!(s.contains("peak depth 3"));
+        assert!(!s.contains("evacuation backlog: -"));
     }
 
     #[test]

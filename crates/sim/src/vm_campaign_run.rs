@@ -20,13 +20,18 @@ use dtl_core::{
     AnalyticBackend, DtlConfig, DtlDevice, DtlError, HostId, SegmentGeometry, VmHandle,
 };
 use dtl_dram::{Picos, PowerParams};
-use dtl_event::{EventHandler, EventId, Sched, Simulation};
+use dtl_event::{EventHandler, EventId, QueueStats, Sched, Simulation};
+use dtl_telemetry::{
+    BacklogSummary, Histogram, LatencySummary, SloReport, Telemetry, TimeSeries, TimeSeriesSink,
+};
 use dtl_trace::{NodeConfig, VmEventKind, VmId, VmSchedule};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::assert_residency_consistency;
 use crate::exec::derive_seed;
+use crate::Heartbeat;
 
 /// Configuration of one fleet campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -147,6 +152,35 @@ pub struct VmCampaignResult {
     pub sample: Vec<HostOutcome>,
 }
 
+/// Fleet-wide out-of-band observability, folded from per-host replays in
+/// host-index order. Not serialized — the pinned [`VmCampaignResult`]
+/// stays byte-stable.
+#[derive(Debug, Default)]
+pub struct CampaignObservations {
+    /// SLO report from merged per-host histograms: admission latency and
+    /// migration-drain backlog (no per-access traffic is modeled at fleet
+    /// scale, so the access section is absent).
+    pub slo: SloReport,
+    /// Event-spine queue counters summed over every host simulation
+    /// (counts sum, high-water marks take the per-host max).
+    pub queue: QueueStats,
+    /// Merged windowed time series when a window width was requested.
+    pub series: Option<TimeSeries>,
+    /// Fleet-wide per-state rank residency from the end-of-run power
+    /// reports, picoseconds — the reconciliation anchor for the series.
+    pub residency_ps: [u64; 5],
+}
+
+/// What one host replay observed about itself, beside its [`HostOutcome`].
+struct HostObservations {
+    series: Option<TimeSeries>,
+    admission: Histogram,
+    drain_age: Histogram,
+    backlog_high_water: u64,
+    queue: QueueStats,
+    residency_ps: [u64; 5],
+}
+
 /// The two deadline kinds a host queue holds.
 enum HostEv {
     /// The next VM schedule instant has arrived.
@@ -247,8 +281,16 @@ impl EventHandler<HostEv> for HostRunner<'_> {
     }
 }
 
-/// Replays one host of the fleet.
-fn run_host(cfg: &VmCampaignConfig, index: u64) -> Result<HostOutcome, DtlError> {
+/// Replays one host of the fleet, returning its outcome plus the
+/// out-of-band observations. When `series_width` is set the host's device
+/// streams events into its **own** [`TimeSeriesSink`] (bounded memory —
+/// one aggregate per window, never a buffered event trace); per-host
+/// series merge in host order afterwards.
+fn run_host(
+    cfg: &VmCampaignConfig,
+    index: u64,
+    series_width: Option<u64>,
+) -> Result<(HostOutcome, HostObservations), DtlError> {
     let seed = derive_seed(cfg.seed, index);
     let schedule = VmSchedule::synthesize(seed, cfg.node, cfg.duration_min);
     let backend =
@@ -256,6 +298,16 @@ fn run_host(cfg: &VmCampaignConfig, index: u64) -> Result<HostOutcome, DtlError>
     let mut dev = DtlDevice::new(cfg.dtl_config(), backend);
     dev.set_hotness_enabled(false);
     dev.register_host(HostId(0))?;
+    let series_sink = series_width.map(|w| Arc::new(TimeSeriesSink::new(w)));
+    if let Some(sink) = &series_sink {
+        let geo = cfg.geometry();
+        for c in 0..geo.channels {
+            for r in 0..geo.ranks_per_channel {
+                sink.ensure_rank(c, r);
+            }
+        }
+        dev.set_telemetry(Telemetry::new(sink.clone() as Arc<dyn dtl_telemetry::TelemetrySink>));
+    }
 
     let mut sim = Simulation::new(Picos::ZERO);
     let horizon = cfg.horizon();
@@ -279,11 +331,15 @@ fn run_host(cfg: &VmCampaignConfig, index: u64) -> Result<HostOutcome, DtlError>
         sim.step_until(horizon, &mut runner)?;
         (runner.vms_placed, runner.vms_rejected)
     };
+    // Power transitions performed during the final tick sit in the backend
+    // until the next drain; flush them so the telemetry stream (and the
+    // windowed series folded from it) covers the whole run.
+    let _ = dev.drain_commands();
 
     let report = dev.power_report(horizon);
     dev.check_invariants()?;
     assert_residency_consistency(&dev, &report);
-    Ok(HostOutcome {
+    let outcome = HostOutcome {
         seed,
         vms_placed,
         vms_rejected,
@@ -293,7 +349,28 @@ fn run_host(cfg: &VmCampaignConfig, index: u64) -> Result<HostOutcome, DtlError>
         events_processed: sim.events_processed(),
         energy_mj: report.total.total_mj(),
         background_mj: report.total.background_mj,
-    })
+    };
+    let mut residency_ps = [0u64; 5];
+    for ch in &report.residency {
+        for rank in ch {
+            for (total, p) in residency_ps.iter_mut().zip(rank.iter()) {
+                *total += p.as_ps();
+            }
+        }
+    }
+    let admission = Histogram::default();
+    admission.merge_from(dev.admission_histogram());
+    let drain_age = Histogram::default();
+    drain_age.merge_from(dev.drain_age_histogram());
+    let obs = HostObservations {
+        series: series_sink.map(|s| s.finish(horizon.as_ps())),
+        admission,
+        drain_age,
+        backlog_high_water: dev.migration_backlog_high_water(),
+        queue: sim.queue_stats(),
+        residency_ps,
+    };
+    Ok((outcome, obs))
 }
 
 fn host_power_params() -> PowerParams {
@@ -332,9 +409,35 @@ pub fn run_campaign_jobs(
     cfg: &VmCampaignConfig,
     jobs: usize,
 ) -> Result<VmCampaignResult, DtlError> {
+    run_campaign_observed(cfg, jobs, None, &Heartbeat::disabled()).map(|(result, _)| result)
+}
+
+/// Like [`run_campaign_jobs`], additionally returning the fleet's
+/// out-of-band [`CampaignObservations`]: merged SLO histograms, summed
+/// event-spine queue counters, and (when `series_width` is set) the merged
+/// windowed time series. Per-host observations fold in host-index order,
+/// so every byte — including the series CSV — is identical for any `jobs`.
+/// The heartbeat ticks once per completed host; it is wall-clock-only
+/// stderr output and cannot perturb the result.
+///
+/// # Errors
+///
+/// Propagates device errors (these indicate bugs — the harness never
+/// over-commits a host).
+pub fn run_campaign_observed(
+    cfg: &VmCampaignConfig,
+    jobs: usize,
+    series_width: Option<u64>,
+    heartbeat: &Heartbeat,
+) -> Result<(VmCampaignResult, CampaignObservations), DtlError> {
     const SAMPLE_HOSTS: usize = 8;
     let units: Vec<u32> = (0..cfg.hosts).collect();
-    let outcomes = crate::exec::run_units(jobs, units, |i, _| run_host(cfg, i as u64));
+    let total_units = u64::from(cfg.hosts);
+    let outcomes = crate::exec::run_units(jobs, units, |i, _| {
+        let host = run_host(cfg, i as u64, series_width);
+        heartbeat.tick(total_units);
+        host
+    });
     let baseline_host = baseline_host_energy_mj(cfg);
     let mut out = VmCampaignResult {
         hosts: cfg.hosts,
@@ -350,8 +453,14 @@ pub fn run_campaign_jobs(
         savings_fraction: 0.0,
         sample: Vec::new(),
     };
+    let admission = Histogram::default();
+    let drain_age = Histogram::default();
+    let mut backlog_high_water = 0u64;
+    let mut queue = QueueStats::default();
+    let mut series = series_width.map(TimeSeries::new);
+    let mut residency_ps = [0u64; 5];
     for outcome in outcomes {
-        let h = outcome?;
+        let (h, host_obs) = outcome?;
         out.vms_placed += h.vms_placed;
         out.vms_rejected += h.vms_rejected;
         out.groups_powered_down += h.groups_powered_down;
@@ -362,11 +471,31 @@ pub fn run_campaign_jobs(
         if out.sample.len() < SAMPLE_HOSTS {
             out.sample.push(h);
         }
+        admission.merge_from(&host_obs.admission);
+        drain_age.merge_from(&host_obs.drain_age);
+        backlog_high_water = backlog_high_water.max(host_obs.backlog_high_water);
+        queue.merge_from(&host_obs.queue);
+        if let (Some(fleet), Some(host_series)) = (&mut series, &host_obs.series) {
+            fleet.merge_from(host_series);
+        }
+        for (total, r) in residency_ps.iter_mut().zip(host_obs.residency_ps) {
+            *total += r;
+        }
     }
     if out.baseline_energy_mj > 0.0 {
         out.savings_fraction = 1.0 - out.total_energy_mj / out.baseline_energy_mj;
     }
-    Ok(out)
+    let obs = CampaignObservations {
+        slo: SloReport {
+            access: None,
+            admission: LatencySummary::from_histogram(&admission),
+            evac_backlog: BacklogSummary::from_parts(&drain_age, backlog_high_water),
+        },
+        queue,
+        series,
+        residency_ps,
+    };
+    Ok((out, obs))
 }
 
 #[cfg(test)]
@@ -393,6 +522,61 @@ mod tests {
         let a = run_campaign_jobs(&cfg, 1).unwrap();
         let b = run_campaign_jobs(&cfg, 3).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn series_residency_reconciles_with_power_reports_bit_for_bit() {
+        // The windowed series is folded from events; the power reports
+        // integrate residency inside the backends. Summing the series'
+        // per-state columns must reproduce the reports' totals exactly.
+        let mut cfg = VmCampaignConfig::tiny(7);
+        cfg.hosts = 2;
+        let width = Picos::from_secs(3600).as_ps();
+        let (r, obs) = run_campaign_observed(&cfg, 1, Some(width), &Heartbeat::disabled()).unwrap();
+        let series = obs.series.expect("a width was requested");
+        assert_eq!(series.residency_totals_ps(), obs.residency_ps);
+        let geo = cfg.geometry();
+        let ranks = u64::from(geo.channels) * u64::from(geo.ranks_per_channel) * 2;
+        // The residency clock may run ahead of the horizon by at most one
+        // in-flight exit latency per rank (`residency_slack`).
+        let total = series.residency_totals_ps().iter().sum::<u64>();
+        let floor = cfg.horizon().as_ps() * ranks;
+        assert!(
+            total >= floor && total - floor <= ranks * Picos::from_ns(200).as_ps(),
+            "every rank accounts the full horizon: {total} vs {floor}"
+        );
+        assert!(r.vms_placed > 0);
+    }
+
+    #[test]
+    fn series_and_slo_are_identical_for_any_job_count() {
+        let cfg = VmCampaignConfig::tiny(11);
+        let width = Picos::from_secs(3600).as_ps();
+        let (a, obs_a) =
+            run_campaign_observed(&cfg, 1, Some(width), &Heartbeat::disabled()).unwrap();
+        let (b, obs_b) =
+            run_campaign_observed(&cfg, 3, Some(width), &Heartbeat::disabled()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            obs_a.series.as_ref().unwrap().to_csv(),
+            obs_b.series.as_ref().unwrap().to_csv(),
+            "series CSV must be byte-identical across job counts"
+        );
+        assert_eq!(obs_a.slo, obs_b.slo);
+        assert_eq!(obs_a.queue, obs_b.queue);
+    }
+
+    #[test]
+    fn heartbeat_and_series_do_not_perturb_the_result() {
+        let mut cfg = VmCampaignConfig::tiny(5);
+        cfg.hosts = 2;
+        let plain = run_campaign_jobs(&cfg, 1).unwrap();
+        let width = Picos::from_secs(3600).as_ps();
+        let (observed, obs) =
+            run_campaign_observed(&cfg, 1, Some(width), &Heartbeat::new(true, "test")).unwrap();
+        assert_eq!(plain, observed, "observability must never change a result byte");
+        assert!(obs.slo.admission.is_some(), "fleet admissions populate the SLO");
+        assert!(obs.queue.posted > 0);
     }
 
     #[test]

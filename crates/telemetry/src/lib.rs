@@ -45,13 +45,17 @@ mod export;
 mod metrics;
 mod ring;
 mod sink;
+mod slo;
 mod timeline;
+mod timeseries;
 
 pub use event::{Event, EventKind, FaultKindId, HealthStateId, PowerStateId};
 pub use export::{chrome_trace, jsonl, parse_jsonl, DEVICE_PID, EVENTS_TID};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use ring::RingSink;
 pub use sink::{
-    merge_event_streams, BufferSink, ChannelOffsetSink, NoopSink, Telemetry, TelemetrySink,
+    merge_event_streams, BufferSink, ChannelOffsetSink, NoopSink, TeeSink, Telemetry, TelemetrySink,
 };
+pub use slo::{BacklogSummary, LatencySummary, SloReport};
 pub use timeline::{PowerTimeline, Span};
+pub use timeseries::{TimeSeries, TimeSeriesSink, WindowAggregate, TIMESERIES_CSV_HEADER};

@@ -172,6 +172,13 @@ impl Histogram {
         }
         u64::MAX
     }
+
+    /// [`Histogram::quantile`] on the percent scale: `percentile(99.9)` is
+    /// `quantile(0.999)`. The convenience accessor SLO reports use for
+    /// p50/p95/p99/p99.9; out-of-range inputs clamp to `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -368,5 +375,58 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    #[test]
+    fn percentile_matches_quantile_on_the_percent_scale() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(50.0), h.quantile(0.50));
+        assert_eq!(h.percentile(95.0), h.quantile(0.95));
+        assert_eq!(h.percentile(99.0), h.quantile(0.99));
+        assert_eq!(h.percentile(99.9), h.quantile(0.999));
+    }
+
+    #[test]
+    fn percentile_boundary_conditions() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram reports 0");
+        assert_eq!(h.percentile(100.0), 0, "empty histogram reports 0 at p100");
+
+        // A single sample dominates every percentile with a positive target;
+        // p0 is the degenerate "at least zero samples" bound (bucket 0).
+        h.observe(7);
+        for p in [0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 7, "p{p} of one sample in [4,8)");
+        }
+        assert_eq!(h.percentile(0.0), 0);
+
+        // Out-of-range inputs clamp rather than panic or wrap.
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+    }
+
+    #[test]
+    fn percentile_reports_bucket_upper_bounds() {
+        let h = Histogram::default();
+        // 99 samples of 1 and one of 2^20: p99 stays in the low bucket and
+        // p99.9 must climb into the outlier's bucket.
+        for _ in 0..99 {
+            h.observe(1);
+        }
+        h.observe(1 << 20);
+        assert_eq!(h.percentile(99.0), 1);
+        assert_eq!(h.percentile(99.9), (1 << 21) - 1, "outlier bucket upper bound");
+        // Zero samples land in the dedicated zero bucket.
+        let z = Histogram::default();
+        z.observe(0);
+        z.observe(0);
+        assert_eq!(z.percentile(99.9), 0);
+        // Saturating top bucket: u64::MAX reports u64::MAX.
+        let top = Histogram::default();
+        top.observe(u64::MAX);
+        assert_eq!(top.percentile(100.0), u64::MAX);
     }
 }

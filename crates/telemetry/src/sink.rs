@@ -117,6 +117,38 @@ impl TelemetrySink for ChannelOffsetSink {
     }
 }
 
+/// A fan-out sink forwarding every event to two downstream sinks, in a
+/// fixed order.
+///
+/// The bench driver uses this when both `--trace-out` (ring buffer) and
+/// `--timeseries-out` ([`crate::TimeSeriesSink`]) are requested: the
+/// instrumented code still holds a single [`Telemetry`] handle, and the tee
+/// duplicates the stream. `enabled` is true when either branch wants
+/// events.
+#[derive(Debug)]
+pub struct TeeSink {
+    first: Arc<dyn TelemetrySink>,
+    second: Arc<dyn TelemetrySink>,
+}
+
+impl TeeSink {
+    /// Forwards to `first`, then `second`.
+    pub fn new(first: Arc<dyn TelemetrySink>, second: Arc<dyn TelemetrySink>) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl TelemetrySink for TeeSink {
+    fn record(&self, event: Event) {
+        self.first.record(event);
+        self.second.record(event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+}
+
 /// Merges per-unit event streams into one, concatenating in stream order.
 ///
 /// The contract that makes parallel runs bit-identical to sequential ones:

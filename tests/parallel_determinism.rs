@@ -11,12 +11,12 @@
 use std::sync::Arc;
 
 use dtl_sim::experiments::{
-    diff_fuzz, fault_campaign, fig12, fig14, pool_failover, pool_scale, registry,
+    diff_fuzz, fault_campaign, fig12, fig14, find, pool_failover, pool_scale, registry, RunContext,
 };
 use dtl_sim::{
     to_json, CheckRunConfig, FaultRunConfig, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig,
 };
-use dtl_telemetry::{BufferSink, Telemetry};
+use dtl_telemetry::{BufferSink, Telemetry, TIMESERIES_CSV_HEADER};
 
 /// A telemetry handle recording into a fresh unbounded buffer.
 fn traced() -> (Telemetry, Arc<BufferSink>) {
@@ -97,6 +97,52 @@ fn diff_fuzz_jobs4_is_bit_identical_to_jobs1() {
 fn jobs_beyond_unit_count_still_match() {
     let cfg = CheckRunConfig::smoke();
     assert_eq!(to_json(&diff_fuzz::run_jobs(&cfg, 1)), to_json(&diff_fuzz::run_jobs(&cfg, 64)));
+}
+
+/// A tiny registry context with 1-hour time-series windows.
+fn series_ctx(jobs: usize, args: &[&str]) -> RunContext {
+    let mut ctx = RunContext::plain(true);
+    ctx.jobs = jobs;
+    ctx.series_width = Some(3_600_000_000_000_000);
+    ctx.args = args.iter().map(|s| (*s).to_string()).collect();
+    ctx
+}
+
+#[test]
+fn vm_campaign_timeseries_csv_jobs4_is_byte_identical_to_jobs1() {
+    let exp = find("vm_campaign").unwrap();
+    let args = ["--hosts", "4"];
+    let o1 = exp.run(&series_ctx(1, &args)).unwrap();
+    let o4 = exp.run(&series_ctx(4, &args)).unwrap();
+    assert_eq!(o1.json, o4.json, "vm_campaign JSON must not depend on --jobs");
+    let csv1 = o1.timeseries.expect("a width was requested").to_csv();
+    let csv4 = o4.timeseries.expect("a width was requested").to_csv();
+    assert!(csv1.starts_with(TIMESERIES_CSV_HEADER));
+    assert_eq!(csv1, csv4, "vm_campaign time-series CSV must not depend on --jobs");
+    assert!(o1.slo.is_some_and(|s| !s.is_empty()), "the campaign reports an SLO");
+}
+
+#[test]
+fn pool_scale_timeseries_csv_jobs4_is_byte_identical_to_jobs1() {
+    let exp = find("pool_scale").unwrap();
+    let o1 = exp.run(&series_ctx(1, &[])).unwrap();
+    let o4 = exp.run(&series_ctx(4, &[])).unwrap();
+    assert_eq!(o1.json, o4.json, "pool_scale JSON must not depend on --jobs");
+    let s1 = o1.timeseries.expect("a width was requested");
+    let s4 = o4.timeseries.expect("a width was requested");
+    assert_eq!(s1.to_csv(), s4.to_csv(), "pool_scale time-series CSV must not depend on --jobs");
+    // Every pool rank accounts the full horizon (quiet ranks included);
+    // events landing on unregistered channels would inflate this, so it
+    // also pins the per-device channel-offset registration.
+    let cfg = PoolRunConfig::tiny(7);
+    let ranks = u64::from(cfg.devices) * u64::from(cfg.channels) * u64::from(cfg.ranks_per_channel);
+    let horizon = u64::from(cfg.duration_min) * 60 * 1_000_000_000_000;
+    let total: u64 = s1.residency_totals_ps().iter().sum();
+    let floor = horizon * ranks;
+    assert!(
+        total >= floor && total - floor <= ranks * 200_000,
+        "pool ranks account the horizon: {total} vs {floor}"
+    );
 }
 
 #[test]
