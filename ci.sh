@@ -16,6 +16,9 @@ cargo test -q
 echo "== dtl-event queue + determinism properties =="
 cargo test -q -p dtl-event
 
+echo "== dtl-dram power-policy + ladder properties =="
+cargo test -q -p dtl-dram
+
 echo "== dtl-check differential harness =="
 cargo test -q -p dtl-check
 
@@ -24,11 +27,18 @@ cargo test -q -p dtl-pool
 
 echo "== smoke suite on the parallel path (--jobs 2) =="
 cargo build --release -q -p dtl-bench --bin diff_fuzz --bin fault_campaign --bin pool_scale \
-    --bin vm_campaign --bin all
+    --bin policy_ablation --bin vm_campaign --bin all
 timeout 30 ./target/release/diff_fuzz --smoke --jobs 2
 timeout 60 ./target/release/fault_campaign --tiny --jobs 2
 timeout 30 ./target/release/pool_scale --tiny --jobs 2
+timeout 30 ./target/release/policy_ablation --tiny --jobs 2 > /tmp/dtl_ci_policy.txt
 timeout 30 ./target/release/vm_campaign --tiny --jobs 2
+
+echo "== policy_ablation covers every PowerPolicy impl =="
+for policy in FixedThreshold AdaptiveDemotion RefreshAware; do
+    grep -q "$policy" /tmp/dtl_ci_policy.txt \
+      || { echo "policy_ablation matrix lost $policy"; exit 1; }
+done
 
 echo "== windowed time-series output (--timeseries-out) =="
 timeout 30 ./target/release/vm_campaign --tiny --jobs 2 \

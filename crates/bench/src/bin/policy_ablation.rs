@@ -1,0 +1,8 @@
+//! Thin driver for the registered `policy_ablation` experiment (see
+//! [`dtl_sim::experiments::policy_ablation`]). The shared CLI surface
+//! (`--tiny`, `--seed`, `--jobs`, `--out`, `--trace-out`, `--metrics-out`)
+//! is documented in the `dtl_bench` crate docs.
+
+fn main() {
+    dtl_bench::drive("policy_ablation");
+}

@@ -6,7 +6,7 @@ use dtl_core::{
     AnalyticBackend, AuId, DtlConfig, DtlDevice, DtlError, HostId, HostPhysAddr, Hsn,
     SegmentGeometry, VmHandle,
 };
-use dtl_dram::{AccessKind, Picos, PowerParams};
+use dtl_dram::{AccessKind, Picos, PowerParams, PowerPolicyKind};
 use serde::{Deserialize, Serialize};
 
 use crate::invariants::{check_access_rank, check_device, CheckStats};
@@ -24,6 +24,9 @@ pub struct CheckSetup {
     /// Run the full invariant suite every N executed ops (0: only at
     /// [`FuzzOp::Check`] points and at the end).
     pub check_interval: usize,
+    /// Rank power-management policy the device starts under (the stream's
+    /// [`FuzzOp::SwitchPolicy`] ops may change it mid-run).
+    pub policy: PowerPolicyKind,
 }
 
 impl CheckSetup {
@@ -34,6 +37,7 @@ impl CheckSetup {
             stream: OpStreamConfig::tiny(seed, ops),
             segs_per_rank: 64,
             check_interval: 16,
+            policy: PowerPolicyKind::FixedThreshold,
         }
     }
 
@@ -43,12 +47,19 @@ impl CheckSetup {
             stream: OpStreamConfig::tiny_faulted(seed, ops),
             segs_per_rank: 64,
             check_interval: 16,
+            policy: PowerPolicyKind::FixedThreshold,
         }
+    }
+
+    /// The same setup under a different starting power policy.
+    pub fn with_policy(self, policy: PowerPolicyKind) -> Self {
+        CheckSetup { policy, ..self }
     }
 
     /// Builds the device under test.
     pub fn build_device(&self) -> DtlDevice<AnalyticBackend> {
-        let cfg = DtlConfig::tiny();
+        let mut cfg = DtlConfig::tiny();
+        cfg.power_policy = self.policy;
         let geo = SegmentGeometry {
             channels: self.stream.channels,
             ranks_per_channel: self.stream.ranks_per_channel,
@@ -255,8 +266,22 @@ impl LockstepHarness {
                 self.drain_into_oracle()?;
                 return self.deep_check();
             }
+            FuzzOp::SwitchPolicy { policy } => {
+                self.dev.set_power_policy(PowerPolicyKind::from_index(policy));
+            }
+            FuzzOp::PostponeRefresh { channel, rank } => {
+                let (c, r) = self.pick_rank(channel, rank);
+                // A declined postponement is a legitimate outcome.
+                let _granted = self.dev.postpone_refresh(c, r, self.now).map_err(device_error)?;
+            }
             FuzzOp::CorruptMapping => {
                 self.dev.corrupt_mapping_for_test();
+            }
+            FuzzOp::CorruptPowerLog => {
+                // Sync the ledger first so only the legality check — not
+                // stream coherence — can flag the forged transition.
+                self.drain_into_oracle()?;
+                self.dev.corrupt_power_log_for_test(self.now);
             }
         }
         self.drain_into_oracle()
@@ -376,6 +401,43 @@ mod tests {
         let ops = generate(&setup.stream);
         let stats = replay(&setup, &ops).expect("faulted stream must verify");
         assert!(stats.deep_checks > 0);
+    }
+
+    #[test]
+    fn clean_run_verifies_under_every_policy() {
+        for kind in PowerPolicyKind::ALL {
+            let setup = CheckSetup::tiny(21, 400).with_policy(kind);
+            let ops = generate(&setup.stream);
+            let stats =
+                replay(&setup, &ops).unwrap_or_else(|f| panic!("{kind:?} stream failed: {f}"));
+            assert!(stats.accesses > 0, "{kind:?} run exercised accesses");
+        }
+    }
+
+    /// ISSUE 8 mutation pin: a planted rung-skipping power transition must
+    /// be flagged by the oracle's legality check — not merely stream
+    /// coherence — and ddmin must shrink the stream to (nearly) the
+    /// forged op alone.
+    #[test]
+    fn planted_illegal_transition_is_caught_and_shrunk() {
+        let setup = CheckSetup {
+            stream: crate::ops::OpStreamConfig {
+                mutate_power: true,
+                ..CheckSetup::tiny(17, 300).stream
+            },
+            ..CheckSetup::tiny(17, 300)
+        };
+        let ops = generate(&setup.stream);
+        let failure = replay(&setup, &ops).expect_err("the forged transition must be caught");
+        assert!(
+            matches!(failure.violation, Violation::IllegalTransition { .. }),
+            "unexpected violation class: {}",
+            failure.violation
+        );
+        let ce = crate::minimize::minimize(&setup, &ops, &failure);
+        assert!(ce.ops.len() <= 2, "ddmin should isolate the forged op, got {} ops", ce.ops.len());
+        assert!(ce.ops.contains(&FuzzOp::CorruptPowerLog));
+        assert!(ce.reproduce().is_some(), "the shrunk stream must still fail");
     }
 
     #[test]

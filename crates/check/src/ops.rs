@@ -90,10 +90,28 @@ pub enum FuzzOp {
     },
     /// Quiesce migrations and run the deep (conservation) checks.
     Check,
+    /// Switch the device's rank power-management policy mid-stream.
+    SwitchPolicy {
+        /// Policy index (modulo the number of built-in policies).
+        policy: u8,
+    },
+    /// Ask the active policy to postpone a rank's next refresh (the
+    /// refresh-aware policy's lever; other policies decline).
+    PostponeRefresh {
+        /// Channel (modulo geometry).
+        channel: u8,
+        /// Rank (modulo geometry).
+        rank: u8,
+    },
     /// Mutation hook: deliberately corrupt one forward-mapping entry in
     /// the device. Only generated when explicitly requested; the checker
     /// must catch the divergence.
     CorruptMapping,
+    /// Mutation hook: forge a rung-skipping power transition into the
+    /// command stream without touching the backend. Only generated when
+    /// explicitly requested; the checker's legal-transition check must
+    /// catch it.
+    CorruptPowerLog,
 }
 
 /// Deterministic generator parameters.
@@ -115,6 +133,8 @@ pub struct OpStreamConfig {
     pub ranks_per_channel: u32,
     /// Insert a [`FuzzOp::CorruptMapping`] two-thirds through.
     pub mutate: bool,
+    /// Insert a [`FuzzOp::CorruptPowerLog`] one-third through.
+    pub mutate_power: bool,
 }
 
 impl OpStreamConfig {
@@ -129,6 +149,7 @@ impl OpStreamConfig {
             channels: 2,
             ranks_per_channel: 4,
             mutate: false,
+            mutate_power: false,
         }
     }
 
@@ -160,10 +181,12 @@ pub fn generate(cfg: &OpStreamConfig) -> Vec<FuzzOp> {
             12..=18 => FuzzOp::Dealloc { vm: rng.gen() },
             19..=22 => FuzzOp::Grow { vm: rng.gen(), aus: rng.gen_range(1..3) },
             23..=26 => FuzzOp::Shrink { vm: rng.gen(), aus: rng.gen_range(1..3) },
-            27..=79 => {
+            27..=75 => {
                 let rec = trace.next_record();
                 FuzzOp::Access { vm: rng.gen(), addr: rec.addr, write: rec.is_write }
             }
+            76..=77 => FuzzOp::SwitchPolicy { policy: rng.gen() },
+            78..=79 => FuzzOp::PostponeRefresh { channel: rng.gen(), rank: rng.gen() },
             80..=92 => FuzzOp::Tick { us: rng.gen_range(20..400) },
             93..=94 => FuzzOp::RetireRank { channel: rng.gen(), rank: rng.gen() },
             95..=97 => FuzzOp::Check,
@@ -177,6 +200,10 @@ pub fn generate(cfg: &OpStreamConfig) -> Vec<FuzzOp> {
     if cfg.mutate {
         let at = ops.len() * 2 / 3;
         ops.insert(at, FuzzOp::CorruptMapping);
+    }
+    if cfg.mutate_power {
+        let at = ops.len() / 3;
+        ops.insert(at, FuzzOp::CorruptPowerLog);
     }
     ops
 }

@@ -84,6 +84,19 @@ pub enum Violation {
         /// Device state.
         device: PowerState,
     },
+    /// The command stream carries a power transition the legal-transition
+    /// graph forbids (e.g. a rung skip straight from active power-down to
+    /// self-refresh, or any hop into/out of MPSM that bypasses standby).
+    IllegalTransition {
+        /// Channel index.
+        channel: u32,
+        /// Rank index.
+        rank: u32,
+        /// State before.
+        from: PowerState,
+        /// Forbidden target state.
+        to: PowerState,
+    },
     /// A live (mapped) segment sits in a rank the ledger has in MPSM —
     /// its data is gone.
     MappedInMpsm {
@@ -169,6 +182,9 @@ impl fmt::Display for Violation {
             }
             Violation::PowerLedgerMismatch { channel, rank, ledger, device } => {
                 write!(f, "power ledger ch{channel}/rk{rank}: ledger {ledger:?}, device {device:?}")
+            }
+            Violation::IllegalTransition { channel, rank, from, to } => {
+                write!(f, "illegal power transition ch{channel}/rk{rank}: {from:?} -> {to:?}")
             }
             Violation::MappedInMpsm { dsn, hsn, channel, rank } => {
                 write!(f, "live segment {dsn} ({hsn}) in MPSM rank ch{channel}/rk{rank}")
@@ -391,6 +407,14 @@ impl Oracle {
                         ),
                     });
                 }
+                if !dtl_dram::transition_is_legal(*from, *to) {
+                    return Err(Violation::IllegalTransition {
+                        channel: *channel,
+                        rank: *rank,
+                        from: *from,
+                        to: *to,
+                    });
+                }
                 self.power[idx] = *to;
                 Ok(())
             }
@@ -606,6 +630,30 @@ mod tests {
         assert_eq!(o.power_state(0, 1), PowerState::SelfRefresh);
         // Skipping the standby hop is incoherent.
         assert!(o.apply(&t(PowerState::Standby, PowerState::Mpsm)).is_err());
+    }
+
+    #[test]
+    fn rung_skipping_transition_is_illegal() {
+        let mut o = Oracle::new(geo());
+        let t = |from, to| DeviceCommand::PowerTransition {
+            channel: 1,
+            rank: 0,
+            from,
+            to,
+            cause: dtl_dram::PowerEventCause::Explicit,
+            at: Picos::ZERO,
+        };
+        o.apply(&t(PowerState::Standby, PowerState::ActivePowerDown)).unwrap();
+        // Skipping precharge power-down on the way to self-refresh is
+        // forbidden even though the ledger's `from` matches.
+        assert!(matches!(
+            o.apply(&t(PowerState::ActivePowerDown, PowerState::SelfRefresh)),
+            Err(Violation::IllegalTransition { .. })
+        ));
+        // The single-rung hops are fine.
+        o.apply(&t(PowerState::ActivePowerDown, PowerState::PrechargePowerDown)).unwrap();
+        o.apply(&t(PowerState::PrechargePowerDown, PowerState::SelfRefresh)).unwrap();
+        assert_eq!(o.power_state(1, 0), PowerState::SelfRefresh);
     }
 
     #[test]

@@ -257,19 +257,22 @@ impl MemoryBackend for AnalyticBackend {
         if from == state {
             return Ok(now);
         }
-        let legal = matches!((from, state), (PowerState::Standby, _) | (_, PowerState::Standby));
-        if !legal {
+        if !dtl_dram::transition_is_legal(from, state) {
             return Err(DtlError::Dram(dtl_dram::DramError::IllegalPowerTransition {
-                reason: format!("cannot move {from:?} -> {state:?} without passing Standby"),
+                reason: format!("illegal rank power transition {from:?} -> {state:?}"),
             }));
         }
+        let exit = |s: PowerState| match s {
+            PowerState::SelfRefresh => self.sr_exit,
+            PowerState::Mpsm => self.mpsm_exit,
+            _ => Picos::from_ns(7),
+        };
         let latency = match (from, state) {
-            (_, PowerState::Standby) => match from {
-                PowerState::SelfRefresh => self.sr_exit,
-                PowerState::Mpsm => self.mpsm_exit,
-                _ => Picos::from_ns(7),
-            },
-            _ => Picos::from_ns(5), // entry latency (tCKE-scale)
+            (_, PowerState::Standby) => exit(from),
+            (PowerState::Standby, _) => Picos::from_ns(5), // entry latency (tCKE-scale)
+            // Ladder demotion: implicit exit of the shallower state plus
+            // the deeper entry.
+            _ => exit(from) + Picos::from_ns(5),
         };
         let done = now + latency;
         self.account(channel, rank).transition(done, state);
@@ -370,12 +373,14 @@ impl MemoryBackend for AnalyticBackend {
     }
 
     fn residency_slack(&self) -> Picos {
-        // Every future-dated `transition(done, ..)` uses one of: self-refresh
-        // exit, MPSM exit, the 7 ns power-down exit, or the 5 ns entry
-        // latency. The residency clock can run ahead of `now` by at most the
-        // largest of these — exactly, because residency is integrated in
-        // closed form at transition boundaries, never per tick.
-        self.sr_exit.max(self.mpsm_exit).max(Picos::from_ns(7))
+        // Every future-dated `transition(done, ..)` uses one of: an exit
+        // latency (self-refresh, MPSM, or the 7 ns power-down exit), the
+        // 5 ns entry latency, or — on chained transitions such as parking a
+        // rank that sits in a low-power state — an exit immediately followed
+        // by an entry. The residency clock can run ahead of `now` by at most
+        // the largest exit plus one entry — exactly, because residency is
+        // integrated in closed form at transition boundaries, never per tick.
+        self.sr_exit.max(self.mpsm_exit).max(Picos::from_ns(7)) + Picos::from_ns(5)
     }
 
     fn charge_migration(&mut self, src: SegmentLocation, dst: SegmentLocation, lines: u64) {
@@ -581,6 +586,50 @@ mod tests {
         let mut b = analytic();
         b.set_rank_state(0, 0, PowerState::SelfRefresh, Picos::ZERO).unwrap();
         assert!(b.set_rank_state(0, 0, PowerState::Mpsm, Picos::from_us(1)).is_err());
+    }
+
+    #[test]
+    fn analytic_ladder_demotion_pays_exit_plus_entry() {
+        let mut b = analytic();
+        let t0 = Picos::from_us(1);
+        let apd = b.set_rank_state(0, 0, PowerState::ActivePowerDown, t0).unwrap();
+        assert_eq!(apd, t0 + Picos::from_ns(5));
+        // APD -> PPD: the 7 ns power-down exit plus the 5 ns entry.
+        let t1 = Picos::from_us(2);
+        let ppd = b.set_rank_state(0, 0, PowerState::PrechargePowerDown, t1).unwrap();
+        assert_eq!(ppd, t1 + Picos::from_ns(12));
+        // PPD -> SR, same shape; rung skipping still rejected.
+        let t2 = Picos::from_us(3);
+        let sr = b.set_rank_state(0, 0, PowerState::SelfRefresh, t2).unwrap();
+        assert_eq!(sr, t2 + Picos::from_ns(12));
+        assert!(b.set_rank_state(0, 1, PowerState::SelfRefresh, t2).is_ok());
+        assert!(b.set_rank_state(0, 2, PowerState::ActivePowerDown, t2).is_ok());
+        assert!(b.set_rank_state(0, 2, PowerState::SelfRefresh, t2).is_err());
+        // The wake path handles every ladder state generically.
+        let loc = SegmentLocation { channel: 0, rank: 0, within: 0 };
+        let t3 = Picos::from_us(4);
+        let done = b.access(loc, 0, AccessKind::Read, Priority::Foreground, t3);
+        assert_eq!(done, t3 + b.sr_exit + b.service_latency);
+        assert_eq!(b.rank_state(0, 0), PowerState::Standby);
+    }
+
+    #[test]
+    fn analytic_residency_clock_stays_within_slack() {
+        let mut b = analytic();
+        // Chained transition (the park path): SR exit immediately followed
+        // by an MPSM entry future-dates the residency clock by exit+entry.
+        b.set_rank_state(0, 0, PowerState::SelfRefresh, Picos::ZERO).unwrap();
+        let now = Picos::from_us(1);
+        let standby = b.set_rank_state(0, 0, PowerState::Standby, now).unwrap();
+        b.set_rank_state(0, 0, PowerState::Mpsm, standby).unwrap();
+        let total: Picos = b.rank_residency(0, 0).iter().copied().sum();
+        assert!(total >= b.now(), "the clock never lags now");
+        assert!(
+            total <= b.now() + b.residency_slack(),
+            "clock {total} ran past now {} + slack {}",
+            b.now(),
+            b.residency_slack()
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! DTL configuration and defaults.
 
-use dtl_dram::{DramConfig, Picos};
+use dtl_dram::{DramConfig, Picos, PowerPolicyKind};
 use serde::{Deserialize, Serialize};
 
 use crate::error::DtlError;
@@ -31,6 +31,9 @@ pub struct DtlConfig {
     pub migration_retry_limit: u32,
     /// Controller clock in GHz (paper: 1.5 GHz).
     pub controller_ghz: f64,
+    /// Rank power-management policy (default: the paper's fixed-threshold
+    /// scheme, bit-compatible with the pre-policy engine).
+    pub power_policy: PowerPolicyKind,
 }
 
 impl Default for DtlConfig {
@@ -47,6 +50,7 @@ impl Default for DtlConfig {
             tsp_timeout: Picos::from_ns(40),
             migration_retry_limit: 3,
             controller_ghz: 1.5,
+            power_policy: PowerPolicyKind::FixedThreshold,
         }
     }
 }
@@ -72,6 +76,7 @@ impl DtlConfig {
             tsp_timeout: Picos::from_ns(40),
             migration_retry_limit: 3,
             controller_ghz: 1.5,
+            power_policy: PowerPolicyKind::FixedThreshold,
         }
     }
 

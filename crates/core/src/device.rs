@@ -14,7 +14,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dtl_dram::{AccessKind, Picos, PowerEventCause, PowerReport, PowerState, Priority};
+use dtl_dram::{
+    AccessKind, Picos, PolicyEngine, PowerEventCause, PowerPolicy, PowerPolicyKind, PowerReport,
+    PowerState, Priority,
+};
 use dtl_telemetry::{EventKind, FaultKindId, HealthStateId, Histogram, MetricsRegistry, Telemetry};
 use serde::{Deserialize, Serialize};
 
@@ -223,6 +226,16 @@ pub struct DtlDevice<B: MemoryBackend> {
     hotness: HotnessEngine,
     hotness_enabled: bool,
     powerdown_enabled: bool,
+    /// Rank power-management policy (the power-policy zoo). Inert for
+    /// [`PowerPolicyKind::FixedThreshold`], where the power-down and
+    /// hotness engines own every transition, bit-compatible with the
+    /// pre-policy device.
+    policy: PolicyEngine,
+    /// Last observed foreground/bulk traffic per rank (channel-major), the
+    /// idle clock the policy demotes against.
+    rank_last_access: Vec<Picos>,
+    /// Ladder demotions committed by the policy pump.
+    policy_demotions: u64,
     hosts: HashMap<HostId, HostState>,
     job_origin: HashMap<u64, JobOrigin>,
     /// Per channel: (jobs still pending, jobs originally planned).
@@ -288,6 +301,14 @@ impl<B: MemoryBackend> DtlDevice<B> {
             hotness: HotnessEngine::new(geo, hotness_params),
             hotness_enabled: true,
             powerdown_enabled: true,
+            policy: PolicyEngine::new(
+                config.power_policy,
+                geo.channels,
+                geo.ranks_per_channel,
+                config.profile_threshold,
+            ),
+            rank_last_access: vec![Picos::ZERO; (geo.channels * geo.ranks_per_channel) as usize],
+            policy_demotions: 0,
             hosts: HashMap::new(),
             job_origin: HashMap::new(),
             hotness_pending: HashMap::new(),
@@ -354,6 +375,32 @@ impl<B: MemoryBackend> DtlDevice<B> {
         Some(hsn)
     }
 
+    /// Forges a rung-skipping power transition for rank (0, 0) into the
+    /// command stream without touching the backend — a mutation hook for
+    /// checker self-tests (the checker's legal-transition check must catch
+    /// it). Bridges the ledger to active power-down first so only the
+    /// legality check — not stream coherence — can flag the forgery.
+    #[doc(hidden)]
+    pub fn corrupt_power_log_for_test(&mut self, now: Picos) {
+        self.process_events();
+        let state = self.backend.rank_state(0, 0);
+        let mut forge = |from, to| {
+            self.tap.record(DeviceCommand::PowerTransition {
+                channel: 0,
+                rank: 0,
+                from,
+                to,
+                cause: PowerEventCause::Explicit,
+                at: now,
+            });
+        };
+        if state != PowerState::Standby {
+            forge(state, PowerState::Standby);
+        }
+        forge(PowerState::Standby, PowerState::ActivePowerDown);
+        forge(PowerState::ActivePowerDown, PowerState::SelfRefresh);
+    }
+
     /// Installs a telemetry handle on the device and every engine it owns
     /// (backend, migration, hotness, health). If the handle carries a
     /// metrics registry, the translation-latency histogram is resolved here
@@ -396,6 +443,65 @@ impl<B: MemoryBackend> DtlDevice<B> {
     /// Enables/disables rank-level power-down (on by default).
     pub fn set_powerdown_enabled(&mut self, on: bool) {
         self.powerdown_enabled = on;
+    }
+
+    /// The active rank power-management policy.
+    pub fn power_policy(&self) -> PowerPolicyKind {
+        self.policy.kind()
+    }
+
+    /// Ladder demotions committed by the policy pump so far (always zero
+    /// under [`PowerPolicyKind::FixedThreshold`]).
+    pub fn policy_demotions(&self) -> u64 {
+        self.policy_demotions
+    }
+
+    /// Switches the rank power-management policy. Ranks already demoted
+    /// stay where they are — the backend auto-exits any low-power state on
+    /// the next access, so a switch never strands a rank. The new policy
+    /// starts from a cold idle history.
+    pub fn set_power_policy(&mut self, kind: PowerPolicyKind) {
+        self.policy = PolicyEngine::new(
+            kind,
+            self.geo.channels,
+            self.geo.ranks_per_channel,
+            self.config.profile_threshold,
+        );
+        self.config.power_policy = kind;
+    }
+
+    /// Asks the power policy to postpone the next refresh of `(channel,
+    /// rank)` — the refresh-aware policy's schedulable-maintenance lever;
+    /// other policies decline. Returns whether the postponement was
+    /// granted.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] for out-of-range rank coordinates.
+    pub fn postpone_refresh(
+        &mut self,
+        channel: u32,
+        rank: u32,
+        now: Picos,
+    ) -> Result<bool, DtlError> {
+        if channel >= self.geo.channels || rank >= self.geo.ranks_per_channel {
+            return Err(DtlError::Internal {
+                reason: format!("postpone_refresh out of range: ch{channel} r{rank}"),
+            });
+        }
+        Ok(self.policy.postpone_refresh(channel, rank, now))
+    }
+
+    /// Records external (bulk) traffic against a rank's idle clock so the
+    /// power policy does not demote a rank that an orchestrator is still
+    /// streaming into. No-op apart from bookkeeping; the traffic itself is
+    /// charged by the backend.
+    pub fn note_rank_traffic(&mut self, channel: u32, rank: u32, now: Picos) {
+        if channel < self.geo.channels && rank < self.geo.ranks_per_channel {
+            let idx = (channel * self.geo.ranks_per_channel + rank) as usize;
+            self.rank_last_access[idx] = self.rank_last_access[idx].max(now);
+            self.policy.note_access(channel, rank, now);
+        }
     }
 
     /// Plans rank-group power-downs right now, without waiting for a
@@ -798,14 +904,23 @@ impl<B: MemoryBackend> DtlDevice<B> {
 
     fn power_down_ranks(&mut self, ranks: &[(u32, u32)], now: Picos) -> Result<(), DtlError> {
         for &(c, r) in ranks {
-            // The rank may be sitting in self-refresh (hotness parked it);
+            // The rank may sit anywhere on the retention ladder (hotness
+            // parked it in self-refresh, or the power policy demoted it);
             // MPSM requires passing through standby, and the hotness engine
-            // must forget its victim.
-            if self.backend.rank_state(c, r) == PowerState::SelfRefresh {
-                let at = self.backend.set_rank_state(c, r, PowerState::Standby, now)?;
-                self.hotness.on_sr_exit(c, r, at);
+            // must forget its victim. The MPSM entry is issued at the
+            // exit's *completion* time — issuing it at `now` would
+            // back-date the entry into the exit window, producing an
+            // out-of-order command stream and charging the standby bridge
+            // to the wrong state.
+            let state = self.backend.rank_state(c, r);
+            let mut at = now;
+            if state != PowerState::Standby {
+                at = self.backend.set_rank_state(c, r, PowerState::Standby, now)?;
+                if state == PowerState::SelfRefresh {
+                    self.hotness.on_sr_exit(c, r, at);
+                }
             }
-            self.backend.set_rank_state(c, r, PowerState::Mpsm, now)?;
+            self.backend.set_rank_state(c, r, PowerState::Mpsm, at)?;
         }
         Ok(())
     }
@@ -1244,8 +1359,12 @@ impl<B: MemoryBackend> DtlDevice<B> {
             }
         }
         let loc = self.geo.location(routed_dsn);
+        let arrival = now + translation_latency;
         let completion_estimate =
-            self.backend.access(loc, offset, kind, Priority::Foreground, now + translation_latency);
+            self.backend.access(loc, offset, kind, Priority::Foreground, arrival);
+        let idx = (loc.channel * self.geo.ranks_per_channel + loc.rank) as usize;
+        self.rank_last_access[idx] = self.rank_last_access[idx].max(arrival);
+        self.policy.note_access(loc.channel, loc.rank, arrival);
         if self.hotness_enabled {
             self.hotness.on_access(loc, now);
         }
@@ -1317,18 +1436,57 @@ impl<B: MemoryBackend> DtlDevice<B> {
                 }
                 if count == 0 {
                     let victim = self.hotness.on_plan_migrated(plan.channel, now);
-                    self.backend.set_rank_state(
-                        plan.channel,
-                        victim,
-                        PowerState::SelfRefresh,
-                        now,
-                    )?;
+                    self.enter_self_refresh(plan.channel, victim, now)?;
                     self.telemetry.emit(
                         now.as_ps(),
                         EventKind::SelfRefreshSwap { channel: plan.channel, victim, swaps: 0 },
                     );
                 } else {
                     self.hotness_pending.insert(plan.channel, (count, count));
+                }
+            }
+        }
+        self.pump_power_policy(now)?;
+        Ok(())
+    }
+
+    /// Walks every rank one policy step: ranks whose idle clock has passed
+    /// the policy's threshold demote one rung down the retention ladder.
+    /// Inert under [`PowerPolicyKind::FixedThreshold`] (the power-down and
+    /// hotness engines own every transition there). Ranks owned by another
+    /// engine — draining, parked, retired, the hotness victim already in
+    /// self-refresh, or an endpoint of an in-flight migration — are
+    /// skipped so the pump never fights them.
+    fn pump_power_policy(&mut self, now: Picos) -> Result<(), DtlError> {
+        if self.policy.is_inert() {
+            return Ok(());
+        }
+        for c in 0..self.geo.channels {
+            for r in 0..self.geo.ranks_per_channel {
+                let state = self.backend.rank_state(c, r);
+                if !matches!(
+                    state,
+                    PowerState::Standby
+                        | PowerState::ActivePowerDown
+                        | PowerState::PrechargePowerDown
+                ) {
+                    continue;
+                }
+                if self.powerdown.rank_state(c, r) != RankPdState::Active
+                    || self.migrate.involves_rank(c, r)
+                {
+                    continue;
+                }
+                let idx = (c * self.geo.ranks_per_channel + r) as usize;
+                let idle = now.saturating_sub(self.rank_last_access[idx]);
+                if let Some(next) = self.policy.demote(c, r, state, idle) {
+                    debug_assert!(
+                        dtl_dram::transition_is_legal(state, next) && next.retains_data(),
+                        "policy {:?} proposed {state:?} -> {next:?}",
+                        self.policy.kind()
+                    );
+                    self.backend.set_rank_state(c, r, next, now)?;
+                    self.policy_demotions += 1;
                 }
             }
         }
@@ -1346,10 +1504,39 @@ impl<B: MemoryBackend> DtlDevice<B> {
     pub fn next_activity_at(&self) -> Option<Picos> {
         let migrate = self.migrate.next_event_at();
         let hotness = if self.hotness_enabled { self.hotness.next_deadline() } else { None };
-        match (migrate, hotness) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        let policy = self.next_policy_deadline();
+        [migrate, hotness, policy].into_iter().flatten().min()
+    }
+
+    /// The earliest instant a rank becomes eligible for a policy demotion,
+    /// so event-driven drivers wake the pump in time. `None` when the
+    /// policy is inert or every demotable rank has bottomed out.
+    fn next_policy_deadline(&self) -> Option<Picos> {
+        if self.policy.is_inert() {
+            return None;
         }
+        let mut earliest: Option<Picos> = None;
+        for c in 0..self.geo.channels {
+            for r in 0..self.geo.ranks_per_channel {
+                let state = self.backend.rank_state(c, r);
+                if !matches!(
+                    state,
+                    PowerState::Standby
+                        | PowerState::ActivePowerDown
+                        | PowerState::PrechargePowerDown
+                ) {
+                    continue;
+                }
+                if self.powerdown.rank_state(c, r) != RankPdState::Active {
+                    continue;
+                }
+                let idx = (c * self.geo.ranks_per_channel + r) as usize;
+                if let Some(d) = self.policy.deadline(c, r, state, self.rank_last_access[idx]) {
+                    earliest = Some(earliest.map_or(d, |e| e.min(d)));
+                }
+            }
+        }
+        earliest
     }
 
     fn finish_job(&mut self, id: u64, kind: MigrationKind, now: Picos) -> Result<(), DtlError> {
@@ -1414,13 +1601,39 @@ impl<B: MemoryBackend> DtlDevice<B> {
         if pending.0 == 0 {
             let (_, total) = self.hotness_pending.remove(&channel).expect("present above");
             let victim = self.hotness.on_plan_migrated(channel, now);
-            self.backend.set_rank_state(channel, victim, PowerState::SelfRefresh, now)?;
+            self.enter_self_refresh(channel, victim, now)?;
             self.telemetry.emit(
                 now.as_ps(),
                 EventKind::SelfRefreshSwap { channel, victim, swaps: total as u32 },
             );
         }
         Ok(())
+    }
+
+    /// Takes a rank to self-refresh along legal edges only. From standby
+    /// that is one hop; a rank the power policy already demoted walks the
+    /// remaining rungs of the ladder (each hop issued at the previous
+    /// hop's completion). Already-in-SR is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlError::Internal`] when the rank is in MPSM — a data-losing
+    /// state no engine may silently refresh out of.
+    fn enter_self_refresh(&mut self, channel: u32, rank: u32, now: Picos) -> Result<(), DtlError> {
+        let mut at = now;
+        loop {
+            let next = match self.backend.rank_state(channel, rank) {
+                PowerState::SelfRefresh => return Ok(()),
+                PowerState::Standby | PowerState::PrechargePowerDown => PowerState::SelfRefresh,
+                PowerState::ActivePowerDown => PowerState::PrechargePowerDown,
+                PowerState::Mpsm => {
+                    return Err(DtlError::Internal {
+                        reason: format!("ch{channel}/rk{rank}: cannot self-refresh out of MPSM"),
+                    });
+                }
+            };
+            at = self.backend.set_rank_state(channel, rank, next, at)?;
+        }
     }
 
     fn process_events(&mut self) {
@@ -2519,5 +2732,142 @@ mod balloon_tests {
             dev.shrink_vm(vm.handle, 1, Picos::from_us(3)),
             Err(DtlError::UnknownVm(_))
         ));
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use dtl_dram::REFRESH_POSTPONE_BUDGET;
+
+    fn device_with(policy: PowerPolicyKind) -> DtlDevice<AnalyticBackend> {
+        let mut cfg = DtlConfig::tiny();
+        cfg.power_policy = policy;
+        let mut dev = DtlDevice::with_analytic_geometry(cfg, 2, 4, 32);
+        dev.register_host(HostId(0)).unwrap();
+        dev.set_hotness_enabled(false);
+        dev
+    }
+
+    fn residency(report: &PowerReport, c: usize, r: usize, s: PowerState) -> Picos {
+        report.residency[c][r][PowerState::ALL.iter().position(|x| *x == s).unwrap()]
+    }
+
+    /// Satellite 4 regression: parking a rank that sits below standby on
+    /// the retention ladder must bridge through standby at the *exit
+    /// completion* time. The MPSM entry used to be issued at the request
+    /// instant, back-dating it into the exit window: an out-of-order
+    /// command stream, and the 5 ns standby bridge silently charged to
+    /// the deeper state.
+    #[test]
+    fn parking_ladder_ranks_orders_events_and_charges_the_bridge() {
+        let mut dev = device_with(PowerPolicyKind::FixedThreshold);
+        dev.backend_mut().set_rank_state(0, 1, PowerState::SelfRefresh, Picos::ZERO).unwrap();
+        dev.backend_mut().set_rank_state(0, 2, PowerState::ActivePowerDown, Picos::ZERO).unwrap();
+        dev.set_command_tap(true);
+        dev.drain_commands(); // discard the setup transitions
+
+        let park = Picos::from_us(1);
+        dev.request_power_down(park).unwrap();
+
+        // Per-rank command streams must be time-ordered and coherent.
+        let cmds = dev.drain_commands();
+        let mut last_at: HashMap<(u32, u32), (Picos, PowerState)> = HashMap::new();
+        for cmd in &cmds {
+            if let DeviceCommand::PowerTransition { channel, rank, from, to, at, .. } = cmd {
+                if let Some((prev_at, prev_to)) = last_at.get(&(*channel, *rank)) {
+                    assert!(at >= prev_at, "rank ch{channel}/rk{rank} stream out of order");
+                    assert_eq!(from, prev_to, "rank ch{channel}/rk{rank} stream incoherent");
+                }
+                last_at.insert((*channel, *rank), (*at, *to));
+            }
+        }
+        // Self-refresh exit takes 560 ns, then a 5 ns MPSM entry.
+        assert_eq!(last_at[&(0, 1)].0, park + Picos::from_ns(565));
+        assert_eq!(last_at[&(0, 1)].1, PowerState::Mpsm);
+        // Shallow exit takes 7 ns, then the same 5 ns entry.
+        assert_eq!(last_at[&(0, 2)].0, park + Picos::from_ns(12));
+
+        // The standby bridge lands in standby, exactly once: 5 ns initial
+        // entry window plus the 5 ns bridge, and every picosecond of the
+        // horizon in exactly one state.
+        let horizon = Picos::from_us(2);
+        let report = dev.backend_mut().power_report(horizon);
+        assert_eq!(residency(&report, 0, 1, PowerState::Standby), Picos::from_ns(10));
+        assert_eq!(
+            residency(&report, 0, 1, PowerState::SelfRefresh),
+            Picos::from_ns(1560) - Picos::from_ns(5)
+        );
+        assert_eq!(
+            residency(&report, 0, 1, PowerState::Mpsm),
+            horizon - park - Picos::from_ns(565)
+        );
+        let total: Picos = PowerState::ALL.iter().map(|s| residency(&report, 0, 1, *s)).sum();
+        assert_eq!(total, horizon);
+        dev.check_invariants().unwrap();
+    }
+
+    /// The adaptive policy walks idle ranks one rung per pump down
+    /// standby -> active power-down -> precharge power-down ->
+    /// self-refresh, and the next access wakes them transparently.
+    #[test]
+    fn adaptive_policy_demotes_idle_ranks_and_access_wakes_them() {
+        let mut dev = device_with(PowerPolicyKind::AdaptiveDemotion);
+        assert_eq!(dev.power_policy(), PowerPolicyKind::AdaptiveDemotion);
+        // Cold history: the threshold floor is base/64 ~ 7.8 us (tiny
+        // profile_threshold = 500 us), scaled 4x per rung.
+        dev.tick(Picos::from_us(10)).unwrap();
+        assert_eq!(dev.backend().rank_state(0, 0), PowerState::ActivePowerDown);
+        dev.tick(Picos::from_us(40)).unwrap();
+        assert_eq!(dev.backend().rank_state(0, 0), PowerState::PrechargePowerDown);
+        dev.tick(Picos::from_us(130)).unwrap();
+        assert_eq!(dev.backend().rank_state(0, 0), PowerState::SelfRefresh);
+        // Every rank bottomed out: 8 ranks x 3 rungs.
+        assert_eq!(dev.policy_demotions(), 24);
+        dev.check_invariants().unwrap();
+
+        let vm = dev.alloc_vm(HostId(0), dev.config().au_bytes, Picos::from_us(200)).unwrap();
+        let hpa = vm.hpa_base(0, dev.config().au_bytes);
+        let out = dev.access(HostId(0), hpa, AccessKind::Read, Picos::from_us(200)).unwrap();
+        let loc = dev.geometry().location(out.dsn);
+        assert_eq!(dev.backend().rank_state(loc.channel, loc.rank), PowerState::Standby);
+    }
+
+    /// Fixed threshold is bit-compatible: the pump never fires, and the
+    /// event-driven deadline only appears once a real policy is active.
+    #[test]
+    fn fixed_threshold_is_inert_and_switching_arms_the_pump() {
+        let mut dev = device_with(PowerPolicyKind::FixedThreshold);
+        assert_eq!(dev.next_activity_at(), None);
+        dev.tick(Picos::from_ms(1)).unwrap();
+        assert_eq!(dev.policy_demotions(), 0);
+        assert_eq!(dev.backend().rank_state(0, 0), PowerState::Standby);
+
+        dev.set_power_policy(PowerPolicyKind::AdaptiveDemotion);
+        let deadline = dev.next_activity_at().expect("a policy deadline must appear");
+        assert!(deadline <= Picos::from_ms(1) + Picos::from_us(8));
+        dev.tick(Picos::from_ms(1) + Picos::from_us(10)).unwrap();
+        assert!(dev.policy_demotions() > 0);
+        assert_eq!(dev.backend().rank_state(0, 0), PowerState::ActivePowerDown);
+    }
+
+    /// Refresh postponement is the refresh-aware policy's lever alone:
+    /// other policies decline, the budget caps grants, and out-of-range
+    /// coordinates are rejected.
+    #[test]
+    fn refresh_postponement_respects_policy_and_budget() {
+        let mut dev = device_with(PowerPolicyKind::FixedThreshold);
+        assert!(!dev.postpone_refresh(0, 0, Picos::from_us(1)).unwrap());
+
+        dev.set_power_policy(PowerPolicyKind::RefreshAware);
+        for i in 0..u64::from(REFRESH_POSTPONE_BUDGET) {
+            assert!(
+                dev.postpone_refresh(0, 0, Picos::from_us(1 + i)).unwrap(),
+                "grant {i} within budget"
+            );
+        }
+        assert!(!dev.postpone_refresh(0, 0, Picos::from_us(20)).unwrap());
+        assert!(dev.postpone_refresh(9, 9, Picos::from_us(21)).is_err());
     }
 }

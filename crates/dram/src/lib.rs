@@ -45,6 +45,7 @@ mod command;
 mod config;
 mod error;
 mod mapping;
+mod policy;
 mod power;
 mod rank;
 mod request;
@@ -58,6 +59,10 @@ pub use command::{CommandKind, CommandSink, IssuedCommand, NullSink, RecordingSi
 pub use config::{DramConfig, Geometry, PagePolicy, TimingParams, LINE_BYTES};
 pub use error::DramError;
 pub use mapping::{AddressMapper, AddressMapping};
+pub use policy::{
+    ladder_depth, ladder_next_down, transition_is_legal, AdaptiveDemotion, FixedThreshold,
+    PolicyEngine, PowerPolicy, PowerPolicyKind, RefreshAware, REFRESH_POSTPONE_BUDGET, TREFI,
+};
 pub use power::{EnergyAccount, PowerParams, PowerState, RankEnergy};
 pub use rank::{Rank, RankCounters};
 pub use request::{AccessKind, Completion, LatencyStats, MemRequest, Priority};

@@ -256,18 +256,22 @@ impl Rank {
 
     /// Requests a power-state transition at `now`.
     ///
-    /// Legal transitions:
+    /// Legal transitions (the [`crate::transition_is_legal`] graph):
     /// * `Standby` → any low-power state (banks must be closed for
     ///   `SelfRefresh` / `Mpsm` / `PrechargePowerDown`);
     /// * any low-power state → `Standby` (pays the exit latency by making
-    ///   the rank busy until the exit completes).
+    ///   the rank busy until the exit completes);
+    /// * one rung down the data-retaining ladder (`ActivePowerDown` →
+    ///   `PrechargePowerDown` → `SelfRefresh`), paying the shallower
+    ///   state's exit (tXP) plus the deeper entry, precharging on the way.
     ///
     /// Returns the time at which the rank reaches the new state.
     ///
     /// # Errors
     ///
-    /// [`DramError::IllegalPowerTransition`] for low-power → low-power
-    /// transitions or deep states entered with open banks.
+    /// [`DramError::IllegalPowerTransition`] for transitions off the graph
+    /// (rung-skipping, promotions that bypass `Standby`, and anything into
+    /// or out of `Mpsm` except via `Standby`).
     pub fn transition(
         &mut self,
         now: Picos,
@@ -306,6 +310,27 @@ impl Rank {
                 self.busy_until = at;
                 Ok(at)
             }
+            (PowerState::ActivePowerDown, PowerState::PrechargePowerDown)
+            | (PowerState::PrechargePowerDown, PowerState::SelfRefresh) => {
+                // One rung down the ladder: implicit exit of the shallower
+                // state (tXP), an implied PREA for any banks left open, then
+                // the deeper entry (tCKE).
+                let start = start + timing.cycles(timing.txp);
+                let start = if self.any_bank_open() {
+                    let closed = self.all_banks_closed_by(start, timing);
+                    for b in &mut self.banks {
+                        b.force_close(closed);
+                    }
+                    closed
+                } else {
+                    start
+                };
+                let at = start + timing.cycles(timing.tcke);
+                self.energy.transition(at, next);
+                self.state = next;
+                self.busy_until = at;
+                Ok(at)
+            }
             (from, PowerState::Standby) => {
                 let exit_cycles = match from {
                     PowerState::SelfRefresh => timing.txs,
@@ -335,9 +360,15 @@ impl Rank {
                 }
                 Ok(at)
             }
-            (from, to) => Err(DramError::IllegalPowerTransition {
-                reason: format!("cannot move {from:?} -> {to:?} without passing Standby"),
-            }),
+            (from, to) => {
+                debug_assert!(
+                    !crate::policy::transition_is_legal(from, to),
+                    "state machine drifted from the transition graph: {from:?} -> {to:?}"
+                );
+                Err(DramError::IllegalPowerTransition {
+                    reason: format!("cannot move {from:?} -> {to:?} without passing Standby"),
+                })
+            }
         }
     }
 
@@ -455,6 +486,42 @@ mod tests {
     fn low_to_low_transition_rejected() {
         let (mut r, t) = rank();
         r.transition(Picos::ZERO, PowerState::SelfRefresh, &t).unwrap();
+        assert!(r.transition(Picos::from_us(1), PowerState::Mpsm, &t).is_err());
+    }
+
+    #[test]
+    fn ladder_demotion_walks_apd_ppd_sr() {
+        let (mut r, t) = rank();
+        let entered = r.transition(Picos::ZERO, PowerState::ActivePowerDown, &t).unwrap();
+        assert_eq!(entered, t.cycles(t.tcke));
+        // APD -> PPD pays the tXP exit plus the tCKE entry.
+        let ppd = r.transition(Picos::from_us(1), PowerState::PrechargePowerDown, &t).unwrap();
+        assert_eq!(ppd, Picos::from_us(1) + t.cycles(t.txp) + t.cycles(t.tcke));
+        assert_eq!(r.state(), PowerState::PrechargePowerDown);
+        // PPD -> SR, same shape.
+        let sr = r.transition(Picos::from_us(2), PowerState::SelfRefresh, &t).unwrap();
+        assert_eq!(sr, Picos::from_us(2) + t.cycles(t.txp) + t.cycles(t.tcke));
+        assert_eq!(r.state(), PowerState::SelfRefresh);
+        // Promotion down at the bottom only exits to Standby.
+        assert!(r.transition(Picos::from_us(3), PowerState::PrechargePowerDown, &t).is_err());
+    }
+
+    #[test]
+    fn apd_to_ppd_precharges_open_banks_on_the_way() {
+        let (mut r, t) = rank();
+        r.bank_mut(1).do_activate(Picos::ZERO, 5, &t);
+        r.transition(Picos::from_ns(20), PowerState::ActivePowerDown, &t).unwrap();
+        assert!(r.any_bank_open(), "APD keeps banks open");
+        let at = r.transition(Picos::from_us(1), PowerState::PrechargePowerDown, &t).unwrap();
+        assert!(!r.any_bank_open(), "PPD requires all banks precharged");
+        assert!(at >= Picos::from_us(1) + t.cycles(t.txp) + t.cycles(t.trp) + t.cycles(t.tcke));
+    }
+
+    #[test]
+    fn rung_skipping_rejected() {
+        let (mut r, t) = rank();
+        r.transition(Picos::ZERO, PowerState::ActivePowerDown, &t).unwrap();
+        assert!(r.transition(Picos::from_us(1), PowerState::SelfRefresh, &t).is_err());
         assert!(r.transition(Picos::from_us(1), PowerState::Mpsm, &t).is_err());
     }
 

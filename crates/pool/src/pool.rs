@@ -1311,6 +1311,38 @@ mod tests {
         p.check_invariants().unwrap();
     }
 
+    /// ISSUE 8 satellite regression: the coordinator parks devices via
+    /// `request_power_down` — under a ladder policy the victim's ranks may
+    /// already sit in active/precharge power-down or self-refresh, and the
+    /// park must bridge them through standby instead of erroring (or
+    /// double-charging the MPSM entry).
+    #[test]
+    fn coordinator_parks_devices_whose_ranks_ladder_demoted() {
+        let mut cfg = PoolConfig::tiny(3);
+        cfg.dtl.power_policy = dtl_dram::PowerPolicyKind::AdaptiveDemotion;
+        let mut p = MemoryPool::analytic(cfg).unwrap();
+        p.register_host(HostId(0)).unwrap();
+        let b = au(&p);
+        for _ in 0..6 {
+            p.alloc_vm(HostId(0), b, Picos::ZERO).unwrap();
+        }
+        // First tick: every idle rank demotes a rung (the tiny adaptive
+        // floor is microseconds); subsequent ticks park one empty device
+        // each, with ranks at APD or deeper.
+        let mut now = secs(1);
+        for _ in 0..3 {
+            p.tick(now).unwrap();
+            now += secs(10);
+        }
+        let parked = p.snapshot().devices.iter().filter(|d| d.coord == CoordState::Parked).count();
+        assert_eq!(parked, 2, "ladder-demoted devices still park");
+        assert!(
+            p.device(DeviceId(0)).unwrap().policy_demotions() > 0,
+            "the adaptive policy actually demoted before the park"
+        );
+        p.check_invariants().unwrap();
+    }
+
     #[test]
     fn snapshot_aggregates_residency_errors_and_link_totals() {
         let mut p = pool(2);

@@ -6,6 +6,7 @@
 //! `diff_fuzz` experiment and binary consume.
 
 use dtl_check::{fuzz, CheckSetup, Counterexample, FuzzOutcome};
+use dtl_dram::PowerPolicyKind;
 use serde::{Deserialize, Serialize};
 
 /// One batch of differential-check runs.
@@ -17,27 +18,41 @@ pub struct CheckRunConfig {
     pub faulted_seeds: Vec<u64>,
     /// Ops per stream (before fault splicing).
     pub ops_per_seed: usize,
+    /// Power policies to sweep: every seed runs once per policy, so the
+    /// oracle's power ledger and legal-transition checks cover each
+    /// rank-state machine the device can be configured with.
+    pub policies: Vec<PowerPolicyKind>,
 }
 
 impl CheckRunConfig {
     /// The acceptance batch: at least 20 seeds totalling ≥ 10 000 lockstep
-    /// ops, at least one of them driving a deterministic fault plan.
+    /// ops, at least one of them driving a deterministic fault plan —
+    /// run once per built-in power policy (24 seeds × 3 policies).
     pub fn acceptance() -> Self {
         CheckRunConfig {
             clean_seeds: (0..16).collect(),
             faulted_seeds: (16..24).collect(),
             ops_per_seed: 500,
+            policies: PowerPolicyKind::ALL.to_vec(),
         }
     }
 
-    /// A time-boxed smoke batch for CI (a few seconds).
+    /// A time-boxed smoke batch for CI (a few seconds). Still sweeps all
+    /// three policies so a smoke pass exercises every state machine.
     pub fn smoke() -> Self {
-        CheckRunConfig { clean_seeds: vec![1, 2, 3], faulted_seeds: vec![4], ops_per_seed: 300 }
+        CheckRunConfig {
+            clean_seeds: vec![1, 2, 3],
+            faulted_seeds: vec![4],
+            ops_per_seed: 300,
+            policies: PowerPolicyKind::ALL.to_vec(),
+        }
     }
 
     /// Total ops the batch will drive (excluding fault splices).
     pub fn total_ops(&self) -> usize {
-        (self.clean_seeds.len() + self.faulted_seeds.len()) * self.ops_per_seed
+        (self.clean_seeds.len() + self.faulted_seeds.len())
+            * self.ops_per_seed
+            * self.policies.len().max(1)
     }
 }
 
@@ -48,6 +63,8 @@ pub struct SeedResult {
     pub seed: u64,
     /// Whether a fault plan was composed in.
     pub faulted: bool,
+    /// The power policy the device ran under.
+    pub policy: PowerPolicyKind,
     /// Ops executed.
     pub executed: u64,
     /// Accesses cross-checked.
@@ -95,29 +112,33 @@ pub fn run_checks(cfg: &CheckRunConfig) -> CheckRunResult {
     run_checks_jobs(cfg, 1)
 }
 
-/// Runs the whole batch with seeds sharded across up to `jobs` workers.
+/// Runs the whole batch with (seed, policy) pairs sharded across up to
+/// `jobs` workers.
 ///
-/// Each seed is an independent work unit — its own device, oracle, and
+/// Each pair is an independent work unit — its own device, oracle, and
 /// preassigned RNG stream — so the result (including every per-seed row
 /// and the aggregation order) is **bit-identical** for every `jobs` value;
 /// only wall-clock time changes.
 pub fn run_checks_jobs(cfg: &CheckRunConfig, jobs: usize) -> CheckRunResult {
-    let runs: Vec<(u64, bool)> = cfg
-        .clean_seeds
-        .iter()
-        .map(|&s| (s, false))
-        .chain(cfg.faulted_seeds.iter().map(|&s| (s, true)))
-        .collect();
-    let seeds = crate::exec::run_units(jobs, runs, |_, (seed, faulted)| {
+    let policies: &[PowerPolicyKind] =
+        if cfg.policies.is_empty() { &[PowerPolicyKind::FixedThreshold] } else { &cfg.policies };
+    let mut runs: Vec<(u64, bool, PowerPolicyKind)> = Vec::new();
+    for &policy in policies {
+        runs.extend(cfg.clean_seeds.iter().map(|&s| (s, false, policy)));
+        runs.extend(cfg.faulted_seeds.iter().map(|&s| (s, true, policy)));
+    }
+    let seeds = crate::exec::run_units(jobs, runs, |_, (seed, faulted, policy)| {
         let setup = if faulted {
             CheckSetup::tiny_faulted(seed, cfg.ops_per_seed)
         } else {
             CheckSetup::tiny(seed, cfg.ops_per_seed)
-        };
+        }
+        .with_policy(policy);
         match fuzz(&setup) {
             FuzzOutcome::Clean(stats) => SeedResult {
                 seed,
                 faulted,
+                policy,
                 executed: stats.executed,
                 accesses: stats.accesses,
                 commands: stats.commands,
@@ -128,6 +149,7 @@ pub fn run_checks_jobs(cfg: &CheckRunConfig, jobs: usize) -> CheckRunResult {
             FuzzOutcome::Failed(ce) => SeedResult {
                 seed,
                 faulted,
+                policy,
                 executed: 0,
                 accesses: 0,
                 commands: 0,
@@ -155,6 +177,12 @@ mod tests {
         assert!(a.all_clean(), "smoke batch must verify: {:?}", a.first_counterexample());
         // Fault splices can only add ops on top of the configured stream.
         assert!(a.total_ops >= cfg.total_ops() as u64);
+        // The sweep covers every built-in policy for every seed.
+        let seeds_per_policy = cfg.clean_seeds.len() + cfg.faulted_seeds.len();
+        assert_eq!(a.seeds.len(), seeds_per_policy * PowerPolicyKind::ALL.len());
+        for kind in PowerPolicyKind::ALL {
+            assert_eq!(a.seeds.iter().filter(|s| s.policy == kind).count(), seeds_per_policy);
+        }
         let b = run_checks(&cfg);
         assert_eq!(a, b, "equal configs must replay identically");
     }

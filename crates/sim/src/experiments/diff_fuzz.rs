@@ -69,9 +69,10 @@ mod tests {
     fn smoke_batch_reports_zero_violations() {
         let r = run(&CheckRunConfig::smoke());
         assert_eq!(r.violations, 0, "counterexample: {:?}", r.first_counterexample);
-        assert_eq!(r.seeds, 4);
-        assert_eq!(r.faulted_seeds, 1);
-        assert!(r.total_ops >= 1200);
+        // 4 seeds × 3 power policies.
+        assert_eq!(r.seeds, 12);
+        assert_eq!(r.faulted_seeds, 3);
+        assert!(r.total_ops >= 3600);
         assert!(r.total_accesses > 0);
         assert!(r.total_checks > 0);
     }
@@ -82,5 +83,8 @@ mod tests {
         assert!(cfg.clean_seeds.len() + cfg.faulted_seeds.len() >= 20);
         assert!(!cfg.faulted_seeds.is_empty());
         assert!(cfg.total_ops() >= 10_000);
+        // 24 seeds × 3 policies = the 72-run acceptance campaign.
+        assert_eq!((cfg.clean_seeds.len() + cfg.faulted_seeds.len()) * cfg.policies.len(), 72);
+        assert_eq!(cfg.policies, dtl_dram::PowerPolicyKind::ALL.to_vec());
     }
 }

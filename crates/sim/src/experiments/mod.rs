@@ -56,6 +56,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod latency_sweep;
 pub mod loaded_latency;
+pub mod policy_ablation;
 pub mod pool_failover;
 pub mod pool_scale;
 mod registry;

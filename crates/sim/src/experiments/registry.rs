@@ -11,9 +11,9 @@
 use super::{
     ablate_cke_powerdown, ablate_hotness_params, ablate_migration_priority, ablate_page_policy,
     ablate_segment_size, ablate_smc, cache_pipeline, diff_fuzz, fault_campaign, fig01, fig02,
-    fig05, fig09, fig10, fig11, fig12, fig14, fig15, loaded_latency, pool_failover, pool_scale,
-    sec3_4_reentry, sec6_1, sec6_6, tab04, tab05, tab06, vm_campaign, Experiment, RunContext,
-    RunOutput,
+    fig05, fig09, fig10, fig11, fig12, fig14, fig15, loaded_latency, policy_ablation,
+    pool_failover, pool_scale, sec3_4_reentry, sec6_1, sec6_6, tab04, tab05, tab06, vm_campaign,
+    Experiment, RunContext, RunOutput,
 };
 use crate::render;
 use crate::{
@@ -337,6 +337,44 @@ experiment!(
 );
 
 experiment!(
+    PolicyAblation,
+    "policy_ablation",
+    "Policy ablation: power policy x workload mix x pool coordination",
+    |ctx| {
+        // Default seed matches the pinned tiny golden (policy_ablation_tiny.json).
+        let seed = ctx.seed_or(7);
+        let cfg = if ctx.tiny { PoolRunConfig::tiny(seed) } else { PoolRunConfig::paper(seed) };
+        let horizon = Picos::from_secs(u64::from(cfg.duration_min) * 60).as_ps();
+        let (telemetry, series) = ctx.series_telemetry();
+        if let Some(series) = &series {
+            // As in pool_scale: member device d streams through the
+            // channel-offset shim; pre-register every rank so quiet ones
+            // still accrue residency.
+            for d in 0..u32::from(cfg.devices) {
+                for c in 0..cfg.channels {
+                    for rank in 0..cfg.ranks_per_channel {
+                        series.ensure_rank(d * cfg.channels + c, rank);
+                    }
+                }
+            }
+        }
+        let heartbeat = crate::Heartbeat::new(ctx.flag("--heartbeat"), "policy_ablation");
+        let (r, obs) = policy_ablation::run_jobs_observed(&cfg, &telemetry, ctx.jobs, &heartbeat)?;
+        let text = format!("{}\n{}", render::policy_ablation(&r).render(), render::slo(&obs.slo));
+        let mut out = RunOutput::new(text, to_json(&r));
+        out.horizon_ps = Some(horizon);
+        out.slo = Some(obs.slo);
+        out.timeseries = series.map(|s| s.finish(horizon));
+        if r.headline().is_none() {
+            out.failure = Some(
+                "no ladder policy beat FixedThreshold on energy at equal-or-better p99".into(),
+            );
+        }
+        Ok(out)
+    }
+);
+
+experiment!(
     PoolFailover,
     "pool_failover",
     "Pool failover: seeded device-retirement campaigns, zero-loss criterion",
@@ -452,7 +490,7 @@ fn replay_counterexample(json: &str) -> RunOutput {
 
 /// Every registered experiment, in the order `all` runs them.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 28] = [
+    static REGISTRY: [&dyn Experiment; 29] = [
         &Fig01,
         &Fig02,
         &Fig05,
@@ -478,6 +516,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &LoadedLatency,
         &FaultCampaign,
         &PoolScale,
+        &PolicyAblation,
         &PoolFailover,
         &VmCampaign,
         &DiffFuzz,
@@ -497,7 +536,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 28);
+        assert_eq!(names.len(), 29);
         names.sort_unstable();
         let before = names.len();
         names.dedup();

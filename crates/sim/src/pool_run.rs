@@ -11,7 +11,7 @@
 
 use dtl_core::{DtlConfig, DtlError, HealthStats, HostId, MemoryBackend};
 use dtl_cxl::LinkRetryStats;
-use dtl_dram::{AccessKind, Picos, PowerState};
+use dtl_dram::{AccessKind, Picos, PowerPolicyKind};
 use dtl_event::Simulation;
 use dtl_fault::{FaultKind, FaultPlanConfig, PoolFaultKind, PoolFaultPlanConfig};
 use dtl_pool::{
@@ -53,6 +53,13 @@ pub struct PoolRunConfig {
     pub per_vcpu_bw: f64,
     /// Fraction of foreground traffic that is reads.
     pub read_fraction: f64,
+    /// Per-device rank power-management policy.
+    pub power_policy: PowerPolicyKind,
+    /// Translated reads per live VM per epoch in the access trickle. At 1
+    /// every access is a cold touch (worst case for wake latency); larger
+    /// bursts amortize any low-power exit over the burst, as a cache-line
+    /// stream through one AU would.
+    pub trickle_burst: u64,
 }
 
 impl PoolRunConfig {
@@ -71,6 +78,8 @@ impl PoolRunConfig {
             hosts: 4,
             per_vcpu_bw: 650.0e6,
             read_fraction: 0.67,
+            power_policy: PowerPolicyKind::FixedThreshold,
+            trickle_burst: 1,
         }
     }
 
@@ -89,6 +98,8 @@ impl PoolRunConfig {
             hosts: 2,
             per_vcpu_bw: 250.0e6,
             read_fraction: 0.67,
+            power_policy: PowerPolicyKind::FixedThreshold,
+            trickle_burst: 1,
         }
     }
 
@@ -106,6 +117,7 @@ impl PoolRunConfig {
             / dtl.segment_bytes;
         cfg.policy = self.policy;
         cfg.coordinator.enabled = self.coordinator;
+        cfg.dtl.power_policy = self.power_policy;
         cfg
     }
 }
@@ -323,7 +335,7 @@ impl<'a> PoolDriver<'a> {
                 }
             }
         }
-        self.record_epoch_traffic();
+        self.record_epoch_traffic(t_start);
         self.access_trickle(t_start)?;
         let t_end = t_start + self.epoch;
         let mut client = PoolEpoch {
@@ -352,9 +364,13 @@ impl<'a> PoolDriver<'a> {
         Ok(())
     }
 
-    /// Bulk foreground energy for this epoch, split across every standby
-    /// rank of the pool (the traffic concentrates wherever data lives).
-    fn record_epoch_traffic(&mut self) {
+    /// Bulk foreground energy for this epoch, split across every
+    /// data-retaining rank of the pool (the traffic concentrates wherever
+    /// data lives). MPSM-parked ranks hold no data and carry none of it;
+    /// ranks a ladder policy has demoted to a shallow state or self-refresh
+    /// still do — the bulk charge is an epoch-level approximation that does
+    /// not wake them, but it does reset their policy idle clocks.
+    fn record_epoch_traffic(&mut self, now: Picos) {
         let bytes = f64::from(self.vcpus_active) * self.cfg.per_vcpu_bw * self.epoch.as_secs_f64();
         let lines = (bytes / 64.0) as u64;
         let reads = (lines as f64 * self.cfg.read_fraction) as u64;
@@ -364,7 +380,7 @@ impl<'a> PoolDriver<'a> {
             let dev = self.pool.device(DeviceId(i)).expect("configured device");
             for c in 0..self.cfg.channels {
                 for r in 0..self.cfg.ranks_per_channel {
-                    if dev.backend().rank_state(c, r) == PowerState::Standby {
+                    if dev.backend().rank_state(c, r).retains_data() {
                         active.push((i, c, r));
                     }
                 }
@@ -375,26 +391,32 @@ impl<'a> PoolDriver<'a> {
         }
         let per = active.len() as u64;
         for (i, c, r) in active {
-            self.pool
-                .device_mut(DeviceId(i))
-                .expect("configured device")
-                .backend_mut()
-                .record_foreground_bulk(c, r, reads / per, writes / per);
+            let dev = self.pool.device_mut(DeviceId(i)).expect("configured device");
+            dev.backend_mut().record_foreground_bulk(c, r, reads / per, writes / per);
+            dev.note_rank_traffic(c, r, now);
         }
     }
 
-    /// One translated read per live VM per epoch, at a rotating AU offset:
-    /// keeps the per-device CXL links and the SMC path exercised without
-    /// simulating per-line traffic.
+    /// `trickle_burst` translated reads per live VM per epoch, starting at
+    /// a rotating AU offset: keeps the per-device CXL links and the SMC
+    /// path exercised without simulating per-line traffic. The first read
+    /// of a burst pays any low-power exit the target rank is in; the rest
+    /// of the burst rides the woken rank, so larger bursts dilute wake
+    /// latency in the access SLO population exactly as a streaming
+    /// workload would.
     fn access_trickle(&mut self, t_start: Picos) -> Result<(), DtlError> {
         let au = self.pool.config().dtl.au_bytes;
         let round = u64::from(self.t_min) / 5;
+        let burst = self.cfg.trickle_burst.max(1);
         let vms: Vec<PoolVmId> = self.pool.vm_ids();
         for vm in vms {
             let bytes = self.pool.vm_bytes(vm).expect("listed VM is live");
             let aus = (bytes / au).max(1);
-            let offset = (round % aus) * au;
-            self.pool.access(vm, offset, AccessKind::Read, t_start).map_err(DtlError::from)?;
+            let base = (round % aus) * au;
+            for k in 0..burst {
+                let offset = base + (k * 64) % au;
+                self.pool.access(vm, offset, AccessKind::Read, t_start).map_err(DtlError::from)?;
+            }
         }
         Ok(())
     }
@@ -688,6 +710,33 @@ mod tests {
         let a = run_pool(&PoolRunConfig::tiny(11)).unwrap();
         let b = run_pool(&PoolRunConfig::tiny(11)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_policy_saves_energy_at_equal_placement() {
+        let fixed = PoolRunConfig::tiny(7);
+        let mut adaptive = fixed;
+        adaptive.power_policy = PowerPolicyKind::AdaptiveDemotion;
+        let rf = run_pool(&fixed).unwrap();
+        let ra = run_pool(&adaptive).unwrap();
+        assert_eq!(rf.vms_allocated, ra.vms_allocated, "same schedule either way");
+        assert!(
+            ra.total_energy_mj < rf.total_energy_mj,
+            "idle-rank demotion must save energy: {} vs {}",
+            ra.total_energy_mj,
+            rf.total_energy_mj
+        );
+    }
+
+    #[test]
+    fn trickle_burst_only_adds_accesses() {
+        let one = PoolRunConfig::tiny(7);
+        let mut burst = one;
+        burst.trickle_burst = 8;
+        let (_, obs1) = run_pool_observed(&one, &Telemetry::disabled()).unwrap();
+        let (_, obs8) = run_pool_observed(&burst, &Telemetry::disabled()).unwrap();
+        let (a1, a8) = (obs1.slo.access.unwrap(), obs8.slo.access.unwrap());
+        assert_eq!(a8.count, a1.count * 8, "burst scales the trickle population");
     }
 
     #[test]

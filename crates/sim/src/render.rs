@@ -5,8 +5,8 @@ use crate::experiments::{
     ablate_migration_priority as migration_priority, ablate_page_policy as page_policy,
     ablate_segment_size as segment_size, ablate_smc as smc, cache_pipeline as pipeline, diff_fuzz,
     fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
-    loaded_latency as loaded, pool_failover, pool_scale, sec6_1, sec6_6, tab04, tab05, tab06,
-    vm_campaign,
+    loaded_latency as loaded, policy_ablation, pool_failover, pool_scale, sec6_1, sec6_6, tab04,
+    tab05, tab06, vm_campaign,
 };
 use crate::{f1, f2, f3, pct, ReentryResult, Table};
 
@@ -390,6 +390,62 @@ pub fn pool_scale(r: &pool_scale::PoolScaleResult) -> Table {
             v.result.stats.devices_parked.to_string(),
             v.result.stats.evacuations_completed.to_string(),
             v.result.stats.segments_evacuated.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Policy ablation: one row per (policy, mix, coordinator) cell, with
+/// energy savings and access-p99 delta against the fixed-threshold cell
+/// of the same (mix, coordinator) pair.
+pub fn policy_ablation(r: &policy_ablation::PolicyAblationResult) -> Table {
+    let title = match r.headline() {
+        Some(w) => format!(
+            "Policy ablation - {} saves {} over FixedThreshold on {} (coordinator {}) at \
+             equal-or-better p99",
+            w.policy.name(),
+            pct(w.savings_fraction),
+            w.mix,
+            if w.coordinator { "on" } else { "off" },
+        ),
+        None => "Policy ablation - no ladder policy beat FixedThreshold".to_string(),
+    };
+    let mut t = Table::new(
+        title,
+        &[
+            "policy",
+            "mix",
+            "burst",
+            "coordinator",
+            "energy_mj",
+            "savings_vs_fixed",
+            "mean_power_w",
+            "access_p99_ns",
+            "p99_delta_ns",
+            "vms",
+            "parks",
+        ],
+    );
+    for c in &r.cells {
+        let (savings, delta) = match r.baseline(&c.mix, c.coordinator) {
+            Some(base) if base.result.total_energy_mj > 0.0 => (
+                pct(1.0 - c.result.total_energy_mj / base.result.total_energy_mj),
+                f1((c.access_p99_ps as i64 - base.access_p99_ps as i64) as f64 / 1000.0),
+            ),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        t.row(&[
+            c.policy.name().to_string(),
+            c.mix.clone(),
+            c.trickle_burst.to_string(),
+            if c.coordinator { "on" } else { "off" }.to_string(),
+            f1(c.result.total_energy_mj),
+            savings,
+            f2(c.result.mean_power_mw() / 1000.0),
+            f1(c.access_p99_ps as f64 / 1000.0),
+            delta,
+            c.result.vms_allocated.to_string(),
+            c.result.stats.devices_parked.to_string(),
         ]);
     }
     t

@@ -14,7 +14,7 @@
 
 use std::path::{Path, PathBuf};
 
-use dtl_sim::experiments::{fig12, fig14, pool_failover, pool_scale};
+use dtl_sim::experiments::{fig12, fig14, policy_ablation, pool_failover, pool_scale};
 use dtl_sim::{to_json, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig};
 use serde::Value;
 
@@ -125,6 +125,12 @@ fn fig12_tiny_matches_golden() {
 fn pool_scale_tiny_matches_golden() {
     let r = pool_scale::run(&PoolRunConfig::tiny(7)).expect("pool_scale tiny");
     check_golden("pool_scale_tiny", &to_json(&r));
+}
+
+#[test]
+fn policy_ablation_tiny_matches_golden() {
+    let r = policy_ablation::run(&PoolRunConfig::tiny(7)).expect("policy_ablation tiny");
+    check_golden("policy_ablation_tiny", &to_json(&r));
 }
 
 #[test]

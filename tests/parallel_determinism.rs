@@ -123,6 +123,23 @@ fn vm_campaign_timeseries_csv_jobs4_is_byte_identical_to_jobs1() {
 }
 
 #[test]
+fn policy_ablation_timeseries_csv_jobs4_is_byte_identical_to_jobs1() {
+    let exp = find("policy_ablation").unwrap();
+    let o1 = exp.run(&series_ctx(1, &[])).unwrap();
+    let o4 = exp.run(&series_ctx(4, &[])).unwrap();
+    assert_eq!(o1.json, o4.json, "policy_ablation JSON must not depend on --jobs");
+    assert!(o1.failure.is_none(), "a ladder policy must win a cell: {:?}", o1.failure);
+    let s1 = o1.timeseries.expect("a width was requested");
+    let s4 = o4.timeseries.expect("a width was requested");
+    assert_eq!(
+        s1.to_csv(),
+        s4.to_csv(),
+        "policy_ablation time-series CSV must not depend on --jobs"
+    );
+    assert!(o1.slo.is_some_and(|s| !s.is_empty()), "the matrix reports an SLO");
+}
+
+#[test]
 fn pool_scale_timeseries_csv_jobs4_is_byte_identical_to_jobs1() {
     let exp = find("pool_scale").unwrap();
     let o1 = exp.run(&series_ctx(1, &[])).unwrap();
