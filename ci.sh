@@ -25,19 +25,29 @@ cargo test -q -p dtl-check
 echo "== dtl-pool orchestration suite =="
 cargo test -q -p dtl-pool
 
+echo "== dtl-fabric interconnect suite =="
+cargo test -q -p dtl-fabric
+
 echo "== smoke suite on the parallel path (--jobs 2) =="
 cargo build --release -q -p dtl-bench --bin diff_fuzz --bin fault_campaign --bin pool_scale \
-    --bin policy_ablation --bin vm_campaign --bin all
+    --bin policy_ablation --bin vm_campaign --bin fabric_load --bin all
 timeout 30 ./target/release/diff_fuzz --smoke --jobs 2
 timeout 60 ./target/release/fault_campaign --tiny --jobs 2
 timeout 30 ./target/release/pool_scale --tiny --jobs 2
 timeout 30 ./target/release/policy_ablation --tiny --jobs 2 > /tmp/dtl_ci_policy.txt
 timeout 30 ./target/release/vm_campaign --tiny --jobs 2
+timeout 30 ./target/release/fabric_load --tiny --jobs 2 > /tmp/dtl_ci_fabric.txt
 
 echo "== policy_ablation covers every PowerPolicy impl =="
 for policy in FixedThreshold AdaptiveDemotion RefreshAware; do
     grep -q "$policy" /tmp/dtl_ci_policy.txt \
       || { echo "policy_ablation matrix lost $policy"; exit 1; }
+done
+
+echo "== fabric_load sweeps both placement variants =="
+for variant in pack_one_switch spread_switches; do
+    grep -q "$variant" /tmp/dtl_ci_fabric.txt \
+      || { echo "fabric_load sweep lost $variant"; exit 1; }
 done
 
 echo "== windowed time-series output (--timeseries-out) =="

@@ -1,0 +1,8 @@
+//! Thin driver for the registered `fabric_load` experiment (see
+//! [`dtl_sim::experiments::fabric_load`]). The shared CLI surface
+//! (`--tiny`, `--seed`, `--jobs`, `--out`, `--trace-out`,
+//! `--metrics-out`) is documented in the `dtl_bench` crate docs.
+
+fn main() {
+    dtl_bench::drive("fabric_load");
+}

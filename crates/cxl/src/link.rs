@@ -246,16 +246,17 @@ impl RetryEngine {
         released
     }
 
-    /// Passes one request through the link, consuming a queued corruption
-    /// burst if present, and returns the latency it cost.
+    /// Tick-era entry point from before submissions carried a timestamp.
+    #[deprecated(note = "use `on_submit_at(now)`; this stamps telemetry at time zero")]
     pub fn on_submit(&mut self) -> LinkDelivery {
         self.on_submit_at(Picos::ZERO)
     }
 
-    /// Like [`RetryEngine::on_submit`], with the submission time attached:
-    /// a consumed corruption burst additionally emits one `CxlRetry`
-    /// telemetry event stamped `now`, carrying exactly the quantities added
-    /// to [`LinkRetryStats`] (the invariant the `prop_link` test pins).
+    /// Passes one request through the link at instant `now`, consuming a
+    /// queued corruption burst if present, and returns the latency it
+    /// cost. A consumed burst additionally emits one `CxlRetry` telemetry
+    /// event stamped `now`, carrying exactly the quantities added to
+    /// [`LinkRetryStats`] (the invariant the `prop_link` test pins).
     pub fn on_submit_at(&mut self, now: Picos) -> LinkDelivery {
         let Some(burst) = self.pending.pop_front() else {
             self.latency_hist.observe(self.base_latency.as_ps());
@@ -305,7 +306,7 @@ mod tests {
     #[test]
     fn clean_submit_costs_nothing() {
         let mut r = RetryEngine::new(RetryPolicy::default());
-        let d = r.on_submit();
+        let d = r.on_submit_at(Picos::ZERO);
         assert_eq!(d, LinkDelivery { delay: Picos::ZERO, clean: true });
         assert_eq!(r.stats(), LinkRetryStats::default());
     }
@@ -314,7 +315,7 @@ mod tests {
     fn single_crc_hit_costs_one_backoff() {
         let mut r = RetryEngine::new(RetryPolicy::default());
         r.inject_crc_burst(1);
-        let d = r.on_submit();
+        let d = r.on_submit_at(Picos::ZERO);
         assert!(d.clean);
         assert_eq!(d.delay, Picos::from_ns(100));
         let s = r.stats();
@@ -327,7 +328,7 @@ mod tests {
     fn backoff_doubles_per_replay() {
         let mut r = RetryEngine::new(RetryPolicy::default());
         r.inject_crc_burst(3);
-        let d = r.on_submit();
+        let d = r.on_submit_at(Picos::ZERO);
         assert!(d.clean);
         // 100 + 200 + 400 ns.
         assert_eq!(d.delay, Picos::from_ns(700));
@@ -337,7 +338,7 @@ mod tests {
     fn exhausted_retries_force_recovery_but_deliver() {
         let mut r = RetryEngine::new(RetryPolicy::default());
         r.inject_crc_burst(9);
-        let d = r.on_submit();
+        let d = r.on_submit_at(Picos::ZERO);
         assert!(!d.clean, "past max_retries the link recovers");
         // Capped at max_retries = 4 replays: 100 + 200 + 400 + 800 ns.
         assert_eq!(d.delay, Picos::from_ns(1500));
@@ -352,9 +353,9 @@ mod tests {
         r.inject_crc_burst(2);
         r.inject_crc_burst(0); // ignored
         assert_eq!(r.pending_bursts(), 2);
-        assert_eq!(r.on_submit().delay, Picos::from_ns(100));
-        assert_eq!(r.on_submit().delay, Picos::from_ns(300));
-        assert_eq!(r.on_submit().delay, Picos::ZERO);
+        assert_eq!(r.on_submit_at(Picos::ZERO).delay, Picos::from_ns(100));
+        assert_eq!(r.on_submit_at(Picos::ZERO).delay, Picos::from_ns(300));
+        assert_eq!(r.on_submit_at(Picos::ZERO).delay, Picos::ZERO);
         assert_eq!(r.pending_bursts(), 0);
     }
 
@@ -373,8 +374,8 @@ mod tests {
         assert_eq!(r.release_due(Picos::from_us(20)), 1);
         assert_eq!(r.next_burst_at(), None);
         // Release order is consumption order: burst 1 then burst 2.
-        assert_eq!(r.on_submit().delay, Picos::from_ns(100));
-        assert_eq!(r.on_submit().delay, Picos::from_ns(300));
+        assert_eq!(r.on_submit_at(Picos::ZERO).delay, Picos::from_ns(100));
+        assert_eq!(r.on_submit_at(Picos::ZERO).delay, Picos::from_ns(300));
     }
 
     #[test]
@@ -398,7 +399,7 @@ mod tests {
         r.schedule_crc_burst(t, 1);
         assert_eq!(r.release_due(t), 2);
         // First scheduled (burst 3 → 700 ns) consumed first.
-        assert_eq!(r.on_submit().delay, Picos::from_ns(700));
-        assert_eq!(r.on_submit().delay, Picos::from_ns(100));
+        assert_eq!(r.on_submit_at(Picos::ZERO).delay, Picos::from_ns(700));
+        assert_eq!(r.on_submit_at(Picos::ZERO).delay, Picos::from_ns(100));
     }
 }

@@ -1,0 +1,280 @@
+//! The fabric topology: hosts reach devices through switches over typed
+//! ports, declared as a flat edge list and validated before any traffic
+//! flows.
+//!
+//! The model is one switch tier — `host --(up port)--> switch --(down
+//! port)--> device` — which covers the deployments the paper's pool
+//! chapter assumes: a handful of leaf switches fanning a rack of devices
+//! out to its hosts. A device listed on several switches is
+//! *multi-headed*: it owns one down port per head and is reachable by
+//! every host attached to any of those switches.
+//!
+//! Routes are static. For a `(host, device)` pair the fabric always
+//! crosses the lowest-id switch both sides share, so routing is a pure
+//! function of the topology — the determinism the routing proptests pin.
+
+use dtl_dram::Picos;
+use serde::{Deserialize, Serialize};
+
+use crate::FabricError;
+
+/// Which endpoint a port belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortOwner {
+    /// An up port: `host` side of a host↔switch edge.
+    Host(u16),
+    /// A down port: `device` side of a switch↔device edge (one per head
+    /// of a multi-headed device).
+    Device(u16),
+}
+
+impl PortOwner {
+    /// Short human-readable label (`host3` / `dev1`).
+    pub fn label(self) -> String {
+        match self {
+            PortOwner::Host(h) => format!("host{h}"),
+            PortOwner::Device(d) => format!("dev{d}"),
+        }
+    }
+}
+
+/// Physical parameters shared by every fabric port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortConfig {
+    /// Serialization bandwidth, bytes per microsecond (so the per-transfer
+    /// serialization time `bytes * 1e6 / bytes_per_us` is exact integer
+    /// picoseconds). 32_000 ≈ a x8 CXL 2.0 port.
+    pub bytes_per_us: u64,
+    /// Idle time after the last transfer drains before the port drops into
+    /// its low-power state.
+    pub sleep_timeout: Picos,
+    /// Power burned while the port is awake, milliwatts.
+    pub active_mw: f64,
+    /// Power burned while the port sleeps, milliwatts.
+    pub sleep_mw: f64,
+    /// Switching energy per byte serialized, picojoules.
+    pub pj_per_byte: f64,
+}
+
+impl Default for PortConfig {
+    /// A x8 CXL 2.0-class port: 32 GB/s, 1 µs sleep entry, 250 mW awake
+    /// vs 10 mW asleep, 2 pJ/byte.
+    fn default() -> Self {
+        PortConfig {
+            bytes_per_us: 32_000,
+            sleep_timeout: Picos::from_us(1),
+            active_mw: 250.0,
+            sleep_mw: 10.0,
+            pj_per_byte: 2.0,
+        }
+    }
+}
+
+/// A declared switch-hierarchy topology: the edge lists plus the shared
+/// port physics. Validated by [`TopologyConfig::validate`] (or implicitly
+/// by [`CxlFabric::new`](crate::CxlFabric::new)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Hosts attached to the fabric.
+    pub hosts: u16,
+    /// Switches in the (single) switch tier.
+    pub switches: u16,
+    /// Devices attached to the fabric.
+    pub devices: u16,
+    /// Host↔switch edges `(host, switch)`; each edge is one up port owned
+    /// by the host.
+    pub host_links: Vec<(u16, u16)>,
+    /// Switch↔device edges `(device, switch)`; each edge is one down port
+    /// — a device with several edges is multi-headed.
+    pub device_links: Vec<(u16, u16)>,
+    /// Shared physical parameters of every port.
+    pub port: PortConfig,
+    /// Store-and-forward latency added per switch crossing, each way.
+    pub switch_latency: Picos,
+}
+
+impl TopologyConfig {
+    /// The classic dual-switch rack: every host links to both switches,
+    /// devices split half/half between them (low ids under switch 0), and
+    /// device 0 is dual-headed so multi-head routing is always exercised.
+    pub fn dual_switch(hosts: u16, devices: u16) -> Self {
+        let host_links = (0..hosts).flat_map(|h| [(h, 0), (h, 1)]).collect::<Vec<_>>();
+        let mut device_links: Vec<(u16, u16)> =
+            (0..devices).map(|d| (d, u16::from(d >= devices.div_ceil(2)))).collect();
+        if devices > 1 {
+            // The second head: device 0 is also reachable through switch 1.
+            device_links.push((0, 1));
+        }
+        TopologyConfig {
+            hosts,
+            switches: 2,
+            devices,
+            host_links,
+            device_links,
+            port: PortConfig::default(),
+            switch_latency: Picos::from_ns(25),
+        }
+    }
+
+    /// A single switch joining every host to every device.
+    pub fn single_switch(hosts: u16, devices: u16) -> Self {
+        TopologyConfig {
+            hosts,
+            switches: 1,
+            devices,
+            host_links: (0..hosts).map(|h| (h, 0)).collect(),
+            device_links: (0..devices).map(|d| (d, 0)).collect(),
+            port: PortConfig::default(),
+            switch_latency: Picos::from_ns(25),
+        }
+    }
+
+    /// Total ports: one up port per host link plus one down port per
+    /// device link, in that order ([`TopologyConfig::port_owner`]).
+    pub fn ports(&self) -> u32 {
+        (self.host_links.len() + self.device_links.len()) as u32
+    }
+
+    /// The owner of global port `id`, or `None` out of range. Up ports
+    /// occupy `0..host_links.len()`, down ports follow in declaration
+    /// order.
+    pub fn port_owner(&self, id: u32) -> Option<PortOwner> {
+        let id = id as usize;
+        if let Some(&(h, _)) = self.host_links.get(id) {
+            return Some(PortOwner::Host(h));
+        }
+        self.device_links.get(id - self.host_links.len()).map(|&(d, _)| PortOwner::Device(d))
+    }
+
+    /// The switch global port `id` hangs off, or `None` out of range.
+    pub fn port_switch(&self, id: u32) -> Option<u16> {
+        let id = id as usize;
+        if let Some(&(_, s)) = self.host_links.get(id) {
+            return Some(s);
+        }
+        self.device_links.get(id - self.host_links.len()).map(|&(_, s)| s)
+    }
+
+    /// Resolves the static route for `(host, device)`: the lowest-id
+    /// switch both sides share, with the up/down global port ids crossing
+    /// it. `None` when they share no switch (validation rejects such
+    /// topologies, so a validated fabric always routes).
+    pub fn resolve(&self, host: u16, device: u16) -> Option<(u16, u32, u32)> {
+        let mut best: Option<(u16, u32, u32)> = None;
+        for (ui, &(h, hs)) in self.host_links.iter().enumerate() {
+            if h != host {
+                continue;
+            }
+            for (di, &(d, ds)) in self.device_links.iter().enumerate() {
+                if d != device || ds != hs {
+                    continue;
+                }
+                let candidate = (hs, ui as u32, (self.host_links.len() + di) as u32);
+                if best.is_none_or(|(s, _, _)| hs < s) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best
+    }
+
+    /// Validates the topology: ids in range, no duplicate edges, every
+    /// host and device attached, every `(host, device)` pair routable, and
+    /// positive port bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::InvalidTopology`] naming the first violation.
+    pub fn validate(&self) -> Result<(), FabricError> {
+        let bad = |reason: String| Err(FabricError::InvalidTopology { reason });
+        if self.hosts == 0 || self.switches == 0 || self.devices == 0 {
+            return bad("hosts, switches, and devices must all be nonzero".into());
+        }
+        if self.port.bytes_per_us == 0 {
+            return bad("port bandwidth must be positive".into());
+        }
+        for &(h, s) in &self.host_links {
+            if h >= self.hosts || s >= self.switches {
+                return bad(format!("host link ({h}, {s}) out of range"));
+            }
+        }
+        for &(d, s) in &self.device_links {
+            if d >= self.devices || s >= self.switches {
+                return bad(format!("device link ({d}, {s}) out of range"));
+            }
+        }
+        let mut hl = self.host_links.clone();
+        hl.sort_unstable();
+        hl.dedup();
+        if hl.len() != self.host_links.len() {
+            return bad("duplicate host link".into());
+        }
+        let mut dl = self.device_links.clone();
+        dl.sort_unstable();
+        dl.dedup();
+        if dl.len() != self.device_links.len() {
+            return bad("duplicate device link (a head per switch at most)".into());
+        }
+        for h in 0..self.hosts {
+            if !self.host_links.iter().any(|&(x, _)| x == h) {
+                return bad(format!("host{h} has no up port"));
+            }
+        }
+        for d in 0..self.devices {
+            if !self.device_links.iter().any(|&(x, _)| x == d) {
+                return bad(format!("dev{d} has no head"));
+            }
+        }
+        for h in 0..self.hosts {
+            for d in 0..self.devices {
+                if self.resolve(h, d).is_none() {
+                    return bad(format!("host{h} cannot reach dev{d} through any shared switch"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_switch_validates_and_routes_through_the_lowest_shared_switch() {
+        let t = TopologyConfig::dual_switch(2, 4);
+        t.validate().unwrap();
+        // Device 0 is dual-headed but the lowest shared switch wins.
+        let (sw, up, down) = t.resolve(1, 0).unwrap();
+        assert_eq!(sw, 0);
+        assert_eq!(t.port_owner(up), Some(PortOwner::Host(1)));
+        assert_eq!(t.port_switch(up), Some(0));
+        assert_eq!(t.port_owner(down), Some(PortOwner::Device(0)));
+        // High-id devices live under switch 1.
+        let (sw, _, down) = t.resolve(0, 3).unwrap();
+        assert_eq!(sw, 1);
+        assert_eq!(t.port_switch(down), Some(1));
+    }
+
+    #[test]
+    fn validation_rejects_unreachable_and_malformed_topologies() {
+        let mut t = TopologyConfig::single_switch(2, 2);
+        t.validate().unwrap();
+        // An unreachable pair: host 1 on a switch with no devices.
+        t.switches = 2;
+        t.host_links = vec![(0, 0), (1, 1)];
+        assert!(t.validate().is_err());
+        // Duplicate edge.
+        let mut t = TopologyConfig::single_switch(1, 1);
+        t.host_links.push((0, 0));
+        assert!(t.validate().is_err());
+        // Out-of-range id.
+        let mut t = TopologyConfig::single_switch(1, 1);
+        t.device_links = vec![(3, 0)];
+        assert!(t.validate().is_err());
+        // Detached device.
+        let mut t = TopologyConfig::single_switch(1, 2);
+        t.device_links = vec![(0, 0)];
+        assert!(t.validate().is_err());
+    }
+}

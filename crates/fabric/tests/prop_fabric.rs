@@ -1,0 +1,85 @@
+//! Property tests for the switched fabric: routing is a pure function of
+//! the topology (two fabrics built from the same config route, delay, and
+//! report identically under the same traffic), and the per-host fairness
+//! ledger conserves bytes — the host shares decompose exactly the total
+//! traffic the ports carried, under any offered load.
+
+use dtl_core::HostId;
+use dtl_cxl::{LinkModel, RetryPolicy};
+use dtl_dram::Picos;
+use dtl_fabric::{CxlFabric, Interconnect, TopologyConfig};
+use proptest::prelude::*;
+
+/// A generated traffic schedule over a dual-switch fabric: `(host_pick,
+/// device_pick, bytes, gap_ns)` tuples, resolved modulo the fabric size.
+fn traffic() -> impl Strategy<Value = Vec<(u16, u16, u64, u64)>> {
+    proptest::collection::vec((0u16..8, 0u16..8, 1u64..4096, 0u64..5_000), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two fabrics built from the same topology route identically and,
+    /// replaying the same schedule, charge identical delays and produce
+    /// identical reports — routing and queueing are deterministic.
+    #[test]
+    fn routing_and_charging_are_deterministic(
+        hosts in 1u16..4,
+        devices in 1u16..7,
+        schedule in traffic(),
+    ) {
+        let topo = TopologyConfig::dual_switch(hosts, devices);
+        let mk = || CxlFabric::new(topo.clone(), LinkModel::cxl(), RetryPolicy::default()).unwrap();
+        let (mut a, mut b) = (mk(), mk());
+        for h in 0..hosts {
+            for d in 0..devices {
+                prop_assert_eq!(a.route(HostId(h), d), b.route(HostId(h), d));
+                prop_assert!(a.route(HostId(h), d).is_some(), "dual_switch reaches every pair");
+                prop_assert_eq!(a.round_trip(HostId(h), d), b.round_trip(HostId(h), d));
+            }
+        }
+        let mut now = Picos::ZERO;
+        for &(h, d, bytes, gap) in &schedule {
+            now += Picos::from_ns(gap);
+            let (host, device) = (HostId(h % hosts), d % devices);
+            let da = a.submit_at(host, device, bytes, now);
+            let db = b.submit_at(host, device, bytes, now);
+            prop_assert_eq!(da.delay, db.delay);
+            prop_assert_eq!(da.clean, db.clean);
+        }
+        let end = now + Picos::from_us(10);
+        prop_assert_eq!(a.fabric_report(end), b.fabric_report(end));
+        prop_assert_eq!(a.queue_latency(), b.queue_latency());
+    }
+
+    /// The per-host fairness ledger conserves traffic: host shares
+    /// decompose the report's total bytes exactly, the total equals what
+    /// the schedule offered, and every transfer crosses exactly two ports
+    /// (one up, one down).
+    #[test]
+    fn host_ledger_conserves_charged_bytes(
+        hosts in 1u16..4,
+        devices in 1u16..7,
+        schedule in traffic(),
+    ) {
+        let topo = TopologyConfig::dual_switch(hosts, devices);
+        let mut fab = CxlFabric::new(topo, LinkModel::cxl(), RetryPolicy::default()).unwrap();
+        let mut now = Picos::ZERO;
+        let mut offered = 0u64;
+        for &(h, d, bytes, gap) in &schedule {
+            now += Picos::from_ns(gap);
+            fab.submit_at(HostId(h % hosts), d % devices, bytes, now);
+            offered += bytes;
+        }
+        let r = fab.fabric_report(now + Picos::from_us(10)).expect("switched fabric reports");
+        prop_assert_eq!(r.bytes, offered, "the report totals the offered traffic");
+        let host_sum: u64 = r.hosts.iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(host_sum, offered, "host shares decompose the total");
+        let port_sum: u64 = r.ports.iter().map(|p| p.bytes).sum();
+        prop_assert_eq!(port_sum, 2 * offered, "each transfer crosses one up and one down port");
+        let share_sum: f64 = r.hosts.iter().map(|s| s.share).sum();
+        prop_assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to 1: {}", share_sum);
+        let transfer_sum: u64 = r.hosts.iter().map(|s| s.transfers).sum();
+        prop_assert_eq!(transfer_sum, schedule.len() as u64);
+    }
+}

@@ -8,8 +8,9 @@ use dtl_core::{
     AccessOutcome, AnalyticBackend, DeviceSnapshot, DtlDevice, HealthStats, HostId, MemoryBackend,
     RankHealth, VmAllocation, VmHandle,
 };
-use dtl_cxl::{LinkRetryStats, RetryEngine};
+use dtl_cxl::LinkRetryStats;
 use dtl_dram::{AccessKind, Picos, PowerReport, RankEnergy};
+use dtl_fabric::{Interconnect, PointToPoint};
 use dtl_telemetry::{
     BacklogSummary, ChannelOffsetSink, Histogram, LatencySummary, MetricsRegistry, SloReport,
     Telemetry,
@@ -19,14 +20,16 @@ use serde::{Deserialize, Serialize};
 use crate::placement::{self, Candidate};
 use crate::{CoordState, DeviceHealth, DeviceId, PlacementPolicy, PoolConfig, PoolError, PoolVmId};
 
-/// One member device plus its pool-side state: the CXL attachment's retry
-/// engine (per-device link accounting), the health and coordinator
+/// Bytes one pool access moves across the interconnect (a cache line).
+const ACCESS_BYTES: u64 = 64;
+
+/// One member device plus its pool-side state: the health and coordinator
 /// lifecycles, and the allocation-unit book the placement planner reads.
+/// Link accounting lives in the pool's [`Interconnect`], not here.
 #[derive(Debug)]
 struct PoolDevice<B: MemoryBackend> {
     id: DeviceId,
     dev: DtlDevice<B>,
-    retry: RetryEngine,
     health: DeviceHealth,
     coord: CoordState,
     /// AUs resident on the device: live shards plus evacuation
@@ -193,6 +196,11 @@ pub struct PoolSnapshot {
 pub struct MemoryPool<B: MemoryBackend> {
     config: PoolConfig,
     devices: Vec<PoolDevice<B>>,
+    /// The link layer every access, admission round trip, and evacuation
+    /// copy is charged through: point-to-point wires by default, or a
+    /// switched CXL fabric via
+    /// [`MemoryPool::with_devices_and_interconnect`].
+    ic: Box<dyn Interconnect>,
     hosts: BTreeMap<u16, HostState>,
     vms: BTreeMap<u64, PoolVm>,
     next_vm: u64,
@@ -228,11 +236,35 @@ impl MemoryPool<AnalyticBackend> {
             )
         })
     }
+
+    /// Builds an analytic-backend pool charging its link traffic through
+    /// `ic` instead of the default point-to-point wires — the construction
+    /// fabric experiments use.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::InvalidConfig`] when the configuration fails
+    /// validation or `ic` does not cover every configured device.
+    pub fn analytic_with_interconnect(
+        config: PoolConfig,
+        ic: Box<dyn Interconnect>,
+    ) -> Result<Self, PoolError> {
+        MemoryPool::with_devices_and_interconnect(config, ic, |_, cfg| {
+            DtlDevice::with_analytic_geometry(
+                cfg.dtl,
+                cfg.channels,
+                cfg.ranks_per_channel,
+                cfg.segs_per_rank,
+            )
+        })
+    }
 }
 
 impl<B: MemoryBackend> MemoryPool<B> {
     /// Builds a pool whose member devices come from `make_device` — the
-    /// hook for cycle-accurate or instrumented backends.
+    /// hook for cycle-accurate or instrumented backends. Link traffic is
+    /// charged through dedicated point-to-point wires built from
+    /// `config.link` / `config.retry`.
     ///
     /// # Errors
     ///
@@ -240,20 +272,42 @@ impl<B: MemoryBackend> MemoryPool<B> {
     /// validation.
     pub fn with_devices(
         config: PoolConfig,
+        make_device: impl FnMut(DeviceId, &PoolConfig) -> DtlDevice<B>,
+    ) -> Result<Self, PoolError> {
+        let ic = Box::new(PointToPoint::new(config.link, config.retry, config.devices));
+        MemoryPool::with_devices_and_interconnect(config, ic, make_device)
+    }
+
+    /// Builds a pool whose member devices come from `make_device` and whose
+    /// link traffic is charged through `ic` — the seam that swaps the
+    /// point-to-point wiring for a switched CXL fabric without touching the
+    /// orchestrator.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::InvalidConfig`] when the configuration fails
+    /// validation or `ic` does not cover every configured device.
+    pub fn with_devices_and_interconnect(
+        config: PoolConfig,
+        ic: Box<dyn Interconnect>,
         mut make_device: impl FnMut(DeviceId, &PoolConfig) -> DtlDevice<B>,
     ) -> Result<Self, PoolError> {
         config.validate()?;
+        if ic.devices() != config.devices {
+            return Err(PoolError::InvalidConfig {
+                reason: format!(
+                    "interconnect reaches {} devices, pool configures {}",
+                    ic.devices(),
+                    config.devices
+                ),
+            });
+        }
         let devices = (0..config.devices)
             .map(|i| {
                 let id = DeviceId(i);
-                // The retry engine's latency histogram measures the full
-                // link path: round trip plus any CRC replay backoff.
-                let mut retry = RetryEngine::new(config.retry);
-                retry.set_base_latency(config.link.round_trip());
                 PoolDevice {
                     id,
                     dev: make_device(id, &config),
-                    retry,
                     health: DeviceHealth::Healthy,
                     coord: CoordState::Active,
                     allocated_aus: 0,
@@ -263,6 +317,7 @@ impl<B: MemoryBackend> MemoryPool<B> {
         Ok(MemoryPool {
             config,
             devices,
+            ic,
             hosts: BTreeMap::new(),
             vms: BTreeMap::new(),
             next_vm: 0,
@@ -346,15 +401,27 @@ impl<B: MemoryBackend> MemoryPool<B> {
     ///
     /// [`PoolError::UnknownDevice`] for out-of-range ids.
     pub fn inject_crc_burst(&mut self, id: DeviceId, burst: u32) -> Result<(), PoolError> {
-        let d = self.devices.get_mut(usize::from(id.0)).ok_or(PoolError::UnknownDevice(id))?;
-        d.retry.inject_crc_burst(burst);
+        if usize::from(id.0) >= self.devices.len() || !self.ic.inject_crc_burst(id.0, burst) {
+            return Err(PoolError::UnknownDevice(id));
+        }
         Ok(())
+    }
+
+    /// The interconnect the pool charges link traffic through.
+    pub fn interconnect(&self) -> &dyn Interconnect {
+        self.ic.as_ref()
+    }
+
+    /// Mutable interconnect access (fault-injection and scheduling hooks).
+    pub fn interconnect_mut(&mut self) -> &mut dyn Interconnect {
+        self.ic.as_mut()
     }
 
     /// Installs telemetry: device *i* records through a channel-offset
     /// shim (`offset = i * channels`), so one shared sink renders one
     /// Perfetto process-track group per device.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        let ic = &mut self.ic;
         for (i, d) in self.devices.iter_mut().enumerate() {
             let offset = i as u32 * self.config.channels;
             let sink = Arc::new(ChannelOffsetSink::new(telemetry.sink().clone(), offset));
@@ -363,7 +430,7 @@ impl<B: MemoryBackend> MemoryPool<B> {
                 t = t.with_metrics(m.clone());
             }
             d.dev.set_telemetry(t.clone());
-            d.retry.set_telemetry(t);
+            ic.set_device_telemetry(i as u16, t);
         }
     }
 
@@ -530,12 +597,13 @@ impl<B: MemoryBackend> MemoryPool<B> {
         match self.place_and_carve(host, n_aus, now, Vec::new()) {
             Ok(carved) => {
                 // Admission latency: each shard's device-level carve (table
-                // walk + capacity wakes) plus one link round trip per shard.
-                let link_rt = self.config.link.round_trip();
+                // walk + capacity wakes) plus one control-plane round trip
+                // per shard on the interconnect.
                 let mut admission = Picos::ZERO;
                 for (device, _) in &carved {
                     let d = &self.devices[usize::from(device.0)];
-                    admission += d.dev.last_admission_latency() + link_rt;
+                    admission +=
+                        d.dev.last_admission_latency() + self.ic.round_trip(host, device.0);
                 }
                 self.slo_admission.observe(admission.as_ps());
                 let shards =
@@ -638,14 +706,15 @@ impl<B: MemoryBackend> MemoryPool<B> {
             .find(|s| s.device == device && s.alloc.handle == _handle)
             .expect("target shard exists");
         let hpa = dtl_core::HostPhysAddr::new(shard.alloc.hpa_base(i, au_bytes).as_u64() + within);
+        // One cache-line transaction crosses the interconnect (queueing +
+        // propagation + retry), then the device serves it.
+        let delivery = self.ic.submit_at(host, device.0, ACCESS_BYTES, now);
         let d = &mut self.devices[usize::from(device.0)];
-        let delivery = d.retry.on_submit_at(now);
         let outcome = d
             .dev
             .access(host, hpa, kind, now)
             .map_err(|e| PoolError::Device { device, source: e })?;
-        let link = self.config.link.round_trip() + delivery.delay;
-        let out = PoolAccessOutcome { device, outcome, link_delay: link };
+        let out = PoolAccessOutcome { device, outcome, link_delay: delivery.delay };
         self.slo_access.observe(out.added_latency().as_ps());
         Ok(out)
     }
@@ -674,7 +743,14 @@ impl<B: MemoryBackend> MemoryPool<B> {
                 continue;
             };
             let bytes = u64::from(aus) * self.config.dtl.au_bytes;
-            let ready_at = now + self.evac_delay(bytes);
+            // The copy reads the source over its link and writes every
+            // destination over theirs; fabrics serialize those transfers
+            // through shared ports (point-to-point wires charge nothing).
+            let mut wire = self.ic.charge_bulk(host, src.0, bytes, now);
+            for (dst, _) in &carved {
+                wire += self.ic.charge_bulk(host, dst.0, bytes, now);
+            }
+            let ready_at = now + self.evac_delay(bytes) + wire;
             self.evac.push_back(EvacJob {
                 vm,
                 src,
@@ -883,6 +959,7 @@ impl<B: MemoryBackend> MemoryPool<B> {
     ///
     /// [`PoolError::Device`] on device-internal invariant violations.
     pub fn tick(&mut self, now: Picos) -> Result<(), PoolError> {
+        self.ic.advance_to(now);
         for d in &mut self.devices {
             d.dev.tick(now).map_err(|e| PoolError::Device { device: d.id, source: e })?;
         }
@@ -912,10 +989,8 @@ impl<B: MemoryBackend> MemoryPool<B> {
     pub fn next_activity_at(&self) -> Option<Picos> {
         let dev = self.devices.iter().filter_map(|d| d.dev.next_activity_at()).min();
         let evac = self.evac.iter().map(|j| j.ready_at).min();
-        match (dev, evac) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let link = self.ic.next_activity_at();
+        [dev, evac, link].into_iter().flatten().min()
     }
 
     /// Per-device power reports at `now`, in device order.
@@ -952,7 +1027,8 @@ impl<B: MemoryBackend> MemoryPool<B> {
                 errors.correctable_errors += snap.errors.correctable_errors;
                 errors.uncorrectable_errors += snap.errors.uncorrectable_errors;
                 errors.retire_trips += snap.errors.retire_trips;
-                link.merge_from(&d.retry.stats());
+                let dev_link = self.ic.device_stats(d.id.0);
+                link.merge_from(&dev_link);
                 mapped_segments += snap.mapped_segments;
                 PoolDeviceSnapshot {
                     id: d.id,
@@ -960,7 +1036,7 @@ impl<B: MemoryBackend> MemoryPool<B> {
                     coord: d.coord,
                     allocated_aus: d.allocated_aus,
                     free_aus: total - d.allocated_aus,
-                    link: d.retry.stats(),
+                    link: dev_link,
                     device: snap,
                 }
             })
@@ -1012,6 +1088,7 @@ impl<B: MemoryBackend> MemoryPool<B> {
             access: LatencySummary::from_histogram(&self.slo_access),
             admission: LatencySummary::from_histogram(&self.slo_admission),
             evac_backlog: BacklogSummary::from_parts(&self.slo_evac_age, self.evac_high_water),
+            fabric_queue: self.ic.queue_latency(),
         }
     }
 

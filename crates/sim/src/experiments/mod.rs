@@ -21,6 +21,7 @@
 //! | [`sec6_6`] | §6.6 | bigger devices lose less from the DTL mapping |
 //! | [`sec3_4_reentry`] | §3.4 | self-refresh re-entry needs little migration |
 //! | [`fault_campaign`] | §7 outlook | fault load → capacity / energy / latency cost |
+//! | [`fabric_load`] | §7 outlook | fabric contention moves the p99; packing saves port energy |
 //! | [`pool_scale`] | §7 outlook | pack+coordination beats spread/no-coordination |
 //! | [`pool_failover`] | §7 outlook | device retirements evacuate with zero lost AUs |
 //! | [`vm_campaign`] | §7 outlook | event-driven fleet: 1000 hosts, two weeks, minutes of wall clock |
@@ -44,6 +45,7 @@ pub mod ablate_segment_size;
 pub mod ablate_smc;
 pub mod cache_pipeline;
 pub mod diff_fuzz;
+pub mod fabric_load;
 pub mod fault_campaign;
 pub mod fig01;
 pub mod fig02;

@@ -10,14 +10,15 @@
 
 use super::{
     ablate_cke_powerdown, ablate_hotness_params, ablate_migration_priority, ablate_page_policy,
-    ablate_segment_size, ablate_smc, cache_pipeline, diff_fuzz, fault_campaign, fig01, fig02,
-    fig05, fig09, fig10, fig11, fig12, fig14, fig15, loaded_latency, policy_ablation,
+    ablate_segment_size, ablate_smc, cache_pipeline, diff_fuzz, fabric_load, fault_campaign, fig01,
+    fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15, loaded_latency, policy_ablation,
     pool_failover, pool_scale, sec3_4_reentry, sec6_1, sec6_6, tab04, tab05, tab06, vm_campaign,
     Experiment, RunContext, RunOutput,
 };
 use crate::render;
 use crate::{
-    to_json, CheckRunConfig, FaultRunConfig, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig,
+    to_json, CheckRunConfig, FabricRunConfig, FaultRunConfig, HotnessRunConfig, PoolRunConfig,
+    PowerDownRunConfig,
 };
 use dtl_core::DtlError;
 use dtl_dram::Picos;
@@ -299,6 +300,53 @@ experiment!(
 );
 
 experiment!(
+    FabricLoad,
+    "fabric_load",
+    "Fabric load: tail latency vs offered load on a switched CXL fabric",
+    |ctx| {
+        // Default seed matches the pinned tiny golden (fabric_load_tiny.json).
+        let seed = ctx.seed_or(7);
+        let cfg = if ctx.tiny { FabricRunConfig::tiny(seed) } else { FabricRunConfig::paper(seed) };
+        let pool_cfg = cfg.pool_config();
+        let horizon = cfg.horizon().as_ps();
+        let (telemetry, series) = ctx.series_telemetry();
+        if let Some(series) = &series {
+            // As in pool_scale: member device d streams through the
+            // channel-offset shim; pre-register every rank so quiet ones
+            // still accrue residency.
+            for d in 0..u32::from(cfg.devices) {
+                for c in 0..pool_cfg.channels {
+                    for rank in 0..pool_cfg.ranks_per_channel {
+                        series.ensure_rank(d * pool_cfg.channels + c, rank);
+                    }
+                }
+            }
+        }
+        let heartbeat = crate::Heartbeat::new(ctx.flag("--heartbeat"), "fabric_load");
+        let (r, obs) = fabric_load::run_jobs_observed(&cfg, &telemetry, ctx.jobs, &heartbeat)?;
+        let text = format!(
+            "{}\npacking under one switch saves {:.3} mJ of switch-port energy at the \
+             lightest load\n{}",
+            render::fabric_load(&r).render(),
+            r.pack_energy_edge_mj(),
+            render::slo(&obs.slo)
+        );
+        let mut out = RunOutput::new(text, to_json(&r));
+        out.horizon_ps = Some(horizon);
+        out.slo = Some(obs.slo);
+        out.timeseries = series.map(|s| s.finish(horizon));
+        if !r.p99_monotone() {
+            out.failure =
+                Some("access p99 must rise monotonically with offered fabric load".into());
+        } else if r.pack_energy_edge_mj() <= 0.0 {
+            out.failure =
+                Some("packing under one switch must save switch-port energy at low load".into());
+        }
+        Ok(out)
+    }
+);
+
+experiment!(
     PoolScale,
     "pool_scale",
     "Pool scale: placement policy x power coordination across a device pool",
@@ -490,7 +538,7 @@ fn replay_counterexample(json: &str) -> RunOutput {
 
 /// Every registered experiment, in the order `all` runs them.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 29] = [
+    static REGISTRY: [&dyn Experiment; 30] = [
         &Fig01,
         &Fig02,
         &Fig05,
@@ -515,6 +563,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &AblatePagePolicy,
         &LoadedLatency,
         &FaultCampaign,
+        &FabricLoad,
         &PoolScale,
         &PolicyAblation,
         &PoolFailover,
@@ -536,7 +585,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 29);
+        assert_eq!(names.len(), 30);
         names.sort_unstable();
         let before = names.len();
         names.dedup();

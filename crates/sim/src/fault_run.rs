@@ -245,6 +245,7 @@ pub fn run_faulted_observed(
                 dev.drain_age_histogram(),
                 dev.migration_backlog_high_water(),
             ),
+            fabric_queue: None,
         },
         queue: sim.queue_stats(),
     };

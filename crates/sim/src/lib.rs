@@ -11,6 +11,7 @@ mod check_run;
 mod event_drive;
 pub mod exec;
 pub mod experiments;
+mod fabric_run;
 mod fault_run;
 mod heartbeat;
 mod hotness_run;
@@ -23,6 +24,9 @@ mod report;
 mod vm_campaign_run;
 
 pub use check_run::{run_checks, run_checks_jobs, CheckRunConfig, CheckRunResult, SeedResult};
+pub use fabric_run::{
+    placement_label, run_fabric_cell, run_fabric_cell_observed, FabricCellResult, FabricRunConfig,
+};
 pub use fault_run::{
     run_faulted, run_faulted_observed, run_faulted_traced, FaultRunConfig, FaultRunResult,
 };

@@ -4,7 +4,7 @@ use crate::experiments::{
     ablate_cke_powerdown as cke, ablate_hotness_params as hotness_params,
     ablate_migration_priority as migration_priority, ablate_page_policy as page_policy,
     ablate_segment_size as segment_size, ablate_smc as smc, cache_pipeline as pipeline, diff_fuzz,
-    fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
+    fabric_load, fault_campaign, fig01, fig02, fig05, fig09, fig10, fig11, fig12, fig14, fig15,
     loaded_latency as loaded, policy_ablation, pool_failover, pool_scale, sec6_1, sec6_6, tab04,
     tab05, tab06, vm_campaign,
 };
@@ -395,6 +395,47 @@ pub fn pool_scale(r: &pool_scale::PoolScaleResult) -> Table {
     t
 }
 
+/// Fabric load: one row per (placement, burst) cell of the sweep, access
+/// tail latency beside the switch-port and DRAM energy headlines.
+pub fn fabric_load(r: &fabric_load::FabricLoadResult) -> Table {
+    let mut t = Table::new(
+        "Fabric load - access tail latency and port energy vs offered load",
+        &[
+            "placement",
+            "burst",
+            "accesses",
+            "p50_ns",
+            "p99_ns",
+            "p99.9_ns",
+            "queue_mean_ns",
+            "max_util",
+            "ports",
+            "port_mj",
+            "dram_mj",
+            "share_min",
+            "share_max",
+        ],
+    );
+    for c in &r.cells {
+        t.row(&[
+            c.placement_label().to_string(),
+            c.burst.to_string(),
+            c.accesses.to_string(),
+            f1(c.access_p50_ps as f64 / 1000.0),
+            f1(c.access_p99_ps as f64 / 1000.0),
+            f1(c.access_p999_ps as f64 / 1000.0),
+            f1(c.queue_mean_ps / 1000.0),
+            f3(c.max_port_utilization),
+            c.ports_used.to_string(),
+            f3(c.switch_port_energy_mj),
+            f1(c.dram_energy_mj),
+            f3(c.host_share_min),
+            f3(c.host_share_max),
+        ]);
+    }
+    t
+}
+
 /// Policy ablation: one row per (policy, mix, coordinator) cell, with
 /// energy savings and access-p99 delta against the fixed-threshold cell
 /// of the same (mix, coordinator) pair.
@@ -731,16 +772,21 @@ pub fn ablate_smc(r: &smc::SmcResult) -> Table {
 }
 
 /// SLO report rendered beside an experiment's energy headline: latency
-/// percentile rows (access including the CXL retry penalty, and VM
-/// admission) plus an evacuation-backlog summary line. Absent sections
-/// render as `-` cells so the table shape is stable across campaigns.
+/// percentile rows (access including the CXL retry penalty, VM admission,
+/// and fabric port queueing where a switched interconnect is modeled)
+/// plus an evacuation-backlog summary line. Absent sections render as `-`
+/// cells so the table shape is stable across campaigns.
 pub fn slo(r: &dtl_telemetry::SloReport) -> String {
     let ns = |ps: u64| f1(ps as f64 / 1000.0);
     let mut t = Table::new(
         "SLO report",
         &["metric", "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "p99.9_ns"],
     );
-    for (name, summary) in [("access+retry", &r.access), ("admission", &r.admission)] {
+    for (name, summary) in [
+        ("access+retry", &r.access),
+        ("admission", &r.admission),
+        ("fabric_queue", &r.fabric_queue),
+    ] {
         match summary {
             Some(l) => t.row(&[
                 name.to_string(),
@@ -811,6 +857,7 @@ mod tests {
         assert!(s.contains("== SLO report =="));
         assert!(s.contains("access+retry"));
         assert!(s.contains("admission"));
+        assert!(s.contains("fabric_queue"));
         assert!(s.contains("evacuation backlog: -"));
         let h = dtl_telemetry::Histogram::default();
         h.observe(1_000);
@@ -819,6 +866,7 @@ mod tests {
             access: dtl_telemetry::LatencySummary::from_histogram(&h),
             admission: None,
             evac_backlog: dtl_telemetry::BacklogSummary::from_parts(&h, 3),
+            fabric_queue: None,
         };
         let s = slo(&full);
         assert!(s.contains("peak depth 3"));

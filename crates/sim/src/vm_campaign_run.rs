@@ -490,6 +490,7 @@ pub fn run_campaign_observed(
             access: None,
             admission: LatencySummary::from_histogram(&admission),
             evac_backlog: BacklogSummary::from_parts(&drain_age, backlog_high_water),
+            fabric_queue: None,
         },
         queue,
         series,

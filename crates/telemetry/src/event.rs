@@ -198,6 +198,16 @@ pub enum EventKind {
         /// Segments released.
         segments: u64,
     },
+    /// A transfer serialized through one fabric port (up or down side of a
+    /// switch crossing; a switched access emits one per port it crossed).
+    FabricTransfer {
+        /// Global fabric port index.
+        port: u32,
+        /// Bytes serialized.
+        bytes: u64,
+        /// Time the transfer queued behind earlier arrivals, picoseconds.
+        queue_ps: u64,
+    },
 }
 
 impl EventKind {
@@ -238,7 +248,8 @@ impl EventKind {
             }
             other @ (EventKind::CxlRetry { .. }
             | EventKind::VmAlloc { .. }
-            | EventKind::VmDealloc { .. }) => other,
+            | EventKind::VmDealloc { .. }
+            | EventKind::FabricTransfer { .. }) => other,
         }
     }
 }
@@ -285,6 +296,10 @@ mod tests {
                 },
             },
             Event { at_ps: 99, kind: EventKind::VmAlloc { vm: 7, segments: 512 } },
+            Event {
+                at_ps: 120,
+                kind: EventKind::FabricTransfer { port: 5, bytes: 64, queue_ps: 2000 },
+            },
         ];
         for ev in events {
             let text = serde_json::to_string(&ev).unwrap();

@@ -237,6 +237,17 @@ pub fn chrome_trace(timeline: &PowerTimeline, events: &[Event]) -> String {
                     vec![("vm", uint(vm)), ("segments", uint(segments))],
                 ),
             )),
+            EventKind::FabricTransfer { port, bytes, queue_ps } => Some((
+                (DEVICE_PID, 0),
+                instant(
+                    format!("fabric port {port}"),
+                    ev.at_ps,
+                    DEVICE_PID,
+                    0,
+                    "t",
+                    vec![("bytes", uint(bytes)), ("queue_ps", uint(queue_ps))],
+                ),
+            )),
         };
         if let Some(((pid, tid), value)) = item {
             if pid == DEVICE_PID {

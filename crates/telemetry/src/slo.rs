@@ -94,12 +94,18 @@ pub struct SloReport {
     pub admission: Option<LatencySummary>,
     /// Evacuation / migration-drain backlog.
     pub evac_backlog: Option<BacklogSummary>,
+    /// Queue wait at fabric ports, where a switched interconnect is
+    /// modeled (`None` under point-to-point links).
+    pub fabric_queue: Option<LatencySummary>,
 }
 
 impl SloReport {
     /// Whether no section carries data.
     pub fn is_empty(&self) -> bool {
-        self.access.is_none() && self.admission.is_none() && self.evac_backlog.is_none()
+        self.access.is_none()
+            && self.admission.is_none()
+            && self.evac_backlog.is_none()
+            && self.fabric_queue.is_none()
     }
 }
 
@@ -154,6 +160,7 @@ mod tests {
             access: LatencySummary::from_histogram(&h),
             admission: None,
             evac_backlog: BacklogSummary::from_parts(&h, 1),
+            fabric_queue: LatencySummary::from_histogram(&h),
         };
         let text = serde_json::to_string(&report).unwrap();
         let back: SloReport = serde_json::from_str(&text).unwrap();

@@ -51,6 +51,12 @@ pub struct WindowAggregate {
     pub health_transitions: u64,
     /// Telemetry events folded into this window (every kind).
     pub events: u64,
+    /// Fabric port transfers serialized in this window.
+    pub fabric_transfers: u64,
+    /// Bytes those transfers pushed through fabric ports.
+    pub fabric_bytes: u64,
+    /// Queue wait those transfers paid at fabric ports, picoseconds.
+    pub fabric_queue_ps: u64,
 }
 
 impl WindowAggregate {
@@ -68,13 +74,17 @@ impl WindowAggregate {
         self.faults += other.faults;
         self.health_transitions += other.health_transitions;
         self.events += other.events;
+        self.fabric_transfers += other.fabric_transfers;
+        self.fabric_bytes += other.fabric_bytes;
+        self.fabric_queue_ps += other.fabric_queue_ps;
     }
 }
 
 /// The CSV header [`TimeSeries::to_csv`] emits (and CI validates).
 pub const TIMESERIES_CSV_HEADER: &str = "window,start_ps,end_ps,standby_ps,active_powerdown_ps,\
      precharge_powerdown_ps,self_refresh_ps,mpsm_ps,power_transitions,migrations,migration_bytes,\
-     cxl_retries,cxl_retry_delay_ps,vm_allocs,vm_deallocs,faults,health_transitions,events";
+     cxl_retries,cxl_retry_delay_ps,vm_allocs,vm_deallocs,faults,health_transitions,events,\
+     fabric_transfers,fabric_bytes,fabric_queue_ps";
 
 /// A finished windowed time series: one [`WindowAggregate`] per
 /// `width_ps`-wide window, dense from t = 0.
@@ -183,7 +193,7 @@ impl TimeSeries {
         for (i, w) in self.windows.iter().enumerate() {
             let start = i as u64 * self.width_ps;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 i,
                 start,
                 start + self.width_ps,
@@ -202,6 +212,9 @@ impl TimeSeries {
                 w.faults,
                 w.health_transitions,
                 w.events,
+                w.fabric_transfers,
+                w.fabric_bytes,
+                w.fabric_queue_ps,
             ));
         }
         out
@@ -319,6 +332,11 @@ impl TimeSeriesSink {
             EventKind::VmDealloc { .. } => w.vm_deallocs += 1,
             EventKind::FaultInjected { .. } => w.faults += 1,
             EventKind::HealthTransition { .. } => w.health_transitions += 1,
+            EventKind::FabricTransfer { bytes, queue_ps, .. } => {
+                w.fabric_transfers += 1;
+                w.fabric_bytes += bytes;
+                w.fabric_queue_ps += queue_ps;
+            }
             EventKind::TspAdvance { .. } | EventKind::SelfRefreshSwap { .. } => {}
         }
     }
@@ -473,6 +491,31 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 2);
         assert!(jsonl.lines().nth(1).unwrap().contains("\"start_ps\":500"));
         assert!(jsonl.lines().nth(1).unwrap().contains("\"vm_deallocs\":1"));
+    }
+
+    #[test]
+    fn fabric_transfers_fold_into_their_own_columns() {
+        let sink = TimeSeriesSink::new(1000);
+        sink.fold(&Event {
+            at_ps: 100,
+            kind: EventKind::FabricTransfer { port: 2, bytes: 64, queue_ps: 0 },
+        });
+        sink.fold(&Event {
+            at_ps: 1100,
+            kind: EventKind::FabricTransfer { port: 3, bytes: 128, queue_ps: 2000 },
+        });
+        let series = sink.finish(2000);
+        let w = series.windows();
+        assert_eq!(w[0].fabric_transfers, 1);
+        assert_eq!(w[0].fabric_bytes, 64);
+        assert_eq!(w[1].fabric_queue_ps, 2000);
+        let csv = series.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("fabric_transfers,fabric_bytes,fabric_queue_ps"));
+        assert!(csv.lines().nth(2).unwrap().ends_with(",1,128,2000"));
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn main() -> Result<(), DtlError> {
                 }
                 FaultKind::LinkCrc { burst } => {
                     link.inject_crc_burst(burst);
-                    link.on_submit();
+                    link.on_submit_at(t);
                 }
                 FaultKind::MigrationInterrupt { channel } => {
                     let outcome = dev.inject_migration_interrupt(channel, t)?;

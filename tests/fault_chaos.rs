@@ -81,7 +81,7 @@ fn chaos_round(seed: u64) -> Result<(), DtlError> {
                 }
                 FaultKind::LinkCrc { burst } => {
                     link.inject_crc_burst(burst);
-                    link.on_submit();
+                    link.on_submit_at(t);
                 }
                 FaultKind::MigrationInterrupt { channel } => {
                     dev.inject_migration_interrupt(channel, t)?;

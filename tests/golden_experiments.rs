@@ -14,8 +14,8 @@
 
 use std::path::{Path, PathBuf};
 
-use dtl_sim::experiments::{fig12, fig14, policy_ablation, pool_failover, pool_scale};
-use dtl_sim::{to_json, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig};
+use dtl_sim::experiments::{fabric_load, fig12, fig14, policy_ablation, pool_failover, pool_scale};
+use dtl_sim::{to_json, FabricRunConfig, HotnessRunConfig, PoolRunConfig, PowerDownRunConfig};
 use serde::Value;
 
 /// Relative tolerance for float comparisons. The runs are deterministic;
@@ -140,6 +140,14 @@ fn pool_failover_tiny_matches_golden() {
     // golden run the slowest in the suite.
     let r = pool_failover::run(&PoolRunConfig::tiny(7), 2).expect("pool_failover tiny");
     check_golden("pool_failover_tiny", &to_json(&r));
+}
+
+#[test]
+fn fabric_load_tiny_matches_golden() {
+    let r = fabric_load::run(&FabricRunConfig::tiny(7)).expect("fabric_load tiny");
+    assert!(r.p99_monotone(), "access p99 must rise with offered load");
+    assert!(r.pack_energy_edge_mj() > 0.0, "pack must beat spread on switch-port energy");
+    check_golden("fabric_load_tiny", &to_json(&r));
 }
 
 #[test]

@@ -163,6 +163,21 @@ fn pool_scale_timeseries_csv_jobs4_is_byte_identical_to_jobs1() {
 }
 
 #[test]
+fn fabric_load_timeseries_csv_jobs4_is_byte_identical_to_jobs1() {
+    let exp = find("fabric_load").unwrap();
+    let o1 = exp.run(&series_ctx(1, &[])).unwrap();
+    let o4 = exp.run(&series_ctx(4, &[])).unwrap();
+    assert_eq!(o1.json, o4.json, "fabric_load JSON must not depend on --jobs");
+    assert!(o1.failure.is_none(), "the sweep meets its acceptance: {:?}", o1.failure);
+    let csv1 = o1.timeseries.expect("a width was requested").to_csv();
+    let csv4 = o4.timeseries.expect("a width was requested").to_csv();
+    assert!(csv1.starts_with(TIMESERIES_CSV_HEADER));
+    assert_eq!(csv1, csv4, "fabric_load time-series CSV must not depend on --jobs");
+    // The switched interconnect reports the port-queue population.
+    assert!(o1.slo.is_some_and(|s| s.fabric_queue.is_some()), "fabric SLO carries queue waits");
+}
+
+#[test]
 fn every_binary_is_registered_and_vice_versa() {
     let bin_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
     let mut bins: Vec<String> = std::fs::read_dir(&bin_dir)
